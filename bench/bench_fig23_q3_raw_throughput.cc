@@ -1,0 +1,34 @@
+// Reproduces Figure 23: "The Q3's raw stage throughput curves — with each
+// stage parallelism of 1".
+//
+// Q3 runs with every stage and task DOP pinned to 1; we sample each
+// stage's output throughput (tuples/ms) over time for stages S1..S4
+// (S0/S5 omitted like the paper: negligible throughput / brief duration).
+//
+// Shape to check: S2 (lineitem scan) sustains the highest raw rate, S4
+// (orders scan) finishes first and S1 (the final join) only ramps up
+// after S3's hash table exists; execution is dominated by the long tail
+// of S1/S2.
+
+#include "bench/bench_util.h"
+#include "tpch/queries.h"
+
+int main() {
+  using namespace accordion;
+  bench::PrintHeader("Q3 raw per-stage throughput at DOP 1",
+                     "Figure 23");
+
+  auto options = bench::ExperimentOptions(/*cost_scale=*/4.0);
+  AccordionCluster cluster(options);
+  auto submitted = cluster.coordinator()->Submit(
+      TpchQueryPlan(3, cluster.coordinator()->catalog()));
+  if (!submitted.ok()) return 1;
+
+  bench::StageSampler sampler(cluster.coordinator(), *submitted, 250);
+  bench::WaitSeconds(cluster.coordinator(), *submitted);
+  sampler.PrintThroughputSeries({1, 2, 3, 4});
+
+  std::printf("\nTotal execution time: %.2fs\n",
+              bench::QuerySeconds(cluster.coordinator(), *submitted));
+  return 0;
+}

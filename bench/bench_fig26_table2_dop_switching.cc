@@ -1,0 +1,87 @@
+// Reproduces Figure 26 + Table 2: partitioned hash join DOP switching on
+// the two-way join Q2J (Fig. 15), and the state-transfer breakdown.
+//
+//   Fig. 26: throughput curves while stage 1's DOP switches 2->4->6->8,
+//            with a final 8->9 request rejected near completion;
+//   Table 2: per-switch total / shuffle / build time — shuffle time and
+//            build time both shrink as the DOP grows (more nodes share
+//            the reshuffle and each new partition is smaller).
+
+#include "bench/bench_util.h"
+#include "tpch/queries.h"
+#include "tuner/auto_tuner.h"
+
+int main() {
+  using namespace accordion;
+  bench::PrintHeader("Q2J partitioned-join DOP switching",
+                     "Figure 26 + Table 2");
+
+  auto options = bench::ExperimentOptions(/*cost_scale=*/12.0);
+  options.num_workers = 6;
+  // Probing dominates so that the join stage is the bottleneck and DOP
+  // switches visibly raise throughput (the paper's S1 curve).
+  options.engine.cost.probe_us = 150;
+  AccordionCluster cluster(options);
+  Coordinator* coordinator = cluster.coordinator();
+  AutoTuner tuner(coordinator);
+
+  QueryOptions qopts;
+  qopts.stage_dop = 2;  // paper: initial stage parallelism 2, task DOP 1
+  qopts.stage_dop_overrides[2] = 4;  // ample scan supply for the probe
+  auto submitted =
+      coordinator->Submit(TpchQ2JPlan(coordinator->catalog()), qopts);
+  if (!submitted.ok()) return 1;
+
+  bench::StageSampler sampler(coordinator, *submitted, 250);
+
+  struct Step {
+    double at_progress;  // lineitem scan progress triggering the switch
+    int dop;
+  };
+  const Step kScript[] = {{0.15, 4}, {0.40, 6}, {0.65, 8}};
+  std::printf("%-12s  %10s  %12s  %10s\n", "DOP switching", "Total time",
+              "Shuffle time", "Build time");
+  Stopwatch sw;
+  int previous_dop = 2;
+  for (const Step& step : kScript) {
+    bench::WaitForProgress(coordinator, tuner.predictor(), *submitted, 1,
+                           step.at_progress);
+    if (coordinator->IsFinished(*submitted)) break;
+    DopSwitchReport report;
+    Status st = tuner.Tune(*submitted, 1, step.dop, &report);
+    if (st.ok()) {
+      std::printf("%d -> %-8d  %9.2fs  %11.2fs  %9.2fs\n", previous_dop,
+                  step.dop, report.total_seconds, report.shuffle_seconds,
+                  report.build_seconds);
+      previous_dop = step.dop;
+    } else {
+      std::printf("%d -> %-8d  (Rejected): %s\n", previous_dop, step.dop,
+                  st.ToString().c_str());
+    }
+  }
+
+  // Final request near completion: must be rejected (T_remain < T_build).
+  double progress = bench::WaitForProgress(coordinator, tuner.predictor(),
+                                           *submitted, 1, 0.9);
+  if (!coordinator->IsFinished(*submitted)) {
+    Status st = tuner.Tune(*submitted, 1, previous_dop + 1);
+    std::printf("%d -> %-8d  at %.0f%% scan progress: %s\n", previous_dop,
+                previous_dop + 1, progress * 100,
+                st.ok() ? "ACCEPTED (unexpected)"
+                        : ("(Rejected): " + st.ToString()).c_str());
+  }
+
+  bench::WaitSeconds(coordinator, *submitted);
+  std::printf("\nThroughput series (S1 join, S2 lineitem scan, S3 orders "
+              "scan):\n");
+  sampler.PrintThroughputSeries({1, 2, 3});
+  auto snapshot = coordinator->Snapshot(*submitted);
+  std::printf("\nInitial schedule: %.0f ms. Total execution time: %.2fs\n",
+              snapshot->initial_schedule_ms,
+              bench::QuerySeconds(coordinator, *submitted));
+  std::printf("Shape check vs paper: probing is never interrupted during "
+              "rebuilds; per-switch shuffle+build times DECREASE as DOP "
+              "rises (Table 2's 42.7s -> 29.0s -> 21.6s trend); the final "
+              "request is rejected when T_remain < T_build.\n");
+  return 0;
+}

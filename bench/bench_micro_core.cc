@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers and the
+// §4.2 buffer design choices that DESIGN.md calls out:
+//   - page serialization (the simulated Arrow IPC wire format),
+//   - row hashing / hash-partitioning (the shuffle executor inner loop),
+//   - join bridge build+probe,
+//   - elastic vs fixed-capacity buffer handoff (the §2 "challenge 3"
+//     ablation: fixed big buffers delay consumption, fixed small ones
+//     throttle producers; elastic tracks the consumer).
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/random.h"
+#include "exec/join_bridge.h"
+#include "exec/output_buffer.h"
+#include "expr/expr.h"
+#include "tpch/tpch.h"
+
+namespace accordion {
+namespace {
+
+PagePtr MakeBenchPage(int64_t rows) {
+  Random rng(42);
+  Column keys(DataType::kInt64);
+  Column values(DataType::kDouble);
+  Column tags(DataType::kString);
+  for (int64_t i = 0; i < rows; ++i) {
+    keys.AppendInt(rng.NextInt(0, 1 << 20));
+    values.AppendDouble(rng.NextDouble());
+    tags.AppendStr(rng.NextString(12));
+  }
+  return Page::Make({std::move(keys), std::move(values), std::move(tags)});
+}
+
+void BM_PageSerialize(benchmark::State& state) {
+  PagePtr page = MakeBenchPage(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(page->Serialize());
+  }
+  state.SetItemsProcessed(state.iterations() * page->num_rows());
+}
+BENCHMARK(BM_PageSerialize)->Arg(256)->Arg(4096);
+
+void BM_PageDeserialize(benchmark::State& state) {
+  std::string wire = MakeBenchPage(state.range(0))->Serialize();
+  for (auto _ : state) {
+    auto result = Page::Deserialize(wire);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PageDeserialize)->Arg(256)->Arg(4096);
+
+void BM_HashPartition(benchmark::State& state) {
+  PagePtr page = MakeBenchPage(4096);
+  const int parts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::vector<int32_t>> selections(parts);
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      selections[page->HashRow(r, {0}) % parts].push_back(
+          static_cast<int32_t>(r));
+    }
+    benchmark::DoNotOptimize(selections);
+  }
+  state.SetItemsProcessed(state.iterations() * page->num_rows());
+}
+BENCHMARK(BM_HashPartition)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ExprFilterEval(benchmark::State& state) {
+  PagePtr page = MakeBenchPage(4096);
+  auto pred = And(Lt(Col(0, DataType::kInt64), LitInt(1 << 19)),
+                  Gt(Col(1, DataType::kDouble), LitDouble(0.25)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FilterRows(*pred, *page));
+  }
+  state.SetItemsProcessed(state.iterations() * page->num_rows());
+}
+BENCHMARK(BM_ExprFilterEval);
+
+void BM_JoinBridgeBuildProbe(benchmark::State& state) {
+  PagePtr build = MakeBenchPage(state.range(0));
+  PagePtr probe = MakeBenchPage(4096);
+  for (auto _ : state) {
+    JoinBridge bridge({DataType::kInt64, DataType::kDouble, DataType::kString},
+                      {0});
+    bridge.AddBuildDriver();
+    bridge.AddBuildPage(build);
+    bridge.BuildDriverFinished();
+    std::vector<int32_t> probe_rows;
+    std::vector<int64_t> build_rows;
+    bridge.Probe(*probe, {0}, &probe_rows, &build_rows);
+    benchmark::DoNotOptimize(probe_rows);
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 4096));
+}
+BENCHMARK(BM_JoinBridgeBuildProbe)->Arg(1024)->Arg(16384);
+
+void BM_TpchGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    TpchSplitGenerator gen("lineitem", 0.001, 0, 1, 1024);
+    int64_t rows = 0;
+    while (auto page = gen.NextPage()) rows += page->num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_TpchGenerate);
+
+void BM_BufferHandoff(benchmark::State& state) {
+  // Producer->consumer handoff through a shared buffer, elastic vs fixed
+  // capacity. items/s differences show the buffer-design ablation.
+  bool elastic = state.range(0) == 1;
+  EngineConfig config;
+  config.elastic_buffers = elastic;
+  config.fixed_buffer_bytes = 1 << 16;
+  ResourceGovernor cpu("bench.cpu", 1e9, 1e9);
+  ResourceGovernor nic("bench.nic", 1e12, 1e12);
+  TaskContext ctx("bench", &cpu, &nic, &config);
+  PagePtr page = MakeBenchPage(256);
+  for (auto _ : state) {
+    OutputBufferConfig cfg;
+    cfg.partitioning = Partitioning::kArbitrary;
+    cfg.initial_consumers = 1;
+    SharedBuffer buffer(cfg, &ctx);
+    buffer.AddProducerDriver();
+    int64_t produced = 0, consumed = 0;
+    while (consumed < 200) {
+      if (produced < 200 && buffer.AcceptingInput()) {
+        buffer.Enqueue(page);
+        ++produced;
+      }
+      auto result = buffer.GetPages(0, 8);
+      consumed += static_cast<int64_t>(result.pages.size());
+    }
+    benchmark::DoNotOptimize(consumed);
+  }
+  state.SetLabel(elastic ? "elastic" : "fixed32MBstyle");
+}
+BENCHMARK(BM_BufferHandoff)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace accordion
+
+BENCHMARK_MAIN();

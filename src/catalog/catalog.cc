@@ -1,0 +1,52 @@
+#include "catalog/catalog.h"
+
+namespace accordion {
+
+int TableSchema::ChannelOf(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<DataType> TableSchema::ColumnTypes() const {
+  std::vector<DataType> types;
+  types.reserve(columns_.size());
+  for (const auto& col : columns_) types.push_back(col.type);
+  return types;
+}
+
+void Catalog::AddTable(TableSchema schema, TableLayout layout) {
+  std::string name = schema.name();
+  tables_[name] = std::move(schema);
+  layouts_[name] = layout;
+}
+
+Result<TableSchema> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<TableLayout> Catalog::GetLayout(const std::string& name) const {
+  auto it = layouts_.find(name);
+  if (it == layouts_.end()) {
+    return Status::NotFound("no layout for table '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace accordion

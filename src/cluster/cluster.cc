@@ -1,0 +1,28 @@
+#include "cluster/cluster.h"
+
+#include "tpch/tpch.h"
+
+namespace accordion {
+
+AccordionCluster::AccordionCluster(Options options)
+    : options_(std::move(options)) {
+  bus_ = std::make_unique<RpcBus>(&options_.engine);
+  storage_ = std::make_unique<StorageService>(
+      options_.num_storage_nodes, options_.storage_node, &options_.engine);
+  workers_.reserve(options_.num_workers);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.push_back(std::make_unique<WorkerNode>(
+        w, options_.worker_node, &options_.engine, bus_.get(),
+        storage_.get()));
+    bus_->RegisterWorker(w, workers_.back().get());
+  }
+  Catalog catalog =
+      options_.use_default_catalog
+          ? MakeTpchCatalog(options_.scale_factor, options_.num_storage_nodes)
+          : options_.catalog;
+  coordinator_ = std::make_unique<Coordinator>(
+      bus_.get(), std::move(catalog), &options_.engine,
+      options_.scale_factor);
+}
+
+}  // namespace accordion

@@ -1,0 +1,50 @@
+#ifndef ACCORDION_CLUSTER_CLUSTER_H_
+#define ACCORDION_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/worker.h"
+
+namespace accordion {
+
+/// One self-contained simulated Accordion deployment: a coordinator,
+/// `num_workers` compute nodes and `num_storage_nodes` storage nodes,
+/// mirroring the paper's 21-node EC2 cluster (1 + 10 + 10) at whatever
+/// size the experiment asks for.
+class AccordionCluster {
+ public:
+  struct Options {
+    int num_workers = 4;
+    int num_storage_nodes = 4;
+    NodeConfig worker_node;
+    NodeConfig storage_node;
+    EngineConfig engine;
+    double scale_factor = 0.01;
+
+    /// Empty => MakeTpchCatalog(scale_factor, num_storage_nodes).
+    Catalog catalog;
+    bool use_default_catalog = true;
+  };
+
+  explicit AccordionCluster(Options options);
+
+  Coordinator* coordinator() { return coordinator_.get(); }
+  RpcBus* bus() { return bus_.get(); }
+  WorkerNode* worker(int i) { return workers_[i].get(); }
+  StorageService* storage() { return storage_.get(); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const EngineConfig& engine_config() const { return options_.engine; }
+
+ private:
+  Options options_;
+  std::unique_ptr<RpcBus> bus_;
+  std::unique_ptr<StorageService> storage_;
+  std::vector<std::unique_ptr<WorkerNode>> workers_;
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_CLUSTER_CLUSTER_H_

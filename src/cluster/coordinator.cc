@@ -1,0 +1,555 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "tpch/tpch.h"
+
+namespace accordion {
+
+Coordinator::Coordinator(RpcBus* bus, Catalog catalog,
+                         const EngineConfig* config, double scale_factor)
+    : bus_(bus),
+      catalog_(std::move(catalog)),
+      config_(config),
+      scale_factor_(scale_factor) {}
+
+Coordinator::~Coordinator() {
+  std::vector<std::shared_ptr<QueryExec>> queries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, query] : queries_) queries.push_back(query);
+  }
+  for (auto& query : queries) {
+    Abort(query->id);
+    if (query->drain_thread.joinable()) query->drain_thread.join();
+    CleanupQueryTasks(query.get());
+  }
+}
+
+std::shared_ptr<Coordinator::QueryExec> Coordinator::GetQuery(
+    const std::string& query_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : it->second;
+}
+
+OutputBufferConfig Coordinator::BufferConfigFor(const QueryExec& query,
+                                                const StageExec& stage) const {
+  OutputBufferConfig cfg;
+  cfg.partitioning = stage.fragment.output_partitioning;
+  cfg.keys = stage.fragment.output_keys;
+  cfg.first_buffer_id = stage.consumer_window_first;
+  cfg.initial_consumers = stage.consumer_window_count;
+  // Stages feeding a join build side keep the intermediate data cache and
+  // multicast to all task groups (paper §4.5).
+  auto parent_it = query.stages.find(stage.fragment.parent_stage_id);
+  if (parent_it != query.stages.end()) {
+    auto role = parent_it->second.source_is_build.find(stage.fragment.stage_id);
+    if (role != parent_it->second.source_is_build.end() && role->second &&
+        cfg.partitioning == Partitioning::kHash) {
+      cfg.retain_cache = true;
+      cfg.multicast_groups = true;
+    }
+  }
+  return cfg;
+}
+
+NextSplitFn Coordinator::SplitFeed(std::shared_ptr<QueryExec> query,
+                                   int stage_id) {
+  RpcBus* bus = bus_;
+  return [query, stage_id, bus]() -> std::optional<SystemSplit> {
+    bus->CountRequest();  // split assignment round trip
+    std::lock_guard<std::mutex> lock(query->split_mutex);
+    auto& splits = query->stages.at(stage_id).splits;
+    if (splits.empty()) return std::nullopt;
+    SystemSplit split = splits.front();
+    splits.pop_front();
+    return split;
+  };
+}
+
+Result<TaskId> Coordinator::SpawnTask(
+    QueryExec* query, StageExec* stage,
+    const std::map<int, int>& source_buffer_ids) {
+  TaskSpec spec;
+  spec.id = TaskId{query->id, stage->fragment.stage_id, stage->next_task_seq++};
+  spec.fragment = stage->fragment;
+  spec.initial_dop = query->options.task_dop;
+  spec.output_config = BufferConfigFor(*query, *stage);
+  spec.source_buffer_ids = source_buffer_ids;
+  for (int child_id : stage->fragment.source_stage_ids) {
+    auto& child = query->stages.at(child_id);
+    std::vector<RemoteSplit> splits;
+    for (size_t t = 0; t < child.tasks.size(); ++t) {
+      splits.push_back(RemoteSplit{child.task_workers[t], child.tasks[t]});
+    }
+    spec.remote_splits[child_id] = std::move(splits);
+  }
+
+  int worker = NextWorker();
+  TaskId id = spec.id;
+  auto query_shared = GetQuery(query->id);
+  NextSplitFn feed;
+  if (stage->fragment.IsScanStage()) {
+    feed = SplitFeed(query_shared, stage->fragment.stage_id);
+  } else {
+    feed = [] { return std::optional<SystemSplit>{}; };
+  }
+  ACCORDION_RETURN_NOT_OK(bus_->ScheduleTask(worker, std::move(spec), feed));
+  ACCORDION_RETURN_NOT_OK(bus_->StartTask(worker, id));
+  stage->tasks.push_back(id);
+  stage->task_workers.push_back(worker);
+  ++stage->dop;
+  return id;
+}
+
+Result<std::string> Coordinator::Submit(const PlanNodePtr& plan,
+                                        const QueryOptions& options) {
+  auto query = std::make_shared<QueryExec>();
+  query->id = "q" + std::to_string(next_query_++);
+  query->options = options;
+  query->submit_ms = NowMillis();
+
+  std::vector<PlanFragment> fragments = FragmentPlan(plan);
+  for (auto& fragment : fragments) {
+    StageExec stage;
+    stage.fragment = fragment;
+    stage.source_is_build = BuildSideSourceStages(fragment);
+    if (fragment.IsScanStage()) {
+      auto layout = catalog_.GetLayout(fragment.scan_table);
+      ACCORDION_RETURN_NOT_OK(layout.status());
+      int total = layout->TotalSplits();
+      for (int s = 0; s < total; ++s) {
+        stage.splits.push_back(SystemSplit{
+            fragment.scan_table, s, total,
+            s / std::max(1, layout->splits_per_node), scale_factor_});
+      }
+    }
+    query->stages.emplace(fragment.stage_id, std::move(stage));
+  }
+
+  // Planned initial DOP per stage.
+  auto planned_dop = [&](const StageExec& stage) {
+    const PlanFragment& f = stage.fragment;
+    if (f.stage_id == 0 || f.has_final_stateful) return 1;
+    int dop = options.stage_dop;
+    auto it = options.stage_dop_overrides.find(f.stage_id);
+    if (it != options.stage_dop_overrides.end()) dop = it->second;
+    if (f.IsScanStage()) {
+      dop = std::min<int>(dop, static_cast<int>(stage.splits.size()));
+    }
+    return std::max(1, dop);
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queries_[query->id] = query;
+  }
+
+  // Schedule bottom-up (deepest stages first) so that remote splits of
+  // parents are known at creation time (paper §4.4).
+  Stopwatch schedule_watch;
+  int64_t requests_before = bus_->total_requests();
+  std::vector<int> order;
+  for (auto& [id, stage] : query->stages) order.push_back(id);
+  std::sort(order.rbegin(), order.rend());
+  for (int stage_id : order) {
+    StageExec& stage = query->stages.at(stage_id);
+    int dop = planned_dop(stage);
+    auto parent_it = query->stages.find(stage.fragment.parent_stage_id);
+    stage.consumer_window_first = 0;
+    stage.consumer_window_count = parent_it != query->stages.end()
+                                      ? planned_dop(parent_it->second)
+                                      : 1;
+    stage.next_output_buffer_id = stage.consumer_window_count;
+    for (int t = 0; t < dop; ++t) {
+      auto spawned = SpawnTask(query.get(), &stage, {});
+      ACCORDION_RETURN_NOT_OK(spawned.status());
+    }
+  }
+  query->initial_schedule_ms = schedule_watch.ElapsedSeconds() * 1000.0;
+  query->initial_schedule_requests = bus_->total_requests() - requests_before;
+
+  // Drain stage 0 in the background.
+  StageExec& root = query->stages.at(0);
+  ACC_CHECK(root.tasks.size() == 1) << "root stage must have one task";
+  TaskId root_task = root.tasks[0];
+  int root_worker = root.task_workers[0];
+  query->drain_thread = std::thread(
+      [this, query, root_task, root_worker] {
+        DrainLoop(query, root_task, root_worker);
+      });
+
+  return query->id;
+}
+
+void Coordinator::DrainLoop(std::shared_ptr<QueryExec> query, TaskId root_task,
+                            int root_worker) {
+  RemoteSplit root{root_worker, root_task};
+  while (query->state.load() == QueryState::kRunning) {
+    PagesResult result = bus_->GetPages(root, /*buffer_id=*/0,
+                                        /*max_pages=*/16, nullptr);
+    if (!result.pages.empty()) {
+      std::lock_guard<std::mutex> lock(query->result_mutex);
+      for (auto& page : result.pages) query->results.push_back(std::move(page));
+    }
+    if (result.complete) {
+      query->end_ms = NowMillis();
+      QueryState expected = QueryState::kRunning;
+      query->state.compare_exchange_strong(expected, QueryState::kFinished);
+      break;
+    }
+    if (result.pages.empty()) SleepForMillis(5);
+  }
+  query->drain_done = true;
+}
+
+Result<std::vector<PagePtr>> Coordinator::Wait(const std::string& query_id,
+                                               int64_t timeout_ms) {
+  auto query = GetQuery(query_id);
+  if (query == nullptr) return Status::NotFound("no query " + query_id);
+  Stopwatch sw;
+  while (query->state.load() == QueryState::kRunning) {
+    if (sw.ElapsedMillis() > timeout_ms) {
+      return Status::Aborted("query " + query_id + " timed out in Wait");
+    }
+    SleepForMillis(5);
+  }
+  if (query->drain_thread.joinable()) query->drain_thread.join();
+  if (query->state.load() == QueryState::kAborted) {
+    return Status::Aborted("query " + query_id + " was aborted");
+  }
+  std::lock_guard<std::mutex> lock(query->result_mutex);
+  return query->results;
+}
+
+bool Coordinator::IsFinished(const std::string& query_id) {
+  auto query = GetQuery(query_id);
+  return query != nullptr && query->state.load() != QueryState::kRunning;
+}
+
+Status Coordinator::Abort(const std::string& query_id) {
+  auto query = GetQuery(query_id);
+  if (query == nullptr) return Status::NotFound("no query " + query_id);
+  QueryState expected = QueryState::kRunning;
+  query->state.compare_exchange_strong(expected, QueryState::kAborted);
+  std::lock_guard<std::mutex> lock(query->control_mutex);
+  for (auto& [stage_id, stage] : query->stages) {
+    for (size_t t = 0; t < stage.tasks.size(); ++t) {
+      bus_->AbortTask(stage.task_workers[t], stage.tasks[t]);
+    }
+    for (size_t t = 0; t < stage.retired.size(); ++t) {
+      bus_->AbortTask(stage.retired_workers[t], stage.retired[t]);
+    }
+  }
+  return Status::OK();
+}
+
+void Coordinator::CleanupQueryTasks(QueryExec* query) {
+  for (auto& [stage_id, stage] : query->stages) {
+    for (size_t t = 0; t < stage.tasks.size(); ++t) {
+      WorkerNode* w = bus_->worker(stage.task_workers[t]);
+      if (w != nullptr) w->RemoveTask(stage.tasks[t]);
+    }
+    for (size_t t = 0; t < stage.retired.size(); ++t) {
+      WorkerNode* w = bus_->worker(stage.retired_workers[t]);
+      if (w != nullptr) w->RemoveTask(stage.retired[t]);
+    }
+  }
+}
+
+Status Coordinator::SetTaskDop(const std::string& query_id, int stage_id,
+                               int dop) {
+  auto query = GetQuery(query_id);
+  if (query == nullptr) return Status::NotFound("no query " + query_id);
+  if (query->state.load() != QueryState::kRunning) {
+    return Status::FailedPrecondition("query already finished");
+  }
+  std::lock_guard<std::mutex> lock(query->control_mutex);
+  auto it = query->stages.find(stage_id);
+  if (it == query->stages.end()) {
+    return Status::NotFound("no stage " + std::to_string(stage_id));
+  }
+  Status last = Status::OK();
+  for (size_t t = 0; t < it->second.tasks.size(); ++t) {
+    Status st =
+        bus_->SetTaskDop(it->second.task_workers[t], it->second.tasks[t], dop);
+    if (!st.ok()) last = st;
+  }
+  return last;
+}
+
+Status Coordinator::SetStageDop(const std::string& query_id, int stage_id,
+                                int dop, DopSwitchReport* report) {
+  auto query = GetQuery(query_id);
+  if (query == nullptr) return Status::NotFound("no query " + query_id);
+  if (query->state.load() != QueryState::kRunning) {
+    return Status::FailedPrecondition("query already finished");
+  }
+  std::lock_guard<std::mutex> lock(query->control_mutex);
+  auto it = query->stages.find(stage_id);
+  if (it == query->stages.end()) {
+    return Status::NotFound("no stage " + std::to_string(stage_id));
+  }
+  StageExec& stage = it->second;
+  if (stage.fragment.stage_id == 0 || stage.fragment.has_final_stateful) {
+    return Status::FailedPrecondition(
+        "stage contains stateful final operators; DOP pinned to 1");
+  }
+  if (dop < 1) return Status::InvalidArgument("stage DOP must be >= 1");
+  if (dop == stage.dop) return Status::OK();
+
+  if (stage.fragment.has_join) {
+    // Partitioned hash join stages need DOP switching when the probe feed
+    // is hash-partitioned (paper §4.5); broadcast joins use the generic
+    // path (their build buffers replay, their probe feed is arbitrary).
+    bool probe_feed_hash = false;
+    for (int child_id : stage.fragment.source_stage_ids) {
+      auto role = stage.source_is_build.find(child_id);
+      bool is_build = role != stage.source_is_build.end() && role->second;
+      const StageExec& child = query->stages.at(child_id);
+      if (!is_build &&
+          child.fragment.output_partitioning == Partitioning::kHash) {
+        probe_feed_hash = true;
+      }
+    }
+    if (probe_feed_hash) return DopSwitch(query.get(), &stage, dop, report);
+  }
+  if (dop > stage.dop) return IncreaseStageDop(query.get(), &stage, dop);
+  return DecreaseStageDop(query.get(), &stage, dop);
+}
+
+Status Coordinator::IncreaseStageDop(QueryExec* query, StageExec* stage,
+                                     int dop) {
+  auto parent_it = query->stages.find(stage->fragment.parent_stage_id);
+
+  while (stage->dop < dop) {
+    int new_seq = stage->next_task_seq;
+    // Step 0: make room in the child buffers (buffer-ID array growth).
+    for (int child_id : stage->fragment.source_stage_ids) {
+      StageExec& child = query->stages.at(child_id);
+      for (size_t t = 0; t < child.tasks.size(); ++t) {
+        ACCORDION_RETURN_NOT_OK(bus_->SetConsumerCount(
+            child.task_workers[t], child.tasks[t], new_seq + 1));
+      }
+      child.consumer_window_count =
+          std::max(child.consumer_window_count, new_seq + 1);
+      child.next_output_buffer_id =
+          std::max(child.next_output_buffer_id, new_seq + 1);
+    }
+    // Step 1: generate the task (§4.4 step 1; child addresses are set in
+    // the spec — step 3).
+    auto spawned = SpawnTask(query, stage, {});
+    ACCORDION_RETURN_NOT_OK(spawned.status());
+    // Step 2: provide the new task's address to the parent stage tasks.
+    if (parent_it != query->stages.end()) {
+      StageExec& parent = parent_it->second;
+      int worker = stage->task_workers.back();
+      for (size_t t = 0; t < parent.tasks.size(); ++t) {
+        ACCORDION_RETURN_NOT_OK(bus_->AddRemoteSplits(
+            parent.task_workers[t], parent.tasks[t], stage->fragment.stage_id,
+            {RemoteSplit{worker, *spawned}}));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Coordinator::DecreaseStageDop(QueryExec* query, StageExec* stage,
+                                     int dop) {
+  while (stage->dop > dop && stage->dop > 1) {
+    TaskId doomed = stage->tasks.back();
+    int doomed_worker = stage->task_workers.back();
+    stage->tasks.pop_back();
+    stage->task_workers.pop_back();
+    --stage->dop;
+    stage->retired.push_back(doomed);
+    stage->retired_workers.push_back(doomed_worker);
+
+    if (stage->fragment.IsScanStage()) {
+      // End signal directly to the task's source operators.
+      ACCORDION_RETURN_NOT_OK(bus_->SignalEndSources(doomed_worker, doomed));
+    } else {
+      // End signals to the child stages' output buffers for this task's
+      // buffer id; end pages then relay through the doomed task (§4.4).
+      for (int child_id : stage->fragment.source_stage_ids) {
+        StageExec& child = query->stages.at(child_id);
+        for (size_t t = 0; t < child.tasks.size(); ++t) {
+          ACCORDION_RETURN_NOT_OK(bus_->EndSignalOutput(
+              child.task_workers[t], child.tasks[t], doomed.task_seq));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Coordinator::DopSwitch(QueryExec* query, StageExec* stage, int dop,
+                              DopSwitchReport* report) {
+  Stopwatch total_watch;
+
+  // Phase 1: new buffer-ID groups on every child task; build-side buffers
+  // replay their intermediate data cache (reshuffle). The id range is
+  // assigned here so that all tasks of a child stage — including ones
+  // spawned later — serve a consistent id space.
+  Stopwatch shuffle_watch;
+  std::map<int, int> first_buffer_id;  // child stage -> first id of group
+  for (int child_id : stage->fragment.source_stage_ids) {
+    StageExec& child = query->stages.at(child_id);
+    int first_id = child.next_output_buffer_id;
+    child.next_output_buffer_id += dop;
+    for (size_t t = 0; t < child.tasks.size(); ++t) {
+      ACCORDION_RETURN_NOT_OK(bus_->AddOutputTaskGroup(
+          child.task_workers[t], child.tasks[t], dop, first_id));
+    }
+    first_buffer_id[child_id] = first_id;
+    child.consumer_window_first = first_id;
+    child.consumer_window_count = dop;
+  }
+  double shuffle_seconds = shuffle_watch.ElapsedSeconds();
+
+  // Phase 2: spawn the new task group; each new task reads its group's
+  // buffer ids and rebuilds its hash-table partition from the cache.
+  Stopwatch build_watch;
+  auto parent_it = query->stages.find(stage->fragment.parent_stage_id);
+
+  std::vector<TaskId> old_tasks = stage->tasks;
+  std::vector<int> old_workers = stage->task_workers;
+  stage->tasks.clear();
+  stage->task_workers.clear();
+  stage->dop = 0;
+
+  std::vector<TaskId> new_tasks;
+  for (int g = 0; g < dop; ++g) {
+    std::map<int, int> source_buffer_ids;
+    for (const auto& [child_id, first_id] : first_buffer_id) {
+      source_buffer_ids[child_id] = first_id + g;
+    }
+    auto spawned = SpawnTask(query, stage, source_buffer_ids);
+    ACCORDION_RETURN_NOT_OK(spawned.status());
+    new_tasks.push_back(*spawned);
+    if (parent_it != query->stages.end()) {
+      StageExec& parent = parent_it->second;
+      int worker = stage->task_workers.back();
+      for (size_t t = 0; t < parent.tasks.size(); ++t) {
+        ACCORDION_RETURN_NOT_OK(bus_->AddRemoteSplits(
+            parent.task_workers[t], parent.tasks[t], stage->fragment.stage_id,
+            {RemoteSplit{worker, *spawned}}));
+      }
+    }
+  }
+
+  // Phase 3: wait until every new task finished building its hash table
+  // (the probe side only switches afterwards, §4.5).
+  while (query->state.load() == QueryState::kRunning) {
+    bool all_built = true;
+    for (size_t t = 0; t < new_tasks.size(); ++t) {
+      auto info = bus_->GetTaskInfo(stage->task_workers[t], new_tasks[t]);
+      if (!info.has_value() || !info->hash_tables_built) {
+        all_built = false;
+        break;
+      }
+    }
+    if (all_built) break;
+    SleepForMillis(20);
+  }
+  double build_seconds = build_watch.ElapsedSeconds();
+
+  // Phase 4: switch probe routing to the new group; old tasks drain and
+  // close bottom-up through the end-page relay.
+  for (int child_id : stage->fragment.source_stage_ids) {
+    auto role = stage->source_is_build.find(child_id);
+    bool is_build = role != stage->source_is_build.end() && role->second;
+    if (is_build) continue;  // multicast keeps feeding all groups
+    StageExec& child = query->stages.at(child_id);
+    for (size_t t = 0; t < child.tasks.size(); ++t) {
+      ACCORDION_RETURN_NOT_OK(bus_->SwitchOutputToNewestGroup(
+          child.task_workers[t], child.tasks[t]));
+    }
+  }
+
+  for (size_t t = 0; t < old_tasks.size(); ++t) {
+    stage->retired.push_back(old_tasks[t]);
+    stage->retired_workers.push_back(old_workers[t]);
+  }
+
+  stage->last_state_transfer_seconds = total_watch.ElapsedSeconds();
+  if (report != nullptr) {
+    report->total_seconds = total_watch.ElapsedSeconds();
+    report->shuffle_seconds = shuffle_seconds;
+    report->build_seconds = build_seconds;
+  }
+  return Status::OK();
+}
+
+Result<QuerySnapshot> Coordinator::Snapshot(const std::string& query_id) {
+  auto query = GetQuery(query_id);
+  if (query == nullptr) return Status::NotFound("no query " + query_id);
+  QuerySnapshot snapshot;
+  snapshot.query_id = query_id;
+  snapshot.state = query->state.load();
+  snapshot.submit_ms = query->submit_ms;
+  snapshot.end_ms = query->end_ms.load();
+  snapshot.initial_schedule_ms = query->initial_schedule_ms;
+  snapshot.initial_schedule_requests = query->initial_schedule_requests;
+
+  std::lock_guard<std::mutex> lock(query->control_mutex);
+  for (auto& [stage_id, stage] : query->stages) {
+    StageSnapshot s;
+    s.stage_id = stage_id;
+    s.parent_stage_id = stage.fragment.parent_stage_id;
+    s.source_stage_ids = stage.fragment.source_stage_ids;
+    s.is_scan = stage.fragment.IsScanStage();
+    s.scan_table = stage.fragment.scan_table;
+    s.has_join = stage.fragment.has_join;
+    s.has_final_stateful = stage.fragment.has_final_stateful;
+    s.is_shuffle_stage = stage.fragment.is_shuffle_stage;
+    s.dop = stage.dop;
+    s.last_state_transfer_seconds = stage.last_state_transfer_seconds;
+    s.hash_tables_built = stage.fragment.has_join;
+
+    bool all_finished = true;
+    auto absorb = [&](const TaskId& id, int worker, bool active) {
+      auto info = bus_->GetTaskInfo(worker, id);
+      if (!info.has_value()) return;
+      s.output_rows += info->output_rows;
+      s.output_bytes += info->output_bytes;
+      s.processed_rows += info->processed_rows;
+      s.scan_rows += info->scan_rows;
+      s.scan_total_rows += info->scan_total_rows;
+      s.turn_ups += info->turn_up_counter;
+      s.hash_build_us_max =
+          std::max(s.hash_build_us_max, info->hash_build_micros);
+      s.cpu_util_max = std::max(s.cpu_util_max, info->cpu_utilization);
+      s.nic_util_max = std::max(s.nic_util_max, info->nic_utilization);
+      if (active) {
+        s.task_dop = std::max(s.task_dop, info->task_dop);
+        if (info->state != TaskState::kFinished &&
+            info->state != TaskState::kAborted) {
+          all_finished = false;
+        }
+        if (info->has_join && !info->hash_tables_built) {
+          s.hash_tables_built = false;
+        }
+        s.tasks.push_back(*info);
+      }
+    };
+    for (size_t t = 0; t < stage.tasks.size(); ++t) {
+      absorb(stage.tasks[t], stage.task_workers[t], true);
+    }
+    for (size_t t = 0; t < stage.retired.size(); ++t) {
+      absorb(stage.retired[t], stage.retired_workers[t], false);
+    }
+    s.finished = all_finished && !stage.tasks.empty();
+    snapshot.stages.push_back(std::move(s));
+  }
+  std::sort(snapshot.stages.begin(), snapshot.stages.end(),
+            [](const StageSnapshot& a, const StageSnapshot& b) {
+              return a.stage_id < b.stage_id;
+            });
+  return snapshot;
+}
+
+}  // namespace accordion

@@ -1,0 +1,204 @@
+#ifndef ACCORDION_CLUSTER_COORDINATOR_H_
+#define ACCORDION_CLUSTER_COORDINATOR_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cluster/rpc_bus.h"
+#include "cluster/worker.h"
+#include "plan/fragment.h"
+
+namespace accordion {
+
+/// Per-query knobs at submission time.
+struct QueryOptions {
+  /// Initial task count for tunable stages (paper's stage DOP knob).
+  int stage_dop = 1;
+  /// Initial drivers per tunable pipeline (task DOP knob).
+  int task_dop = 1;
+  /// Per-stage initial DOP overrides (stage id -> DOP).
+  std::map<int, int> stage_dop_overrides;
+};
+
+enum class QueryState { kRunning, kFinished, kFailed, kAborted };
+
+/// Aggregated per-stage runtime information (one node of the paper's
+/// Fig. 18 stage-info tree).
+struct StageSnapshot {
+  int stage_id = 0;
+  int parent_stage_id = -1;
+  std::vector<int> source_stage_ids;
+  bool is_scan = false;
+  std::string scan_table;
+  bool has_join = false;
+  bool has_final_stateful = false;
+  bool is_shuffle_stage = false;
+  bool finished = false;
+
+  int dop = 0;       // current task count
+  int task_dop = 0;  // max driver count across tasks
+
+  int64_t output_rows = 0;
+  int64_t output_bytes = 0;
+  int64_t processed_rows = 0;  // across active AND retired tasks
+  int64_t scan_rows = 0;
+  int64_t scan_total_rows = 0;
+  int64_t turn_ups = 0;
+  int64_t hash_build_us_max = 0;
+  /// Duration of this stage's most recent DOP switch (shuffle + rebuild),
+  /// the T_build the request filter compares against (§5.2).
+  double last_state_transfer_seconds = 0;
+  bool hash_tables_built = false;
+  double cpu_util_max = 0;
+  double nic_util_max = 0;
+
+  std::vector<TaskInfo> tasks;
+};
+
+/// Snapshot of one query's runtime information tree.
+struct QuerySnapshot {
+  std::string query_id;
+  QueryState state = QueryState::kRunning;
+  int64_t submit_ms = 0;
+  int64_t end_ms = 0;  // 0 while running
+  double initial_schedule_ms = 0;
+  int64_t initial_schedule_requests = 0;
+  std::vector<StageSnapshot> stages;
+
+  const StageSnapshot* stage(int id) const {
+    for (const auto& s : stages) {
+      if (s.stage_id == id) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Report of one partitioned-join DOP switch (paper Table 2 rows).
+struct DopSwitchReport {
+  double total_seconds = 0;
+  double shuffle_seconds = 0;
+  double build_seconds = 0;
+};
+
+/// The Accordion coordinator (paper Fig. 8): planning is done by the
+/// caller (plan/builder or sql/), this class runs the scheduler, the
+/// runtime DOP tuning module (dynamic optimizer + dynamic scheduler) and
+/// the runtime information collection.
+class Coordinator {
+ public:
+  Coordinator(RpcBus* bus, Catalog catalog, const EngineConfig* config,
+              double scale_factor);
+  ~Coordinator();
+
+  /// Schedules all stages bottom-up and starts execution; returns the
+  /// query id. A background thread drains stage 0 into the result set.
+  Result<std::string> Submit(const PlanNodePtr& plan,
+                             const QueryOptions& options = {});
+
+  /// Blocks until the query finishes; returns the result pages.
+  Result<std::vector<PagePtr>> Wait(const std::string& query_id,
+                                    int64_t timeout_ms = 600000);
+
+  bool IsFinished(const std::string& query_id);
+  Status Abort(const std::string& query_id);
+
+  // --- runtime DOP tuning module ---
+
+  /// Intra-task tuning (§4.3): sets the driver count of every task of
+  /// `stage_id`.
+  Status SetTaskDop(const std::string& query_id, int stage_id, int dop);
+
+  /// Intra-stage tuning (§4.4): sets the task count of `stage_id`.
+  /// Automatically routes partitioned-hash-join stages through DOP
+  /// switching (§4.5); `report` (optional) receives its timing breakdown.
+  Status SetStageDop(const std::string& query_id, int stage_id, int dop,
+                     DopSwitchReport* report = nullptr);
+
+  // --- observability ---
+  Result<QuerySnapshot> Snapshot(const std::string& query_id);
+  int64_t total_rpc_requests() const { return bus_->total_requests(); }
+  const Catalog& catalog() const { return catalog_; }
+  double scale_factor() const { return scale_factor_; }
+
+ private:
+  struct StageExec {
+    PlanFragment fragment;
+    int dop = 0;
+    int next_task_seq = 0;
+    std::vector<TaskId> tasks;       // active task group
+    std::vector<int> task_workers;   // parallel to `tasks`
+    std::vector<TaskId> retired;     // replaced/removed tasks (kept for info)
+    std::vector<int> retired_workers;
+    std::deque<SystemSplit> splits;  // scan stages only
+    double last_state_transfer_seconds = 0;  // latest DOP-switch duration
+    std::map<int, bool> source_is_build;  // source stage -> feeds build side
+
+    /// Buffer-id window this stage's output buffers currently serve — the
+    /// ids its consuming (parent) stage pulls. Moves when the parent is
+    /// DOP-switched; coordinator-assigned so every task of the stage,
+    /// including ones spawned later, serves a consistent id space.
+    int consumer_window_first = 0;
+    int consumer_window_count = 1;
+    int next_output_buffer_id = 1;
+  };
+
+  struct QueryExec {
+    std::string id;
+    QueryOptions options;
+    std::map<int, StageExec> stages;  // stable addresses (node-based map)
+    std::atomic<QueryState> state{QueryState::kRunning};
+    int64_t submit_ms = 0;
+    std::atomic<int64_t> end_ms{0};
+    double initial_schedule_ms = 0;
+    int64_t initial_schedule_requests = 0;
+    std::mutex control_mutex;  // serializes tuning operations
+    std::mutex split_mutex;
+    std::mutex result_mutex;
+    std::vector<PagePtr> results;
+    std::thread drain_thread;
+    std::atomic<bool> drain_done{false};
+  };
+
+  std::shared_ptr<QueryExec> GetQuery(const std::string& query_id);
+  int NextWorker() { return next_worker_++ % bus_->num_workers(); }
+
+  /// Creates, wires and starts one new task for a stage. `buffer_id`
+  /// overrides per-source-stage consumption (DOP switching); empty means
+  /// default (task seq). Returns the new task id.
+  Result<TaskId> SpawnTask(QueryExec* query, StageExec* stage,
+                           const std::map<int, int>& source_buffer_ids);
+
+  Status IncreaseStageDop(QueryExec* query, StageExec* stage, int dop);
+  Status DecreaseStageDop(QueryExec* query, StageExec* stage, int dop);
+  Status DopSwitch(QueryExec* query, StageExec* stage, int dop,
+                   DopSwitchReport* report);
+
+  void DrainLoop(std::shared_ptr<QueryExec> query, TaskId root_task,
+                 int root_worker);
+  void CleanupQueryTasks(QueryExec* query);
+
+  OutputBufferConfig BufferConfigFor(const QueryExec& query,
+                                     const StageExec& stage) const;
+  NextSplitFn SplitFeed(std::shared_ptr<QueryExec> query, int stage_id);
+
+  RpcBus* bus_;
+  Catalog catalog_;
+  const EngineConfig* config_;
+  double scale_factor_;
+
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<QueryExec>> queries_;
+  std::atomic<int> next_worker_{0};
+  std::atomic<int> next_query_{0};
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_CLUSTER_COORDINATOR_H_

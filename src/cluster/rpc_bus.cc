@@ -1,0 +1,171 @@
+#include "cluster/rpc_bus.h"
+
+#include "cluster/worker.h"
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace accordion {
+
+void RpcBus::RegisterWorker(int worker_id, WorkerNode* worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  workers_[worker_id] = worker;
+}
+
+WorkerNode* RpcBus::worker(int worker_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = workers_.find(worker_id);
+  return it == workers_.end() ? nullptr : it->second;
+}
+
+int RpcBus::num_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void RpcBus::SimulateLatency() {
+  ++requests_;
+  if (config_->rpc_latency_ms > 0) {
+    SleepForMicros(static_cast<int64_t>(config_->rpc_latency_ms * 1000));
+  }
+}
+
+namespace {
+Status NoWorker(int worker_id) {
+  return Status::NotFound("no worker " + std::to_string(worker_id));
+}
+Status NoTask(const TaskId& task) {
+  return Status::NotFound("no task " + task.ToString());
+}
+}  // namespace
+
+Status RpcBus::ScheduleTask(int worker_id, TaskSpec spec,
+                            NextSplitFn next_split) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  return w->CreateTask(std::move(spec), std::move(next_split));
+}
+
+Status RpcBus::StartTask(int worker_id, const TaskId& task) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return NoTask(task);
+  t->Start();
+  return Status::OK();
+}
+
+Status RpcBus::AddRemoteSplits(int worker_id, const TaskId& task,
+                               int source_stage,
+                               const std::vector<RemoteSplit>& splits) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return NoTask(task);
+  t->AddRemoteSplits(source_stage, splits);
+  return Status::OK();
+}
+
+Status RpcBus::SetTaskDop(int worker_id, const TaskId& task, int dop) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return NoTask(task);
+  return t->SetDop(dop);
+}
+
+Status RpcBus::SetConsumerCount(int worker_id, const TaskId& task, int count) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return NoTask(task);
+  t->output_buffer()->SetConsumerCount(count);
+  return Status::OK();
+}
+
+Status RpcBus::EndSignalOutput(int worker_id, const TaskId& task,
+                               int buffer_id) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return NoTask(task);
+  t->EndSignalOutput(buffer_id);
+  return Status::OK();
+}
+
+Status RpcBus::SignalEndSources(int worker_id, const TaskId& task) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return NoTask(task);
+  t->SignalEndSources();
+  return Status::OK();
+}
+
+Status RpcBus::AbortTask(int worker_id, const TaskId& task) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return NoTask(task);
+  t->Abort();
+  return Status::OK();
+}
+
+Status RpcBus::AddOutputTaskGroup(int worker_id, const TaskId& task, int count,
+                                  int first_buffer_id) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return NoTask(task);
+  t->AddOutputTaskGroup(count, first_buffer_id);
+  return Status::OK();
+}
+
+Status RpcBus::SwitchOutputToNewestGroup(int worker_id, const TaskId& task) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return NoWorker(worker_id);
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return NoTask(task);
+  t->SwitchOutputToNewestGroup();
+  return Status::OK();
+}
+
+PagesResult RpcBus::GetPages(const RemoteSplit& split, int buffer_id,
+                             int max_pages, ResourceGovernor* consumer_nic) {
+  SimulateLatency();
+  WorkerNode* w = worker(split.worker_id);
+  if (w == nullptr) return PagesResult{{}, true};
+  Task* t = w->GetTask(split.task);
+  if (t == nullptr) return PagesResult{{}, true};
+  PagesResult result = t->GetPages(buffer_id, max_pages);
+  int64_t bytes = result.TotalBytes();
+  if (bytes > 0) {
+    // Producer uplink and consumer downlink both carry the pages.
+    w->nic()->Consume(static_cast<double>(bytes));
+    if (consumer_nic != nullptr && consumer_nic != w->nic()) {
+      consumer_nic->Consume(static_cast<double>(bytes));
+    }
+  }
+  return result;
+}
+
+std::optional<TaskInfo> RpcBus::GetTaskInfo(int worker_id,
+                                            const TaskId& task) {
+  SimulateLatency();
+  WorkerNode* w = worker(worker_id);
+  if (w == nullptr) return std::nullopt;
+  Task* t = w->GetTask(task);
+  if (t == nullptr) return std::nullopt;
+  return t->Info();
+}
+
+}  // namespace accordion

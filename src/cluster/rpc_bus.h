@@ -1,0 +1,69 @@
+#ifndef ACCORDION_CLUSTER_RPC_BUS_H_
+#define ACCORDION_CLUSTER_RPC_BUS_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+#include "exec/task.h"
+
+namespace accordion {
+
+class WorkerNode;
+
+/// In-process message bus standing in for the RESTful RPC layer of the
+/// paper's cluster. Every call sleeps the configured per-request latency
+/// (paper: each RESTful request takes 1–10 ms) and increments the global
+/// request counter (the paper reports, e.g., "the initial query plan
+/// construction for Q3 involves 65 RESTful requests").
+///
+/// Page transfers additionally charge the producer's and consumer's NIC
+/// governors, which is where shuffle/network bottlenecks come from.
+class RpcBus {
+ public:
+  explicit RpcBus(const EngineConfig* config) : config_(config) {}
+
+  void RegisterWorker(int worker_id, WorkerNode* worker);
+  WorkerNode* worker(int worker_id) const;
+  int num_workers() const;
+
+  // --- task control plane ---
+  Status ScheduleTask(int worker_id, TaskSpec spec, NextSplitFn next_split);
+  Status StartTask(int worker_id, const TaskId& task);
+  Status AddRemoteSplits(int worker_id, const TaskId& task, int source_stage,
+                         const std::vector<RemoteSplit>& splits);
+  Status SetTaskDop(int worker_id, const TaskId& task, int dop);
+  Status SetConsumerCount(int worker_id, const TaskId& task, int count);
+  Status EndSignalOutput(int worker_id, const TaskId& task, int buffer_id);
+  Status SignalEndSources(int worker_id, const TaskId& task);
+  Status AbortTask(int worker_id, const TaskId& task);
+  Status AddOutputTaskGroup(int worker_id, const TaskId& task, int count,
+                            int first_buffer_id);
+  Status SwitchOutputToNewestGroup(int worker_id, const TaskId& task);
+
+  // --- data plane ---
+  /// Pulls pages from `split`'s output buffer; charges both NICs.
+  PagesResult GetPages(const RemoteSplit& split, int buffer_id, int max_pages,
+                       ResourceGovernor* consumer_nic);
+
+  // --- observability ---
+  std::optional<TaskInfo> GetTaskInfo(int worker_id, const TaskId& task);
+
+  int64_t total_requests() const { return requests_.load(); }
+  /// Latency-free request count bump (split assignment etc.).
+  void CountRequest() { ++requests_; }
+
+ private:
+  void SimulateLatency();
+
+  const EngineConfig* config_;
+  std::map<int, WorkerNode*> workers_;
+  mutable std::mutex mutex_;
+  std::atomic<int64_t> requests_{0};
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_CLUSTER_RPC_BUS_H_

@@ -1,0 +1,123 @@
+#include "cluster/worker.h"
+
+#include "common/logging.h"
+
+namespace accordion {
+namespace {
+
+/// Wraps a PageSource, charging producer (storage) and consumer (worker)
+/// NIC bandwidth for every page read — the data path from storage nodes
+/// to compute nodes in the paper's cluster.
+class NicChargingPageSource : public PageSource {
+ public:
+  NicChargingPageSource(std::unique_ptr<PageSource> inner,
+                        ResourceGovernor* storage_nic,
+                        ResourceGovernor* reader_nic)
+      : inner_(std::move(inner)),
+        storage_nic_(storage_nic),
+        reader_nic_(reader_nic) {}
+
+  PagePtr Next() override {
+    PagePtr page = inner_->Next();
+    if (page != nullptr && page->ByteSize() > 0) {
+      double bytes = static_cast<double>(page->ByteSize());
+      storage_nic_->Consume(bytes);
+      if (reader_nic_ != nullptr) reader_nic_->Consume(bytes);
+    }
+    return page;
+  }
+
+  int64_t TotalRows() const override { return inner_->TotalRows(); }
+
+ private:
+  std::unique_ptr<PageSource> inner_;
+  ResourceGovernor* storage_nic_;
+  ResourceGovernor* reader_nic_;
+};
+
+}  // namespace
+
+StorageService::StorageService(int num_nodes, const NodeConfig& node_config,
+                               const EngineConfig* engine_config)
+    : engine_config_(engine_config) {
+  nics_.reserve(num_nodes);
+  for (int n = 0; n < num_nodes; ++n) {
+    nics_.push_back(std::make_unique<ResourceGovernor>(
+        "storage" + std::to_string(n) + ".nic", node_config.nic_bytes_per_sec,
+        node_config.nic_burst_bytes));
+  }
+}
+
+std::unique_ptr<PageSource> StorageService::OpenSplit(
+    const SystemSplit& split, ResourceGovernor* reader_nic) {
+  ACC_CHECK(split.storage_node_id >= 0 &&
+            split.storage_node_id < num_nodes())
+      << "split references unknown storage node " << split.storage_node_id;
+  auto generator = std::make_unique<GeneratorPageSource>(
+      split.table, split.scale_factor, split.split_index, split.split_count,
+      engine_config_->batch_rows);
+  return std::make_unique<NicChargingPageSource>(
+      std::move(generator), nics_[split.storage_node_id].get(), reader_nic);
+}
+
+WorkerNode::WorkerNode(int id, const NodeConfig& node_config,
+                       const EngineConfig* engine_config, RpcBus* bus,
+                       StorageService* storage)
+    : id_(id),
+      engine_config_(engine_config),
+      bus_(bus),
+      storage_(storage),
+      cpu_("worker" + std::to_string(id) + ".cpu", node_config.cpu_cores,
+           node_config.cpu_burst_seconds),
+      nic_("worker" + std::to_string(id) + ".nic",
+           node_config.nic_bytes_per_sec, node_config.nic_burst_bytes) {}
+
+Status WorkerNode::CreateTask(TaskSpec spec, NextSplitFn next_split) {
+  TaskApis apis;
+  apis.next_split = std::move(next_split);
+  apis.open_split = [this](const SystemSplit& split) {
+    return storage_->OpenSplit(split, &nic_);
+  };
+  apis.fetch_pages = [this](const RemoteSplit& split, int buffer_id,
+                            int max_pages) {
+    return bus_->GetPages(split, buffer_id, max_pages, &nic_);
+  };
+
+  std::string key = spec.id.ToString();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.count(key) > 0) {
+    return Status::AlreadyExists("task " + key + " already scheduled");
+  }
+  tasks_.emplace(key, std::make_unique<Task>(std::move(spec), std::move(apis),
+                                             &cpu_, &nic_, engine_config_));
+  return Status::OK();
+}
+
+Task* WorkerNode::GetTask(const TaskId& task_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tasks_.find(task_id.ToString());
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+Status WorkerNode::RemoveTask(const TaskId& task_id) {
+  std::unique_ptr<Task> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tasks_.find(task_id.ToString());
+    if (it == tasks_.end()) {
+      return Status::NotFound("no task " + task_id.ToString());
+    }
+    doomed = std::move(it->second);
+    tasks_.erase(it);
+  }
+  // Destruction joins driver threads outside the map lock.
+  doomed.reset();
+  return Status::OK();
+}
+
+int WorkerNode::NumTasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(tasks_.size());
+}
+
+}  // namespace accordion

@@ -1,0 +1,92 @@
+#ifndef ACCORDION_COMMON_CONCURRENT_QUEUE_H_
+#define ACCORDION_COMMON_CONCURRENT_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace accordion {
+
+/// Unbounded MPMC blocking queue. The paper uses TBB's concurrent queue for
+/// output-buffer page queues; this is a mutex-based equivalent with the
+/// same semantics (concurrent push/pop, optional timed pop, close).
+template <typename T>
+class ConcurrentQueue {
+ public:
+  ConcurrentQueue() = default;
+  ConcurrentQueue(const ConcurrentQueue&) = delete;
+  ConcurrentQueue& operator=(const ConcurrentQueue&) = delete;
+
+  /// Pushes an element; wakes one waiting consumer. Returns false if the
+  /// queue has been closed (element is dropped).
+  bool Push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Blocking pop; returns nullopt when the queue is closed and drained,
+  /// or when `timeout_ms >= 0` elapses.
+  std::optional<T> Pop(int64_t timeout_ms = -1) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto ready = [&] { return !items_.empty() || closed_; };
+    if (timeout_ms < 0) {
+      cv_.wait(lock, ready);
+    } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             ready)) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Closes the queue: pending items remain poppable, pushes are rejected,
+  /// and blocked consumers wake up.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_COMMON_CONCURRENT_QUEUE_H_

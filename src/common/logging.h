@@ -1,0 +1,67 @@
+#ifndef ACCORDION_COMMON_LOGGING_H_
+#define ACCORDION_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace accordion {
+
+/// Log severities. kFatal aborts the process after logging.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped. Default kWarn so
+/// tests and benches stay quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line collector. Emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace accordion
+
+#define ACC_LOG_ENABLED(level) \
+  (::accordion::LogLevel::level >= ::accordion::GetLogLevel())
+
+#define ACC_LOG(level)                                             \
+  if (!ACC_LOG_ENABLED(level)) {                                   \
+  } else                                                           \
+    ::accordion::internal::LogMessage(::accordion::LogLevel::level, \
+                                      __FILE__, __LINE__)
+
+/// Invariant check, active in all build modes (databases cannot afford
+/// silently corrupt state). Logs and aborts on failure.
+#define ACC_CHECK(cond)                                                   \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::accordion::internal::LogMessage(::accordion::LogLevel::kFatal,      \
+                                      __FILE__, __LINE__)                 \
+        << "Check failed: " #cond " "
+
+#endif  // ACCORDION_COMMON_LOGGING_H_

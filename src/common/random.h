@@ -1,0 +1,48 @@
+#ifndef ACCORDION_COMMON_RANDOM_H_
+#define ACCORDION_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace accordion {
+
+/// Deterministic splitmix64-based RNG. Used by the TPC-H generator and
+/// property tests so runs are reproducible across machines.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextUint64() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase string of exactly `len` characters.
+  std::string NextString(int len) {
+    std::string s(len, 'a');
+    for (int i = 0; i < len; ++i) {
+      s[i] = static_cast<char>('a' + NextInt(0, 25));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_COMMON_RANDOM_H_

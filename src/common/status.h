@@ -1,0 +1,133 @@
+#ifndef ACCORDION_COMMON_STATUS_H_
+#define ACCORDION_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace accordion {
+
+/// Error categories used across the engine. Kept deliberately small; the
+/// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+  kAborted,
+  kIoError,
+  kParseError,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight error-or-ok value used instead of exceptions on all engine
+/// paths (query compilation, scheduling, RPC handling). Cheap to copy when
+/// OK (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Mirrors absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status so functions can
+  /// `return value;` or `return Status::...;` directly.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of a failed Result aborts.
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace accordion
+
+/// Propagates a non-OK Status from an expression, mirroring
+/// ARROW_RETURN_NOT_OK.
+#define ACCORDION_RETURN_NOT_OK(expr)            \
+  do {                                           \
+    ::accordion::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define ACCORDION_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define ACCORDION_INTERNAL_CONCAT(a, b) ACCORDION_INTERNAL_CONCAT_IMPL(a, b)
+
+#define ACCORDION_INTERNAL_ASSIGN_OR_RETURN(var, lhs, rexpr) \
+  auto&& var = (rexpr);                                      \
+  if (!var.ok()) return var.status();                        \
+  lhs = std::move(var).value();
+
+/// Assigns the value of a Result expression or propagates its error.
+#define ACCORDION_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  ACCORDION_INTERNAL_ASSIGN_OR_RETURN(                              \
+      ACCORDION_INTERNAL_CONCAT(_acc_result_, __LINE__), lhs, rexpr)
+
+#endif  // ACCORDION_COMMON_STATUS_H_

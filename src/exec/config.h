@@ -1,0 +1,84 @@
+#ifndef ACCORDION_EXEC_CONFIG_H_
+#define ACCORDION_EXEC_CONFIG_H_
+
+#include <cstdint>
+
+namespace accordion {
+
+/// Virtual per-row CPU costs (microseconds of simulated core time) charged
+/// by drivers to their worker's CPU governor. These calibrate the
+/// *relative* weight of operators — scans and joins dominate, exchanges
+/// are cheap — so that throughput scales with DOP until a node's simulated
+/// cores saturate, which is the behaviour the paper's experiments depend
+/// on. `scale` compresses or stretches all experiments uniformly.
+struct CostModel {
+  double scan_us = 30;
+  double filter_us = 4;
+  double project_us = 4;
+  double hash_build_us = 25;
+  double probe_us = 25;
+  double probe_output_us = 5;
+  double partial_agg_us = 15;
+  double final_agg_us = 15;
+  double topn_us = 10;
+  double exchange_us = 2;
+  double local_exchange_us = 1;
+  double task_output_us = 8;
+  double shuffle_executor_us = 6;
+  double scale = 1.0;
+};
+
+/// Engine-wide tunables shared by tasks, buffers and the simulated
+/// cluster. One instance per cluster; must outlive all queries.
+struct EngineConfig {
+  /// Rows per page produced by table scans.
+  int64_t batch_rows = 256;
+
+  CostModel cost;
+
+  /// Simulated latency of one RESTful/RPC call (paper: 1–10 ms).
+  double rpc_latency_ms = 2.0;
+
+  /// Initial capacity of every elastic buffer — "the size of a page"
+  /// (paper §4.2.2). Small relative to table sizes so producers feel
+  /// backpressure and scan progress tracks consumer pace (§5.2's premise
+  /// that streaming avoids excessive data caching).
+  int64_t initial_buffer_bytes = 8 * 1024;
+
+  /// Consumer-side resize cadence for elastic buffers (paper: ~500 ms).
+  int64_t buffer_resize_interval_ms = 500;
+
+  /// Hard cap for elastic buffer growth.
+  int64_t max_buffer_bytes = 4LL * 1024 * 1024;
+
+  /// Shuffle-executor threads per shuffle buffer (paper Fig. 10b).
+  int shuffle_executors = 2;
+
+  /// Max pages returned by one GetPages RPC.
+  int max_pages_per_fetch = 8;
+
+  /// Partial aggregation flush threshold (groups) — partial state is
+  /// destroy-and-rebuildable (paper §4.1).
+  int64_t partial_agg_flush_groups = 1 << 16;
+
+  /// Idle wait inside driver loops when no progress was possible.
+  int64_t driver_idle_sleep_us = 1000;
+
+  /// When a buffer is "always fixed size" (the Presto baseline mode of
+  /// Fig. 20 / §2 challenge 3), elastic resizing is disabled and this
+  /// capacity is used (Presto default: 32 MB).
+  bool elastic_buffers = true;
+  int64_t fixed_buffer_bytes = 32LL * 1024 * 1024;
+};
+
+/// Per-simulated-node resources (paper: c5.2xlarge, 8 vCPU, 10 Gbps).
+struct NodeConfig {
+  double cpu_cores = 4.0;
+  double nic_bytes_per_sec = 256.0 * 1024 * 1024;
+  double cpu_burst_seconds = 0.05;
+  double nic_burst_bytes = 4.0 * 1024 * 1024;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_CONFIG_H_

@@ -1,0 +1,85 @@
+#include "exec/driver.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace accordion {
+
+Driver::Driver(int pipeline_id, int driver_seq,
+               std::vector<OperatorPtr> operators, TaskContext* task_ctx,
+               const std::atomic<bool>* cancelled)
+    : pipeline_id_(pipeline_id),
+      driver_seq_(driver_seq),
+      operators_(std::move(operators)),
+      task_ctx_(task_ctx),
+      cancelled_(cancelled) {
+  ACC_CHECK(!operators_.empty()) << "driver with no operators";
+}
+
+void Driver::Charge(const Operator& op, int64_t rows) {
+  if (rows <= 0) return;
+  double cost_us = static_cast<double>(rows) * op.CostPerRowMicros() *
+                   task_ctx_->config().cost.scale;
+  if (cost_us <= 0) return;
+  virtual_us_ += cost_us;
+  int64_t grant_us = task_ctx_->ReserveCpuMicros(cost_us);
+  // Two constraints: the node's aggregate core budget (grant_us) and this
+  // driver's own single-core speed (start + accumulated virtual time).
+  int64_t pace_us = start_us_ + static_cast<int64_t>(virtual_us_);
+  SleepForMicros(std::max(grant_us, pace_us) - NowMicros());
+  task_ctx_->AddProcessedRows(rows);
+}
+
+void Driver::Run() {
+  start_us_ = NowMicros();
+  const size_t n = operators_.size();
+  std::vector<bool> finish_relayed(n, false);
+
+  while (!operators_.back()->IsFinished()) {
+    if (cancelled_->load()) break;
+    if (end_requested_.exchange(false)) operators_[0]->SignalEnd();
+
+    bool progressed = false;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      Operator& producer = *operators_[i];
+      Operator& consumer = *operators_[i + 1];
+      // Relay the end page: producer finished -> consumer enters finishing.
+      if (producer.IsFinished() && !finish_relayed[i]) {
+        finish_relayed[i] = true;
+        consumer.Finish();
+        progressed = true;
+        continue;
+      }
+      if (producer.IsFinished() || !consumer.NeedsInput()) continue;
+      PagePtr page = producer.GetOutput();
+      if (page == nullptr) continue;
+      progressed = true;
+      if (page->IsEnd()) {
+        // Producer emitted its end page (it marked itself finished).
+        finish_relayed[i] = true;
+        consumer.Finish();
+      } else {
+        // Cost accounting: the head source pays its production cost, and
+        // every operator pays its processing cost on consumption. Each
+        // page thus charges every operator it passes through once.
+        if (i == 0) Charge(producer, page->num_rows());
+        Charge(consumer, page->num_rows());
+        consumer.AddInput(page);
+      }
+    }
+
+    // Drive the sink (flush / completion signalling).
+    if (operators_.back()->GetOutput() != nullptr) progressed = true;
+
+    if (!progressed) {
+      SleepForMicros(task_ctx_->config().driver_idle_sleep_us);
+    }
+  }
+  done_ = true;
+}
+
+void Driver::RequestEnd() { end_requested_ = true; }
+
+}  // namespace accordion

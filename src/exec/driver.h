@@ -1,0 +1,51 @@
+#ifndef ACCORDION_EXEC_DRIVER_H_
+#define ACCORDION_EXEC_DRIVER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace accordion {
+
+/// A physical operator sequence — the smallest unit of scheduling and
+/// execution in a task (paper §2). One driver == one thread of simulated
+/// execution: the driver moves pages between adjacent operators, relays
+/// end pages (Fig. 13), and charges each operator's virtual CPU cost to
+/// the worker governor while pacing itself to one simulated core.
+class Driver {
+ public:
+  Driver(int pipeline_id, int driver_seq, std::vector<OperatorPtr> operators,
+         TaskContext* task_ctx, const std::atomic<bool>* cancelled);
+
+  /// Runs to completion; called on the driver's own thread.
+  void Run();
+
+  /// Paper end signal: asks the head (source) operator to stop early; the
+  /// end page then relays through the chain, closing the driver cleanly.
+  void RequestEnd();
+
+  bool done() const { return done_.load(); }
+  int pipeline_id() const { return pipeline_id_; }
+  int driver_seq() const { return driver_seq_; }
+
+ private:
+  /// Charges `rows` of `op`'s per-row cost: reserves node CPU and paces
+  /// the driver to at most one simulated core.
+  void Charge(const Operator& op, int64_t rows);
+
+  int pipeline_id_;
+  int driver_seq_;
+  std::vector<OperatorPtr> operators_;
+  TaskContext* task_ctx_;
+  const std::atomic<bool>* cancelled_;
+  std::atomic<bool> end_requested_{false};
+  std::atomic<bool> done_{false};
+  int64_t start_us_ = 0;
+  double virtual_us_ = 0;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_DRIVER_H_

@@ -1,0 +1,125 @@
+#include "exec/exchange_client.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace accordion {
+
+ExchangeClient::ExchangeClient(TaskContext* task_ctx, int own_buffer_id,
+                               FetchPagesFn fetch)
+    : task_ctx_(task_ctx),
+      own_buffer_id_(own_buffer_id),
+      fetch_(std::move(fetch)),
+      capacity_(&task_ctx->config(), task_ctx) {}
+
+ExchangeClient::~ExchangeClient() {
+  shutdown_ = true;
+  if (fetcher_.joinable()) fetcher_.join();
+}
+
+void ExchangeClient::AddRemoteSplit(const RemoteSplit& split) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : sources_) {
+    if (s.split == split) return;  // idempotent registration
+  }
+  sources_.push_back(Source{split, false});
+}
+
+void ExchangeClient::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  fetcher_ = std::thread([this] { FetchLoop(); });
+}
+
+bool ExchangeClient::AllSourcesFinishedLocked() const {
+  if (sources_.empty()) return false;
+  for (const auto& s : sources_) {
+    if (!s.finished) return false;
+  }
+  return true;
+}
+
+void ExchangeClient::FetchLoop() {
+  size_t cursor = 0;
+  while (!shutdown_.load()) {
+    // Backpressure: respect the elastic receive-buffer capacity.
+    if (!capacity_.Accepting(buffered_bytes_.load())) {
+      SleepForMillis(1);
+      continue;
+    }
+    RemoteSplit target;
+    bool have_target = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (AllSourcesFinishedLocked()) {
+        complete_ = true;
+        return;
+      }
+      for (size_t probe = 0; probe < sources_.size(); ++probe) {
+        size_t i = (cursor + probe) % sources_.size();
+        if (!sources_[i].finished) {
+          target = sources_[i].split;
+          cursor = i + 1;
+          have_target = true;
+          break;
+        }
+      }
+    }
+    if (!have_target) {
+      SleepForMillis(1);
+      continue;
+    }
+    PagesResult result = fetch_(
+        target, own_buffer_id_, task_ctx_->config().max_pages_per_fetch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& page : result.pages) {
+        buffered_bytes_ += page->ByteSize();
+        queue_.push_back(std::move(page));
+      }
+      if (result.complete) {
+        for (auto& s : sources_) {
+          if (s.split == target) s.finished = true;
+        }
+        if (AllSourcesFinishedLocked()) {
+          complete_ = true;
+          return;
+        }
+      }
+    }
+    if (result.pages.empty() && !result.complete) SleepForMillis(4);
+  }
+}
+
+PagePtr ExchangeClient::Poll() {
+  PagePtr page;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!queue_.empty()) {
+      page = queue_.front();
+      queue_.pop_front();
+    }
+  }
+  if (page != nullptr) {
+    buffered_bytes_ -= page->ByteSize();
+    capacity_.OnConsume(page->ByteSize());
+    return page;
+  }
+  if (complete_.load()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return Page::End();
+    return nullptr;
+  }
+  // Consumption outpaced production: grow the receive buffer and count a
+  // turn-up (paper §5.1 bottleneck signal).
+  capacity_.OnEmptyPop();
+  return nullptr;
+}
+
+int ExchangeClient::num_sources() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(sources_.size());
+}
+
+}  // namespace accordion

@@ -1,0 +1,76 @@
+#ifndef ACCORDION_EXEC_EXCHANGE_CLIENT_H_
+#define ACCORDION_EXEC_EXCHANGE_CLIENT_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/output_buffer.h"
+#include "exec/split.h"
+#include "exec/task_context.h"
+
+namespace accordion {
+
+/// Performs one GetPages RPC against an upstream task's output buffer.
+/// Wired by the cluster layer (adds RPC latency and NIC charging).
+using FetchPagesFn =
+    std::function<PagesResult(const RemoteSplit&, int buffer_id, int max_pages)>;
+
+/// Task-side client pulling pages from all tasks of one upstream stage
+/// (paper Fig. 7's exchange receive buffer + Fig. 12a's global remote
+/// split set). One client per RemoteSource node per task; shared by all
+/// exchange-operator drivers of that pipeline.
+///
+/// A background fetcher round-robins over the upstream tasks; its receive
+/// buffer is elastic (§4.2.2) and its turn-up counter feeds the
+/// bottleneck localizer (§5.1). Remote splits can be added while running
+/// — that is what makes upstream intra-stage DOP increases invisible to
+/// the consuming operators.
+class ExchangeClient {
+ public:
+  ExchangeClient(TaskContext* task_ctx, int own_buffer_id, FetchPagesFn fetch);
+  ~ExchangeClient();
+
+  /// Registers an upstream task (startup wiring or runtime DOP increase).
+  void AddRemoteSplit(const RemoteSplit& split);
+
+  /// Starts the background fetcher. Call after initial splits are added.
+  void Start();
+
+  /// Data page, nullptr (nothing buffered yet), or the end page once all
+  /// upstream tasks have completed and the buffer drained.
+  PagePtr Poll();
+
+  bool complete() const { return complete_.load(); }
+  int64_t buffered_bytes() const { return buffered_bytes_.load(); }
+  int num_sources() const;
+
+ private:
+  void FetchLoop();
+  bool AllSourcesFinishedLocked() const;
+
+  TaskContext* task_ctx_;
+  int own_buffer_id_;
+  FetchPagesFn fetch_;
+  ElasticCapacity capacity_;
+
+  mutable std::mutex mutex_;
+  struct Source {
+    RemoteSplit split;
+    bool finished = false;
+  };
+  std::vector<Source> sources_;
+  std::deque<PagePtr> queue_;
+  std::atomic<int64_t> buffered_bytes_{0};
+  std::atomic<bool> complete_{false};
+  std::atomic<bool> shutdown_{false};
+  std::thread fetcher_;
+  bool started_ = false;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_EXCHANGE_CLIENT_H_

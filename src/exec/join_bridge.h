@@ -1,0 +1,62 @@
+#ifndef ACCORDION_EXEC_JOIN_BRIDGE_H_
+#define ACCORDION_EXEC_JOIN_BRIDGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "vector/page.h"
+
+namespace accordion {
+
+/// Shared hash table connecting a task's build pipeline to its probe
+/// pipeline (paper Fig. 7). Build drivers append pages concurrently; the
+/// last finishing driver constructs the index and flips `built`. Probe
+/// drivers stay blocked until then (paper §4.1: "probe-side data
+/// processing must wait for the build side").
+class JoinBridge {
+ public:
+  JoinBridge(std::vector<DataType> build_types, std::vector<int> build_keys);
+
+  // --- build side ---
+  void AddBuildDriver() { ++build_drivers_; }
+  void AddBuildPage(const PagePtr& page);
+  /// Returns true for the caller that finalized the table.
+  bool BuildDriverFinished();
+
+  bool built() const { return built_.load(); }
+  int64_t build_rows() const;
+  /// Wall time spent constructing the index (the T_build component of the
+  /// paper's state-transfer accounting).
+  int64_t build_index_micros() const { return build_index_us_.load(); }
+
+  // --- probe side ---
+  /// Appends to `probe_rows`/`build_rows` the matching row pairs for every
+  /// row of `probe` (equality on all key channels). Requires built().
+  void Probe(const Page& probe, const std::vector<int>& probe_keys,
+             std::vector<int32_t>* probe_rows,
+             std::vector<int64_t>* build_rows) const;
+
+  /// Gathers `channel` of the accumulated build rows at `rows`.
+  Column GatherBuild(int channel, const std::vector<int64_t>& rows) const;
+
+ private:
+  bool KeysEqualRow(const Page& probe, const std::vector<int>& probe_keys,
+                    int64_t probe_row, int64_t build_row) const;
+
+  std::vector<DataType> build_types_;
+  std::vector<int> build_keys_;
+
+  mutable std::mutex mutex_;
+  std::vector<Column> data_;  // accumulated build rows, all channels
+  std::unordered_map<uint64_t, std::vector<int64_t>> index_;
+  std::atomic<int> build_drivers_{0};
+  std::atomic<bool> built_{false};
+  std::atomic<int64_t> build_index_us_{0};
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_JOIN_BRIDGE_H_

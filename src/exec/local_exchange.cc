@@ -1,0 +1,39 @@
+#include "exec/local_exchange.h"
+
+#include "common/logging.h"
+
+namespace accordion {
+
+void LocalExchange::Enqueue(const PagePtr& page) {
+  started_ = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(page);
+  queued_bytes_ += page->ByteSize();
+}
+
+void LocalExchange::SinkDriverFinished() {
+  started_ = true;
+  int remaining = --sink_drivers_;
+  ACC_CHECK(remaining >= 0) << "local exchange sink underflow";
+}
+
+PagePtr LocalExchange::Poll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!queue_.empty()) {
+    PagePtr page = queue_.front();
+    queue_.pop_front();
+    if (!page->IsEnd()) queued_bytes_ -= page->ByteSize();
+    return page;
+  }
+  if (CompleteLocked()) return Page::End();
+  return nullptr;
+}
+
+void LocalExchange::PostEndPage() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Targeted end pages jump the queue so the DOP decrease takes effect
+  // promptly; remaining data is handled by surviving drivers.
+  queue_.push_front(Page::End());
+}
+
+}  // namespace accordion

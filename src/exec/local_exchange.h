@@ -1,0 +1,59 @@
+#ifndef ACCORDION_EXEC_LOCAL_EXCHANGE_H_
+#define ACCORDION_EXEC_LOCAL_EXCHANGE_H_
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+
+#include "exec/config.h"
+#include "vector/page.h"
+
+namespace accordion {
+
+/// The in-task pipeline-breaker structure (paper Figs. 6/7): sink drivers
+/// push pages in, source drivers pull pages out. Arbitrary distribution —
+/// any source driver may take any page (the build side's shared hash
+/// table makes per-driver hash partitioning unnecessary).
+///
+/// End handling (paper §4.3): when all sink drivers have finished and the
+/// queue drains, every source poll returns the end page. The task can
+/// also post targeted end pages to retire exactly one source driver
+/// (intra-task DOP decrease).
+class LocalExchange {
+ public:
+  explicit LocalExchange(const EngineConfig* config) : config_(config) {}
+
+  // --- sink side ---
+  bool AcceptingInput() const {
+    return queued_bytes_.load() < config_->initial_buffer_bytes * 8;
+  }
+  void Enqueue(const PagePtr& page);
+  void AddSinkDriver() { ++sink_drivers_; }
+  void SinkDriverFinished();
+
+  // --- source side ---
+  /// Data page, nullptr (nothing ready), or an end page (driver retires).
+  PagePtr Poll();
+
+  /// Posts one end page; exactly one source driver will consume it and
+  /// shut down (paper's end-signal for source pipelines).
+  void PostEndPage();
+
+  int64_t queued_bytes() const { return queued_bytes_.load(); }
+
+ private:
+  bool CompleteLocked() const {
+    return started_ && sink_drivers_.load() == 0 && queue_.empty();
+  }
+
+  const EngineConfig* config_;
+  mutable std::mutex mutex_;
+  std::deque<PagePtr> queue_;  // may contain targeted end pages
+  std::atomic<int64_t> queued_bytes_{0};
+  std::atomic<int> sink_drivers_{0};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_LOCAL_EXCHANGE_H_

@@ -1,0 +1,1156 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace accordion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TableScan
+// ---------------------------------------------------------------------------
+
+class TableScanOperator : public Operator {
+ public:
+  TableScanOperator(TaskContext* ctx, NextSplitFn next_split,
+                    OpenSplitFn open_split)
+      : Operator(ctx),
+        next_split_(std::move(next_split)),
+        open_split_(std::move(open_split)) {}
+
+  void AddInput(const PagePtr&) override {
+    ACC_CHECK(false) << "table scan takes no input";
+  }
+
+  PagePtr GetOutput() override {
+    if (IsFinished()) return nullptr;
+    if (end_signalled_ && source_ == nullptr) return EmitEnd();
+    while (true) {
+      if (source_ == nullptr) {
+        if (end_signalled_) return EmitEnd();
+        std::optional<SystemSplit> split = next_split_();
+        if (!split.has_value()) return EmitEnd();
+        source_ = open_split_(*split);
+        if (source_ != nullptr && source_->TotalRows() >= 0) {
+          task_ctx_->AddScanTotalRows(source_->TotalRows());
+        }
+        continue;
+      }
+      PagePtr page = source_->Next();
+      if (page == nullptr) {
+        source_.reset();  // split exhausted; try the next one
+        continue;
+      }
+      task_ctx_->AddScanRows(page->num_rows());
+      return page;
+    }
+  }
+
+  void SignalEnd() override { end_signalled_ = true; }
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.scan_us;
+  }
+  std::string Name() const override { return "TableScan"; }
+
+ private:
+  NextSplitFn next_split_;
+  OpenSplitFn open_split_;
+  std::unique_ptr<PageSource> source_;
+  bool end_signalled_ = false;
+};
+
+class TableScanFactory : public OperatorFactory {
+ public:
+  TableScanFactory(NextSplitFn next_split, OpenSplitFn open_split)
+      : next_split_(std::move(next_split)), open_split_(std::move(open_split)) {}
+
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<TableScanOperator>(ctx, next_split_, open_split_);
+  }
+  std::string Name() const override { return "TableScan"; }
+  bool IsSource() const override { return true; }
+
+ private:
+  NextSplitFn next_split_;
+  OpenSplitFn open_split_;
+};
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+class ValuesOperator : public Operator {
+ public:
+  ValuesOperator(TaskContext* ctx, std::vector<PagePtr> pages)
+      : Operator(ctx), pages_(std::move(pages)) {}
+
+  void AddInput(const PagePtr&) override {
+    ACC_CHECK(false) << "values takes no input";
+  }
+
+  PagePtr GetOutput() override {
+    if (IsFinished()) return nullptr;
+    if (end_signalled_ || cursor_ >= pages_.size()) return EmitEnd();
+    return pages_[cursor_++];
+  }
+
+  void SignalEnd() override { end_signalled_ = true; }
+  double CostPerRowMicros() const override { return 0; }
+  std::string Name() const override { return "Values"; }
+
+ private:
+  std::vector<PagePtr> pages_;
+  size_t cursor_ = 0;
+  bool end_signalled_ = false;
+};
+
+class ValuesFactory : public OperatorFactory {
+ public:
+  explicit ValuesFactory(std::vector<PagePtr> pages)
+      : pages_(std::move(pages)) {}
+
+  OperatorPtr Create(TaskContext* ctx, int driver_seq) override {
+    // All pages go to driver 0; extra drivers see an empty source.
+    return std::make_unique<ValuesOperator>(
+        ctx, driver_seq == 0 ? pages_ : std::vector<PagePtr>{});
+  }
+  std::string Name() const override { return "Values"; }
+  bool IsSource() const override { return true; }
+
+ private:
+  std::vector<PagePtr> pages_;
+};
+
+// ---------------------------------------------------------------------------
+// Exchange / LocalExchange source
+// ---------------------------------------------------------------------------
+
+class ExchangeOperator : public Operator {
+ public:
+  ExchangeOperator(TaskContext* ctx, ExchangeClient* client)
+      : Operator(ctx), client_(client) {}
+
+  void AddInput(const PagePtr&) override {
+    ACC_CHECK(false) << "exchange takes no input";
+  }
+
+  PagePtr GetOutput() override {
+    if (IsFinished()) return nullptr;
+    if (end_signalled_) return EmitEnd();
+    PagePtr page = client_->Poll();
+    if (page == nullptr) return nullptr;
+    if (page->IsEnd()) return EmitEnd();
+    return page;
+  }
+
+  void SignalEnd() override { end_signalled_ = true; }
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.exchange_us;
+  }
+  std::string Name() const override { return "Exchange"; }
+
+ private:
+  ExchangeClient* client_;
+  bool end_signalled_ = false;
+};
+
+class ExchangeFactory : public OperatorFactory {
+ public:
+  explicit ExchangeFactory(ExchangeClient* client) : client_(client) {}
+
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<ExchangeOperator>(ctx, client_);
+  }
+  std::string Name() const override { return "Exchange"; }
+  bool IsSource() const override { return true; }
+
+ private:
+  ExchangeClient* client_;
+};
+
+class LocalExchangeSourceOperator : public Operator {
+ public:
+  LocalExchangeSourceOperator(TaskContext* ctx, LocalExchange* exchange)
+      : Operator(ctx), exchange_(exchange) {}
+
+  void AddInput(const PagePtr&) override {
+    ACC_CHECK(false) << "local exchange source takes no input";
+  }
+
+  PagePtr GetOutput() override {
+    if (IsFinished()) return nullptr;
+    if (end_signalled_) return EmitEnd();
+    PagePtr page = exchange_->Poll();
+    if (page == nullptr) return nullptr;
+    if (page->IsEnd()) return EmitEnd();
+    return page;
+  }
+
+  void SignalEnd() override { end_signalled_ = true; }
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.local_exchange_us;
+  }
+  std::string Name() const override { return "LocalExchangeSource"; }
+
+ private:
+  LocalExchange* exchange_;
+  bool end_signalled_ = false;
+};
+
+class LocalExchangeSourceFactory : public OperatorFactory {
+ public:
+  explicit LocalExchangeSourceFactory(LocalExchange* exchange)
+      : exchange_(exchange) {}
+
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<LocalExchangeSourceOperator>(ctx, exchange_);
+  }
+  std::string Name() const override { return "LocalExchangeSource"; }
+  bool IsSource() const override { return true; }
+
+ private:
+  LocalExchange* exchange_;
+};
+
+// ---------------------------------------------------------------------------
+// Filter / Project
+// ---------------------------------------------------------------------------
+
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(TaskContext* ctx, ExprPtr predicate)
+      : Operator(ctx), predicate_(std::move(predicate)) {}
+
+  bool NeedsInput() const override {
+    return state_ == OperatorState::kRunning && pending_ == nullptr;
+  }
+
+  void AddInput(const PagePtr& page) override {
+    std::vector<int32_t> selected = FilterRows(*predicate_, *page);
+    if (selected.empty()) return;
+    if (static_cast<int64_t>(selected.size()) == page->num_rows()) {
+      pending_ = page;
+    } else {
+      pending_ = page->Select(selected);
+    }
+  }
+
+  PagePtr GetOutput() override {
+    if (pending_ != nullptr) {
+      PagePtr out = pending_;
+      pending_ = nullptr;
+      return out;
+    }
+    if (state_ == OperatorState::kFinishing) return EmitEnd();
+    return nullptr;
+  }
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.filter_us;
+  }
+  std::string Name() const override { return "Filter"; }
+
+ private:
+  ExprPtr predicate_;
+  PagePtr pending_;
+};
+
+class FilterFactory : public OperatorFactory {
+ public:
+  explicit FilterFactory(ExprPtr predicate) : predicate_(std::move(predicate)) {}
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<FilterOperator>(ctx, predicate_);
+  }
+  std::string Name() const override { return "Filter"; }
+
+ private:
+  ExprPtr predicate_;
+};
+
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(TaskContext* ctx, std::vector<ExprPtr> exprs)
+      : Operator(ctx), exprs_(std::move(exprs)) {}
+
+  bool NeedsInput() const override {
+    return state_ == OperatorState::kRunning && pending_ == nullptr;
+  }
+
+  void AddInput(const PagePtr& page) override {
+    std::vector<Column> cols;
+    cols.reserve(exprs_.size());
+    for (const auto& e : exprs_) cols.push_back(e->Eval(*page));
+    pending_ = Page::Make(std::move(cols));
+  }
+
+  PagePtr GetOutput() override {
+    if (pending_ != nullptr) {
+      PagePtr out = pending_;
+      pending_ = nullptr;
+      return out;
+    }
+    if (state_ == OperatorState::kFinishing) return EmitEnd();
+    return nullptr;
+  }
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.project_us;
+  }
+  std::string Name() const override { return "Project"; }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+  PagePtr pending_;
+};
+
+class ProjectFactory : public OperatorFactory {
+ public:
+  explicit ProjectFactory(std::vector<ExprPtr> exprs)
+      : exprs_(std::move(exprs)) {}
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<ProjectOperator>(ctx, exprs_);
+  }
+  std::string Name() const override { return "Project"; }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+// ---------------------------------------------------------------------------
+// LookupJoin (probe side of the hash join)
+// ---------------------------------------------------------------------------
+
+class LookupJoinOperator : public Operator {
+ public:
+  LookupJoinOperator(TaskContext* ctx, JoinBridge* bridge,
+                     std::vector<int> probe_keys,
+                     std::vector<int> build_output_channels)
+      : Operator(ctx),
+        bridge_(bridge),
+        probe_keys_(std::move(probe_keys)),
+        build_output_channels_(std::move(build_output_channels)) {}
+
+  bool NeedsInput() const override {
+    // Paper §4.1: probing waits for the build side to complete.
+    return state_ == OperatorState::kRunning && bridge_->built() &&
+           pending_.empty();
+  }
+
+  void AddInput(const PagePtr& page) override {
+    std::vector<int32_t> probe_rows;
+    std::vector<int64_t> build_rows;
+    bridge_->Probe(*page, probe_keys_, &probe_rows, &build_rows);
+    if (probe_rows.empty()) return;
+    // Emit in bounded chunks to keep pages small.
+    const int64_t chunk = task_ctx_->config().batch_rows * 4;
+    for (size_t off = 0; off < probe_rows.size();
+         off += static_cast<size_t>(chunk)) {
+      size_t end = std::min(probe_rows.size(), off + static_cast<size_t>(chunk));
+      std::vector<int32_t> p(probe_rows.begin() + off, probe_rows.begin() + end);
+      std::vector<int64_t> b(build_rows.begin() + off, build_rows.begin() + end);
+      PagePtr probe_part = page->Select(p);
+      std::vector<Column> cols = probe_part->columns();
+      for (int ch : build_output_channels_) {
+        cols.push_back(bridge_->GatherBuild(ch, b));
+      }
+      pending_.push_back(Page::Make(std::move(cols)));
+    }
+  }
+
+  PagePtr GetOutput() override {
+    if (!pending_.empty()) {
+      PagePtr out = pending_.front();
+      pending_.pop_front();
+      return out;
+    }
+    if (state_ == OperatorState::kFinishing) return EmitEnd();
+    return nullptr;
+  }
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.probe_us;
+  }
+  std::string Name() const override { return "LookupJoin"; }
+
+ private:
+  JoinBridge* bridge_;
+  std::vector<int> probe_keys_;
+  std::vector<int> build_output_channels_;
+  std::deque<PagePtr> pending_;
+};
+
+class LookupJoinFactory : public OperatorFactory {
+ public:
+  LookupJoinFactory(JoinBridge* bridge, std::vector<int> probe_keys,
+                    std::vector<int> build_output_channels)
+      : bridge_(bridge),
+        probe_keys_(std::move(probe_keys)),
+        build_output_channels_(std::move(build_output_channels)) {}
+
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<LookupJoinOperator>(ctx, bridge_, probe_keys_,
+                                                build_output_channels_);
+  }
+  std::string Name() const override { return "LookupJoin"; }
+
+ private:
+  JoinBridge* bridge_;
+  std::vector<int> probe_keys_;
+  std::vector<int> build_output_channels_;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregation (partial + final share the accumulator machinery)
+// ---------------------------------------------------------------------------
+
+struct AccState {
+  int64_t i = 0;
+  double d = 0;
+  Value v;
+  bool has_v = false;
+};
+
+struct Group {
+  std::vector<Value> keys;
+  std::vector<AccState> states;
+};
+
+std::string EncodeKey(const Page& page, const std::vector<int>& channels,
+                      int64_t row) {
+  std::string key;
+  for (int ch : channels) {
+    const Column& col = page.column(ch);
+    switch (col.type()) {
+      case DataType::kString: {
+        const std::string& s = col.StrAt(row);
+        uint32_t len = static_cast<uint32_t>(s.size());
+        key.append(reinterpret_cast<const char*>(&len), 4);
+        key.append(s);
+        break;
+      }
+      case DataType::kDouble: {
+        double d = col.DoubleAt(row);
+        key.append(reinterpret_cast<const char*>(&d), 8);
+        break;
+      }
+      default: {
+        int64_t v = col.IntAt(row);
+        key.append(reinterpret_cast<const char*>(&v), 8);
+        break;
+      }
+    }
+  }
+  return key;
+}
+
+/// Base for both aggregation phases; subclasses define how a row updates
+/// states and how groups are emitted.
+class AggOperatorBase : public Operator {
+ public:
+  AggOperatorBase(TaskContext* ctx, std::vector<int> group_by,
+                  std::vector<Aggregate> aggs,
+                  std::vector<DataType> input_types)
+      : Operator(ctx),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)),
+        input_types_(std::move(input_types)) {}
+
+  bool NeedsInput() const override {
+    return state_ == OperatorState::kRunning && pending_.empty();
+  }
+
+  void AddInput(const PagePtr& page) override {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      std::string key = EncodeKey(*page, group_by_, r);
+      auto [it, inserted] = groups_.try_emplace(std::move(key));
+      if (inserted) {
+        for (int ch : group_by_) it->second.keys.push_back(
+            page->column(ch).ValueAt(r));
+        it->second.states.resize(aggs_.size());
+      }
+      UpdateRow(*page, r, &it->second);
+    }
+    MaybeFlush();
+  }
+
+  PagePtr GetOutput() override {
+    if (!pending_.empty()) {
+      PagePtr out = pending_.front();
+      pending_.pop_front();
+      return out;
+    }
+    if (state_ == OperatorState::kFinishing) {
+      FlushAll();
+      if (!pending_.empty()) {
+        PagePtr out = pending_.front();
+        pending_.pop_front();
+        return out;
+      }
+      return EmitEnd();
+    }
+    return nullptr;
+  }
+
+ protected:
+  virtual void UpdateRow(const Page& page, int64_t row, Group* group) = 0;
+  virtual std::vector<DataType> OutputTypes() const = 0;
+  virtual void EmitGroup(const Group& group, std::vector<Column>* cols) = 0;
+  /// Partial aggregation flushes early (destroy-and-rebuild, §4.1);
+  /// final aggregation never does.
+  virtual void MaybeFlush() {}
+  /// Emit a default row when there are no groups and no GROUP BY keys?
+  virtual bool EmitEmptyGroup() const { return false; }
+
+  void FlushAll() {
+    if (flushed_all_) return;
+    flushed_all_ = true;
+    if (groups_.empty() && group_by_.empty() && EmitEmptyGroup()) {
+      Group empty;
+      empty.states.resize(aggs_.size());
+      groups_.emplace("", std::move(empty));
+    }
+    if (groups_.empty()) return;
+    EmitGroups();
+  }
+
+  void EmitGroups() {
+    std::vector<DataType> types = OutputTypes();
+    std::vector<Column> cols;
+    for (DataType t : types) cols.emplace_back(t);
+    int64_t rows = 0;
+    const int64_t max_rows = task_ctx_->config().batch_rows * 4;
+    for (auto& [key, group] : groups_) {
+      for (size_t k = 0; k < group_by_.size(); ++k) {
+        cols[k].AppendValue(group.keys[k]);
+      }
+      // EmitGroup appends state/result columns after the keys.
+      std::vector<Column> tail;
+      EmitGroup(group, &tail);
+      for (size_t c = 0; c < tail.size(); ++c) {
+        cols[group_by_.size() + c].AppendValue(tail[c].ValueAt(0));
+      }
+      if (++rows >= max_rows) {
+        pending_.push_back(Page::Make(std::move(cols)));
+        cols.clear();
+        for (DataType t : types) cols.emplace_back(t);
+        rows = 0;
+      }
+    }
+    if (rows > 0) pending_.push_back(Page::Make(std::move(cols)));
+    groups_.clear();
+  }
+
+  std::vector<int> group_by_;
+  std::vector<Aggregate> aggs_;
+  std::vector<DataType> input_types_;
+  std::unordered_map<std::string, Group> groups_;
+  std::deque<PagePtr> pending_;
+  bool flushed_all_ = false;
+};
+
+class PartialAggOperator : public AggOperatorBase {
+ public:
+  using AggOperatorBase::AggOperatorBase;
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.partial_agg_us;
+  }
+  std::string Name() const override { return "PartialAggregation"; }
+
+ protected:
+  void UpdateRow(const Page& page, int64_t row, Group* group) override {
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const Aggregate& agg = aggs_[a];
+      AccState& st = group->states[a];
+      switch (agg.func) {
+        case AggFunc::kCount:
+          st.i += 1;
+          break;
+        case AggFunc::kSum:
+          if (agg.ResultType() == DataType::kInt64) {
+            st.i += page.column(agg.input_channel).IntAt(row);
+          } else {
+            st.d += page.column(agg.input_channel).NumericAt(row);
+          }
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          Value v = page.column(agg.input_channel).ValueAt(row);
+          if (!st.has_v) {
+            st.v = std::move(v);
+            st.has_v = true;
+          } else {
+            int c = CompareValues(v, st.v);
+            if ((agg.func == AggFunc::kMin && c < 0) ||
+                (agg.func == AggFunc::kMax && c > 0)) {
+              st.v = std::move(v);
+            }
+          }
+          break;
+        }
+        case AggFunc::kAvg:
+          st.d += page.column(agg.input_channel).NumericAt(row);
+          st.i += 1;
+          break;
+      }
+    }
+  }
+
+  std::vector<DataType> OutputTypes() const override {
+    std::vector<DataType> types;
+    for (int ch : group_by_) types.push_back(input_types_[ch]);
+    for (const auto& agg : aggs_) {
+      switch (agg.func) {
+        case AggFunc::kCount:
+          types.push_back(DataType::kInt64);
+          break;
+        case AggFunc::kSum:
+          types.push_back(agg.ResultType());
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          types.push_back(agg.input_type);
+          break;
+        case AggFunc::kAvg:
+          types.push_back(DataType::kDouble);
+          types.push_back(DataType::kInt64);
+          break;
+      }
+    }
+    return types;
+  }
+
+  void EmitGroup(const Group& group, std::vector<Column>* cols) override {
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const Aggregate& agg = aggs_[a];
+      const AccState& st = group.states[a];
+      switch (agg.func) {
+        case AggFunc::kCount: {
+          Column c(DataType::kInt64);
+          c.AppendInt(st.i);
+          cols->push_back(std::move(c));
+          break;
+        }
+        case AggFunc::kSum: {
+          Column c(agg.ResultType());
+          if (agg.ResultType() == DataType::kInt64) {
+            c.AppendInt(st.i);
+          } else {
+            c.AppendDouble(st.d);
+          }
+          cols->push_back(std::move(c));
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          Column c(agg.input_type);
+          c.AppendValue(st.has_v ? st.v : Value{agg.input_type, 0, 0, {}});
+          cols->push_back(std::move(c));
+          break;
+        }
+        case AggFunc::kAvg: {
+          Column sum(DataType::kDouble);
+          sum.AppendDouble(st.d);
+          cols->push_back(std::move(sum));
+          Column count(DataType::kInt64);
+          count.AppendInt(st.i);
+          cols->push_back(std::move(count));
+          break;
+        }
+      }
+    }
+  }
+
+  void MaybeFlush() override {
+    if (static_cast<int64_t>(groups_.size()) >=
+        task_ctx_->config().partial_agg_flush_groups) {
+      EmitGroups();  // partial state is disposable
+    }
+  }
+};
+
+class FinalAggOperator : public AggOperatorBase {
+ public:
+  using AggOperatorBase::AggOperatorBase;
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.final_agg_us;
+  }
+  std::string Name() const override { return "FinalAggregation"; }
+
+ protected:
+  // Input layout: group keys at [0, k), then per-agg state columns.
+  void UpdateRow(const Page& page, int64_t row, Group* group) override {
+    int ch = static_cast<int>(group_by_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const Aggregate& agg = aggs_[a];
+      AccState& st = group->states[a];
+      switch (agg.func) {
+        case AggFunc::kCount:
+          st.i += page.column(ch++).IntAt(row);
+          break;
+        case AggFunc::kSum:
+          if (agg.ResultType() == DataType::kInt64) {
+            st.i += page.column(ch++).IntAt(row);
+          } else {
+            st.d += page.column(ch++).NumericAt(row);
+          }
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          Value v = page.column(ch++).ValueAt(row);
+          if (!st.has_v) {
+            st.v = std::move(v);
+            st.has_v = true;
+          } else {
+            int c = CompareValues(v, st.v);
+            if ((agg.func == AggFunc::kMin && c < 0) ||
+                (agg.func == AggFunc::kMax && c > 0)) {
+              st.v = std::move(v);
+            }
+          }
+          break;
+        }
+        case AggFunc::kAvg:
+          st.d += page.column(ch).DoubleAt(row);
+          st.i += page.column(ch + 1).IntAt(row);
+          ch += 2;
+          break;
+      }
+    }
+  }
+
+  std::vector<DataType> OutputTypes() const override {
+    // Keys keep their (partial-layout) types; aggregates finalize.
+    std::vector<DataType> types;
+    for (size_t k = 0; k < group_by_.size(); ++k) {
+      types.push_back(input_types_[k]);
+    }
+    for (const auto& agg : aggs_) types.push_back(agg.ResultType());
+    return types;
+  }
+
+  void EmitGroup(const Group& group, std::vector<Column>* cols) override {
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const Aggregate& agg = aggs_[a];
+      const AccState& st = group.states[a];
+      Column c(agg.ResultType());
+      switch (agg.func) {
+        case AggFunc::kCount:
+          c.AppendInt(st.i);
+          break;
+        case AggFunc::kSum:
+          if (agg.ResultType() == DataType::kInt64) {
+            c.AppendInt(st.i);
+          } else {
+            c.AppendDouble(st.d);
+          }
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          c.AppendValue(st.has_v ? st.v : Value{agg.input_type, 0, 0, {}});
+          break;
+        case AggFunc::kAvg:
+          c.AppendDouble(st.i == 0 ? 0 : st.d / static_cast<double>(st.i));
+          break;
+      }
+      cols->push_back(std::move(c));
+    }
+  }
+
+  bool EmitEmptyGroup() const override { return true; }
+};
+
+class AggFactory : public OperatorFactory {
+ public:
+  AggFactory(bool partial, std::vector<int> group_by,
+             std::vector<Aggregate> aggs, std::vector<DataType> input_types)
+      : partial_(partial),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)),
+        input_types_(std::move(input_types)) {}
+
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    if (partial_) {
+      return std::make_unique<PartialAggOperator>(ctx, group_by_, aggs_,
+                                                  input_types_);
+    }
+    // The final phase consumes the partial layout, where the group keys
+    // occupy channels [0, k) regardless of their original positions.
+    std::vector<int> positional_keys(group_by_.size());
+    for (size_t k = 0; k < group_by_.size(); ++k) {
+      positional_keys[k] = static_cast<int>(k);
+    }
+    return std::make_unique<FinalAggOperator>(ctx, std::move(positional_keys),
+                                              aggs_, input_types_);
+  }
+  std::string Name() const override {
+    return partial_ ? "PartialAggregation" : "FinalAggregation";
+  }
+
+ private:
+  bool partial_;
+  std::vector<int> group_by_;
+  std::vector<Aggregate> aggs_;
+  std::vector<DataType> input_types_;
+};
+
+// ---------------------------------------------------------------------------
+// TopN / Limit
+// ---------------------------------------------------------------------------
+
+class TopNOperator : public Operator {
+ public:
+  TopNOperator(TaskContext* ctx, std::vector<SortKey> keys, int64_t limit,
+               std::vector<DataType> input_types)
+      : Operator(ctx),
+        keys_(std::move(keys)),
+        limit_(limit),
+        input_types_(std::move(input_types)) {}
+
+  void AddInput(const PagePtr& page) override {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      std::vector<Value> row;
+      row.reserve(page->num_columns());
+      for (int c = 0; c < page->num_columns(); ++c) {
+        row.push_back(page->column(c).ValueAt(r));
+      }
+      rows_.push_back(std::move(row));
+    }
+    if (static_cast<int64_t>(rows_.size()) > 4 * limit_) Trim();
+  }
+
+  PagePtr GetOutput() override {
+    if (state_ == OperatorState::kFinishing) {
+      if (!emitted_) {
+        emitted_ = true;
+        Trim();
+        if (!rows_.empty()) {
+          std::vector<Column> cols;
+          for (DataType t : input_types_) cols.emplace_back(t);
+          for (const auto& row : rows_) {
+            for (size_t c = 0; c < row.size(); ++c) cols[c].AppendValue(row[c]);
+          }
+          pending_ = Page::Make(std::move(cols));
+        }
+      }
+      if (pending_ != nullptr) {
+        PagePtr out = pending_;
+        pending_ = nullptr;
+        return out;
+      }
+      return EmitEnd();
+    }
+    return nullptr;
+  }
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.topn_us;
+  }
+  std::string Name() const override { return "TopN"; }
+
+ private:
+  void Trim() {
+    auto less = [this](const std::vector<Value>& a,
+                       const std::vector<Value>& b) {
+      for (const auto& key : keys_) {
+        int c = CompareValues(a[key.channel], b[key.channel]);
+        if (c != 0) return key.ascending ? c < 0 : c > 0;
+      }
+      return false;
+    };
+    std::stable_sort(rows_.begin(), rows_.end(), less);
+    if (static_cast<int64_t>(rows_.size()) > limit_) rows_.resize(limit_);
+  }
+
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  std::vector<DataType> input_types_;
+  std::vector<std::vector<Value>> rows_;
+  PagePtr pending_;
+  bool emitted_ = false;
+};
+
+class TopNFactory : public OperatorFactory {
+ public:
+  TopNFactory(std::vector<SortKey> keys, int64_t limit,
+              std::vector<DataType> input_types)
+      : keys_(std::move(keys)),
+        limit_(limit),
+        input_types_(std::move(input_types)) {}
+
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<TopNOperator>(ctx, keys_, limit_, input_types_);
+  }
+  std::string Name() const override { return "TopN"; }
+
+ private:
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  std::vector<DataType> input_types_;
+};
+
+class LimitOperator : public Operator {
+ public:
+  LimitOperator(TaskContext* ctx, int64_t limit)
+      : Operator(ctx), remaining_(limit) {}
+
+  bool NeedsInput() const override {
+    return state_ == OperatorState::kRunning && pending_ == nullptr;
+  }
+
+  void AddInput(const PagePtr& page) override {
+    if (remaining_ <= 0) return;
+    if (page->num_rows() <= remaining_) {
+      pending_ = page;
+      remaining_ -= page->num_rows();
+    } else {
+      std::vector<int32_t> head(static_cast<size_t>(remaining_));
+      for (int64_t i = 0; i < remaining_; ++i) head[i] = static_cast<int32_t>(i);
+      pending_ = page->Select(head);
+      remaining_ = 0;
+    }
+  }
+
+  PagePtr GetOutput() override {
+    if (pending_ != nullptr) {
+      PagePtr out = pending_;
+      pending_ = nullptr;
+      return out;
+    }
+    if (state_ == OperatorState::kFinishing || remaining_ <= 0) {
+      return EmitEnd();
+    }
+    return nullptr;
+  }
+
+  double CostPerRowMicros() const override { return 1; }
+  std::string Name() const override { return "Limit"; }
+
+ private:
+  int64_t remaining_;
+  PagePtr pending_;
+};
+
+class LimitFactory : public OperatorFactory {
+ public:
+  explicit LimitFactory(int64_t limit) : limit_(limit) {}
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<LimitOperator>(ctx, limit_);
+  }
+  std::string Name() const override { return "Limit"; }
+
+ private:
+  int64_t limit_;
+};
+
+// ---------------------------------------------------------------------------
+// Sinks: LocalExchangeSink / HashBuild / TaskOutput
+// ---------------------------------------------------------------------------
+
+class LocalExchangeSinkOperator : public Operator {
+ public:
+  LocalExchangeSinkOperator(TaskContext* ctx, LocalExchange* exchange)
+      : Operator(ctx), exchange_(exchange) {
+    exchange_->AddSinkDriver();
+  }
+
+  bool NeedsInput() const override {
+    return state_ == OperatorState::kRunning && exchange_->AcceptingInput();
+  }
+
+  void AddInput(const PagePtr& page) override { exchange_->Enqueue(page); }
+
+  PagePtr GetOutput() override {
+    if (state_ == OperatorState::kFinishing) {
+      exchange_->SinkDriverFinished();
+      return EmitEnd();
+    }
+    return nullptr;
+  }
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.local_exchange_us;
+  }
+  std::string Name() const override { return "LocalExchangeSink"; }
+
+ private:
+  LocalExchange* exchange_;
+};
+
+class LocalExchangeSinkFactory : public OperatorFactory {
+ public:
+  explicit LocalExchangeSinkFactory(LocalExchange* exchange)
+      : exchange_(exchange) {}
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<LocalExchangeSinkOperator>(ctx, exchange_);
+  }
+  std::string Name() const override { return "LocalExchangeSink"; }
+
+ private:
+  LocalExchange* exchange_;
+};
+
+class HashBuildOperator : public Operator {
+ public:
+  HashBuildOperator(TaskContext* ctx, JoinBridge* bridge)
+      : Operator(ctx), bridge_(bridge) {
+    bridge_->AddBuildDriver();
+  }
+
+  void AddInput(const PagePtr& page) override { bridge_->AddBuildPage(page); }
+
+  PagePtr GetOutput() override {
+    if (state_ == OperatorState::kFinishing) {
+      bool finalized = bridge_->BuildDriverFinished();
+      if (finalized) {
+        task_ctx_->SetHashBuildMicros(bridge_->build_index_micros());
+      }
+      return EmitEnd();
+    }
+    return nullptr;
+  }
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.hash_build_us;
+  }
+  std::string Name() const override { return "HashBuilder"; }
+
+ private:
+  JoinBridge* bridge_;
+};
+
+class HashBuildFactory : public OperatorFactory {
+ public:
+  explicit HashBuildFactory(JoinBridge* bridge) : bridge_(bridge) {}
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<HashBuildOperator>(ctx, bridge_);
+  }
+  std::string Name() const override { return "HashBuilder"; }
+
+ private:
+  JoinBridge* bridge_;
+};
+
+class TaskOutputOperator : public Operator {
+ public:
+  TaskOutputOperator(TaskContext* ctx, OutputBuffer* buffer)
+      : Operator(ctx), buffer_(buffer) {
+    buffer_->AddProducerDriver();
+  }
+
+  bool NeedsInput() const override {
+    return state_ == OperatorState::kRunning && buffer_->AcceptingInput();
+  }
+
+  void AddInput(const PagePtr& page) override {
+    task_ctx_->AddOutputRows(page->num_rows());
+    task_ctx_->AddOutputBytes(page->ByteSize());
+    buffer_->Enqueue(page);
+  }
+
+  PagePtr GetOutput() override {
+    if (state_ == OperatorState::kFinishing) {
+      buffer_->ProducerDriverFinished();
+      return EmitEnd();
+    }
+    return nullptr;
+  }
+
+  double CostPerRowMicros() const override {
+    return task_ctx_->config().cost.task_output_us;
+  }
+  std::string Name() const override { return "TaskOutput"; }
+
+ private:
+  OutputBuffer* buffer_;
+};
+
+class TaskOutputFactory : public OperatorFactory {
+ public:
+  explicit TaskOutputFactory(OutputBuffer* buffer) : buffer_(buffer) {}
+  OperatorPtr Create(TaskContext* ctx, int) override {
+    return std::make_unique<TaskOutputOperator>(ctx, buffer_);
+  }
+  std::string Name() const override { return "TaskOutput"; }
+
+ private:
+  OutputBuffer* buffer_;
+};
+
+}  // namespace
+
+OperatorFactoryPtr MakeTableScanFactory(NextSplitFn next_split,
+                                        OpenSplitFn open_split) {
+  return std::make_shared<TableScanFactory>(std::move(next_split),
+                                            std::move(open_split));
+}
+
+OperatorFactoryPtr MakeValuesFactory(std::vector<PagePtr> pages) {
+  return std::make_shared<ValuesFactory>(std::move(pages));
+}
+
+OperatorFactoryPtr MakeExchangeFactory(ExchangeClient* client) {
+  return std::make_shared<ExchangeFactory>(client);
+}
+
+OperatorFactoryPtr MakeLocalExchangeSourceFactory(LocalExchange* exchange) {
+  return std::make_shared<LocalExchangeSourceFactory>(exchange);
+}
+
+OperatorFactoryPtr MakeFilterFactory(ExprPtr predicate) {
+  return std::make_shared<FilterFactory>(std::move(predicate));
+}
+
+OperatorFactoryPtr MakeProjectFactory(std::vector<ExprPtr> exprs) {
+  return std::make_shared<ProjectFactory>(std::move(exprs));
+}
+
+OperatorFactoryPtr MakeLookupJoinFactory(JoinBridge* bridge,
+                                         std::vector<int> probe_keys,
+                                         std::vector<int> build_output_channels) {
+  return std::make_shared<LookupJoinFactory>(bridge, std::move(probe_keys),
+                                             std::move(build_output_channels));
+}
+
+OperatorFactoryPtr MakePartialAggFactory(std::vector<int> group_by,
+                                         std::vector<Aggregate> aggs,
+                                         std::vector<DataType> input_types) {
+  return std::make_shared<AggFactory>(true, std::move(group_by),
+                                      std::move(aggs), std::move(input_types));
+}
+
+OperatorFactoryPtr MakeFinalAggFactory(std::vector<int> group_by,
+                                       std::vector<Aggregate> aggs,
+                                       std::vector<DataType> input_types) {
+  return std::make_shared<AggFactory>(false, std::move(group_by),
+                                      std::move(aggs), std::move(input_types));
+}
+
+OperatorFactoryPtr MakeTopNFactory(std::vector<SortKey> keys, int64_t limit,
+                                   std::vector<DataType> input_types) {
+  return std::make_shared<TopNFactory>(std::move(keys), limit,
+                                       std::move(input_types));
+}
+
+OperatorFactoryPtr MakeLimitFactory(int64_t limit) {
+  return std::make_shared<LimitFactory>(limit);
+}
+
+OperatorFactoryPtr MakeLocalExchangeSinkFactory(LocalExchange* exchange) {
+  return std::make_shared<LocalExchangeSinkFactory>(exchange);
+}
+
+OperatorFactoryPtr MakeHashBuildFactory(JoinBridge* bridge) {
+  return std::make_shared<HashBuildFactory>(bridge);
+}
+
+OperatorFactoryPtr MakeTaskOutputFactory(OutputBuffer* buffer) {
+  return std::make_shared<TaskOutputFactory>(buffer);
+}
+
+}  // namespace accordion

@@ -1,0 +1,503 @@
+#include "exec/output_buffer.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace accordion {
+
+// ---------------------------------------------------------------------------
+// ElasticCapacity
+// ---------------------------------------------------------------------------
+
+ElasticCapacity::ElasticCapacity(const EngineConfig* config,
+                                 TaskContext* task_ctx)
+    : config_(config),
+      task_ctx_(task_ctx),
+      capacity_(config->elastic_buffers ? config->initial_buffer_bytes
+                                        : config->fixed_buffer_bytes),
+      window_start_ms_(NowMillis()) {}
+
+bool ElasticCapacity::Accepting(int64_t queued_bytes) const {
+  return queued_bytes < capacity_.load();
+}
+
+void ElasticCapacity::OnEmptyPop() {
+  if (!config_->elastic_buffers) return;
+  int64_t cap = capacity_.load();
+  int64_t grown = std::min(config_->max_buffer_bytes, cap * 2);
+  if (grown != cap) {
+    capacity_.store(grown);
+    ++turn_ups_;
+    if (task_ctx_ != nullptr) task_ctx_->BufferTurnUp();
+  }
+}
+
+void ElasticCapacity::OnConsume(int64_t bytes) {
+  if (!config_->elastic_buffers) return;
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  window_bytes_ += bytes;
+  int64_t now = NowMillis();
+  if (now - window_start_ms_ >= config_->buffer_resize_interval_ms) {
+    // Re-fit capacity to the recent consumption rate (with headroom), so
+    // production never outruns consumption by more than one window.
+    int64_t fitted = std::max(config_->initial_buffer_bytes,
+                              window_bytes_ + window_bytes_ / 2);
+    capacity_.store(std::min(config_->max_buffer_bytes, fitted));
+    window_bytes_ = 0;
+    window_start_ms_ = now;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OutputBuffer
+// ---------------------------------------------------------------------------
+
+OutputBuffer::OutputBuffer(OutputBufferConfig config, TaskContext* task_ctx)
+    : config_(std::move(config)),
+      task_ctx_(task_ctx),
+      capacity_(&task_ctx->config(), /*task_ctx=*/nullptr) {}
+
+void OutputBuffer::ProducerDriverFinished() {
+  producers_started_ = true;
+  int remaining = --producer_drivers_;
+  ACC_CHECK(remaining >= 0) << "producer driver count underflow";
+}
+
+void OutputBuffer::AddTaskGroup(int count, int first_buffer_id) {
+  ACC_CHECK(false) << "AddTaskGroup on non-shuffle buffer";
+}
+
+void OutputBuffer::SwitchToNewestGroup() {
+  ACC_CHECK(false) << "SwitchToNewestGroup on non-shuffle buffer";
+}
+
+// ---------------------------------------------------------------------------
+// SharedBuffer
+// ---------------------------------------------------------------------------
+
+SharedBuffer::SharedBuffer(OutputBufferConfig config, TaskContext* task_ctx)
+    : OutputBuffer(std::move(config), task_ctx) {
+  // Ids below first_buffer_id are marked done: no consumer will pull them.
+  consumer_done_.resize(config_.first_buffer_id, true);
+  consumer_done_.resize(config_.first_buffer_id + config_.initial_consumers,
+                        false);
+}
+
+bool SharedBuffer::AcceptingInput() const {
+  return capacity_.Accepting(queued_bytes_.load());
+}
+
+void SharedBuffer::Enqueue(const PagePtr& page) {
+  producers_started_ = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(page);
+  queued_bytes_ += page->ByteSize();
+}
+
+PagesResult SharedBuffer::GetPages(int buffer_id, int max_pages) {
+  PagesResult result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (buffer_id >= static_cast<int>(consumer_done_.size())) {
+      consumer_done_.resize(buffer_id + 1, false);
+    }
+    if (consumer_done_[buffer_id]) {
+      result.complete = true;
+      return result;
+    }
+    while (!queue_.empty() &&
+           static_cast<int>(result.pages.size()) < max_pages) {
+      result.pages.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    if (queue_.empty() && NoMoreInput()) {
+      result.complete = true;
+      if (buffer_id < static_cast<int>(consumer_done_.size())) {
+        consumer_done_[buffer_id] = true;
+      }
+    }
+  }
+  int64_t bytes = result.TotalBytes();
+  queued_bytes_ -= bytes;
+  if (bytes > 0) {
+    capacity_.OnConsume(bytes);
+  } else if (!result.complete) {
+    capacity_.OnEmptyPop();
+  }
+  return result;
+}
+
+void SharedBuffer::SetConsumerCount(int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (n > static_cast<int>(consumer_done_.size())) {
+    consumer_done_.resize(n, false);
+  }
+}
+
+void SharedBuffer::EndSignal(int buffer_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (buffer_id >= static_cast<int>(consumer_done_.size())) {
+    consumer_done_.resize(buffer_id + 1, false);
+  }
+  consumer_done_[buffer_id] = true;
+}
+
+bool SharedBuffer::AllConsumersDone() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (bool done : consumer_done_) {
+    if (!done) return false;
+  }
+  return NoMoreInput() && queue_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// BroadcastBuffer
+// ---------------------------------------------------------------------------
+
+BroadcastBuffer::BroadcastBuffer(OutputBufferConfig config,
+                                 TaskContext* task_ctx)
+    : OutputBuffer(std::move(config), task_ctx) {
+  consumers_.resize(config_.first_buffer_id + config_.initial_consumers);
+  for (int i = 0; i < config_.first_buffer_id; ++i) {
+    consumers_[i].done = true;  // ids below the window are never pulled
+  }
+}
+
+bool BroadcastBuffer::AcceptingInput() const {
+  // Broadcast retains history; bound by the max elastic capacity against
+  // the slowest consumer's backlog.
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t slowest = cache_.size();
+  for (const auto& c : consumers_) {
+    if (!c.done) slowest = std::min(slowest, c.next_page);
+  }
+  int64_t backlog = 0;
+  for (size_t i = slowest; i < cache_.size(); ++i) {
+    backlog += cache_[i]->ByteSize();
+  }
+  return capacity_.Accepting(backlog);
+}
+
+void BroadcastBuffer::Enqueue(const PagePtr& page) {
+  producers_started_ = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.push_back(page);
+  queued_bytes_ += page->ByteSize();
+}
+
+PagesResult BroadcastBuffer::GetPages(int buffer_id, int max_pages) {
+  PagesResult result;
+  int64_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (buffer_id >= static_cast<int>(consumers_.size())) {
+      consumers_.resize(buffer_id + 1);
+    }
+    Consumer& consumer = consumers_[buffer_id];
+    if (consumer.done) {
+      result.complete = true;
+      return result;
+    }
+    while (consumer.next_page < cache_.size() &&
+           static_cast<int>(result.pages.size()) < max_pages) {
+      result.pages.push_back(cache_[consumer.next_page++]);
+    }
+    if (consumer.next_page == cache_.size() && NoMoreInput()) {
+      result.complete = true;
+      consumer.done = true;
+    }
+    bytes = result.TotalBytes();
+  }
+  if (bytes > 0) {
+    capacity_.OnConsume(bytes);
+  } else if (!result.complete) {
+    capacity_.OnEmptyPop();
+  }
+  return result;
+}
+
+void BroadcastBuffer::SetConsumerCount(int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (n > static_cast<int>(consumers_.size())) consumers_.resize(n);
+}
+
+void BroadcastBuffer::EndSignal(int buffer_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (buffer_id >= static_cast<int>(consumers_.size())) {
+    consumers_.resize(buffer_id + 1);
+  }
+  consumers_[buffer_id].done = true;
+}
+
+bool BroadcastBuffer::AllConsumersDone() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!NoMoreInput()) return false;
+  for (const auto& c : consumers_) {
+    if (!c.done && c.next_page < cache_.size()) return false;
+    if (!c.done && c.next_page == cache_.size()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleBuffer
+// ---------------------------------------------------------------------------
+
+ShuffleBuffer::ShuffleBuffer(OutputBufferConfig config, TaskContext* task_ctx)
+    : OutputBuffer(std::move(config), task_ctx) {
+  ACC_CHECK(!config_.keys.empty()) << "shuffle buffer requires hash keys";
+  Group group;
+  group.first_buffer_id = config_.first_buffer_id;
+  group.count = config_.initial_consumers;
+  group.queues.resize(group.count);
+  group.done.resize(group.count, false);
+  group.queued.resize(group.count, 0);
+  groups_.push_back(std::move(group));
+  int executors = task_ctx_->config().shuffle_executors;
+  executors_.reserve(executors);
+  for (int i = 0; i < executors; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+}
+
+ShuffleBuffer::~ShuffleBuffer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : executors_) t.join();
+}
+
+bool ShuffleBuffer::AcceptingInput() const {
+  return capacity_.Accepting(queued_bytes_.load());
+}
+
+void ShuffleBuffer::Enqueue(const PagePtr& page) {
+  producers_started_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    input_queue_.emplace_back(next_seq_++, page);
+    queued_bytes_ += page->ByteSize();
+    if (config_.retain_cache) cache_.push_back(page);
+  }
+  work_cv_.notify_one();
+}
+
+void ShuffleBuffer::PartitionIntoGroupLocked(const PagePtr& page,
+                                             Group* group) {
+  if (group->count == 1) {
+    group->queues[0].push_back(page);
+    group->queued[0] += page->ByteSize();
+    return;
+  }
+  std::vector<std::vector<int32_t>> selections(group->count);
+  for (int64_t row = 0; row < page->num_rows(); ++row) {
+    uint64_t h = page->HashRow(row, config_.keys);
+    selections[h % group->count].push_back(static_cast<int32_t>(row));
+  }
+  for (int p = 0; p < group->count; ++p) {
+    if (selections[p].empty()) continue;
+    PagePtr part = page->Select(selections[p]);
+    group->queues[p].push_back(part);
+    group->queued[p] += part->ByteSize();
+  }
+}
+
+void ShuffleBuffer::ExecutorLoop() {
+  while (true) {
+    PagePtr page;
+    int64_t seq;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !input_queue_.empty(); });
+      if (shutdown_) return;
+      seq = input_queue_.front().first;
+      page = input_queue_.front().second;
+      input_queue_.pop_front();
+      ++in_flight_;
+    }
+    // Charge shuffle CPU outside the lock.
+    double cost_us = static_cast<double>(page->num_rows()) *
+                     task_ctx_->config().cost.shuffle_executor_us *
+                     task_ctx_->config().cost.scale;
+    task_ctx_->cpu()->Consume(cost_us * 1e-6);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        Group& group = groups_[g];
+        bool deliver = config_.multicast_groups
+                           ? group.routing
+                           : static_cast<int>(g) == active_group_;
+        // Pages predating the group arrived through the cache replay.
+        if (deliver && group.routing && seq >= group.created_seq) {
+          PartitionIntoGroupLocked(page, &group);
+        }
+      }
+      --in_flight_;
+    }
+  }
+}
+
+bool ShuffleBuffer::DrainedLocked() const {
+  return input_queue_.empty() && in_flight_ == 0 && replaying_ == 0;
+}
+
+PagesResult ShuffleBuffer::GetPages(int buffer_id, int max_pages) {
+  PagesResult result;
+  int64_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Group* group = nullptr;
+    int index = -1;
+    for (auto& g : groups_) {
+      if (buffer_id >= g.first_buffer_id &&
+          buffer_id < g.first_buffer_id + g.count) {
+        group = &g;
+        index = buffer_id - g.first_buffer_id;
+        break;
+      }
+    }
+    ACC_CHECK(group != nullptr) << "unknown buffer id " << buffer_id;
+    if (group->done[index]) {
+      result.complete = true;
+      return result;
+    }
+    auto& queue = group->queues[index];
+    while (!queue.empty() && static_cast<int>(result.pages.size()) < max_pages) {
+      bytes += queue.front()->ByteSize();
+      group->queued[index] -= queue.front()->ByteSize();
+      result.pages.push_back(queue.front());
+      queue.pop_front();
+    }
+    bool no_more_for_group =
+        (NoMoreInput() || !group->routing) && DrainedLocked();
+    if (queue.empty() && no_more_for_group) {
+      result.complete = true;
+      group->done[index] = true;
+    }
+  }
+  queued_bytes_ -= bytes;
+  if (bytes > 0) {
+    capacity_.OnConsume(bytes);
+  } else if (!result.complete) {
+    capacity_.OnEmptyPop();
+  }
+  return result;
+}
+
+void ShuffleBuffer::SetConsumerCount(int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ACC_CHECK(groups_.size() == 1)
+      << "SetConsumerCount after task groups were added";
+  Group& group = groups_[0];
+  n -= group.first_buffer_id;
+  if (n <= group.count) return;
+  // Growing the primary group would misroute already-partitioned rows for
+  // stateful consumers; stateless consumers tolerate it. Re-partitioning
+  // of queued-but-undelivered pages keeps hash consumers correct.
+  std::vector<PagePtr> pending;
+  for (auto& queue : group.queues) {
+    for (auto& page : queue) pending.push_back(page);
+    queue.clear();
+  }
+  group.count = n;
+  group.queues.assign(n, {});
+  group.done.assign(n, false);
+  group.queued.assign(n, 0);
+  for (const auto& page : pending) PartitionIntoGroupLocked(page, &group);
+}
+
+void ShuffleBuffer::EndSignal(int buffer_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& group : groups_) {
+    if (buffer_id >= group.first_buffer_id &&
+        buffer_id < group.first_buffer_id + group.count) {
+      group.done[buffer_id - group.first_buffer_id] = true;
+      return;
+    }
+  }
+}
+
+bool ShuffleBuffer::AllConsumersDone() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!NoMoreInput() || !DrainedLocked()) return false;
+  for (const auto& group : groups_) {
+    for (int i = 0; i < group.count; ++i) {
+      if (!group.done[i] && !group.queues[i].empty()) return false;
+      if (!group.done[i]) return false;
+    }
+  }
+  return true;
+}
+
+void ShuffleBuffer::AddTaskGroup(int count, int first_buffer_id) {
+  ACC_CHECK(count > 0);
+  std::vector<PagePtr> replay;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Group group;
+    group.first_buffer_id = first_buffer_id;
+    group.count = count;
+    group.created_seq = next_seq_;
+    group.queues.resize(count);
+    group.done.resize(count, false);
+    group.queued.resize(count, 0);
+    groups_.push_back(std::move(group));
+    replay = cache_;  // snapshot: later pages reach the group via routing
+    ++replaying_;
+  }
+  // Reshuffle the cache into the new group (Table 2's "shuffle time").
+  int64_t bytes = 0;
+  size_t group_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    group_index = groups_.size() - 1;
+  }
+  for (const auto& page : replay) {
+    double cost_us = static_cast<double>(page->num_rows()) *
+                     task_ctx_->config().cost.shuffle_executor_us *
+                     task_ctx_->config().cost.scale;
+    task_ctx_->cpu()->Consume(cost_us * 1e-6);
+    bytes += page->ByteSize();
+    std::lock_guard<std::mutex> lock(mutex_);
+    PartitionIntoGroupLocked(page, &groups_[group_index]);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --replaying_;
+  }
+  last_reshuffle_bytes_ = bytes;
+}
+
+void ShuffleBuffer::SwitchToNewestGroup() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int newest = static_cast<int>(groups_.size()) - 1;
+  for (int g = 0; g < static_cast<int>(groups_.size()); ++g) {
+    groups_[g].routing = g == newest;
+  }
+  active_group_ = newest;
+}
+
+int ShuffleBuffer::NumGroups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(groups_.size());
+}
+
+std::unique_ptr<OutputBuffer> MakeOutputBuffer(OutputBufferConfig config,
+                                               TaskContext* task_ctx) {
+  switch (config.partitioning) {
+    case Partitioning::kHash:
+      return std::make_unique<ShuffleBuffer>(std::move(config), task_ctx);
+    case Partitioning::kBroadcast:
+      return std::make_unique<BroadcastBuffer>(std::move(config), task_ctx);
+    case Partitioning::kArbitrary:
+    case Partitioning::kGather:
+      return std::make_unique<SharedBuffer>(std::move(config), task_ctx);
+  }
+  return nullptr;
+}
+
+}  // namespace accordion

@@ -1,0 +1,251 @@
+#ifndef ACCORDION_EXEC_OUTPUT_BUFFER_H_
+#define ACCORDION_EXEC_OUTPUT_BUFFER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/task_context.h"
+#include "plan/plan_node.h"
+#include "vector/page.h"
+
+namespace accordion {
+
+/// Result of one GetPages poll: zero or more pages plus a completion flag.
+/// `complete == true` is the wire form of the end page for that consumer.
+struct PagesResult {
+  std::vector<PagePtr> pages;
+  bool complete = false;
+
+  int64_t TotalBytes() const {
+    int64_t bytes = 0;
+    for (const auto& p : pages) bytes += p->ByteSize();
+    return bytes;
+  }
+  int64_t TotalRows() const {
+    int64_t rows = 0;
+    for (const auto& p : pages) rows += p->num_rows();
+    return rows;
+  }
+};
+
+/// Consumer-driven elastic capacity (paper §4.2.2, Fig. 11): starts at one
+/// page, doubles whenever the consumer finds the buffer empty (turn-up),
+/// and is periodically re-fitted to the observed consumption rate. The
+/// turn-up counter feeds bottleneck localization (§5.1). Thread-safe.
+class ElasticCapacity {
+ public:
+  ElasticCapacity(const EngineConfig* config, TaskContext* task_ctx);
+
+  /// Producer-side check: may more bytes be buffered?
+  bool Accepting(int64_t queued_bytes) const;
+
+  /// Consumer found the buffer empty while expecting data.
+  void OnEmptyPop();
+
+  /// Consumer took `bytes` out; also drives the periodic re-fit.
+  void OnConsume(int64_t bytes);
+
+  int64_t capacity_bytes() const { return capacity_.load(); }
+  int64_t turn_ups() const { return turn_ups_.load(); }
+
+ private:
+  const EngineConfig* config_;
+  TaskContext* task_ctx_;  // may be null (no counter reporting)
+  std::atomic<int64_t> capacity_;
+  std::atomic<int64_t> turn_ups_{0};
+  std::mutex window_mutex_;
+  int64_t window_start_ms_;
+  int64_t window_bytes_ = 0;
+};
+
+/// Configuration of one task's output buffer, derived from the fragment's
+/// output partitioning by the scheduler.
+struct OutputBufferConfig {
+  Partitioning partitioning = Partitioning::kGather;
+  std::vector<int> keys;
+  int initial_consumers = 1;
+
+  /// First buffer id served (usually 0). Tasks spawned after their
+  /// consuming stage was DOP-switched start directly at the consumer's
+  /// current buffer-id window.
+  int first_buffer_id = 0;
+
+  /// Retain all input pages for DOP-switch rebuilds (paper §4.5's
+  /// intermediate data cache). Set on stages feeding a join build side.
+  bool retain_cache = false;
+
+  /// Deliver incoming pages to every live task group (build side) rather
+  /// than only the active one (probe side) during a DOP switch.
+  bool multicast_groups = false;
+};
+
+/// Producer/consumer bridge between one task and its downstream stage
+/// (paper §4.2.1): owns data distribution, shuffling and DOP-variation
+/// adaptation, so that parallelism changes touch only buffers.
+class OutputBuffer {
+ public:
+  OutputBuffer(OutputBufferConfig config, TaskContext* task_ctx);
+  virtual ~OutputBuffer() = default;
+
+  // --- producer side (task output operators) ---
+  virtual bool AcceptingInput() const = 0;
+  virtual void Enqueue(const PagePtr& page) = 0;
+
+  /// Tracks the number of task-output drivers feeding this buffer.
+  void AddProducerDriver() { ++producer_drivers_; }
+  void ProducerDriverFinished();
+
+  // --- consumer side (downstream exchange clients, via RPC) ---
+  virtual PagesResult GetPages(int buffer_id, int max_pages) = 0;
+
+  /// Grows the buffer-ID array to `n` consumers (ids [0, n)).
+  virtual void SetConsumerCount(int n) = 0;
+
+  /// Paper end signal: stop serving `buffer_id`; its consumer observes
+  /// completion on the next poll.
+  virtual void EndSignal(int buffer_id) = 0;
+
+  /// True once every consumer has observed completion.
+  virtual bool AllConsumersDone() const = 0;
+
+  // --- DOP switching (shuffle buffers only, §4.5) ---
+  /// Creates a new task group of `count` consumers with buffer ids
+  /// [first_buffer_id, first_buffer_id + count). The id range is assigned
+  /// by the coordinator so that every task of a stage serves a consistent
+  /// id space. Replays the retained page cache into the new group.
+  virtual void AddTaskGroup(int count, int first_buffer_id);
+
+  /// Routes future pages only to the most recently added group
+  /// (probe-side switch); older groups complete once drained.
+  virtual void SwitchToNewestGroup();
+
+  int64_t turn_ups() const { return capacity_.turn_ups(); }
+  int64_t capacity_bytes() const { return capacity_.capacity_bytes(); }
+  int64_t queued_bytes() const { return queued_bytes_.load(); }
+
+ protected:
+  bool NoMoreInput() const {
+    return producers_started_ && producer_drivers_.load() == 0;
+  }
+
+  OutputBufferConfig config_;
+  TaskContext* task_ctx_;
+  ElasticCapacity capacity_;
+  std::atomic<int64_t> queued_bytes_{0};
+  std::atomic<int> producer_drivers_{0};
+  std::atomic<bool> producers_started_{false};
+};
+
+/// Arbitrary-distribution buffer (paper Fig. 10a): one page queue, any
+/// consumer takes any page. Used for gather and arbitrary partitioning.
+class SharedBuffer : public OutputBuffer {
+ public:
+  SharedBuffer(OutputBufferConfig config, TaskContext* task_ctx);
+
+  bool AcceptingInput() const override;
+  void Enqueue(const PagePtr& page) override;
+  PagesResult GetPages(int buffer_id, int max_pages) override;
+  void SetConsumerCount(int n) override;
+  void EndSignal(int buffer_id) override;
+  bool AllConsumersDone() const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<PagePtr> queue_;
+  std::vector<bool> consumer_done_;  // indexed by buffer id
+};
+
+/// Replicating buffer for broadcast joins (Fig. 16a): every consumer gets
+/// every page; the full page list is cached so consumers added at runtime
+/// can replay history.
+class BroadcastBuffer : public OutputBuffer {
+ public:
+  BroadcastBuffer(OutputBufferConfig config, TaskContext* task_ctx);
+
+  bool AcceptingInput() const override;
+  void Enqueue(const PagePtr& page) override;
+  PagesResult GetPages(int buffer_id, int max_pages) override;
+  void SetConsumerCount(int n) override;
+  void EndSignal(int buffer_id) override;
+  bool AllConsumersDone() const override;
+
+ private:
+  struct Consumer {
+    size_t next_page = 0;  // index into cache_
+    bool done = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<PagePtr> cache_;
+  std::vector<Consumer> consumers_;
+};
+
+/// Hash-partitioned buffer with shuffle executors, page cache, buffer-ID
+/// groups and task groups (paper Fig. 10b + §4.5). The workhorse of
+/// intra-stage elasticity for partitioned hash joins.
+class ShuffleBuffer : public OutputBuffer {
+ public:
+  ShuffleBuffer(OutputBufferConfig config, TaskContext* task_ctx);
+  ~ShuffleBuffer() override;
+
+  bool AcceptingInput() const override;
+  void Enqueue(const PagePtr& page) override;
+  PagesResult GetPages(int buffer_id, int max_pages) override;
+  void SetConsumerCount(int n) override;
+  void EndSignal(int buffer_id) override;
+  bool AllConsumersDone() const override;
+
+  void AddTaskGroup(int count, int first_buffer_id) override;
+  void SwitchToNewestGroup() override;
+
+  /// Number of task groups created so far (first = 0).
+  int NumGroups() const;
+
+  /// Bytes reshuffled from cache by the latest AddTaskGroup (Table 2's
+  /// shuffle-time accounting).
+  int64_t last_reshuffle_bytes() const { return last_reshuffle_bytes_.load(); }
+
+ private:
+  struct Group {
+    int first_buffer_id = 0;
+    int count = 0;
+    bool routing = true;  // receives newly produced pages
+    /// Pages with sequence number < created_seq reached this group via the
+    /// cache replay of AddTaskGroup; executors must not re-deliver them.
+    int64_t created_seq = 0;
+    std::vector<std::deque<PagePtr>> queues;
+    std::vector<bool> done;       // end-signalled consumers
+    std::vector<int64_t> queued;  // bytes per queue
+  };
+
+  void ExecutorLoop();
+  /// Partitions `page` into `group`'s queues. Caller holds mutex_.
+  void PartitionIntoGroupLocked(const PagePtr& page, Group* group);
+  bool DrainedLocked() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::pair<int64_t, PagePtr>> input_queue_;  // (seq, page)
+  int64_t next_seq_ = 0;
+  std::vector<PagePtr> cache_;
+  std::vector<Group> groups_;
+  int active_group_ = 0;
+  int in_flight_ = 0;   // pages being partitioned by executors
+  int replaying_ = 0;   // active AddTaskGroup cache replays
+  bool shutdown_ = false;
+  std::atomic<int64_t> last_reshuffle_bytes_{0};
+  std::vector<std::thread> executors_;
+};
+
+/// Creates the buffer implementation matching `config.partitioning`.
+std::unique_ptr<OutputBuffer> MakeOutputBuffer(OutputBufferConfig config,
+                                               TaskContext* task_ctx);
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_OUTPUT_BUFFER_H_

@@ -1,0 +1,69 @@
+#ifndef ACCORDION_EXEC_TASK_CONTEXT_H_
+#define ACCORDION_EXEC_TASK_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/resource_governor.h"
+#include "exec/config.h"
+
+namespace accordion {
+
+/// Shared, thread-safe per-task runtime state: resource governors of the
+/// hosting worker, engine config, and the metric counters that the
+/// coordinator's runtime information collector reads (paper Fig. 18:
+/// "drivers informations, CPU usage, NIC usage, buffer informations").
+class TaskContext {
+ public:
+  TaskContext(std::string task_id, ResourceGovernor* cpu,
+              ResourceGovernor* nic, const EngineConfig* config)
+      : task_id_(std::move(task_id)), cpu_(cpu), nic_(nic), config_(config) {}
+
+  const std::string& task_id() const { return task_id_; }
+  const EngineConfig& config() const { return *config_; }
+  ResourceGovernor* cpu() { return cpu_; }
+  ResourceGovernor* nic() { return nic_; }
+
+  /// Reserves virtual CPU microseconds against the node; returns the
+  /// absolute grant time. Drivers combine this with their own single-core
+  /// pacing (see Driver::Charge).
+  int64_t ReserveCpuMicros(double virtual_us) {
+    return cpu_->ReserveMicros(virtual_us * 1e-6);
+  }
+
+  // --- metric counters ---
+  void AddOutputRows(int64_t n) { output_rows_ += n; }
+  void AddOutputBytes(int64_t n) { output_bytes_ += n; }
+  void AddScanRows(int64_t n) { scan_rows_ += n; }
+  void AddScanTotalRows(int64_t n) { scan_total_rows_ += n; }
+  void AddProcessedRows(int64_t n) { processed_rows_ += n; }
+  void BufferTurnUp() { ++turn_up_counter_; }
+  void SetHashBuildMicros(int64_t us) { hash_build_us_ = us; }
+
+  int64_t output_rows() const { return output_rows_; }
+  int64_t output_bytes() const { return output_bytes_; }
+  int64_t scan_rows() const { return scan_rows_; }
+  int64_t scan_total_rows() const { return scan_total_rows_; }
+  int64_t processed_rows() const { return processed_rows_; }
+  int64_t turn_up_counter() const { return turn_up_counter_; }
+  int64_t hash_build_micros() const { return hash_build_us_; }
+
+ private:
+  std::string task_id_;
+  ResourceGovernor* cpu_;
+  ResourceGovernor* nic_;
+  const EngineConfig* config_;
+
+  std::atomic<int64_t> output_rows_{0};
+  std::atomic<int64_t> output_bytes_{0};
+  std::atomic<int64_t> scan_rows_{0};
+  std::atomic<int64_t> scan_total_rows_{0};
+  std::atomic<int64_t> processed_rows_{0};
+  std::atomic<int64_t> turn_up_counter_{0};
+  std::atomic<int64_t> hash_build_us_{0};
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_TASK_CONTEXT_H_

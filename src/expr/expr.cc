@@ -1,0 +1,485 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace accordion {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLogical(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+class ColumnRefExpr : public Expr {
+ public:
+  ColumnRefExpr(int channel, DataType type) : channel_(channel), type_(type) {}
+
+  DataType type() const override { return type_; }
+
+  Column Eval(const Page& page) const override {
+    ACC_CHECK(channel_ < page.num_columns())
+        << "channel " << channel_ << " out of range";
+    const Column& src = page.column(channel_);
+    ACC_CHECK(src.type() == type_)
+        << "column ref type mismatch on channel " << channel_;
+    return src;  // copy of the column buffers (pages are immutable)
+  }
+
+  std::string ToString() const override {
+    return "#" + std::to_string(channel_);
+  }
+
+ private:
+  int channel_;
+  DataType type_;
+};
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+
+  DataType type() const override { return value_.type; }
+
+  Column Eval(const Page& page) const override {
+    Column out(value_.type);
+    out.Reserve(page.num_rows());
+    for (int64_t i = 0; i < page.num_rows(); ++i) out.AppendValue(value_);
+    return out;
+  }
+
+  std::string ToString() const override {
+    if (value_.type == DataType::kString) return "'" + value_.str + "'";
+    return value_.ToString();
+  }
+
+ private:
+  Value value_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {
+    if (IsLogical(op_)) {
+      ACC_CHECK(left_->type() == DataType::kBool &&
+                right_->type() == DataType::kBool)
+          << "logical op on non-bool";
+      type_ = DataType::kBool;
+    } else if (IsComparison(op_)) {
+      type_ = DataType::kBool;
+    } else {
+      // Arithmetic: int-backed op int-backed -> int64, otherwise double.
+      ACC_CHECK(left_->type() != DataType::kString &&
+                right_->type() != DataType::kString)
+          << "arithmetic on string";
+      type_ = (IsIntegerBacked(left_->type()) && IsIntegerBacked(right_->type()))
+                  ? DataType::kInt64
+                  : DataType::kDouble;
+      if (op_ == BinaryOp::kDiv) type_ = DataType::kDouble;
+    }
+  }
+
+  DataType type() const override { return type_; }
+
+  Column Eval(const Page& page) const override {
+    Column lhs = left_->Eval(page);
+    Column rhs = right_->Eval(page);
+    int64_t n = page.num_rows();
+    Column out(type_);
+    out.Reserve(n);
+
+    if (IsLogical(op_)) {
+      for (int64_t i = 0; i < n; ++i) {
+        bool a = lhs.IntAt(i) != 0, b = rhs.IntAt(i) != 0;
+        out.AppendInt(op_ == BinaryOp::kAnd ? (a && b) : (a || b));
+      }
+      return out;
+    }
+
+    if (IsComparison(op_)) {
+      if (lhs.type() == DataType::kString) {
+        ACC_CHECK(rhs.type() == DataType::kString) << "string vs non-string";
+        for (int64_t i = 0; i < n; ++i) {
+          int c = lhs.StrAt(i).compare(rhs.StrAt(i));
+          out.AppendInt(CompareResult(c));
+        }
+      } else if (IsIntegerBacked(lhs.type()) && IsIntegerBacked(rhs.type())) {
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t a = lhs.IntAt(i), b = rhs.IntAt(i);
+          int c = a < b ? -1 : (a > b ? 1 : 0);
+          out.AppendInt(CompareResult(c));
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) {
+          double a = lhs.NumericAt(i), b = rhs.NumericAt(i);
+          int c = a < b ? -1 : (a > b ? 1 : 0);
+          out.AppendInt(CompareResult(c));
+        }
+      }
+      return out;
+    }
+
+    // Arithmetic.
+    if (type_ == DataType::kInt64) {
+      for (int64_t i = 0; i < n; ++i) {
+        int64_t a = lhs.IntAt(i), b = rhs.IntAt(i);
+        out.AppendInt(ApplyInt(a, b));
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        double a = lhs.NumericAt(i), b = rhs.NumericAt(i);
+        out.AppendDouble(ApplyDouble(a, b));
+      }
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " " + BinaryOpName(op_) + " " +
+           right_->ToString() + ")";
+  }
+
+ private:
+  int64_t CompareResult(int c) const {
+    switch (op_) {
+      case BinaryOp::kEq:
+        return c == 0;
+      case BinaryOp::kNe:
+        return c != 0;
+      case BinaryOp::kLt:
+        return c < 0;
+      case BinaryOp::kLe:
+        return c <= 0;
+      case BinaryOp::kGt:
+        return c > 0;
+      case BinaryOp::kGe:
+        return c >= 0;
+      default:
+        ACC_CHECK(false) << "not a comparison";
+        return 0;
+    }
+  }
+
+  int64_t ApplyInt(int64_t a, int64_t b) const {
+    switch (op_) {
+      case BinaryOp::kAdd:
+        return a + b;
+      case BinaryOp::kSub:
+        return a - b;
+      case BinaryOp::kMul:
+        return a * b;
+      default:
+        ACC_CHECK(false) << "bad int arithmetic op";
+        return 0;
+    }
+  }
+
+  double ApplyDouble(double a, double b) const {
+    switch (op_) {
+      case BinaryOp::kAdd:
+        return a + b;
+      case BinaryOp::kSub:
+        return a - b;
+      case BinaryOp::kMul:
+        return a * b;
+      case BinaryOp::kDiv:
+        return b == 0 ? 0 : a / b;  // SQL engines raise; we saturate to 0.
+      default:
+        ACC_CHECK(false) << "bad double arithmetic op";
+        return 0;
+    }
+  }
+
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+  DataType type_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr input) : input_(std::move(input)) {
+    ACC_CHECK(input_->type() == DataType::kBool) << "NOT on non-bool";
+  }
+
+  DataType type() const override { return DataType::kBool; }
+
+  Column Eval(const Page& page) const override {
+    Column in = input_->Eval(page);
+    Column out(DataType::kBool);
+    out.Reserve(page.num_rows());
+    for (int64_t i = 0; i < page.num_rows(); ++i) {
+      out.AppendInt(in.IntAt(i) == 0);
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    return "NOT " + input_->ToString();
+  }
+
+ private:
+  ExprPtr input_;
+};
+
+/// Recursive glob-style matcher for LIKE ('%' = any run, '_' = any char).
+bool LikeMatch(const char* s, const char* se, const char* p, const char* pe) {
+  while (p != pe) {
+    if (*p == '%') {
+      ++p;
+      if (p == pe) return true;
+      for (const char* t = s; t <= se; ++t) {
+        if (LikeMatch(t, se, p, pe)) return true;
+      }
+      return false;
+    }
+    if (s == se) return false;
+    if (*p != '_' && *p != *s) return false;
+    ++p;
+    ++s;
+  }
+  return s == se;
+}
+
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr input, std::string pattern)
+      : input_(std::move(input)), pattern_(std::move(pattern)) {
+    ACC_CHECK(input_->type() == DataType::kString) << "LIKE on non-string";
+  }
+
+  DataType type() const override { return DataType::kBool; }
+
+  Column Eval(const Page& page) const override {
+    Column in = input_->Eval(page);
+    Column out(DataType::kBool);
+    out.Reserve(page.num_rows());
+    const char* p = pattern_.data();
+    const char* pe = p + pattern_.size();
+    for (int64_t i = 0; i < page.num_rows(); ++i) {
+      const std::string& s = in.StrAt(i);
+      out.AppendInt(LikeMatch(s.data(), s.data() + s.size(), p, pe));
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    return input_->ToString() + " LIKE '" + pattern_ + "'";
+  }
+
+ private:
+  ExprPtr input_;
+  std::string pattern_;
+};
+
+class InExpr : public Expr {
+ public:
+  InExpr(ExprPtr input, std::vector<Value> candidates)
+      : input_(std::move(input)), candidates_(std::move(candidates)) {}
+
+  DataType type() const override { return DataType::kBool; }
+
+  Column Eval(const Page& page) const override {
+    Column in = input_->Eval(page);
+    Column out(DataType::kBool);
+    out.Reserve(page.num_rows());
+    for (int64_t i = 0; i < page.num_rows(); ++i) {
+      Value v = in.ValueAt(i);
+      bool hit = std::any_of(candidates_.begin(), candidates_.end(),
+                             [&](const Value& c) { return c == v; });
+      out.AppendInt(hit);
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    std::string s = input_->ToString() + " IN (";
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      if (i) s += ", ";
+      s += candidates_[i].ToString();
+    }
+    return s + ")";
+  }
+
+ private:
+  ExprPtr input_;
+  std::vector<Value> candidates_;
+};
+
+class CaseWhenExpr : public Expr {
+ public:
+  CaseWhenExpr(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
+               ExprPtr default_value)
+      : branches_(std::move(branches)),
+        default_value_(std::move(default_value)) {
+    ACC_CHECK(!branches_.empty()) << "CASE with no WHEN";
+    for (const auto& [cond, val] : branches_) {
+      ACC_CHECK(cond->type() == DataType::kBool) << "WHEN cond not bool";
+      ACC_CHECK(val->type() == default_value_->type())
+          << "CASE branch type mismatch";
+    }
+  }
+
+  DataType type() const override { return default_value_->type(); }
+
+  Column Eval(const Page& page) const override {
+    int64_t n = page.num_rows();
+    std::vector<Column> conds;
+    std::vector<Column> vals;
+    conds.reserve(branches_.size());
+    vals.reserve(branches_.size());
+    for (const auto& [cond, val] : branches_) {
+      conds.push_back(cond->Eval(page));
+      vals.push_back(val->Eval(page));
+    }
+    Column dflt = default_value_->Eval(page);
+    Column out(type());
+    out.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      bool taken = false;
+      for (size_t b = 0; b < branches_.size(); ++b) {
+        if (conds[b].IntAt(i) != 0) {
+          out.AppendFrom(vals[b], i);
+          taken = true;
+          break;
+        }
+      }
+      if (!taken) out.AppendFrom(dflt, i);
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    std::string s = "CASE";
+    for (const auto& [cond, val] : branches_) {
+      s += " WHEN " + cond->ToString() + " THEN " + val->ToString();
+    }
+    return s + " ELSE " + default_value_->ToString() + " END";
+  }
+
+ private:
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches_;
+  ExprPtr default_value_;
+};
+
+class ExtractYearExpr : public Expr {
+ public:
+  explicit ExtractYearExpr(ExprPtr input) : input_(std::move(input)) {
+    ACC_CHECK(input_->type() == DataType::kDate) << "EXTRACT on non-date";
+  }
+
+  DataType type() const override { return DataType::kInt64; }
+
+  Column Eval(const Page& page) const override {
+    Column in = input_->Eval(page);
+    Column out(DataType::kInt64);
+    out.Reserve(page.num_rows());
+    for (int64_t i = 0; i < page.num_rows(); ++i) {
+      out.AppendInt(DateYear(in.IntAt(i)));
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    return "EXTRACT(YEAR FROM " + input_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr input_;
+};
+
+}  // namespace
+
+ExprPtr Col(int channel, DataType type) {
+  return std::make_shared<ColumnRefExpr>(channel, type);
+}
+
+ExprPtr Lit(Value value) {
+  return std::make_shared<LiteralExpr>(std::move(value));
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<BinaryExpr>(op, std::move(left), std::move(right));
+}
+
+ExprPtr Not(ExprPtr input) { return std::make_shared<NotExpr>(std::move(input)); }
+
+ExprPtr Like(ExprPtr input, std::string pattern) {
+  return std::make_shared<LikeExpr>(std::move(input), std::move(pattern));
+}
+
+ExprPtr In(ExprPtr input, std::vector<Value> candidates) {
+  return std::make_shared<InExpr>(std::move(input), std::move(candidates));
+}
+
+ExprPtr Between(ExprPtr input, Value lo, Value hi) {
+  return And(Ge(input, Lit(std::move(lo))), Le(input, Lit(std::move(hi))));
+}
+
+ExprPtr CaseWhen(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
+                 ExprPtr default_value) {
+  return std::make_shared<CaseWhenExpr>(std::move(branches),
+                                        std::move(default_value));
+}
+
+ExprPtr ExtractYear(ExprPtr date_input) {
+  return std::make_shared<ExtractYearExpr>(std::move(date_input));
+}
+
+std::vector<int32_t> FilterRows(const Expr& predicate, const Page& page) {
+  ACC_CHECK(predicate.type() == DataType::kBool) << "filter on non-bool";
+  Column mask = predicate.Eval(page);
+  std::vector<int32_t> selected;
+  for (int64_t i = 0; i < page.num_rows(); ++i) {
+    if (mask.IntAt(i) != 0) selected.push_back(static_cast<int32_t>(i));
+  }
+  return selected;
+}
+
+}  // namespace accordion

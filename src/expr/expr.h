@@ -1,0 +1,105 @@
+#ifndef ACCORDION_EXPR_EXPR_H_
+#define ACCORDION_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vector/page.h"
+#include "vector/value.h"
+
+namespace accordion {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Binary operator kinds shared by arithmetic and comparison expressions.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// Vectorized scalar expression tree. Every node evaluates batch-at-a-time
+/// over a Page and produces a Column of `type()` with one value per input
+/// row. Expressions are immutable and shared; evaluation is thread-safe.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Result type of this expression.
+  virtual DataType type() const = 0;
+
+  /// Evaluates over all rows of `page`.
+  virtual Column Eval(const Page& page) const = 0;
+
+  /// SQL-ish rendering for plans/EXPLAIN output.
+  virtual std::string ToString() const = 0;
+};
+
+// --- factory functions (the public construction API) ---
+
+/// Reference to input channel `channel` with the given type.
+ExprPtr Col(int channel, DataType type);
+
+/// Constant.
+ExprPtr Lit(Value value);
+inline ExprPtr LitInt(int64_t v) { return Lit(Value::Int(v)); }
+inline ExprPtr LitDouble(double v) { return Lit(Value::Double(v)); }
+inline ExprPtr LitStr(std::string v) { return Lit(Value::Str(std::move(v))); }
+inline ExprPtr LitDate(const std::string& iso) {
+  return Lit(Value::Date(ParseDate(iso)));
+}
+
+/// Arithmetic on numeric/date inputs; comparisons produce kBool.
+ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right);
+inline ExprPtr Add(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAdd, a, b); }
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kSub, a, b); }
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kMul, a, b); }
+inline ExprPtr Div(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kDiv, a, b); }
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kEq, a, b); }
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kNe, a, b); }
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kLt, a, b); }
+inline ExprPtr Le(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kLe, a, b); }
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGt, a, b); }
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGe, a, b); }
+inline ExprPtr And(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAnd, a, b); }
+inline ExprPtr Or(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kOr, a, b); }
+
+/// Logical negation of a boolean expression.
+ExprPtr Not(ExprPtr input);
+
+/// SQL LIKE with '%' and '_' wildcards over a string expression.
+ExprPtr Like(ExprPtr input, std::string pattern);
+
+/// value IN (list of literals).
+ExprPtr In(ExprPtr input, std::vector<Value> candidates);
+
+/// lo <= value AND value <= hi.
+ExprPtr Between(ExprPtr input, Value lo, Value hi);
+
+/// Searched CASE: WHEN cond_i THEN value_i ... ELSE default.
+/// All branch values must share one type.
+ExprPtr CaseWhen(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
+                 ExprPtr default_value);
+
+/// EXTRACT(YEAR FROM date_expr) -> int64.
+ExprPtr ExtractYear(ExprPtr date_input);
+
+/// Evaluates a boolean expression to a selection vector of passing rows.
+std::vector<int32_t> FilterRows(const Expr& predicate, const Page& page);
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXPR_EXPR_H_

@@ -1,0 +1,160 @@
+#include "script/script.h"
+
+#include <sstream>
+
+#include "common/clock.h"
+#include "tuner/predictor.h"
+
+namespace accordion {
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> words;
+  std::string word;
+  while (in >> word) {
+    if (word[0] == '#') break;  // comment
+    words.push_back(word);
+  }
+  return words;
+}
+
+Result<int64_t> ParseInt(const std::string& word) {
+  char* end = nullptr;
+  int64_t value = std::strtoll(word.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::ParseError("expected integer, got '" + word + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(const std::string& word) {
+  char* end = nullptr;
+  double value = std::strtod(word.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return Status::ParseError("expected number, got '" + word + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void ScriptExecutor::RegisterPlan(const std::string& name, PlanNodePtr plan) {
+  plans_[name] = std::move(plan);
+}
+
+std::string ScriptExecutor::Report::ToString() const {
+  std::ostringstream out;
+  out << "query " << query_id << (finished ? " finished" : " (running)")
+      << " in " << total_seconds << "s\n";
+  for (const auto& action : actions) {
+    out << "  [" << action.at_seconds << "s] " << action.statement << " -> "
+        << (action.accepted ? "ACCEPT" : "REJECT");
+    if (!action.detail.empty()) out << " (" << action.detail << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<ScriptExecutor::Report> ScriptExecutor::Run(
+    const std::string& script_text) {
+  Report report;
+  QueryOptions options;
+  Stopwatch sw;
+  bool submitted = false;
+
+  auto tune = [&](const std::string& mode, int stage, int dop,
+                  const std::string& statement) {
+    ActionRecord record;
+    record.statement = statement;
+    record.at_seconds = sw.ElapsedSeconds();
+    Status st;
+    if (mode == "stage_dop") {
+      DopSwitchReport switch_report;
+      st = tuner_->Tune(report.query_id, stage, dop, &switch_report);
+      if (st.ok() && switch_report.total_seconds > 0) {
+        std::ostringstream detail;
+        detail << "state transfer " << switch_report.total_seconds << "s";
+        record.detail = detail.str();
+      }
+    } else {
+      st = coordinator_->SetTaskDop(report.query_id, stage, dop);
+    }
+    record.accepted = st.ok();
+    if (!st.ok()) record.detail = st.ToString();
+    report.actions.push_back(std::move(record));
+  };
+
+  std::istringstream in(script_text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::vector<std::string> words = SplitWords(line);
+    if (words.empty()) continue;
+    const std::string& verb = words[0];
+    auto fail = [&](const std::string& why) {
+      return Status::ParseError("script line " + std::to_string(line_number) +
+                                ": " + why);
+    };
+
+    if (verb == "option") {
+      if (words.size() != 3) return fail("option <name> <value>");
+      ACCORDION_ASSIGN_OR_RETURN(int64_t value, ParseInt(words[2]));
+      if (words[1] == "stage_dop") {
+        options.stage_dop = static_cast<int>(value);
+      } else if (words[1] == "task_dop") {
+        options.task_dop = static_cast<int>(value);
+      } else {
+        return fail("unknown option " + words[1]);
+      }
+    } else if (verb == "submit") {
+      if (words.size() != 2) return fail("submit <plan-name>");
+      auto it = plans_.find(words[1]);
+      if (it == plans_.end()) return fail("no plan named " + words[1]);
+      ACCORDION_ASSIGN_OR_RETURN(report.query_id,
+                                 coordinator_->Submit(it->second, options));
+      submitted = true;
+      sw.Restart();
+    } else if (verb == "at") {
+      if (!submitted) return fail("'at' before submit");
+      if (words.size() != 5) return fail("at <t> stage_dop|task_dop <s> <d>");
+      ACCORDION_ASSIGN_OR_RETURN(double at_s, ParseDouble(words[1]));
+      ACCORDION_ASSIGN_OR_RETURN(int64_t stage, ParseInt(words[3]));
+      ACCORDION_ASSIGN_OR_RETURN(int64_t dop, ParseInt(words[4]));
+      SleepForMicros(static_cast<int64_t>(at_s * 1e6) - sw.ElapsedMicros());
+      tune(words[2], static_cast<int>(stage), static_cast<int>(dop), line);
+    } else if (verb == "at_progress") {
+      if (!submitted) return fail("'at_progress' before submit");
+      if (words.size() != 6) {
+        return fail("at_progress <frac> <scan-stage> stage_dop <s> <d>");
+      }
+      ACCORDION_ASSIGN_OR_RETURN(double frac, ParseDouble(words[1]));
+      ACCORDION_ASSIGN_OR_RETURN(int64_t watch, ParseInt(words[2]));
+      ACCORDION_ASSIGN_OR_RETURN(int64_t stage, ParseInt(words[4]));
+      ACCORDION_ASSIGN_OR_RETURN(int64_t dop, ParseInt(words[5]));
+      while (!coordinator_->IsFinished(report.query_id)) {
+        auto estimate = tuner_->predictor()->EstimateRemaining(
+            report.query_id, static_cast<int>(watch));
+        if (estimate.ok() && estimate->progress >= frac) break;
+        SleepForMillis(150);
+      }
+      tune(words[3], static_cast<int>(stage), static_cast<int>(dop), line);
+    } else if (verb == "wait") {
+      if (!submitted) return fail("'wait' before submit");
+      double timeout_s = 600;
+      if (words.size() == 2) {
+        ACCORDION_ASSIGN_OR_RETURN(timeout_s, ParseDouble(words[1]));
+      }
+      auto result = coordinator_->Wait(report.query_id,
+                                       static_cast<int64_t>(timeout_s * 1e3));
+      report.finished = result.ok();
+    } else {
+      return fail("unknown statement '" + verb + "'");
+    }
+  }
+  report.total_seconds = sw.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace accordion

@@ -1,0 +1,66 @@
+#ifndef ACCORDION_SCRIPT_SCRIPT_H_
+#define ACCORDION_SCRIPT_SCRIPT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "tuner/auto_tuner.h"
+
+namespace accordion {
+
+/// The paper's built-in experiment scripting language (§6.1): "Accordion
+/// includes a built-in scripting language for controlling query initiation
+/// and parallelism adjustments at specified times. We use the script
+/// executor to track throughput variations, manage parallelism changes
+/// and result recording."
+///
+/// Grammar (one statement per line, '#' comments):
+///
+///   option stage_dop <n>            -- initial stage DOP for submit
+///   option task_dop <n>             -- initial task DOP for submit
+///   submit <plan-name>              -- start a registered plan
+///   at <seconds> stage_dop <stage> <dop>
+///   at <seconds> task_dop <stage> <dop>
+///   at_progress <frac> <stage> stage_dop <stage> <dop>
+///   wait [timeout-seconds]          -- block until the query finishes
+///
+/// Tuning statements go through the auto-tuner's request filter, so the
+/// report records accepts and rejections exactly like the paper's figures.
+class ScriptExecutor {
+ public:
+  ScriptExecutor(Coordinator* coordinator, AutoTuner* tuner)
+      : coordinator_(coordinator), tuner_(tuner) {}
+
+  /// Makes a plan available to `submit`.
+  void RegisterPlan(const std::string& name, PlanNodePtr plan);
+
+  struct ActionRecord {
+    double at_seconds = 0;
+    std::string statement;
+    bool accepted = true;
+    std::string detail;  // rejection reason / switch timing
+  };
+
+  struct Report {
+    std::string query_id;
+    double total_seconds = 0;
+    bool finished = false;
+    std::vector<ActionRecord> actions;
+
+    std::string ToString() const;
+  };
+
+  /// Parses and runs a script to completion.
+  Result<Report> Run(const std::string& script_text);
+
+ private:
+  Coordinator* coordinator_;
+  AutoTuner* tuner_;
+  std::map<std::string, PlanNodePtr> plans_;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_SCRIPT_SCRIPT_H_

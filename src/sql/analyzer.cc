@@ -1,0 +1,541 @@
+#include "sql/analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "plan/builder.h"
+
+namespace accordion {
+namespace {
+
+std::string LowerStr(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+/// Collects every column name referenced below `expr` (aggregates
+/// included) into `out`.
+void CollectColumns(const SqlExprPtr& expr, std::set<std::string>* out) {
+  if (expr->kind == SqlExpr::Kind::kColumn) {
+    out->insert(LowerStr(expr->text));
+  }
+  for (const auto& child : expr->children) CollectColumns(child, out);
+}
+
+bool ContainsAggregate(const SqlExprPtr& expr) {
+  if (expr->kind == SqlExpr::Kind::kAggregate) return true;
+  for (const auto& child : expr->children) {
+    if (ContainsAggregate(child)) return true;
+  }
+  return false;
+}
+
+class Analyzer {
+ public:
+  Analyzer(const SqlQuery& query, const Catalog& catalog)
+      : query_(query), catalog_(catalog), builder_(&catalog) {}
+
+  Result<PlanNodePtr> Run() {
+    ACCORDION_RETURN_NOT_OK(ResolveTables());
+    ACCORDION_RETURN_NOT_OK(ClassifyConjuncts());
+    ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel rel, BuildJoinTree());
+    ACCORDION_RETURN_NOT_OK(ApplyResidualFilters(&rel));
+    ACCORDION_ASSIGN_OR_RETURN(rel, BuildProjectionAndAggregation(rel));
+    ACCORDION_RETURN_NOT_OK(ApplyOrderByLimit(&rel));
+    return builder_.Output(rel);
+  }
+
+ private:
+  struct TableInfo {
+    std::string name;   // catalog name (lower case)
+    std::string alias;  // lower case
+    TableSchema schema;
+    std::set<std::string> needed_columns;
+    std::vector<SqlExprPtr> filters;  // single-table conjuncts
+    bool joined = false;
+  };
+
+  Status ResolveTables() {
+    for (const auto& ref : query_.from) {
+      TableInfo info;
+      info.name = LowerStr(ref.table);
+      info.alias = LowerStr(ref.alias);
+      ACCORDION_ASSIGN_OR_RETURN(info.schema, catalog_.GetTable(info.name));
+      tables_.push_back(std::move(info));
+    }
+    // Global column -> table index map; reject ambiguity (no self-joins).
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      for (const auto& col : tables_[t].schema.columns()) {
+        if (column_table_.count(col.name) > 0) {
+          return Status::InvalidArgument(
+              "ambiguous column '" + col.name +
+              "' (self-joins are outside the SQL subset)");
+        }
+        column_table_[col.name] = static_cast<int>(t);
+      }
+    }
+    // Record needed columns from every clause.
+    std::set<std::string> referenced;
+    for (const auto& item : query_.select_items) {
+      CollectColumns(item.expr, &referenced);
+    }
+    for (const auto& c : query_.conjuncts) CollectColumns(c, &referenced);
+    for (const auto& g : query_.group_by) CollectColumns(g, &referenced);
+    for (const auto& o : query_.order_by) CollectColumns(o.expr, &referenced);
+    for (const auto& name : referenced) {
+      auto it = column_table_.find(name);
+      if (it == column_table_.end()) {
+        // Might be a select alias used in ORDER BY; checked later.
+        continue;
+      }
+      tables_[it->second].needed_columns.insert(name);
+    }
+    return Status::OK();
+  }
+
+  /// Table indexes referenced by an expression (resolvable columns only).
+  std::set<int> TablesOf(const SqlExprPtr& expr) const {
+    std::set<std::string> cols;
+    CollectColumns(expr, &cols);
+    std::set<int> out;
+    for (const auto& c : cols) {
+      auto it = column_table_.find(c);
+      if (it != column_table_.end()) out.insert(it->second);
+    }
+    return out;
+  }
+
+  Status ClassifyConjuncts() {
+    for (const auto& conjunct : query_.conjuncts) {
+      std::set<int> refs = TablesOf(conjunct);
+      if (refs.size() <= 1) {
+        if (refs.empty()) {
+          residual_.push_back(conjunct);
+        } else {
+          tables_[*refs.begin()].filters.push_back(conjunct);
+        }
+        continue;
+      }
+      // Two-table equality on plain columns => join predicate.
+      if (refs.size() == 2 && conjunct->kind == SqlExpr::Kind::kBinary &&
+          conjunct->text == "=" &&
+          conjunct->children[0]->kind == SqlExpr::Kind::kColumn &&
+          conjunct->children[1]->kind == SqlExpr::Kind::kColumn) {
+        join_predicates_.push_back(conjunct);
+      } else {
+        residual_.push_back(conjunct);
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<PlanBuilder::Rel> ScanTable(TableInfo* table) {
+    // Join keys must be scanned too; ensured by caller adding them to
+    // needed_columns before the scan is built.
+    std::vector<std::string> columns(table->needed_columns.begin(),
+                                     table->needed_columns.end());
+    if (columns.empty()) {
+      // Degenerate (e.g., COUNT(*) from t): scan the primary key column.
+      columns.push_back(table->schema.columns()[0].name);
+    }
+    PlanBuilder::Rel rel = builder_.Scan(table->name, columns);
+    for (const auto& filter : table->filters) {
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, Lower(filter, rel));
+      rel = builder_.Filter(rel, pred);
+    }
+    return rel;
+  }
+
+  Result<PlanBuilder::Rel> BuildJoinTree() {
+    // Make sure all join-key columns are scanned.
+    for (const auto& p : join_predicates_) {
+      for (int side = 0; side < 2; ++side) {
+        std::string name = LowerStr(p->children[side]->text);
+        auto it = column_table_.find(name);
+        if (it != column_table_.end()) {
+          tables_[it->second].needed_columns.insert(name);
+        }
+      }
+    }
+
+    ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel rel, ScanTable(&tables_[0]));
+    tables_[0].joined = true;
+    size_t joined_count = 1;
+
+    while (joined_count < tables_.size()) {
+      // Pick the next FROM-order table connected to the current rel.
+      int next = -1;
+      std::vector<std::string> probe_keys;
+      std::vector<std::string> build_keys;
+      for (size_t t = 0; t < tables_.size() && next < 0; ++t) {
+        if (tables_[t].joined) continue;
+        probe_keys.clear();
+        build_keys.clear();
+        for (const auto& p : join_predicates_) {
+          std::string a = LowerStr(p->children[0]->text);
+          std::string b = LowerStr(p->children[1]->text);
+          int ta = column_table_.count(a) ? column_table_.at(a) : -1;
+          int tb = column_table_.count(b) ? column_table_.at(b) : -1;
+          if (ta < 0 || tb < 0) continue;
+          bool a_joined = tables_[ta].joined;
+          bool b_joined = tables_[tb].joined;
+          if (a_joined && tb == static_cast<int>(t)) {
+            probe_keys.push_back(a);
+            build_keys.push_back(b);
+          } else if (b_joined && ta == static_cast<int>(t)) {
+            probe_keys.push_back(b);
+            build_keys.push_back(a);
+          }
+        }
+        if (!probe_keys.empty()) next = static_cast<int>(t);
+      }
+      if (next < 0) {
+        return Status::InvalidArgument(
+            "FROM tables are not connected by equi-join predicates "
+            "(cross joins are outside the SQL subset)");
+      }
+      TableInfo& table = tables_[next];
+      ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel build, ScanTable(&table));
+      // Build output: every needed column except pure join keys that are
+      // redundant with the probe side (keep them; pruning is cosmetic).
+      std::vector<std::string> build_output;
+      for (const auto& c : table.needed_columns) {
+        bool is_key = std::find(build_keys.begin(), build_keys.end(), c) !=
+                      build_keys.end();
+        if (!is_key) build_output.push_back(c);
+      }
+      bool broadcast = table.name == "nation" || table.name == "region";
+      rel = builder_.Join(rel, build, probe_keys, build_keys, build_output,
+                          broadcast);
+      table.joined = true;
+      ++joined_count;
+    }
+    return rel;
+  }
+
+  Status ApplyResidualFilters(PlanBuilder::Rel* rel) {
+    for (const auto& conjunct : residual_) {
+      if (ContainsAggregate(conjunct)) {
+        return Status::Unimplemented("HAVING-style predicates");
+      }
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, Lower(conjunct, *rel));
+      *rel = builder_.Filter(*rel, pred);
+    }
+    return Status::OK();
+  }
+
+  /// Lowers an AST expression against `rel`'s columns.
+  Result<ExprPtr> Lower(const SqlExprPtr& expr, const PlanBuilder::Rel& rel) {
+    switch (expr->kind) {
+      case SqlExpr::Kind::kColumn: {
+        std::string name = LowerStr(expr->text);
+        for (size_t i = 0; i < rel.names.size(); ++i) {
+          if (rel.names[i] == name) {
+            return Col(static_cast<int>(i), rel.node->output_types()[i]);
+          }
+        }
+        return Status::InvalidArgument("unknown column '" + name + "'");
+      }
+      case SqlExpr::Kind::kIntLiteral:
+        return LitInt(std::atoll(expr->text.c_str()));
+      case SqlExpr::Kind::kDecimalLiteral:
+        return LitDouble(std::atof(expr->text.c_str()));
+      case SqlExpr::Kind::kStringLiteral:
+        return LitStr(expr->text);
+      case SqlExpr::Kind::kDateLiteral:
+        return LitDate(expr->text);
+      case SqlExpr::Kind::kBinary: {
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr left, Lower(expr->children[0], rel));
+        ExprPtr right;
+        // Date/string coercion: date_col < '1995-03-15'.
+        if (left->type() == DataType::kDate &&
+            expr->children[1]->kind == SqlExpr::Kind::kStringLiteral) {
+          right = LitDate(expr->children[1]->text);
+        } else {
+          ACCORDION_ASSIGN_OR_RETURN(right, Lower(expr->children[1], rel));
+        }
+        const std::string& op = expr->text;
+        if (op == "+") return Add(left, right);
+        if (op == "-") return Sub(left, right);
+        if (op == "*") return Mul(left, right);
+        if (op == "/") return Div(left, right);
+        if (op == "=") return Eq(left, right);
+        if (op == "<>") return Ne(left, right);
+        if (op == "<") return Lt(left, right);
+        if (op == "<=") return Le(left, right);
+        if (op == ">") return Gt(left, right);
+        if (op == ">=") return Ge(left, right);
+        if (op == "AND") return And(left, right);
+        if (op == "OR") return Or(left, right);
+        return Status::Internal("unknown operator " + op);
+      }
+      case SqlExpr::Kind::kNot: {
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr inner, Lower(expr->children[0], rel));
+        return Not(inner);
+      }
+      case SqlExpr::Kind::kLike: {
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr inner, Lower(expr->children[0], rel));
+        return Like(inner, expr->text);
+      }
+      case SqlExpr::Kind::kIn: {
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr probe, Lower(expr->children[0], rel));
+        std::vector<Value> candidates;
+        for (size_t i = 1; i < expr->children.size(); ++i) {
+          ACCORDION_ASSIGN_OR_RETURN(Value v,
+                                     LiteralValue(expr->children[i],
+                                                  probe->type()));
+          candidates.push_back(std::move(v));
+        }
+        return In(probe, std::move(candidates));
+      }
+      case SqlExpr::Kind::kBetween: {
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr value, Lower(expr->children[0], rel));
+        ACCORDION_ASSIGN_OR_RETURN(
+            Value lo, LiteralValue(expr->children[1], value->type()));
+        ACCORDION_ASSIGN_OR_RETURN(
+            Value hi, LiteralValue(expr->children[2], value->type()));
+        return Between(value, std::move(lo), std::move(hi));
+      }
+      case SqlExpr::Kind::kCaseWhen: {
+        std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+        size_t n = expr->children.size();
+        for (size_t i = 0; i + 1 < n; i += 2) {
+          ACCORDION_ASSIGN_OR_RETURN(ExprPtr cond, Lower(expr->children[i], rel));
+          ACCORDION_ASSIGN_OR_RETURN(ExprPtr val,
+                                     Lower(expr->children[i + 1], rel));
+          branches.emplace_back(std::move(cond), std::move(val));
+        }
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr dflt, Lower(expr->children[n - 1], rel));
+        return CaseWhen(std::move(branches), dflt);
+      }
+      case SqlExpr::Kind::kExtractYear: {
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr inner, Lower(expr->children[0], rel));
+        return ExtractYear(inner);
+      }
+      case SqlExpr::Kind::kAggregate:
+        return Status::Internal("aggregate lowered outside aggregation");
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Literal AST node -> Value, coerced to `target` for dates.
+  Result<Value> LiteralValue(const SqlExprPtr& expr, DataType target) {
+    switch (expr->kind) {
+      case SqlExpr::Kind::kIntLiteral:
+        if (target == DataType::kDouble) {
+          return Value::Double(std::atof(expr->text.c_str()));
+        }
+        return Value::Int(std::atoll(expr->text.c_str()));
+      case SqlExpr::Kind::kDecimalLiteral:
+        return Value::Double(std::atof(expr->text.c_str()));
+      case SqlExpr::Kind::kStringLiteral:
+        if (target == DataType::kDate) {
+          return Value::Date(ParseDate(expr->text));
+        }
+        return Value::Str(expr->text);
+      case SqlExpr::Kind::kDateLiteral:
+        return Value::Date(ParseDate(expr->text));
+      default:
+        return Status::InvalidArgument("expected a literal");
+    }
+  }
+
+  Result<PlanBuilder::Rel> BuildProjectionAndAggregation(
+      PlanBuilder::Rel rel) {
+    bool has_agg = !query_.group_by.empty();
+    for (const auto& item : query_.select_items) {
+      has_agg |= ContainsAggregate(item.expr);
+    }
+    if (!has_agg) {
+      // Plain projection.
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < query_.select_items.size(); ++i) {
+        const auto& item = query_.select_items[i];
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr e, Lower(item.expr, rel));
+        exprs.push_back(std::move(e));
+        names.push_back(OutputName(item, i));
+      }
+      return builder_.Project(rel, std::move(exprs), std::move(names));
+    }
+
+    // Group keys must be plain columns.
+    std::vector<std::string> group_names;
+    for (const auto& key : query_.group_by) {
+      if (key->kind != SqlExpr::Kind::kColumn) {
+        return Status::Unimplemented("GROUP BY expressions (project first)");
+      }
+      group_names.push_back(LowerStr(key->text));
+    }
+
+    // Pre-aggregation projection: group keys + one column per aggregate
+    // input expression.
+    std::vector<SqlExprPtr> agg_nodes;
+    CollectAggregates(&agg_nodes);
+    std::vector<ExprPtr> pre_exprs;
+    std::vector<std::string> pre_names;
+    for (const auto& g : group_names) {
+      pre_exprs.push_back(rel.Ref(g));
+      pre_names.push_back(g);
+    }
+    std::vector<PlanBuilder::AggSpec> specs;
+    for (size_t a = 0; a < agg_nodes.size(); ++a) {
+      const auto& node = agg_nodes[a];
+      PlanBuilder::AggSpec spec;
+      spec.output = "agg" + std::to_string(a);
+      if (node->text == "COUNT") {
+        spec.func = AggFunc::kCount;
+      } else if (node->text == "SUM") {
+        spec.func = AggFunc::kSum;
+      } else if (node->text == "MIN") {
+        spec.func = AggFunc::kMin;
+      } else if (node->text == "MAX") {
+        spec.func = AggFunc::kMax;
+      } else {
+        spec.func = AggFunc::kAvg;
+      }
+      if (node->children.empty()) {
+        spec.input = "";  // COUNT(*)
+      } else {
+        std::string input_name = "agg_in" + std::to_string(a);
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr input,
+                                   Lower(node->children[0], rel));
+        pre_exprs.push_back(std::move(input));
+        pre_names.push_back(input_name);
+        spec.input = input_name;
+      }
+      specs.push_back(std::move(spec));
+    }
+    PlanBuilder::Rel pre =
+        builder_.Project(rel, std::move(pre_exprs), std::move(pre_names));
+    PlanBuilder::Rel agg = builder_.Aggregate(pre, group_names, specs);
+
+    // Post-aggregation projection: select items with aggregates replaced
+    // by their output columns.
+    std::vector<ExprPtr> post_exprs;
+    std::vector<std::string> post_names;
+    for (size_t i = 0; i < query_.select_items.size(); ++i) {
+      const auto& item = query_.select_items[i];
+      ACCORDION_ASSIGN_OR_RETURN(
+          ExprPtr e, LowerWithAggs(item.expr, agg, agg_nodes));
+      post_exprs.push_back(std::move(e));
+      post_names.push_back(OutputName(item, i));
+    }
+    return builder_.Project(agg, std::move(post_exprs),
+                            std::move(post_names));
+  }
+
+  void CollectAggregates(std::vector<SqlExprPtr>* out) {
+    for (const auto& item : query_.select_items) {
+      CollectAggregatesIn(item.expr, out);
+    }
+  }
+  static void CollectAggregatesIn(const SqlExprPtr& expr,
+                                  std::vector<SqlExprPtr>* out) {
+    if (expr->kind == SqlExpr::Kind::kAggregate) {
+      out->push_back(expr);
+      return;
+    }
+    for (const auto& child : expr->children) CollectAggregatesIn(child, out);
+  }
+
+  /// Lowers a select item against the aggregation output: aggregate nodes
+  /// become references to their output columns.
+  Result<ExprPtr> LowerWithAggs(const SqlExprPtr& expr,
+                                const PlanBuilder::Rel& agg,
+                                const std::vector<SqlExprPtr>& agg_nodes) {
+    if (expr->kind == SqlExpr::Kind::kAggregate) {
+      for (size_t a = 0; a < agg_nodes.size(); ++a) {
+        if (agg_nodes[a].get() == expr.get()) {
+          return agg.Ref("agg" + std::to_string(a));
+        }
+      }
+      return Status::Internal("aggregate not registered");
+    }
+    if (expr->kind == SqlExpr::Kind::kColumn) {
+      return Lower(expr, agg);  // group key
+    }
+    if (expr->children.empty()) return Lower(expr, agg);
+    // Rebuild with lowered children via a shallow copy hack: lower each
+    // child then re-lower the operator shape.
+    SqlExpr copy = *expr;
+    // For binary/case/etc. we reuse Lower()'s shape handling by lowering
+    // children into temporary literal-free exprs; simplest correct path:
+    switch (expr->kind) {
+      case SqlExpr::Kind::kBinary: {
+        ACCORDION_ASSIGN_OR_RETURN(
+            ExprPtr left, LowerWithAggs(expr->children[0], agg, agg_nodes));
+        ACCORDION_ASSIGN_OR_RETURN(
+            ExprPtr right, LowerWithAggs(expr->children[1], agg, agg_nodes));
+        const std::string& op = expr->text;
+        if (op == "+") return Add(left, right);
+        if (op == "-") return Sub(left, right);
+        if (op == "*") return Mul(left, right);
+        if (op == "/") return Div(left, right);
+        return Status::Unimplemented("operator " + op +
+                                     " over aggregate results");
+      }
+      default:
+        (void)copy;
+        return Status::Unimplemented(
+            "complex expressions over aggregate results");
+    }
+  }
+
+  static std::string OutputName(const SqlSelectItem& item, size_t index) {
+    if (!item.alias.empty()) {
+      std::string lower = item.alias;
+      for (char& c : lower) c = static_cast<char>(std::tolower(c));
+      return lower;
+    }
+    if (item.expr->kind == SqlExpr::Kind::kColumn) {
+      std::string lower = item.expr->text;
+      for (char& c : lower) c = static_cast<char>(std::tolower(c));
+      return lower;
+    }
+    return "_col" + std::to_string(index);
+  }
+
+  Status ApplyOrderByLimit(PlanBuilder::Rel* rel) {
+    if (query_.order_by.empty()) {
+      if (query_.limit >= 0) *rel = builder_.Limit(*rel, query_.limit);
+      return Status::OK();
+    }
+    std::vector<PlanBuilder::OrderKey> keys;
+    for (const auto& item : query_.order_by) {
+      if (item.expr->kind != SqlExpr::Kind::kColumn) {
+        return Status::Unimplemented("ORDER BY expressions (alias them)");
+      }
+      std::string name = item.expr->text;
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      keys.push_back(PlanBuilder::OrderKey{name, item.ascending});
+    }
+    int64_t limit = query_.limit >= 0 ? query_.limit : 1000000;
+    *rel = builder_.OrderByLimit(*rel, keys, limit);
+    return Status::OK();
+  }
+
+  const SqlQuery& query_;
+  const Catalog& catalog_;
+  PlanBuilder builder_;
+  std::vector<TableInfo> tables_;
+  std::map<std::string, int> column_table_;
+  std::vector<SqlExprPtr> join_predicates_;
+  std::vector<SqlExprPtr> residual_;
+};
+
+}  // namespace
+
+Result<PlanNodePtr> AnalyzeSql(const SqlQuery& query, const Catalog& catalog) {
+  return Analyzer(query, catalog).Run();
+}
+
+Result<PlanNodePtr> SqlToPlan(const std::string& sql, const Catalog& catalog) {
+  ACCORDION_ASSIGN_OR_RETURN(SqlQuery query, ParseSqlQuery(sql));
+  return AnalyzeSql(query, catalog);
+}
+
+}  // namespace accordion

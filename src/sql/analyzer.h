@@ -1,0 +1,31 @@
+#ifndef ACCORDION_SQL_ANALYZER_H_
+#define ACCORDION_SQL_ANALYZER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "plan/plan_node.h"
+#include "sql/parser.h"
+
+namespace accordion {
+
+/// Lowers a parsed SQL query onto the distributed PlanBuilder, applying
+/// the same rules the hand-built TPC-H plans use:
+///  - column pruning (only referenced columns are scanned),
+///  - per-table filter pushdown below the exchanges,
+///  - join ordering by FROM order with equi-join conjunct extraction
+///    (nation/region builds are broadcast),
+///  - two-phase aggregation for GROUP BY / aggregate select lists,
+///  - TopN for ORDER BY [+ LIMIT].
+///
+/// Limitations (documented engine scope): single SELECT block, inner
+/// joins only, no self-joins (column names must be unambiguous), no
+/// subqueries, HAVING or DISTINCT.
+Result<PlanNodePtr> AnalyzeSql(const SqlQuery& query, const Catalog& catalog);
+
+/// Parse + analyze in one call.
+Result<PlanNodePtr> SqlToPlan(const std::string& sql, const Catalog& catalog);
+
+}  // namespace accordion
+
+#endif  // ACCORDION_SQL_ANALYZER_H_

@@ -1,0 +1,89 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace accordion {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {  // line comment
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      for (char& ch : word) ch = static_cast<char>(std::toupper(ch));
+      tokens.push_back(Token{TokenKind::kIdentifier, std::move(word)});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool decimal = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        decimal |= sql[i] == '.';
+        ++i;
+      }
+      tokens.push_back(Token{decimal ? TokenKind::kDecimal
+                                     : TokenKind::kInteger,
+                             sql.substr(start, i - start)});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      tokens.push_back(Token{TokenKind::kString, std::move(text)});
+      continue;
+    }
+    // Multi-char operators first.
+    if ((c == '<' && i + 1 < n && (sql[i + 1] == '=' || sql[i + 1] == '>')) ||
+        (c == '>' && i + 1 < n && sql[i + 1] == '=') ||
+        (c == '!' && i + 1 < n && sql[i + 1] == '=')) {
+      std::string op = sql.substr(i, 2);
+      if (op == "!=") op = "<>";
+      tokens.push_back(Token{TokenKind::kSymbol, op});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "(),.*=<>+-/;";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c)});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in SQL");
+  }
+  tokens.push_back(Token{TokenKind::kEnd, ""});
+  return tokens;
+}
+
+}  // namespace accordion

@@ -1,0 +1,38 @@
+#ifndef ACCORDION_SQL_LEXER_H_
+#define ACCORDION_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace accordion {
+
+enum class TokenKind {
+  kIdentifier,  // table/column names and keywords (case-insensitive)
+  kInteger,
+  kDecimal,
+  kString,      // 'quoted'
+  kSymbol,      // ( ) , . * = <> < <= > >= + - /
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifiers upper-cased; strings unquoted
+
+  bool Is(TokenKind k, const std::string& t) const {
+    return kind == k && text == t;
+  }
+  bool IsKeyword(const std::string& upper) const {
+    return kind == TokenKind::kIdentifier && text == upper;
+  }
+};
+
+/// Splits a SQL statement into tokens. Identifiers/keywords are
+/// upper-cased (SQL is case-insensitive); string literals keep case.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace accordion
+
+#endif  // ACCORDION_SQL_LEXER_H_

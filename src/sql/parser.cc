@@ -1,0 +1,405 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+namespace accordion {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlQuery> Parse() {
+    SqlQuery query;
+    ACCORDION_RETURN_NOT_OK(Expect("SELECT"));
+    ACCORDION_RETURN_NOT_OK(ParseSelectList(&query));
+    ACCORDION_RETURN_NOT_OK(Expect("FROM"));
+    ACCORDION_RETURN_NOT_OK(ParseFrom(&query));
+    if (AcceptKeyword("WHERE")) {
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr predicate, ParseExpr());
+      SplitConjuncts(predicate, &query.conjuncts);
+    }
+    if (AcceptKeyword("GROUP")) {
+      ACCORDION_RETURN_NOT_OK(Expect("BY"));
+      do {
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr key, ParseExpr());
+        query.group_by.push_back(std::move(key));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("ORDER")) {
+      ACCORDION_RETURN_NOT_OK(Expect("BY"));
+      do {
+        SqlOrderItem item;
+        ACCORDION_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          (void)AcceptKeyword("ASC");
+        }
+        query.order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      const Token& t = Peek();
+      if (t.kind != TokenKind::kInteger) {
+        return Status::ParseError("LIMIT expects an integer");
+      }
+      query.limit = std::atoll(t.text.c_str());
+      Advance();
+    }
+    (void)AcceptSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing tokens after query: '" +
+                                Peek().text + "'");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() { ++pos_; }
+
+  bool AcceptKeyword(const std::string& upper) {
+    if (Peek().IsKeyword(upper)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const std::string& s) {
+    if (Peek().Is(TokenKind::kSymbol, s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const std::string& keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return Status::ParseError("expected " + keyword + " before '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!AcceptSymbol(s)) {
+      return Status::ParseError("expected '" + s + "' before '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectList(SqlQuery* query) {
+    do {
+      SqlSelectItem item;
+      ACCORDION_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("AS")) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Status::ParseError("expected alias after AS");
+        }
+        item.alias = Peek().text;
+        Advance();
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 !Peek().IsKeyword("FROM")) {
+        item.alias = Peek().text;
+        Advance();
+      }
+      query->select_items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseFrom(SqlQuery* query) {
+    ACCORDION_RETURN_NOT_OK(ParseTableRef(query));
+    while (true) {
+      if (AcceptSymbol(",")) {
+        ACCORDION_RETURN_NOT_OK(ParseTableRef(query));
+        continue;
+      }
+      bool joined = false;
+      if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+        Advance();
+        Advance();
+        joined = true;
+      } else if (AcceptKeyword("JOIN")) {
+        joined = true;
+      }
+      if (!joined) break;
+      ACCORDION_RETURN_NOT_OK(ParseTableRef(query));
+      ACCORDION_RETURN_NOT_OK(Expect("ON"));
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr on, ParseExpr());
+      SplitConjuncts(on, &query->conjuncts);
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRef(SqlQuery* query) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected table name");
+    }
+    SqlTableRef ref;
+    ref.table = Peek().text;
+    Advance();
+    // Optional alias (not a clause keyword).
+    static const char* kClauses[] = {"WHERE", "GROUP", "ORDER",  "LIMIT",
+                                     "INNER", "JOIN",  "ON",     "AS"};
+    if (AcceptKeyword("AS")) {
+      ref.alias = Peek().text;
+      Advance();
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      bool is_clause = false;
+      for (const char* kw : kClauses) is_clause |= Peek().IsKeyword(kw);
+      if (!is_clause) {
+        ref.alias = Peek().text;
+        Advance();
+      }
+    }
+    if (ref.alias.empty()) ref.alias = ref.table;
+    query->from.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  static void SplitConjuncts(const SqlExprPtr& expr,
+                             std::vector<SqlExprPtr>* out) {
+    if (expr->kind == SqlExpr::Kind::kBinary && expr->text == "AND") {
+      SplitConjuncts(expr->children[0], out);
+      SplitConjuncts(expr->children[1], out);
+      return;
+    }
+    out->push_back(expr);
+  }
+
+  static SqlExprPtr MakeBinary(std::string op, SqlExprPtr a, SqlExprPtr b) {
+    auto node = std::make_shared<SqlExpr>();
+    node->kind = SqlExpr::Kind::kBinary;
+    node->text = std::move(op);
+    node->children = {std::move(a), std::move(b)};
+    return node;
+  }
+
+  // Precedence: OR < AND < NOT < comparison/LIKE/IN/BETWEEN < +- < */.
+  Result<SqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<SqlExprPtr> ParseOr() {
+    ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr right, ParseAnd());
+      left = MakeBinary("OR", left, right);
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAnd() {
+    ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr left, ParseNot());
+    while (AcceptKeyword("AND")) {
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr right, ParseNot());
+      left = MakeBinary("AND", left, right);
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseNot());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kNot;
+      node->children = {std::move(inner)};
+      return SqlExprPtr(node);
+    }
+    return ParseComparison();
+  }
+
+  Result<SqlExprPtr> ParseComparison() {
+    ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAdditive());
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().kind != TokenKind::kString) {
+        return Status::ParseError("LIKE expects a string literal");
+      }
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kLike;
+      node->text = Peek().text;
+      node->children = {std::move(left)};
+      Advance();
+      return SqlExprPtr(node);
+    }
+    if (AcceptKeyword("IN")) {
+      ACCORDION_RETURN_NOT_OK(ExpectSymbol("("));
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kIn;
+      node->children.push_back(std::move(left));
+      do {
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr lit, ParseAdditive());
+        node->children.push_back(std::move(lit));
+      } while (AcceptSymbol(","));
+      ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
+      return SqlExprPtr(node);
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr lo, ParseAdditive());
+      ACCORDION_RETURN_NOT_OK(Expect("AND"));
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr hi, ParseAdditive());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kBetween;
+      node->children = {std::move(left), std::move(lo), std::move(hi)};
+      return SqlExprPtr(node);
+    }
+    for (const char* op : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (AcceptSymbol(op)) {
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr right, ParseAdditive());
+        return MakeBinary(op, left, right);
+      }
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAdditive() {
+    ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr right, ParseMultiplicative());
+        left = MakeBinary("+", left, right);
+      } else if (AcceptSymbol("-")) {
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr right, ParseMultiplicative());
+        left = MakeBinary("-", left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<SqlExprPtr> ParseMultiplicative() {
+    ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr left, ParsePrimary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr right, ParsePrimary());
+        left = MakeBinary("*", left, right);
+      } else if (AcceptSymbol("/")) {
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr right, ParsePrimary());
+        left = MakeBinary("/", left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<SqlExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (AcceptSymbol("(")) {
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
+      ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.kind == TokenKind::kInteger || t.kind == TokenKind::kDecimal) {
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = t.kind == TokenKind::kInteger
+                       ? SqlExpr::Kind::kIntLiteral
+                       : SqlExpr::Kind::kDecimalLiteral;
+      node->text = t.text;
+      Advance();
+      return SqlExprPtr(node);
+    }
+    if (t.kind == TokenKind::kString) {
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kStringLiteral;
+      node->text = t.text;
+      Advance();
+      return SqlExprPtr(node);
+    }
+    if (t.IsKeyword("DATE")) {
+      Advance();
+      if (Peek().kind != TokenKind::kString) {
+        return Status::ParseError("DATE expects a 'YYYY-MM-DD' literal");
+      }
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kDateLiteral;
+      node->text = Peek().text;
+      Advance();
+      return SqlExprPtr(node);
+    }
+    if (t.IsKeyword("CASE")) {
+      Advance();
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kCaseWhen;
+      while (AcceptKeyword("WHEN")) {
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr cond, ParseExpr());
+        ACCORDION_RETURN_NOT_OK(Expect("THEN"));
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr value, ParseExpr());
+        node->children.push_back(std::move(cond));
+        node->children.push_back(std::move(value));
+      }
+      if (node->children.empty()) {
+        return Status::ParseError("CASE requires at least one WHEN");
+      }
+      ACCORDION_RETURN_NOT_OK(Expect("ELSE"));
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr dflt, ParseExpr());
+      node->children.push_back(std::move(dflt));
+      ACCORDION_RETURN_NOT_OK(Expect("END"));
+      return SqlExprPtr(node);
+    }
+    if (t.IsKeyword("EXTRACT")) {
+      Advance();
+      ACCORDION_RETURN_NOT_OK(ExpectSymbol("("));
+      ACCORDION_RETURN_NOT_OK(Expect("YEAR"));
+      ACCORDION_RETURN_NOT_OK(Expect("FROM"));
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
+      ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kExtractYear;
+      node->children = {std::move(inner)};
+      return SqlExprPtr(node);
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      // Aggregate call?
+      static const char* kAggs[] = {"COUNT", "SUM", "MIN", "MAX", "AVG"};
+      for (const char* agg : kAggs) {
+        if (t.IsKeyword(agg) && Peek(1).Is(TokenKind::kSymbol, "(")) {
+          Advance();
+          Advance();
+          auto node = std::make_shared<SqlExpr>();
+          node->kind = SqlExpr::Kind::kAggregate;
+          node->text = agg;
+          if (AcceptSymbol("*")) {
+            if (node->text != "COUNT") {
+              return Status::ParseError("only COUNT(*) is allowed");
+            }
+          } else {
+            ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr arg, ParseExpr());
+            node->children.push_back(std::move(arg));
+          }
+          ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
+          return SqlExprPtr(node);
+        }
+      }
+      // Column reference, optionally qualified.
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kColumn;
+      node->text = t.text;
+      Advance();
+      if (AcceptSymbol(".")) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Status::ParseError("expected column after '.'");
+        }
+        node->qualifier = node->text;
+        node->text = Peek().text;
+        Advance();
+      }
+      return SqlExprPtr(node);
+    }
+    return Status::ParseError("unexpected token '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlQuery> ParseSqlQuery(const std::string& sql) {
+  ACCORDION_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace accordion

@@ -1,0 +1,73 @@
+#ifndef ACCORDION_SQL_PARSER_H_
+#define ACCORDION_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace accordion {
+
+/// Minimal SQL AST covering the engine's workload: single-block SELECT
+/// with FROM (comma or INNER JOIN ... ON), WHERE, GROUP BY, ORDER BY and
+/// LIMIT; expressions with arithmetic, comparisons, AND/OR/NOT, LIKE, IN,
+/// BETWEEN, CASE WHEN, DATE 'lit' and EXTRACT(YEAR FROM x); aggregate
+/// calls count/sum/min/max/avg (count(*) included).
+
+struct SqlExpr;
+using SqlExprPtr = std::shared_ptr<SqlExpr>;
+
+struct SqlExpr {
+  enum class Kind {
+    kColumn,      // text = column name, qualifier = optional table/alias
+    kIntLiteral,
+    kDecimalLiteral,
+    kStringLiteral,
+    kDateLiteral,
+    kBinary,      // op in text: + - * / = <> < <= > >= AND OR
+    kNot,
+    kLike,        // pattern in text
+    kIn,          // children = probe, literals...
+    kBetween,     // children = value, lo, hi
+    kCaseWhen,    // children = cond1, val1, cond2, val2, ..., else
+    kExtractYear,
+    kAggregate,   // text = COUNT/SUM/MIN/MAX/AVG; child optional (*)
+  };
+
+  Kind kind;
+  std::string text;
+  std::string qualifier;
+  std::vector<SqlExprPtr> children;
+};
+
+struct SqlTableRef {
+  std::string table;
+  std::string alias;  // empty = table name
+};
+
+struct SqlOrderItem {
+  SqlExprPtr expr;
+  bool ascending = true;
+};
+
+struct SqlSelectItem {
+  SqlExprPtr expr;
+  std::string alias;  // empty = derived
+};
+
+struct SqlQuery {
+  std::vector<SqlSelectItem> select_items;
+  std::vector<SqlTableRef> from;
+  std::vector<SqlExprPtr> conjuncts;  // WHERE + JOIN..ON, AND-split
+  std::vector<SqlExprPtr> group_by;
+  std::vector<SqlOrderItem> order_by;
+  int64_t limit = -1;  // -1 = none
+};
+
+/// Parses one SELECT statement into the AST.
+Result<SqlQuery> ParseSqlQuery(const std::string& sql);
+
+}  // namespace accordion
+
+#endif  // ACCORDION_SQL_PARSER_H_

@@ -1,0 +1,43 @@
+#ifndef ACCORDION_STORAGE_PAGE_SOURCE_H_
+#define ACCORDION_STORAGE_PAGE_SOURCE_H_
+
+#include <memory>
+
+#include "tpch/tpch.h"
+#include "vector/page.h"
+
+namespace accordion {
+
+/// Stream of pages backing one system split. Table-scan drivers pull from
+/// exactly one PageSource at a time; a new source is opened per split.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  /// Next page, or nullptr when the split is exhausted.
+  virtual PagePtr Next() = 0;
+
+  /// Total rows this source will produce, if known (-1 otherwise). Feeds
+  /// the scan-progress accounting the predictor relies on.
+  virtual int64_t TotalRows() const { return -1; }
+};
+
+/// PageSource over the deterministic TPC-H generator (the default storage
+/// backend: equivalent to reading a pre-generated CSV split, minus disk).
+class GeneratorPageSource : public PageSource {
+ public:
+  GeneratorPageSource(std::string table, double scale_factor, int split_index,
+                      int split_count, int64_t batch_rows = 1024)
+      : gen_(std::move(table), scale_factor, split_index, split_count,
+             batch_rows) {}
+
+  PagePtr Next() override { return gen_.NextPage(); }
+  int64_t TotalRows() const override { return gen_.TotalRows(); }
+
+ private:
+  TpchSplitGenerator gen_;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_STORAGE_PAGE_SOURCE_H_

@@ -1,0 +1,484 @@
+#include "tpch/queries.h"
+
+#include "common/logging.h"
+#include "plan/builder.h"
+
+namespace accordion {
+namespace {
+
+using Rel = PlanBuilder::Rel;
+using AggSpec = PlanBuilder::AggSpec;
+using OrderKey = PlanBuilder::OrderKey;
+
+/// sum(l_extendedprice * (1 - l_discount)) input column.
+Rel WithRevenue(PlanBuilder& b, Rel rel) {
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names = rel.names;
+  for (const auto& name : rel.names) exprs.push_back(rel.Ref(name));
+  exprs.push_back(Mul(rel.Ref("l_extendedprice"),
+                      Sub(LitDouble(1.0), rel.Ref("l_discount"))));
+  names.push_back("volume");
+  return b.Project(rel, std::move(exprs), std::move(names));
+}
+
+// Q1: pricing summary report. Scan stage feeds a *separate* partial-
+// aggregation stage (paper Fig. 25b shows Q1 with a tunable aggregation
+// stage S1 above the scan stage S2).
+PlanNodePtr Q1(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel l = b.Scan("lineitem",
+                 {"l_quantity", "l_extendedprice", "l_discount", "l_tax",
+                  "l_returnflag", "l_linestatus", "l_shipdate"});
+  l = b.Filter(l, Le(l.Ref("l_shipdate"), LitDate("1998-09-02")));
+  l = b.Project(
+      l,
+      {l.Ref("l_returnflag"), l.Ref("l_linestatus"), l.Ref("l_quantity"),
+       l.Ref("l_extendedprice"),
+       Mul(l.Ref("l_extendedprice"), Sub(LitDouble(1.0), l.Ref("l_discount"))),
+       Mul(Mul(l.Ref("l_extendedprice"),
+               Sub(LitDouble(1.0), l.Ref("l_discount"))),
+           Add(LitDouble(1.0), l.Ref("l_tax"))),
+       l.Ref("l_discount")},
+      {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+       "disc_price", "charge", "l_discount"});
+  l = b.Repartition(l, Partitioning::kArbitrary);  // dedicated agg stage
+  Rel agg = b.Aggregate(
+      l, {"l_returnflag", "l_linestatus"},
+      {{AggFunc::kSum, "l_quantity", "sum_qty"},
+       {AggFunc::kSum, "l_extendedprice", "sum_base_price"},
+       {AggFunc::kSum, "disc_price", "sum_disc_price"},
+       {AggFunc::kSum, "charge", "sum_charge"},
+       {AggFunc::kAvg, "l_quantity", "avg_qty"},
+       {AggFunc::kAvg, "l_extendedprice", "avg_price"},
+       {AggFunc::kAvg, "l_discount", "avg_disc"},
+       {AggFunc::kCount, "", "count_order"}});
+  agg = b.OrderByLimit(
+      agg, {{"l_returnflag", true}, {"l_linestatus", true}}, 100);
+  return b.Output(agg);
+}
+
+// Q2: minimum-cost supplier. The correlated MIN subquery is decorrelated
+// into an aggregate join (DESIGN.md substitution); the deep two-branch
+// join tree is what gives the paper's Fig. 30a its S1/S10 structure.
+PlanNodePtr Q2(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  auto supplier_region = [&](const char* tag) {
+    Rel s = b.Scan("supplier",
+                   {"s_suppkey", "s_name", "s_acctbal", "s_nationkey"});
+    Rel n = b.Scan("nation", {"n_nationkey", "n_name", "n_regionkey"});
+    Rel r = b.Scan("region", {"r_regionkey", "r_name"});
+    r = b.Filter(r, Eq(r.Ref("r_name"), LitStr("EUROPE")));
+    Rel nr = b.Join(n, r, {"n_regionkey"}, {"r_regionkey"}, {},
+                    /*broadcast=*/true);
+    Rel snr = b.Join(s, nr, {"s_nationkey"}, {"n_nationkey"}, {"n_name"},
+                     /*broadcast=*/true);
+    (void)tag;
+    return snr;
+  };
+
+  // Branch A: qualified parts with per-supplier cost.
+  Rel part = b.Scan("part", {"p_partkey", "p_mfgr", "p_size", "p_type"});
+  part = b.Filter(part, And(Eq(part.Ref("p_size"), LitInt(15)),
+                            Like(part.Ref("p_type"), "%BRASS%")));
+  Rel ps = b.Scan("partsupp", {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+  Rel pps = b.Join(ps, part, {"ps_partkey"}, {"p_partkey"}, {"p_mfgr"});
+  Rel a = b.Join(pps, supplier_region("a"), {"ps_suppkey"}, {"s_suppkey"},
+                 {"s_name", "s_acctbal", "n_name"});
+
+  // Branch B: minimum cost per part over European suppliers.
+  Rel ps2 = b.Scan("partsupp", {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+  Rel bjoin = b.Join(ps2, supplier_region("b"), {"ps_suppkey"}, {"s_suppkey"},
+                     {});
+  Rel min_cost = b.Aggregate(bjoin, {"ps_partkey"},
+                             {{AggFunc::kMin, "ps_supplycost", "min_cost"}});
+
+  Rel joined = b.Join(a, min_cost, {"ps_partkey"}, {"ps_partkey"},
+                      {"min_cost"});
+  joined = b.Filter(joined,
+                    Eq(joined.Ref("ps_supplycost"), joined.Ref("min_cost")));
+  joined = b.OrderByLimit(
+      joined, {{"s_acctbal", false}, {"n_name", true}, {"s_name", true}}, 100);
+  return b.Output(joined);
+}
+
+// Q3: shipping priority — the paper's running example (Fig. 21). Stage
+// numbering reproduces the figure: 0 output/final, 1 join+partial agg,
+// 2 lineitem scan, 3 orders-customer join, 4 orders scan, 5 customer scan.
+PlanNodePtr Q3(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel lineitem = b.Scan(
+      "lineitem", {"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"});
+  lineitem = b.Filter(lineitem,
+                      Gt(lineitem.Ref("l_shipdate"), LitDate("1995-03-15")));
+  Rel orders = b.Scan("orders",
+                      {"o_orderkey", "o_custkey", "o_orderdate",
+                       "o_shippriority"});
+  orders = b.Filter(orders,
+                    Lt(orders.Ref("o_orderdate"), LitDate("1995-03-15")));
+  Rel customer = b.Scan("customer", {"c_custkey", "c_mktsegment"});
+  customer = b.Filter(customer,
+                      Eq(customer.Ref("c_mktsegment"), LitStr("BUILDING")));
+
+  Rel oc = b.Join(orders, customer, {"o_custkey"}, {"c_custkey"}, {});
+  Rel loc = b.Join(lineitem, oc, {"l_orderkey"}, {"o_orderkey"},
+                   {"o_orderdate", "o_shippriority"});
+  loc = WithRevenue(b, loc);
+  Rel agg = b.Aggregate(loc, {"l_orderkey", "o_orderdate", "o_shippriority"},
+                        {{AggFunc::kSum, "volume", "revenue"}});
+  agg = b.OrderByLimit(agg, {{"revenue", false}, {"o_orderdate", true}}, 10);
+  return b.Output(agg);
+}
+
+// Q4: order priority checking. EXISTS(lineitem) is replaced by a
+// distinct-orderkey aggregation joined back to orders.
+PlanNodePtr Q4(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel l = b.Scan("lineitem", {"l_orderkey", "l_commitdate", "l_receiptdate"});
+  l = b.Filter(l, Lt(l.Ref("l_commitdate"), l.Ref("l_receiptdate")));
+  Rel distinct = b.Aggregate(l, {"l_orderkey"}, {{AggFunc::kCount, "", "n"}});
+  Rel o = b.Scan("orders", {"o_orderkey", "o_orderdate", "o_orderpriority"});
+  o = b.Filter(o, And(Ge(o.Ref("o_orderdate"), LitDate("1993-07-01")),
+                      Lt(o.Ref("o_orderdate"), LitDate("1993-10-01"))));
+  Rel j = b.Join(o, distinct, {"o_orderkey"}, {"l_orderkey"}, {});
+  Rel agg = b.Aggregate(j, {"o_orderpriority"},
+                        {{AggFunc::kCount, "", "order_count"}});
+  agg = b.OrderByLimit(agg, {{"o_orderpriority", true}}, 100);
+  return b.Output(agg);
+}
+
+// Q5: local supplier volume.
+PlanNodePtr Q5(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel customer = b.Scan("customer", {"c_custkey", "c_nationkey"});
+  Rel orders = b.Scan("orders", {"o_orderkey", "o_custkey", "o_orderdate"});
+  orders = b.Filter(orders,
+                    And(Ge(orders.Ref("o_orderdate"), LitDate("1994-01-01")),
+                        Lt(orders.Ref("o_orderdate"), LitDate("1995-01-01"))));
+  Rel lineitem = b.Scan(
+      "lineitem", {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"});
+  Rel supplier = b.Scan("supplier", {"s_suppkey", "s_nationkey"});
+  Rel nation = b.Scan("nation", {"n_nationkey", "n_name", "n_regionkey"});
+  Rel region = b.Scan("region", {"r_regionkey", "r_name"});
+  region = b.Filter(region, Eq(region.Ref("r_name"), LitStr("ASIA")));
+
+  Rel oc = b.Join(orders, customer, {"o_custkey"}, {"c_custkey"},
+                  {"c_nationkey"});
+  Rel loc = b.Join(lineitem, oc, {"l_orderkey"}, {"o_orderkey"},
+                   {"c_nationkey"});
+  Rel nr = b.Join(nation, region, {"n_regionkey"}, {"r_regionkey"}, {},
+                  /*broadcast=*/true);
+  Rel sn = b.Join(supplier, nr, {"s_nationkey"}, {"n_nationkey"}, {"n_name"},
+                  /*broadcast=*/true);
+  // Local-supplier condition: both join keys must match.
+  Rel ls = b.Join(loc, sn, {"l_suppkey", "c_nationkey"},
+                  {"s_suppkey", "s_nationkey"}, {"n_name"});
+  ls = WithRevenue(b, ls);
+  Rel agg =
+      b.Aggregate(ls, {"n_name"}, {{AggFunc::kSum, "volume", "revenue"}});
+  agg = b.OrderByLimit(agg, {{"revenue", false}}, 100);
+  return b.Output(agg);
+}
+
+// Q6: forecasting revenue change — pure scan + global aggregate.
+PlanNodePtr Q6(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel l = b.Scan("lineitem",
+                 {"l_quantity", "l_extendedprice", "l_discount", "l_shipdate"});
+  l = b.Filter(
+      l, And(And(Ge(l.Ref("l_shipdate"), LitDate("1994-01-01")),
+                 Lt(l.Ref("l_shipdate"), LitDate("1995-01-01"))),
+             And(Between(l.Ref("l_discount"), Value::Double(0.05),
+                         Value::Double(0.07)),
+                 Lt(l.Ref("l_quantity"), LitDouble(24)))));
+  l = b.Project(l, {Mul(l.Ref("l_extendedprice"), l.Ref("l_discount"))},
+                {"disc_revenue"});
+  Rel agg =
+      b.Aggregate(l, {}, {{AggFunc::kSum, "disc_revenue", "revenue"}});
+  return b.Output(agg);
+}
+
+// Q7: volume shipping between FRANCE and GERMANY.
+PlanNodePtr Q7(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel supplier = b.Scan("supplier", {"s_suppkey", "s_nationkey"});
+  Rel lineitem = b.Scan("lineitem", {"l_orderkey", "l_suppkey", "l_shipdate",
+                                     "l_extendedprice", "l_discount"});
+  lineitem =
+      b.Filter(lineitem, Between(lineitem.Ref("l_shipdate"),
+                                 Value::Date(ParseDate("1995-01-01")),
+                                 Value::Date(ParseDate("1996-12-31"))));
+  Rel orders = b.Scan("orders", {"o_orderkey", "o_custkey"});
+  Rel customer = b.Scan("customer", {"c_custkey", "c_nationkey"});
+  Rel n1 = b.Scan("nation", {"n_nationkey", "n_name"});
+  n1 = b.Filter(n1, In(n1.Ref("n_name"),
+                       {Value::Str("FRANCE"), Value::Str("GERMANY")}));
+  Rel n2 = b.Scan("nation", {"n_nationkey", "n_name"});
+  n2 = b.Filter(n2, In(n2.Ref("n_name"),
+                       {Value::Str("FRANCE"), Value::Str("GERMANY")}));
+
+  Rel sn = b.Join(supplier, n1, {"s_nationkey"}, {"n_nationkey"}, {"n_name"},
+                  /*broadcast=*/true);
+  sn = b.Project(sn, {sn.Ref("s_suppkey"), sn.Ref("n_name")},
+                 {"s_suppkey", "supp_nation"});
+  Rel cn = b.Join(customer, n2, {"c_nationkey"}, {"n_nationkey"}, {"n_name"},
+                  /*broadcast=*/true);
+  cn = b.Project(cn, {cn.Ref("c_custkey"), cn.Ref("n_name")},
+                 {"c_custkey", "cust_nation"});
+  Rel oc = b.Join(orders, cn, {"o_custkey"}, {"c_custkey"}, {"cust_nation"});
+  Rel lo = b.Join(lineitem, oc, {"l_orderkey"}, {"o_orderkey"},
+                  {"cust_nation"});
+  Rel ls = b.Join(lo, sn, {"l_suppkey"}, {"s_suppkey"}, {"supp_nation"});
+  ls = b.Filter(
+      ls, Or(And(Eq(ls.Ref("supp_nation"), LitStr("FRANCE")),
+                 Eq(ls.Ref("cust_nation"), LitStr("GERMANY"))),
+             And(Eq(ls.Ref("supp_nation"), LitStr("GERMANY")),
+                 Eq(ls.Ref("cust_nation"), LitStr("FRANCE")))));
+  ls = b.Project(ls,
+                 {ls.Ref("supp_nation"), ls.Ref("cust_nation"),
+                  ExtractYear(ls.Ref("l_shipdate")),
+                  Mul(ls.Ref("l_extendedprice"),
+                      Sub(LitDouble(1.0), ls.Ref("l_discount")))},
+                 {"supp_nation", "cust_nation", "l_year", "volume"});
+  Rel agg = b.Aggregate(ls, {"supp_nation", "cust_nation", "l_year"},
+                        {{AggFunc::kSum, "volume", "revenue"}});
+  agg = b.OrderByLimit(
+      agg,
+      {{"supp_nation", true}, {"cust_nation", true}, {"l_year", true}}, 100);
+  return b.Output(agg);
+}
+
+// Q8: national market share (share of BRAZIL in AMERICA by year).
+PlanNodePtr Q8(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel part = b.Scan("part", {"p_partkey", "p_type"});
+  part = b.Filter(part,
+                  Eq(part.Ref("p_type"), LitStr("ECONOMY BURNISHED NICKEL")));
+  Rel lineitem = b.Scan("lineitem", {"l_orderkey", "l_partkey", "l_suppkey",
+                                     "l_extendedprice", "l_discount"});
+  Rel orders = b.Scan("orders", {"o_orderkey", "o_custkey", "o_orderdate"});
+  orders = b.Filter(orders, Between(orders.Ref("o_orderdate"),
+                                    Value::Date(ParseDate("1995-01-01")),
+                                    Value::Date(ParseDate("1996-12-31"))));
+  Rel customer = b.Scan("customer", {"c_custkey", "c_nationkey"});
+  Rel n1 = b.Scan("nation", {"n_nationkey", "n_regionkey"});
+  Rel region = b.Scan("region", {"r_regionkey", "r_name"});
+  region = b.Filter(region, Eq(region.Ref("r_name"), LitStr("AMERICA")));
+  Rel n2 = b.Scan("nation", {"n_nationkey", "n_name"});
+  Rel supplier = b.Scan("supplier", {"s_suppkey", "s_nationkey"});
+
+  Rel lp = b.Join(lineitem, part, {"l_partkey"}, {"p_partkey"}, {});
+  Rel nr = b.Join(n1, region, {"n_regionkey"}, {"r_regionkey"}, {},
+                  /*broadcast=*/true);
+  Rel cn = b.Join(customer, nr, {"c_nationkey"}, {"n_nationkey"}, {},
+                  /*broadcast=*/true);
+  Rel oc = b.Join(orders, cn, {"o_custkey"}, {"c_custkey"}, {});
+  Rel lo = b.Join(lp, oc, {"l_orderkey"}, {"o_orderkey"}, {"o_orderdate"});
+  Rel sn = b.Join(supplier, n2, {"s_nationkey"}, {"n_nationkey"}, {"n_name"},
+                  /*broadcast=*/true);
+  Rel all = b.Join(lo, sn, {"l_suppkey"}, {"s_suppkey"}, {"n_name"});
+  all = b.Project(
+      all,
+      {ExtractYear(all.Ref("o_orderdate")),
+       Mul(all.Ref("l_extendedprice"),
+           Sub(LitDouble(1.0), all.Ref("l_discount"))),
+       CaseWhen({{Eq(all.Ref("n_name"), LitStr("BRAZIL")),
+                  Mul(all.Ref("l_extendedprice"),
+                      Sub(LitDouble(1.0), all.Ref("l_discount")))}},
+                LitDouble(0.0))},
+      {"o_year", "volume", "brazil_volume"});
+  Rel agg = b.Aggregate(all, {"o_year"},
+                        {{AggFunc::kSum, "brazil_volume", "brazil"},
+                         {AggFunc::kSum, "volume", "total"}});
+  agg = b.Project(agg,
+                  {agg.Ref("o_year"), Div(agg.Ref("brazil"), agg.Ref("total"))},
+                  {"o_year", "mkt_share"});
+  agg = b.OrderByLimit(agg, {{"o_year", true}}, 100);
+  return b.Output(agg);
+}
+
+// Q9: product type profit measure.
+PlanNodePtr Q9(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel part = b.Scan("part", {"p_partkey", "p_name"});
+  part = b.Filter(part, Like(part.Ref("p_name"), "%TIN%"));
+  Rel lineitem =
+      b.Scan("lineitem", {"l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
+                          "l_extendedprice", "l_discount"});
+  Rel partsupp =
+      b.Scan("partsupp", {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+  Rel supplier = b.Scan("supplier", {"s_suppkey", "s_nationkey"});
+  Rel orders = b.Scan("orders", {"o_orderkey", "o_orderdate"});
+  Rel nation = b.Scan("nation", {"n_nationkey", "n_name"});
+
+  Rel lp = b.Join(lineitem, part, {"l_partkey"}, {"p_partkey"}, {});
+  Rel lps = b.Join(lp, partsupp, {"l_partkey", "l_suppkey"},
+                   {"ps_partkey", "ps_suppkey"}, {"ps_supplycost"});
+  Rel lo = b.Join(lps, orders, {"l_orderkey"}, {"o_orderkey"},
+                  {"o_orderdate"});
+  Rel sn = b.Join(supplier, nation, {"s_nationkey"}, {"n_nationkey"},
+                  {"n_name"}, /*broadcast=*/true);
+  Rel all = b.Join(lo, sn, {"l_suppkey"}, {"s_suppkey"}, {"n_name"});
+  all = b.Project(
+      all,
+      {all.Ref("n_name"), ExtractYear(all.Ref("o_orderdate")),
+       Sub(Mul(all.Ref("l_extendedprice"),
+               Sub(LitDouble(1.0), all.Ref("l_discount"))),
+           Mul(all.Ref("ps_supplycost"), all.Ref("l_quantity")))},
+      {"nation", "o_year", "amount"});
+  Rel agg = b.Aggregate(all, {"nation", "o_year"},
+                        {{AggFunc::kSum, "amount", "sum_profit"}});
+  agg = b.OrderByLimit(agg, {{"nation", true}, {"o_year", false}}, 100);
+  return b.Output(agg);
+}
+
+// Q10: returned item reporting.
+PlanNodePtr Q10(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel customer = b.Scan(
+      "customer", {"c_custkey", "c_name", "c_acctbal", "c_nationkey",
+                   "c_address", "c_phone"});
+  Rel orders = b.Scan("orders", {"o_orderkey", "o_custkey", "o_orderdate"});
+  orders = b.Filter(orders,
+                    And(Ge(orders.Ref("o_orderdate"), LitDate("1993-10-01")),
+                        Lt(orders.Ref("o_orderdate"), LitDate("1994-01-01"))));
+  Rel lineitem = b.Scan(
+      "lineitem", {"l_orderkey", "l_extendedprice", "l_discount",
+                   "l_returnflag"});
+  lineitem =
+      b.Filter(lineitem, Eq(lineitem.Ref("l_returnflag"), LitStr("R")));
+  Rel nation = b.Scan("nation", {"n_nationkey", "n_name"});
+
+  Rel oc = b.Join(orders, customer, {"o_custkey"}, {"c_custkey"},
+                  {"c_custkey", "c_name", "c_acctbal", "c_nationkey",
+                   "c_address", "c_phone"});
+  Rel lo = b.Join(lineitem, oc, {"l_orderkey"}, {"o_orderkey"},
+                  {"c_custkey", "c_name", "c_acctbal", "c_nationkey",
+                   "c_address", "c_phone"});
+  Rel ln = b.Join(lo, nation, {"c_nationkey"}, {"n_nationkey"}, {"n_name"},
+                  /*broadcast=*/true);
+  ln = WithRevenue(b, ln);
+  Rel agg = b.Aggregate(
+      ln, {"c_custkey", "c_name", "c_acctbal", "n_name", "c_address",
+           "c_phone"},
+      {{AggFunc::kSum, "volume", "revenue"}});
+  agg = b.OrderByLimit(agg, {{"revenue", false}}, 20);
+  return b.Output(agg);
+}
+
+// Q11: important stock identification (HAVING threshold dropped —
+// DESIGN.md substitution).
+PlanNodePtr Q11(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel partsupp = b.Scan(
+      "partsupp", {"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"});
+  Rel supplier = b.Scan("supplier", {"s_suppkey", "s_nationkey"});
+  Rel nation = b.Scan("nation", {"n_nationkey", "n_name"});
+  nation = b.Filter(nation, Eq(nation.Ref("n_name"), LitStr("GERMANY")));
+
+  Rel sn = b.Join(supplier, nation, {"s_nationkey"}, {"n_nationkey"}, {},
+                  /*broadcast=*/true);
+  Rel pssn = b.Join(partsupp, sn, {"ps_suppkey"}, {"s_suppkey"}, {});
+  pssn = b.Project(pssn,
+                   {pssn.Ref("ps_partkey"),
+                    Mul(pssn.Ref("ps_supplycost"),
+                        pssn.Ref("ps_availqty"))},
+                   {"ps_partkey", "value"});
+  Rel agg = b.Aggregate(pssn, {"ps_partkey"},
+                        {{AggFunc::kSum, "value", "total_value"}});
+  agg = b.OrderByLimit(agg, {{"total_value", false}}, 100);
+  return b.Output(agg);
+}
+
+// Q12: shipping modes and order priority.
+PlanNodePtr Q12(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel orders = b.Scan("orders", {"o_orderkey", "o_orderpriority"});
+  Rel lineitem = b.Scan("lineitem", {"l_orderkey", "l_shipmode", "l_shipdate",
+                                     "l_commitdate", "l_receiptdate"});
+  lineitem = b.Filter(
+      lineitem,
+      And(And(In(lineitem.Ref("l_shipmode"),
+                 {Value::Str("MAIL"), Value::Str("SHIP")}),
+              And(Lt(lineitem.Ref("l_commitdate"),
+                     lineitem.Ref("l_receiptdate")),
+                  Lt(lineitem.Ref("l_shipdate"),
+                     lineitem.Ref("l_commitdate")))),
+          And(Ge(lineitem.Ref("l_receiptdate"), LitDate("1994-01-01")),
+              Lt(lineitem.Ref("l_receiptdate"), LitDate("1995-01-01")))));
+  Rel j = b.Join(lineitem, orders, {"l_orderkey"}, {"o_orderkey"},
+                 {"o_orderpriority"});
+  j = b.Project(
+      j,
+      {j.Ref("l_shipmode"),
+       CaseWhen({{In(j.Ref("o_orderpriority"),
+                     {Value::Str("1-URGENT"), Value::Str("2-HIGH")}),
+                  LitInt(1)}},
+                LitInt(0)),
+       CaseWhen({{In(j.Ref("o_orderpriority"),
+                     {Value::Str("1-URGENT"), Value::Str("2-HIGH")}),
+                  LitInt(0)}},
+                LitInt(1))},
+      {"l_shipmode", "high_line", "low_line"});
+  Rel agg = b.Aggregate(j, {"l_shipmode"},
+                        {{AggFunc::kSum, "high_line", "high_line_count"},
+                         {AggFunc::kSum, "low_line", "low_line_count"}});
+  agg = b.OrderByLimit(agg, {{"l_shipmode", true}}, 100);
+  return b.Output(agg);
+}
+
+}  // namespace
+
+PlanNodePtr TpchQueryPlan(int q, const Catalog& catalog) {
+  switch (q) {
+    case 1:
+      return Q1(catalog);
+    case 2:
+      return Q2(catalog);
+    case 3:
+      return Q3(catalog);
+    case 4:
+      return Q4(catalog);
+    case 5:
+      return Q5(catalog);
+    case 6:
+      return Q6(catalog);
+    case 7:
+      return Q7(catalog);
+    case 8:
+      return Q8(catalog);
+    case 9:
+      return Q9(catalog);
+    case 10:
+      return Q10(catalog);
+    case 11:
+      return Q11(catalog);
+    case 12:
+      return Q12(catalog);
+    default:
+      ACC_CHECK(false) << "TPC-H query " << q << " not implemented";
+      return nullptr;
+  }
+}
+
+PlanNodePtr TpchQ2JPlan(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  Rel lineitem = b.Scan("lineitem", {"l_orderkey"});
+  Rel orders = b.Scan("orders", {"o_orderkey"});
+  Rel j = b.Join(lineitem, orders, {"l_orderkey"}, {"o_orderkey"}, {});
+  Rel agg = b.Aggregate(j, {}, {{AggFunc::kCount, "l_orderkey", "cnt"}});
+  return b.Output(agg);
+}
+
+PlanNodePtr ShuffleBottleneckPlan(const Catalog& catalog,
+                                  bool with_shuffle_stage) {
+  PlanBuilder b(&catalog);
+  Rel orders = b.Scan("orders", {"o_orderkey", "o_custkey"});
+  if (with_shuffle_stage) orders = b.InsertShuffleStage(orders);
+  Rel customer = b.Scan("customer", {"c_custkey", "c_nationkey"});
+  customer = b.Filter(customer, Eq(customer.Ref("c_nationkey"), LitInt(9)));
+  Rel j = b.Join(orders, customer, {"o_custkey"}, {"c_custkey"}, {});
+  Rel agg = b.Aggregate(j, {}, {{AggFunc::kCount, "o_orderkey", "cnt"}});
+  return b.Output(agg);
+}
+
+}  // namespace accordion

@@ -1,0 +1,390 @@
+#include "tpch/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace accordion {
+namespace {
+
+constexpr int64_t kCustomersPerSf = 150000;
+constexpr int64_t kOrdersPerSf = 1500000;
+constexpr int64_t kSuppliersPerSf = 10000;
+constexpr int64_t kPartsPerSf = 200000;
+constexpr int64_t kPartsuppPerSf = 800000;
+
+const char* kNationNames[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const int kNationRegion[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                               4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kRegionNames[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                               "MIDDLE EAST"};
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                            "MACHINERY"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[7] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                             "MAIL", "FOB"};
+const char* kShipInstructs[4] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                                 "TAKE BACK RETURN"};
+const char* kContainers[8] = {"SM CASE", "SM BOX", "MED BAG", "MED BOX",
+                              "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR"};
+const char* kTypes[6] = {"STANDARD ANODIZED", "SMALL PLATED", "MEDIUM BRUSHED",
+                         "ECONOMY BURNISHED", "LARGE POLISHED",
+                         "PROMO ANODIZED"};
+const char* kMaterials[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+// Order-date window from the TPC-H spec.
+const int64_t kStartDate = ParseDate("1992-01-01");
+const int64_t kEndDate = ParseDate("1998-08-02");
+
+uint64_t Splitmix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t TableSeed(const std::string& table) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : table) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  return h;
+}
+
+/// Per-row deterministic RNG: generation order never affects values.
+Random RowRng(const std::string& table, int64_t row) {
+  return Random(Splitmix(TableSeed(table) ^ static_cast<uint64_t>(row)));
+}
+
+int64_t LinesPerOrder(int64_t orderkey) {
+  return 1 + static_cast<int64_t>(Splitmix(static_cast<uint64_t>(orderkey) ^
+                                           0xC0FFEE) %
+                                  7);
+}
+
+double PartRetailPrice(int64_t partkey) {
+  return 900.0 + static_cast<double>(partkey % 1000) + 0.01 * (partkey % 100);
+}
+
+struct PageBuilder {
+  std::vector<Column> cols;
+
+  explicit PageBuilder(const TableSchema& schema) {
+    for (const auto& def : schema.columns()) cols.emplace_back(def.type);
+  }
+
+  PagePtr Finish() { return Page::Make(std::move(cols)); }
+};
+
+}  // namespace
+
+const std::vector<std::string>& TpchTableNames() {
+  static const std::vector<std::string> kNames = {
+      "nation", "region",   "supplier", "part",
+      "partsupp", "customer", "orders",   "lineitem"};
+  return kNames;
+}
+
+TableSchema TpchSchema(const std::string& table) {
+  using DT = DataType;
+  if (table == "nation") {
+    return TableSchema("nation", {{"n_nationkey", DT::kInt64},
+                                  {"n_name", DT::kString},
+                                  {"n_regionkey", DT::kInt64},
+                                  {"n_comment", DT::kString}});
+  }
+  if (table == "region") {
+    return TableSchema("region", {{"r_regionkey", DT::kInt64},
+                                  {"r_name", DT::kString},
+                                  {"r_comment", DT::kString}});
+  }
+  if (table == "supplier") {
+    return TableSchema("supplier", {{"s_suppkey", DT::kInt64},
+                                    {"s_name", DT::kString},
+                                    {"s_address", DT::kString},
+                                    {"s_nationkey", DT::kInt64},
+                                    {"s_phone", DT::kString},
+                                    {"s_acctbal", DT::kDouble},
+                                    {"s_comment", DT::kString}});
+  }
+  if (table == "part") {
+    return TableSchema("part", {{"p_partkey", DT::kInt64},
+                                {"p_name", DT::kString},
+                                {"p_mfgr", DT::kString},
+                                {"p_brand", DT::kString},
+                                {"p_type", DT::kString},
+                                {"p_size", DT::kInt64},
+                                {"p_container", DT::kString},
+                                {"p_retailprice", DT::kDouble},
+                                {"p_comment", DT::kString}});
+  }
+  if (table == "partsupp") {
+    return TableSchema("partsupp", {{"ps_partkey", DT::kInt64},
+                                    {"ps_suppkey", DT::kInt64},
+                                    {"ps_availqty", DT::kInt64},
+                                    {"ps_supplycost", DT::kDouble},
+                                    {"ps_comment", DT::kString}});
+  }
+  if (table == "customer") {
+    return TableSchema("customer", {{"c_custkey", DT::kInt64},
+                                    {"c_name", DT::kString},
+                                    {"c_address", DT::kString},
+                                    {"c_nationkey", DT::kInt64},
+                                    {"c_phone", DT::kString},
+                                    {"c_acctbal", DT::kDouble},
+                                    {"c_mktsegment", DT::kString},
+                                    {"c_comment", DT::kString}});
+  }
+  if (table == "orders") {
+    return TableSchema("orders", {{"o_orderkey", DT::kInt64},
+                                  {"o_custkey", DT::kInt64},
+                                  {"o_orderstatus", DT::kString},
+                                  {"o_totalprice", DT::kDouble},
+                                  {"o_orderdate", DT::kDate},
+                                  {"o_orderpriority", DT::kString},
+                                  {"o_clerk", DT::kString},
+                                  {"o_shippriority", DT::kInt64},
+                                  {"o_comment", DT::kString}});
+  }
+  if (table == "lineitem") {
+    return TableSchema("lineitem", {{"l_orderkey", DT::kInt64},
+                                    {"l_partkey", DT::kInt64},
+                                    {"l_suppkey", DT::kInt64},
+                                    {"l_linenumber", DT::kInt64},
+                                    {"l_quantity", DT::kDouble},
+                                    {"l_extendedprice", DT::kDouble},
+                                    {"l_discount", DT::kDouble},
+                                    {"l_tax", DT::kDouble},
+                                    {"l_returnflag", DT::kString},
+                                    {"l_linestatus", DT::kString},
+                                    {"l_shipdate", DT::kDate},
+                                    {"l_commitdate", DT::kDate},
+                                    {"l_receiptdate", DT::kDate},
+                                    {"l_shipinstruct", DT::kString},
+                                    {"l_shipmode", DT::kString},
+                                    {"l_comment", DT::kString}});
+  }
+  ACC_CHECK(false) << "unknown TPC-H table: " << table;
+  return TableSchema();
+}
+
+int64_t TpchRowCount(const std::string& table, double sf) {
+  auto scaled = [sf](int64_t base) {
+    return std::max<int64_t>(1, static_cast<int64_t>(std::llround(base * sf)));
+  };
+  if (table == "nation") return 25;
+  if (table == "region") return 5;
+  if (table == "supplier") return scaled(kSuppliersPerSf);
+  if (table == "part") return scaled(kPartsPerSf);
+  if (table == "partsupp") return scaled(kPartsuppPerSf);
+  if (table == "customer") return scaled(kCustomersPerSf);
+  if (table == "orders") return scaled(kOrdersPerSf);
+  if (table == "lineitem") return scaled(kOrdersPerSf) * 4;  // approx
+  ACC_CHECK(false) << "unknown TPC-H table: " << table;
+  return 0;
+}
+
+Catalog MakeTpchCatalog(double scale_factor, int num_storage_nodes) {
+  Catalog catalog;
+  for (const auto& table : TpchTableNames()) {
+    TableLayout layout;
+    if (table == "nation" || table == "region") {
+      layout = {1, 1};  // 1 node, 1 split/node (paper Table 1)
+    } else if (table == "lineitem") {
+      layout = {num_storage_nodes, 7};  // 7 splits/node
+    } else {
+      layout = {num_storage_nodes, 1};
+    }
+    catalog.AddTable(TpchSchema(table), layout);
+  }
+  (void)scale_factor;
+  return catalog;
+}
+
+TpchSplitGenerator::TpchSplitGenerator(std::string table, double scale_factor,
+                                       int split_index, int split_count,
+                                       int64_t batch_rows)
+    : table_(std::move(table)),
+      schema_(TpchSchema(table_)),
+      scale_factor_(scale_factor),
+      batch_rows_(batch_rows) {
+  ACC_CHECK(split_index >= 0 && split_index < split_count)
+      << "bad split " << split_index << "/" << split_count;
+  if (table_ == "lineitem") {
+    // Partition by order range; derive exact line counts.
+    int64_t orders = TpchRowCount("orders", scale_factor_);
+    begin_ = 1 + orders * split_index / split_count;
+    end_ = 1 + orders * (split_index + 1) / split_count;
+    for (int64_t o = begin_; o < end_; ++o) total_rows_ += LinesPerOrder(o);
+  } else {
+    int64_t rows = TpchRowCount(table_, scale_factor_);
+    begin_ = rows * split_index / split_count;
+    end_ = rows * (split_index + 1) / split_count;
+    total_rows_ = end_ - begin_;
+  }
+  cursor_ = begin_;
+}
+
+PagePtr TpchSplitGenerator::NextPage() {
+  if (cursor_ >= end_) return nullptr;
+  PageBuilder b(schema_);
+  int64_t produced = 0;
+  const int64_t customers = TpchRowCount("customer", scale_factor_);
+  const int64_t parts = TpchRowCount("part", scale_factor_);
+  const int64_t suppliers = TpchRowCount("supplier", scale_factor_);
+
+  while (cursor_ < end_ && produced < batch_rows_) {
+    if (table_ == "nation") {
+      int64_t i = cursor_++;
+      Random rng = RowRng(table_, i);
+      b.cols[0].AppendInt(i);
+      b.cols[1].AppendStr(kNationNames[i]);
+      b.cols[2].AppendInt(kNationRegion[i]);
+      b.cols[3].AppendStr(rng.NextString(20));
+      ++produced;
+    } else if (table_ == "region") {
+      int64_t i = cursor_++;
+      Random rng = RowRng(table_, i);
+      b.cols[0].AppendInt(i);
+      b.cols[1].AppendStr(kRegionNames[i]);
+      b.cols[2].AppendStr(rng.NextString(20));
+      ++produced;
+    } else if (table_ == "supplier") {
+      int64_t key = ++cursor_;  // 1-based keys
+      Random rng = RowRng(table_, key);
+      b.cols[0].AppendInt(key);
+      b.cols[1].AppendStr("Supplier#" + std::to_string(key));
+      b.cols[2].AppendStr(rng.NextString(15));
+      b.cols[3].AppendInt(rng.NextInt(0, 24));
+      b.cols[4].AppendStr(std::to_string(10 + rng.NextInt(0, 24)) + "-555-" +
+                          std::to_string(rng.NextInt(1000, 9999)));
+      b.cols[5].AppendDouble(rng.NextDouble() * 10000 - 1000);
+      b.cols[6].AppendStr(rng.NextString(25));
+      ++produced;
+    } else if (table_ == "part") {
+      int64_t key = ++cursor_;
+      Random rng = RowRng(table_, key);
+      b.cols[0].AppendInt(key);
+      b.cols[1].AppendStr(std::string(kMaterials[rng.NextInt(0, 4)]) + " " +
+                          rng.NextString(8));
+      b.cols[2].AppendStr("Manufacturer#" + std::to_string(rng.NextInt(1, 5)));
+      b.cols[3].AppendStr("Brand#" + std::to_string(rng.NextInt(11, 55)));
+      b.cols[4].AppendStr(std::string(kTypes[rng.NextInt(0, 5)]) + " " +
+                          kMaterials[rng.NextInt(0, 4)]);
+      b.cols[5].AppendInt(rng.NextInt(1, 50));
+      b.cols[6].AppendStr(kContainers[rng.NextInt(0, 7)]);
+      b.cols[7].AppendDouble(PartRetailPrice(key));
+      b.cols[8].AppendStr(rng.NextString(15));
+      ++produced;
+    } else if (table_ == "partsupp") {
+      int64_t i = cursor_++;
+      Random rng = RowRng(table_, i);
+      // 4 suppliers per part.
+      int64_t partkey = 1 + i / 4;
+      b.cols[0].AppendInt(partkey);
+      b.cols[1].AppendInt(1 + (partkey + (i % 4) * (suppliers / 4 + 1)) %
+                                  suppliers);
+      b.cols[2].AppendInt(rng.NextInt(1, 9999));
+      b.cols[3].AppendDouble(rng.NextDouble() * 1000 + 1);
+      b.cols[4].AppendStr(rng.NextString(20));
+      ++produced;
+    } else if (table_ == "customer") {
+      int64_t key = ++cursor_;
+      Random rng = RowRng(table_, key);
+      b.cols[0].AppendInt(key);
+      b.cols[1].AppendStr("Customer#" + std::to_string(key));
+      b.cols[2].AppendStr(rng.NextString(15));
+      b.cols[3].AppendInt(rng.NextInt(0, 24));
+      b.cols[4].AppendStr(std::to_string(10 + rng.NextInt(0, 24)) + "-555-" +
+                          std::to_string(rng.NextInt(1000, 9999)));
+      b.cols[5].AppendDouble(rng.NextDouble() * 10000 - 1000);
+      b.cols[6].AppendStr(kSegments[rng.NextInt(0, 4)]);
+      b.cols[7].AppendStr(rng.NextString(25));
+      ++produced;
+    } else if (table_ == "orders") {
+      int64_t key = ++cursor_;
+      Random rng = RowRng(table_, key);
+      int64_t orderdate = kStartDate + rng.NextInt(0, kEndDate - kStartDate);
+      b.cols[0].AppendInt(key);
+      b.cols[1].AppendInt(rng.NextInt(1, customers));
+      b.cols[2].AppendStr(orderdate + 90 < ParseDate("1995-06-17") ? "F" : "O");
+      b.cols[3].AppendDouble(1000 + rng.NextDouble() * 450000);
+      b.cols[4].AppendInt(orderdate);
+      b.cols[5].AppendStr(kPriorities[rng.NextInt(0, 4)]);
+      b.cols[6].AppendStr("Clerk#" + std::to_string(rng.NextInt(1, 1000)));
+      b.cols[7].AppendInt(0);
+      b.cols[8].AppendStr(rng.NextString(30));
+      ++produced;
+    } else if (table_ == "lineitem") {
+      int64_t orderkey = cursor_;
+      int64_t nlines = LinesPerOrder(orderkey);
+      if (line_in_order_ >= nlines) {
+        ++cursor_;
+        line_in_order_ = 0;
+        continue;
+      }
+      int64_t line = ++line_in_order_;
+      Random rng = RowRng(table_, orderkey * 8 + line);
+      // Must match the order row's date: re-derive it deterministically.
+      Random order_rng = RowRng("orders", orderkey);
+      int64_t orderdate =
+          kStartDate + order_rng.NextInt(0, kEndDate - kStartDate);
+      int64_t partkey = rng.NextInt(1, parts);
+      double quantity = static_cast<double>(rng.NextInt(1, 50));
+      int64_t shipdate = orderdate + rng.NextInt(1, 121);
+      int64_t commitdate = orderdate + rng.NextInt(30, 90);
+      int64_t receiptdate = shipdate + rng.NextInt(1, 30);
+      const int64_t split_point = ParseDate("1995-06-17");
+      b.cols[0].AppendInt(orderkey);
+      b.cols[1].AppendInt(partkey);
+      b.cols[2].AppendInt(rng.NextInt(1, suppliers));
+      b.cols[3].AppendInt(line);
+      b.cols[4].AppendDouble(quantity);
+      b.cols[5].AppendDouble(quantity * PartRetailPrice(partkey));
+      b.cols[6].AppendDouble(0.01 * rng.NextInt(0, 10));
+      b.cols[7].AppendDouble(0.01 * rng.NextInt(0, 8));
+      b.cols[8].AppendStr(receiptdate <= split_point
+                              ? (rng.NextInt(0, 1) ? "R" : "A")
+                              : "N");
+      b.cols[9].AppendStr(shipdate > split_point ? "O" : "F");
+      b.cols[10].AppendInt(shipdate);
+      b.cols[11].AppendInt(commitdate);
+      b.cols[12].AppendInt(receiptdate);
+      b.cols[13].AppendStr(kShipInstructs[rng.NextInt(0, 3)]);
+      b.cols[14].AppendStr(kShipModes[rng.NextInt(0, 6)]);
+      b.cols[15].AppendStr(rng.NextString(20));
+      ++produced;
+    } else {
+      ACC_CHECK(false) << "unknown table " << table_;
+    }
+  }
+  if (produced == 0) return nullptr;
+  return b.Finish();
+}
+
+std::vector<PagePtr> GenerateSplit(const std::string& table,
+                                   double scale_factor, int split_index,
+                                   int split_count, int64_t batch_rows) {
+  TpchSplitGenerator gen(table, scale_factor, split_index, split_count,
+                         batch_rows);
+  std::vector<PagePtr> pages;
+  while (PagePtr page = gen.NextPage()) pages.push_back(page);
+  return pages;
+}
+
+int64_t TpchTableBytes(const std::string& table, double scale_factor,
+                       int split_count) {
+  int64_t bytes = 0;
+  for (int s = 0; s < split_count; ++s) {
+    TpchSplitGenerator gen(table, scale_factor, s, split_count, 4096);
+    while (PagePtr page = gen.NextPage()) bytes += page->ByteSize();
+  }
+  return bytes;
+}
+
+}  // namespace accordion

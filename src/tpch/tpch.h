@@ -1,0 +1,85 @@
+#ifndef ACCORDION_TPCH_TPCH_H_
+#define ACCORDION_TPCH_TPCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "vector/page.h"
+
+namespace accordion {
+
+/// Deterministic synthetic TPC-H data substrate.
+///
+/// The paper evaluates on TPC-H SF100 stored as CSV, manually divided into
+/// splits across 10 storage nodes (Table 1). dbgen and 107 GB of disk are
+/// not available offline, so this module regenerates the 8 tables at any
+/// scale factor with the distributions that matter to the benchmark
+/// queries: uniform keys, the 1992..1998 order-date window, shipdate =
+/// orderdate + U[1,121], 1–7 lineitems per order, the standard enum
+/// domains (segments, priorities, ship modes, flags).
+///
+/// Generation is *split-independent*: split i of n can be produced without
+/// materializing the rest of the table, exactly like reading one CSV split.
+
+/// Schema of one of the 8 TPC-H tables ("lineitem", "orders", ...).
+TableSchema TpchSchema(const std::string& table);
+
+/// All eight table names in generation order.
+const std::vector<std::string>& TpchTableNames();
+
+/// Base row count for a table at the given scale factor (lineitem is
+/// approximate; its exact count is derived from per-order line counts).
+int64_t TpchRowCount(const std::string& table, double scale_factor);
+
+/// Catalog pre-loaded with the 8 schemas and the paper's Table-1
+/// partitioning scheme scaled to `num_storage_nodes` nodes: nation/region
+/// live on 1 node with 1 split, lineitem gets 7 splits per node, every
+/// other table 1 split per node.
+Catalog MakeTpchCatalog(double scale_factor, int num_storage_nodes);
+
+/// Streaming generator for one split of one table. Thread-compatible
+/// (use one instance per driver).
+class TpchSplitGenerator {
+ public:
+  /// @param batch_rows  rows per produced page (the scan page size).
+  TpchSplitGenerator(std::string table, double scale_factor, int split_index,
+                     int split_count, int64_t batch_rows = 1024);
+
+  /// Next page of rows, or nullptr when the split is exhausted.
+  PagePtr NextPage();
+
+  /// Total rows this split will produce (exact).
+  int64_t TotalRows() const { return total_rows_; }
+
+  const TableSchema& schema() const { return schema_; }
+
+ private:
+  std::string table_;
+  TableSchema schema_;
+  double scale_factor_;
+  int64_t batch_rows_;
+  // Row-range tables: [row_begin_, row_end_). Lineitem: order range.
+  int64_t begin_ = 0;
+  int64_t end_ = 0;
+  int64_t cursor_ = 0;
+  int64_t total_rows_ = 0;
+  // Lineitem state: line offset within the current order.
+  int64_t line_in_order_ = 0;
+};
+
+/// Materializes an entire split (convenience for tests and CSV export).
+std::vector<PagePtr> GenerateSplit(const std::string& table,
+                                   double scale_factor, int split_index,
+                                   int split_count, int64_t batch_rows = 1024);
+
+/// Total bytes of one table at the given SF (sum of page byte sizes across
+/// splits) — used by the Table 1 reproduction.
+int64_t TpchTableBytes(const std::string& table, double scale_factor,
+                       int split_count);
+
+}  // namespace accordion
+
+#endif  // ACCORDION_TPCH_TPCH_H_

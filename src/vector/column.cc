@@ -1,0 +1,137 @@
+#include "vector/column.h"
+
+namespace accordion {
+namespace {
+
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t HashBytes(const char* data, size_t len, uint64_t seed) {
+  // FNV-1a folded through Mix64; sufficient distribution for partitioning.
+  uint64_t h = seed ^ 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+int64_t Column::ByteSize() const {
+  switch (type_) {
+    case DataType::kDouble:
+      return static_cast<int64_t>(doubles_.size() * sizeof(double));
+    case DataType::kString: {
+      int64_t bytes = 0;
+      for (const auto& s : strings_) bytes += 4 + static_cast<int64_t>(s.size());
+      return bytes;
+    }
+    default:
+      return static_cast<int64_t>(ints_.size() * sizeof(int64_t));
+  }
+}
+
+Value Column::ValueAt(int64_t i) const {
+  Value v;
+  v.type = type_;
+  switch (type_) {
+    case DataType::kDouble:
+      v.f64 = doubles_[i];
+      break;
+    case DataType::kString:
+      v.str = strings_[i];
+      break;
+    default:
+      v.i64 = ints_[i];
+      break;
+  }
+  return v;
+}
+
+void Column::AppendValue(const Value& v) {
+  ACC_CHECK(v.type == type_) << "appending " << DataTypeName(v.type) << " to "
+                             << DataTypeName(type_) << " column";
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(v.f64);
+      break;
+    case DataType::kString:
+      strings_.push_back(v.str);
+      break;
+    default:
+      ints_.push_back(v.i64);
+      break;
+  }
+}
+
+void Column::AppendFrom(const Column& other, int64_t row) {
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(other.doubles_[row]);
+      break;
+    case DataType::kString:
+      strings_.push_back(other.strings_[row]);
+      break;
+    default:
+      ints_.push_back(other.ints_[row]);
+      break;
+  }
+}
+
+Column Column::Gather(const std::vector<int32_t>& indices) const {
+  Column out(type_);
+  out.Reserve(static_cast<int64_t>(indices.size()));
+  switch (type_) {
+    case DataType::kDouble:
+      for (int32_t i : indices) out.doubles_.push_back(doubles_[i]);
+      break;
+    case DataType::kString:
+      for (int32_t i : indices) out.strings_.push_back(strings_[i]);
+      break;
+    default:
+      for (int32_t i : indices) out.ints_.push_back(ints_[i]);
+      break;
+  }
+  return out;
+}
+
+uint64_t Column::HashAt(int64_t i, uint64_t seed) const {
+  switch (type_) {
+    case DataType::kDouble: {
+      uint64_t bits;
+      double d = doubles_[i];
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits ^ seed);
+    }
+    case DataType::kString: {
+      const std::string& s = strings_[i];
+      return HashBytes(s.data(), s.size(), seed);
+    }
+    default:
+      return Mix64(static_cast<uint64_t>(ints_[i]) ^ seed);
+  }
+}
+
+void Column::Reserve(int64_t n) {
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+    default:
+      ints_.reserve(n);
+      break;
+  }
+}
+
+}  // namespace accordion

@@ -1,0 +1,86 @@
+#ifndef ACCORDION_VECTOR_COLUMN_H_
+#define ACCORDION_VECTOR_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "vector/data_type.h"
+#include "vector/value.h"
+
+namespace accordion {
+
+/// A typed contiguous vector of values — one column of a Page. Follows the
+/// Arrow layout philosophy (columnar, batch-at-a-time) without nullability:
+/// TPC-H columns are NOT NULL and Accordion's queries only use inner joins,
+/// so validity bitmaps would be dead weight on every kernel.
+///
+/// Integer-backed types (int64/date/bool) share the int64 buffer, which
+/// keeps the kernel switch small.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+
+  int64_t size() const {
+    return type_ == DataType::kString ? static_cast<int64_t>(strings_.size())
+           : type_ == DataType::kDouble
+               ? static_cast<int64_t>(doubles_.size())
+               : static_cast<int64_t>(ints_.size());
+  }
+
+  /// Approximate memory footprint, used for buffer accounting and the
+  /// simulated NIC transfer costs.
+  int64_t ByteSize() const;
+
+  // --- typed element access (no bounds checks on hot paths) ---
+  int64_t IntAt(int64_t i) const { return ints_[i]; }
+  double DoubleAt(int64_t i) const { return doubles_[i]; }
+  const std::string& StrAt(int64_t i) const { return strings_[i]; }
+
+  /// Numeric view of row i (doubles pass through, ints widen).
+  double NumericAt(int64_t i) const {
+    return type_ == DataType::kDouble ? doubles_[i]
+                                      : static_cast<double>(ints_[i]);
+  }
+
+  Value ValueAt(int64_t i) const;
+
+  // --- appends ---
+  void AppendInt(int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { doubles_.push_back(v); }
+  void AppendStr(std::string v) { strings_.push_back(std::move(v)); }
+  void AppendValue(const Value& v);
+
+  /// Appends row `row` of `other` (same type) to this column.
+  void AppendFrom(const Column& other, int64_t row);
+
+  /// Direct buffer access for kernels.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  std::vector<int64_t>* mutable_ints() { return &ints_; }
+  std::vector<double>* mutable_doubles() { return &doubles_; }
+  std::vector<std::string>* mutable_strings() { return &strings_; }
+
+  /// New column with the rows selected by `indices`, in order.
+  Column Gather(const std::vector<int32_t>& indices) const;
+
+  /// Stable 64-bit hash of row i, mixed into `seed`. Used by partitioned
+  /// shuffles and hash joins; must agree across workers.
+  uint64_t HashAt(int64_t i, uint64_t seed) const;
+
+  void Reserve(int64_t n);
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_VECTOR_COLUMN_H_

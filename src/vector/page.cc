@@ -1,0 +1,209 @@
+#include "vector/page.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace accordion {
+namespace {
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutI64(std::string* out, int64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutF64(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutI64(out, static_cast<int64_t>(s.size()));
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadI64(int64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadF64(double* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadStr(std::string* v) {
+    int64_t len;
+    if (!ReadI64(&len) || len < 0 || pos_ + static_cast<size_t>(len) > data_.size()) {
+      return false;
+    }
+    v->assign(data_.data() + pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return true;
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+PagePtr Page::Make(std::vector<Column> columns) {
+  auto page = std::shared_ptr<Page>(new Page());
+  page->columns_ = std::move(columns);
+  page->num_rows_ = page->columns_.empty() ? 0 : page->columns_[0].size();
+  for (const auto& col : page->columns_) {
+    ACC_CHECK(col.size() == page->num_rows_) << "ragged page";
+    page->byte_size_ += col.ByteSize();
+  }
+  return page;
+}
+
+PagePtr Page::End() {
+  auto page = std::shared_ptr<Page>(new Page());
+  page->is_end_ = true;
+  return page;
+}
+
+PagePtr Page::Empty(const std::vector<DataType>& types) {
+  std::vector<Column> cols;
+  cols.reserve(types.size());
+  for (DataType t : types) cols.emplace_back(t);
+  return Make(std::move(cols));
+}
+
+PagePtr Page::Select(const std::vector<int32_t>& indices) const {
+  ACC_CHECK(!is_end_) << "Select on end page";
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const auto& col : columns_) cols.push_back(col.Gather(indices));
+  return Make(std::move(cols));
+}
+
+uint64_t Page::HashRow(int64_t row, const std::vector<int>& key_channels) const {
+  uint64_t h = 0x8445D61A4E774912ULL;
+  for (int ch : key_channels) h = columns_[ch].HashAt(row, h);
+  return h;
+}
+
+std::string Page::ToString(int64_t max_rows) const {
+  if (is_end_) return "[end page]";
+  std::ostringstream out;
+  out << "Page(" << num_rows_ << " rows x " << columns_.size() << " cols)\n";
+  int64_t shown = std::min(num_rows_, max_rows);
+  for (int64_t r = 0; r < shown; ++r) {
+    out << "  ";
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out << " | ";
+      out << columns_[c].ValueAt(r).ToString();
+    }
+    out << "\n";
+  }
+  if (shown < num_rows_) out << "  ... (" << (num_rows_ - shown) << " more)\n";
+  return out.str();
+}
+
+std::string Page::Serialize() const {
+  std::string out;
+  PutU8(&out, is_end_ ? 1 : 0);
+  if (is_end_) return out;
+  PutI64(&out, num_rows_);
+  PutI64(&out, static_cast<int64_t>(columns_.size()));
+  for (const auto& col : columns_) {
+    PutU8(&out, static_cast<uint8_t>(col.type()));
+    switch (col.type()) {
+      case DataType::kDouble:
+        for (double v : col.doubles()) PutF64(&out, v);
+        break;
+      case DataType::kString:
+        for (const auto& s : col.strings()) PutStr(&out, s);
+        break;
+      default:
+        for (int64_t v : col.ints()) PutI64(&out, v);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<PagePtr> Page::Deserialize(const std::string& data) {
+  Reader reader(data);
+  uint8_t is_end;
+  if (!reader.ReadU8(&is_end)) {
+    return Status::ParseError("page header truncated");
+  }
+  if (is_end) return Page::End();
+  int64_t num_rows, num_cols;
+  if (!reader.ReadI64(&num_rows) || !reader.ReadI64(&num_cols) ||
+      num_rows < 0 || num_cols < 0 || num_cols > 1 << 16) {
+    return Status::ParseError("page shape corrupt");
+  }
+  std::vector<Column> cols;
+  cols.reserve(static_cast<size_t>(num_cols));
+  for (int64_t c = 0; c < num_cols; ++c) {
+    uint8_t type_byte;
+    if (!reader.ReadU8(&type_byte) || type_byte > 4) {
+      return Status::ParseError("column type corrupt");
+    }
+    Column col(static_cast<DataType>(type_byte));
+    col.Reserve(num_rows);
+    for (int64_t r = 0; r < num_rows; ++r) {
+      switch (col.type()) {
+        case DataType::kDouble: {
+          double v;
+          if (!reader.ReadF64(&v)) return Status::ParseError("double truncated");
+          col.AppendDouble(v);
+          break;
+        }
+        case DataType::kString: {
+          std::string s;
+          if (!reader.ReadStr(&s)) return Status::ParseError("string truncated");
+          col.AppendStr(std::move(s));
+          break;
+        }
+        default: {
+          int64_t v;
+          if (!reader.ReadI64(&v)) return Status::ParseError("int truncated");
+          col.AppendInt(v);
+          break;
+        }
+      }
+    }
+    cols.push_back(std::move(col));
+  }
+  return Page::Make(std::move(cols));
+}
+
+PagePtr Page::Concat(const std::vector<PagePtr>& pages) {
+  ACC_CHECK(!pages.empty()) << "Concat of zero pages";
+  std::vector<Column> cols;
+  for (int c = 0; c < pages[0]->num_columns(); ++c) {
+    cols.emplace_back(pages[0]->column(c).type());
+  }
+  for (const auto& page : pages) {
+    ACC_CHECK(!page->IsEnd());
+    for (int c = 0; c < page->num_columns(); ++c) {
+      for (int64_t r = 0; r < page->num_rows(); ++r) {
+        cols[c].AppendFrom(page->column(c), r);
+      }
+    }
+  }
+  return Make(std::move(cols));
+}
+
+}  // namespace accordion

@@ -1,0 +1,75 @@
+#ifndef ACCORDION_VECTOR_PAGE_H_
+#define ACCORDION_VECTOR_PAGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/column.h"
+
+namespace accordion {
+
+class Page;
+using PagePtr = std::shared_ptr<const Page>;
+
+/// A batch of rows in columnar layout — the unit of data exchange between
+/// operators, drivers, tasks and (simulated) compute nodes, mirroring the
+/// paper's Arrow pages.
+///
+/// A Page is immutable after construction and shared by pointer; caches
+/// (the join-rebuild intermediate data cache, shuffle-buffer page caches)
+/// retain the same physical batch without copying.
+///
+/// The special **end page** (`Page::End()`) carries no data. It is the
+/// token of the paper's end-page relay protocol (§4.3, Fig. 13): passed
+/// between operators to gracefully close drivers, and between tasks to
+/// close stages bottom-up.
+class Page {
+ public:
+  /// Builds a data page; all columns must have `num_rows` rows.
+  static PagePtr Make(std::vector<Column> columns);
+
+  /// The end-page singleton-like marker (one allocation per call is fine).
+  static PagePtr End();
+
+  /// An empty data page with the given column types (0 rows).
+  static PagePtr Empty(const std::vector<DataType>& types);
+
+  bool IsEnd() const { return is_end_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Approximate in-memory/wire footprint in bytes.
+  int64_t ByteSize() const { return byte_size_; }
+
+  /// New page with only the rows in `indices` (in order).
+  PagePtr Select(const std::vector<int32_t>& indices) const;
+
+  /// Row hash over `key_channels`, used for partitioned exchange and joins.
+  uint64_t HashRow(int64_t row, const std::vector<int>& key_channels) const;
+
+  /// Human-readable dump (tests / examples); caps at `max_rows` rows.
+  std::string ToString(int64_t max_rows = 10) const;
+
+  /// Binary wire encoding (simulated Arrow IPC). Deterministic.
+  std::string Serialize() const;
+  static Result<PagePtr> Deserialize(const std::string& data);
+
+  /// Concatenates data pages with identical schemas.
+  static PagePtr Concat(const std::vector<PagePtr>& pages);
+
+ private:
+  Page() = default;
+
+  bool is_end_ = false;
+  int64_t num_rows_ = 0;
+  int64_t byte_size_ = 0;
+  std::vector<Column> columns_;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_VECTOR_PAGE_H_

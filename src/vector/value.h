@@ -1,0 +1,88 @@
+#ifndef ACCORDION_VECTOR_VALUE_H_
+#define ACCORDION_VECTOR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+#include "vector/data_type.h"
+
+namespace accordion {
+
+/// A single scalar value: literal constants in expressions, aggregation
+/// accumulators and test fixtures. Integer-backed types share the i64 slot.
+struct Value {
+  DataType type = DataType::kInt64;
+  int64_t i64 = 0;
+  double f64 = 0;
+  std::string str;
+
+  static Value Int(int64_t v) { return {DataType::kInt64, v, 0, {}}; }
+  static Value Double(double v) { return {DataType::kDouble, 0, v, {}}; }
+  static Value Str(std::string v) {
+    Value out;
+    out.type = DataType::kString;
+    out.str = std::move(v);
+    return out;
+  }
+  static Value Date(int64_t days) { return {DataType::kDate, days, 0, {}}; }
+  static Value Bool(bool v) { return {DataType::kBool, v ? 1 : 0, 0, {}}; }
+
+  bool AsBool() const {
+    ACC_CHECK(type == DataType::kBool) << "value is not bool";
+    return i64 != 0;
+  }
+
+  /// Numeric view: doubles pass through; integer-backed types widen.
+  double AsDouble() const {
+    return type == DataType::kDouble ? f64 : static_cast<double>(i64);
+  }
+
+  std::string ToString() const {
+    switch (type) {
+      case DataType::kInt64:
+        return std::to_string(i64);
+      case DataType::kDouble: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4f", f64);
+        return buf;
+      }
+      case DataType::kString:
+        return str;
+      case DataType::kDate:
+        return FormatDate(i64);
+      case DataType::kBool:
+        return i64 ? "true" : "false";
+    }
+    return "?";
+  }
+
+  /// Three-way comparison for sorting/min/max; types must match.
+  friend int CompareValues(const Value& a, const Value& b) {
+    ACC_CHECK(a.type == b.type) << "comparing values of different types";
+    switch (a.type) {
+      case DataType::kDouble:
+        return a.f64 < b.f64 ? -1 : (a.f64 > b.f64 ? 1 : 0);
+      case DataType::kString:
+        return a.str < b.str ? -1 : (a.str > b.str ? 1 : 0);
+      default:
+        return a.i64 < b.i64 ? -1 : (a.i64 > b.i64 ? 1 : 0);
+    }
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.type != b.type) return false;
+    switch (a.type) {
+      case DataType::kDouble:
+        return a.f64 == b.f64;
+      case DataType::kString:
+        return a.str == b.str;
+      default:
+        return a.i64 == b.i64;
+    }
+  }
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_VECTOR_VALUE_H_

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "plan/builder.h"
+#include "tpch/queries.h"
+#include "tpch/tpch.h"
+
+namespace accordion {
+namespace {
+
+constexpr double kSf = 0.01;
+
+AccordionCluster::Options FastOptions() {
+  AccordionCluster::Options options;
+  options.num_workers = 4;
+  options.num_storage_nodes = 4;
+  options.scale_factor = kSf;
+  options.engine.cost.scale = 0;    // no simulated compute time
+  options.engine.rpc_latency_ms = 0;  // no simulated network latency
+  return options;
+}
+
+int64_t ExactLineitemRows(double sf) {
+  int64_t rows = 0;
+  TpchSplitGenerator gen("lineitem", sf, 0, 1, 4096);
+  return gen.TotalRows() + rows;
+}
+
+int64_t SingleInt(const std::vector<PagePtr>& pages) {
+  int64_t total_rows = 0;
+  for (const auto& p : pages) total_rows += p->num_rows();
+  EXPECT_EQ(total_rows, 1);
+  for (const auto& p : pages) {
+    if (p->num_rows() > 0) return p->column(0).IntAt(0);
+  }
+  return -1;
+}
+
+TEST(ClusterTest, GlobalCountOverScan) {
+  AccordionCluster cluster(FastOptions());
+  Catalog catalog = MakeTpchCatalog(kSf, 4);
+  PlanBuilder b(&catalog);
+  auto rel = b.Scan("customer", {"c_custkey"});
+  rel = b.Aggregate(rel, {}, {{AggFunc::kCount, "c_custkey", "cnt"}});
+  auto submitted = cluster.coordinator()->Submit(b.Output(rel));
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto result = cluster.coordinator()->Wait(*submitted, 60000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SingleInt(*result), 1500);
+}
+
+TEST(ClusterTest, Q2JCountsEveryLineitemExactlyOnce) {
+  AccordionCluster cluster(FastOptions());
+  auto submitted =
+      cluster.coordinator()->Submit(TpchQ2JPlan(cluster.coordinator()->catalog()));
+  ASSERT_TRUE(submitted.ok());
+  auto result = cluster.coordinator()->Wait(*submitted, 120000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SingleInt(*result), ExactLineitemRows(kSf));
+}
+
+TEST(ClusterTest, Q2JWithInitialStageDop) {
+  auto options = FastOptions();
+  AccordionCluster cluster(options);
+  QueryOptions qopts;
+  qopts.stage_dop = 3;
+  qopts.task_dop = 2;
+  auto submitted = cluster.coordinator()->Submit(
+      TpchQ2JPlan(cluster.coordinator()->catalog()), qopts);
+  ASSERT_TRUE(submitted.ok());
+  auto result = cluster.coordinator()->Wait(*submitted, 120000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SingleInt(*result), ExactLineitemRows(kSf));
+}
+
+TEST(ClusterTest, ScanStageDopIncreaseKeepsCountExact) {
+  auto options = FastOptions();
+  options.engine.cost.scale = 0.15;  // slow enough to tune mid-flight
+  AccordionCluster cluster(options);
+  Catalog catalog = MakeTpchCatalog(kSf, 4);
+  PlanBuilder b(&catalog);
+  auto rel = b.Scan("lineitem", {"l_orderkey"});
+  rel = b.Aggregate(rel, {}, {{AggFunc::kCount, "l_orderkey", "cnt"}});
+  auto submitted = cluster.coordinator()->Submit(b.Output(rel));
+  ASSERT_TRUE(submitted.ok());
+
+  SleepForMillis(300);
+  // The lineitem scan stage is stage 1 (0 = final agg/output).
+  Status st = cluster.coordinator()->SetStageDop(*submitted, 1, 4);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+
+  auto result = cluster.coordinator()->Wait(*submitted, 180000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SingleInt(*result), ExactLineitemRows(kSf));
+
+  auto snapshot = cluster.coordinator()->Snapshot(*submitted);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->stage(1)->dop, 4);
+}
+
+TEST(ClusterTest, ScanStageDopDecreaseKeepsCountExact) {
+  auto options = FastOptions();
+  options.engine.cost.scale = 1.0;
+  AccordionCluster cluster(options);
+  Catalog catalog = MakeTpchCatalog(kSf, 4);
+  PlanBuilder b(&catalog);
+  auto rel = b.Scan("lineitem", {"l_orderkey"});
+  rel = b.Aggregate(rel, {}, {{AggFunc::kCount, "l_orderkey", "cnt"}});
+  QueryOptions qopts;
+  qopts.stage_dop = 4;
+  auto submitted = cluster.coordinator()->Submit(b.Output(rel), qopts);
+  ASSERT_TRUE(submitted.ok());
+
+  SleepForMillis(300);
+  Status st = cluster.coordinator()->SetStageDop(*submitted, 1, 1);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+
+  auto result = cluster.coordinator()->Wait(*submitted, 180000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SingleInt(*result), ExactLineitemRows(kSf));
+  auto snapshot = cluster.coordinator()->Snapshot(*submitted);
+  EXPECT_EQ(snapshot->stage(1)->dop, 1);
+}
+
+TEST(ClusterTest, IntraTaskDopTuningKeepsCountExact) {
+  auto options = FastOptions();
+  options.engine.cost.scale = 1.0;
+  AccordionCluster cluster(options);
+  Catalog catalog = MakeTpchCatalog(kSf, 4);
+  PlanBuilder b(&catalog);
+  auto rel = b.Scan("lineitem", {"l_orderkey"});
+  rel = b.Aggregate(rel, {}, {{AggFunc::kCount, "l_orderkey", "cnt"}});
+  auto submitted = cluster.coordinator()->Submit(b.Output(rel));
+  ASSERT_TRUE(submitted.ok());
+
+  SleepForMillis(200);
+  Status st = cluster.coordinator()->SetTaskDop(*submitted, 1, 3);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  auto snapshot = cluster.coordinator()->Snapshot(*submitted);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->stage(1)->task_dop, 3);
+
+  auto result = cluster.coordinator()->Wait(*submitted, 180000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(SingleInt(*result), ExactLineitemRows(kSf));
+}
+
+TEST(ClusterTest, DopSwitchOnPartitionedJoinKeepsCountExact) {
+  auto options = FastOptions();
+  options.engine.cost.scale = 1.0;
+  AccordionCluster cluster(options);
+  QueryOptions qopts;
+  qopts.stage_dop = 2;
+  auto submitted = cluster.coordinator()->Submit(
+      TpchQ2JPlan(cluster.coordinator()->catalog()), qopts);
+  ASSERT_TRUE(submitted.ok());
+
+  SleepForMillis(400);
+  DopSwitchReport report;
+  Status st = cluster.coordinator()->SetStageDop(*submitted, 1, 4, &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(report.total_seconds, 0);
+
+  auto result = cluster.coordinator()->Wait(*submitted, 180000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SingleInt(*result), ExactLineitemRows(kSf));
+
+  auto snapshot = cluster.coordinator()->Snapshot(*submitted);
+  EXPECT_EQ(snapshot->stage(1)->dop, 4);
+}
+
+TEST(ClusterTest, FinalStageDopChangeIsRejected) {
+  AccordionCluster cluster(FastOptions());
+  auto submitted =
+      cluster.coordinator()->Submit(TpchQ2JPlan(cluster.coordinator()->catalog()));
+  ASSERT_TRUE(submitted.ok());
+  Status st = cluster.coordinator()->SetStageDop(*submitted, 0, 4);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(cluster.coordinator()->Wait(*submitted, 120000).ok());
+}
+
+TEST(ClusterTest, TuningFinishedQueryIsRejected) {
+  AccordionCluster cluster(FastOptions());
+  Catalog catalog = MakeTpchCatalog(kSf, 4);
+  PlanBuilder b(&catalog);
+  auto rel = b.Scan("region", {"r_regionkey"});
+  rel = b.Aggregate(rel, {}, {{AggFunc::kCount, "r_regionkey", "cnt"}});
+  auto submitted = cluster.coordinator()->Submit(b.Output(rel));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(cluster.coordinator()->Wait(*submitted, 60000).ok());
+  Status st = cluster.coordinator()->SetStageDop(*submitted, 1, 2);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(ClusterTest, SnapshotExposesStageTree) {
+  AccordionCluster cluster(FastOptions());
+  auto submitted =
+      cluster.coordinator()->Submit(TpchQ2JPlan(cluster.coordinator()->catalog()));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(cluster.coordinator()->Wait(*submitted, 120000).ok());
+
+  auto snapshot = cluster.coordinator()->Snapshot(*submitted);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->state, QueryState::kFinished);
+  ASSERT_EQ(snapshot->stages.size(), 4u);
+  const auto* s1 = snapshot->stage(1);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_TRUE(s1->has_join);
+  EXPECT_TRUE(s1->hash_tables_built);
+  const auto* s2 = snapshot->stage(2);
+  EXPECT_EQ(s2->scan_table, "lineitem");
+  EXPECT_EQ(s2->scan_rows, ExactLineitemRows(kSf));
+  EXPECT_GT(snapshot->initial_schedule_requests, 0);
+  EXPECT_GT(snapshot->end_ms, 0);
+}
+
+TEST(ClusterTest, BroadcastJoinStageScalesWithGenericPath) {
+  auto options = FastOptions();
+  options.engine.cost.scale = 2.0;
+  AccordionCluster cluster(options);
+  Catalog catalog = MakeTpchCatalog(kSf, 4);
+  PlanBuilder b(&catalog);
+  auto orders = b.Scan("orders", {"o_orderkey", "o_custkey"});
+  auto customer = b.Scan("customer", {"c_custkey", "c_nationkey"});
+  auto joined = b.Join(orders, customer, {"o_custkey"}, {"c_custkey"},
+                       {"c_nationkey"}, /*broadcast=*/true);
+  auto agg = b.Aggregate(joined, {}, {{AggFunc::kCount, "o_orderkey", "cnt"}});
+  auto submitted = cluster.coordinator()->Submit(b.Output(agg));
+  ASSERT_TRUE(submitted.ok());
+
+  SleepForMillis(200);
+  Status st = cluster.coordinator()->SetStageDop(*submitted, 1, 3);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+
+  auto result = cluster.coordinator()->Wait(*submitted, 120000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SingleInt(*result), TpchRowCount("orders", kSf));
+}
+
+TEST(ClusterTest, AbortStopsQuery) {
+  auto options = FastOptions();
+  options.engine.cost.scale = 1.0;  // long-running
+  AccordionCluster cluster(options);
+  auto submitted =
+      cluster.coordinator()->Submit(TpchQ2JPlan(cluster.coordinator()->catalog()));
+  ASSERT_TRUE(submitted.ok());
+  SleepForMillis(100);
+  ASSERT_TRUE(cluster.coordinator()->Abort(*submitted).ok());
+  auto result = cluster.coordinator()->Wait(*submitted, 30000);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(cluster.coordinator()->IsFinished(*submitted));
+}
+
+TEST(ClusterTest, RpcRequestsAreCounted) {
+  AccordionCluster cluster(FastOptions());
+  int64_t before = cluster.coordinator()->total_rpc_requests();
+  auto submitted =
+      cluster.coordinator()->Submit(TpchQ2JPlan(cluster.coordinator()->catalog()));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(cluster.coordinator()->Wait(*submitted, 120000).ok());
+  EXPECT_GT(cluster.coordinator()->total_rpc_requests(), before + 10);
+}
+
+}  // namespace
+}  // namespace accordion

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+
+namespace accordion {
+namespace {
+
+PagePtr TestPage() {
+  Column ints(DataType::kInt64);
+  Column doubles(DataType::kDouble);
+  Column strs(DataType::kString);
+  Column dates(DataType::kDate);
+  for (int i = 0; i < 5; ++i) {
+    ints.AppendInt(i);                       // 0..4
+    doubles.AppendDouble(i * 1.5);           // 0, 1.5, 3, 4.5, 6
+    dates.AppendInt(ParseDate("1994-01-01") + i * 100);
+  }
+  strs.AppendStr("apple");
+  strs.AppendStr("banana");
+  strs.AppendStr("apricot");
+  strs.AppendStr("cherry");
+  strs.AppendStr("avocado");
+  return Page::Make({std::move(ints), std::move(doubles), std::move(strs),
+                     std::move(dates)});
+}
+
+TEST(ExprTest, ColumnRefReturnsColumn) {
+  auto page = TestPage();
+  Column out = Col(0, DataType::kInt64)->Eval(*page);
+  EXPECT_EQ(out.IntAt(3), 3);
+}
+
+TEST(ExprTest, LiteralBroadcasts) {
+  auto page = TestPage();
+  Column out = LitInt(7)->Eval(*page);
+  EXPECT_EQ(out.size(), 5);
+  EXPECT_EQ(out.IntAt(4), 7);
+}
+
+TEST(ExprTest, IntArithmeticStaysInt) {
+  auto page = TestPage();
+  auto e = Add(Mul(Col(0, DataType::kInt64), LitInt(10)), LitInt(1));
+  Column out = e->Eval(*page);
+  EXPECT_EQ(out.type(), DataType::kInt64);
+  EXPECT_EQ(out.IntAt(2), 21);
+}
+
+TEST(ExprTest, MixedArithmeticWidens) {
+  auto page = TestPage();
+  auto e = Mul(Col(1, DataType::kDouble), LitInt(2));
+  Column out = e->Eval(*page);
+  EXPECT_EQ(out.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(out.DoubleAt(3), 9.0);
+}
+
+TEST(ExprTest, DivisionAlwaysDouble) {
+  auto page = TestPage();
+  Column out = Div(Col(0, DataType::kInt64), LitInt(2))->Eval(*page);
+  EXPECT_EQ(out.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(out.DoubleAt(3), 1.5);
+}
+
+TEST(ExprTest, DivisionByZeroSaturatesToZero) {
+  auto page = TestPage();
+  Column out = Div(LitInt(5), LitInt(0))->Eval(*page);
+  EXPECT_DOUBLE_EQ(out.DoubleAt(0), 0.0);
+}
+
+TEST(ExprTest, IntComparison) {
+  auto page = TestPage();
+  Column out = Lt(Col(0, DataType::kInt64), LitInt(2))->Eval(*page);
+  EXPECT_EQ(out.type(), DataType::kBool);
+  EXPECT_EQ(out.IntAt(0), 1);
+  EXPECT_EQ(out.IntAt(1), 1);
+  EXPECT_EQ(out.IntAt(2), 0);
+}
+
+TEST(ExprTest, StringComparison) {
+  auto page = TestPage();
+  Column out = Eq(Col(2, DataType::kString), LitStr("banana"))->Eval(*page);
+  EXPECT_EQ(out.IntAt(0), 0);
+  EXPECT_EQ(out.IntAt(1), 1);
+}
+
+TEST(ExprTest, DateComparisonUsesCalendarOrder) {
+  auto page = TestPage();
+  auto e = Lt(Col(3, DataType::kDate), LitDate("1994-03-05"));
+  Column out = e->Eval(*page);
+  EXPECT_EQ(out.IntAt(0), 1);   // 1994-01-01
+  EXPECT_EQ(out.IntAt(1), 0);   // 1994-04-11
+}
+
+TEST(ExprTest, AndOrNot) {
+  auto page = TestPage();
+  auto a = Ge(Col(0, DataType::kInt64), LitInt(1));
+  auto b = Le(Col(0, DataType::kInt64), LitInt(3));
+  Column both = And(a, b)->Eval(*page);
+  EXPECT_EQ(both.IntAt(0), 0);
+  EXPECT_EQ(both.IntAt(2), 1);
+  Column either = Or(Lt(Col(0, DataType::kInt64), LitInt(1)),
+                     Gt(Col(0, DataType::kInt64), LitInt(3)))
+                      ->Eval(*page);
+  EXPECT_EQ(either.IntAt(0), 1);
+  EXPECT_EQ(either.IntAt(2), 0);
+  Column negated = Not(a)->Eval(*page);
+  EXPECT_EQ(negated.IntAt(0), 1);
+  EXPECT_EQ(negated.IntAt(1), 0);
+}
+
+TEST(ExprTest, LikePatterns) {
+  auto page = TestPage();
+  Column starts = Like(Col(2, DataType::kString), "a%")->Eval(*page);
+  EXPECT_EQ(starts.IntAt(0), 1);  // apple
+  EXPECT_EQ(starts.IntAt(1), 0);  // banana
+  EXPECT_EQ(starts.IntAt(2), 1);  // apricot
+  Column contains = Like(Col(2, DataType::kString), "%an%")->Eval(*page);
+  EXPECT_EQ(contains.IntAt(1), 1);
+  EXPECT_EQ(contains.IntAt(3), 0);
+  Column single = Like(Col(2, DataType::kString), "_pple")->Eval(*page);
+  EXPECT_EQ(single.IntAt(0), 1);
+  EXPECT_EQ(single.IntAt(2), 0);
+  Column exact = Like(Col(2, DataType::kString), "cherry")->Eval(*page);
+  EXPECT_EQ(exact.IntAt(3), 1);
+  EXPECT_EQ(exact.IntAt(0), 0);
+}
+
+TEST(ExprTest, InList) {
+  auto page = TestPage();
+  auto e = In(Col(2, DataType::kString),
+              {Value::Str("apple"), Value::Str("cherry")});
+  Column out = e->Eval(*page);
+  EXPECT_EQ(out.IntAt(0), 1);
+  EXPECT_EQ(out.IntAt(1), 0);
+  EXPECT_EQ(out.IntAt(3), 1);
+}
+
+TEST(ExprTest, Between) {
+  auto page = TestPage();
+  auto e = Between(Col(0, DataType::kInt64), Value::Int(1), Value::Int(3));
+  Column out = e->Eval(*page);
+  EXPECT_EQ(out.IntAt(0), 0);
+  EXPECT_EQ(out.IntAt(1), 1);
+  EXPECT_EQ(out.IntAt(3), 1);
+  EXPECT_EQ(out.IntAt(4), 0);
+}
+
+TEST(ExprTest, CaseWhenFirstMatchWins) {
+  auto page = TestPage();
+  auto e = CaseWhen({{Lt(Col(0, DataType::kInt64), LitInt(2)), LitStr("low")},
+                     {Lt(Col(0, DataType::kInt64), LitInt(4)), LitStr("mid")}},
+                    LitStr("high"));
+  Column out = e->Eval(*page);
+  EXPECT_EQ(out.StrAt(0), "low");
+  EXPECT_EQ(out.StrAt(2), "mid");
+  EXPECT_EQ(out.StrAt(4), "high");
+}
+
+TEST(ExprTest, ExtractYear) {
+  auto page = TestPage();
+  Column out = ExtractYear(Col(3, DataType::kDate))->Eval(*page);
+  EXPECT_EQ(out.IntAt(0), 1994);
+  EXPECT_EQ(out.IntAt(4), 1995);  // 1994-01-01 + 400 days
+}
+
+TEST(ExprTest, FilterRowsSelectsPassing) {
+  auto page = TestPage();
+  auto pred = Ge(Col(0, DataType::kInt64), LitInt(3));
+  std::vector<int32_t> rows = FilterRows(*pred, *page);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 3);
+  EXPECT_EQ(rows[1], 4);
+}
+
+TEST(ExprTest, ToStringRendersSql) {
+  auto e = And(Lt(Col(0, DataType::kInt64), LitInt(5)),
+               Like(Col(2, DataType::kString), "a%"));
+  EXPECT_EQ(e->ToString(), "((#0 < 5) AND #2 LIKE 'a%')");
+}
+
+}  // namespace
+}  // namespace accordion

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "plan/builder.h"
+#include "script/script.h"
+#include "tpch/queries.h"
+#include "tpch/tpch.h"
+
+namespace accordion {
+namespace {
+
+AccordionCluster::Options ScriptOptions(double scale) {
+  AccordionCluster::Options options;
+  options.num_workers = 2;
+  options.num_storage_nodes = 2;
+  options.scale_factor = 0.005;
+  options.engine.cost.scale = scale;
+  options.engine.rpc_latency_ms = 0;
+  return options;
+}
+
+PlanNodePtr CountPlan(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  auto rel = b.Scan("lineitem", {"l_orderkey"});
+  rel = b.Aggregate(rel, {}, {{AggFunc::kCount, "l_orderkey", "cnt"}});
+  return b.Output(rel);
+}
+
+TEST(ScriptTest, SubmitAndWait) {
+  AccordionCluster cluster(ScriptOptions(0));
+  AutoTuner tuner(cluster.coordinator());
+  ScriptExecutor executor(cluster.coordinator(), &tuner);
+  executor.RegisterPlan("count_lineitem",
+                        CountPlan(cluster.coordinator()->catalog()));
+  auto report = executor.Run(R"(
+# simple run
+option stage_dop 2
+submit count_lineitem
+wait 60
+)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->finished);
+  EXPECT_TRUE(report->actions.empty());
+  EXPECT_FALSE(report->query_id.empty());
+}
+
+TEST(ScriptTest, TimedTuningActionsAreRecorded) {
+  AccordionCluster cluster(ScriptOptions(1.5));
+  AutoTuner tuner(cluster.coordinator());
+  ScriptExecutor executor(cluster.coordinator(), &tuner);
+  executor.RegisterPlan("count_lineitem",
+                        CountPlan(cluster.coordinator()->catalog()));
+  auto report = executor.Run(R"(
+submit count_lineitem
+at 0.3 task_dop 1 3
+at 0.6 stage_dop 1 2
+wait 120
+)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->finished);
+  ASSERT_EQ(report->actions.size(), 2u);
+  EXPECT_TRUE(report->actions[0].accepted) << report->actions[0].detail;
+  EXPECT_TRUE(report->actions[1].accepted) << report->actions[1].detail;
+  EXPECT_GE(report->actions[1].at_seconds, 0.55);
+  EXPECT_NE(report->ToString().find("ACCEPT"), std::string::npos);
+}
+
+TEST(ScriptTest, RejectionsAreRecorded) {
+  AccordionCluster cluster(ScriptOptions(0));
+  AutoTuner tuner(cluster.coordinator());
+  ScriptExecutor executor(cluster.coordinator(), &tuner);
+  executor.RegisterPlan("count_lineitem",
+                        CountPlan(cluster.coordinator()->catalog()));
+  auto report = executor.Run(R"(
+submit count_lineitem
+wait 60
+at 1.0 stage_dop 1 4
+)");
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->actions.size(), 1u);
+  EXPECT_FALSE(report->actions[0].accepted);  // query already finished
+  EXPECT_NE(report->ToString().find("REJECT"), std::string::npos);
+}
+
+TEST(ScriptTest, ParseErrorsAreClear) {
+  AccordionCluster cluster(ScriptOptions(0));
+  AutoTuner tuner(cluster.coordinator());
+  ScriptExecutor executor(cluster.coordinator(), &tuner);
+  EXPECT_FALSE(executor.Run("submit nope\n").ok());
+  EXPECT_FALSE(executor.Run("at 1 stage_dop 1 2\n").ok());  // before submit
+  EXPECT_FALSE(executor.Run("frobnicate\n").ok());
+  EXPECT_FALSE(executor.Run("option stage_dop abc\n").ok());
+}
+
+TEST(ScriptTest, ProgressTriggeredTuning) {
+  AccordionCluster cluster(ScriptOptions(1.5));
+  AutoTuner tuner(cluster.coordinator());
+  ScriptExecutor executor(cluster.coordinator(), &tuner);
+  executor.RegisterPlan("q2j",
+                        TpchQ2JPlan(cluster.coordinator()->catalog()));
+  auto report = executor.Run(R"(
+option stage_dop 2
+submit q2j
+at_progress 0.3 1 stage_dop 1 4
+wait 240
+)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->finished);
+  ASSERT_EQ(report->actions.size(), 1u);
+  EXPECT_TRUE(report->actions[0].accepted) << report->actions[0].detail;
+}
+
+}  // namespace
+}  // namespace accordion

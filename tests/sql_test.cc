@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "plan/fragment.h"
+#include "sql/analyzer.h"
+#include "tpch/tpch.h"
+
+namespace accordion {
+namespace {
+
+Catalog TestCatalog() { return MakeTpchCatalog(0.005, 2); }
+
+TEST(LexerTest, TokenizesKeywordsNumbersStrings) {
+  auto tokens = Tokenize("SELECT x, 42, 3.14, 'it''s' FROM t -- comment");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[2].text, ",");
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kDecimal);
+  EXPECT_EQ((*tokens)[7].text, "it's");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = Tokenize("a <= b <> c != d >= e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<=");
+  EXPECT_EQ((*tokens)[3].text, "<>");
+  EXPECT_EQ((*tokens)[5].text, "<>");  // != normalized
+  EXPECT_EQ((*tokens)[7].text, ">=");
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(ParserTest, ParsesSelectFromWhere) {
+  auto query = ParseSqlQuery(
+      "SELECT o_orderkey FROM orders WHERE o_orderdate < DATE '1995-03-15'");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->select_items.size(), 1u);
+  EXPECT_EQ(query->from.size(), 1u);
+  EXPECT_EQ(query->from[0].table, "ORDERS");
+  EXPECT_EQ(query->conjuncts.size(), 1u);
+}
+
+TEST(ParserTest, SplitsAndConjunct) {
+  auto query = ParseSqlQuery(
+      "SELECT a FROM t WHERE a = 1 AND b = 2 AND c = 3");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->conjuncts.size(), 3u);
+}
+
+TEST(ParserTest, ParsesJoinOnIntoConjuncts) {
+  auto query = ParseSqlQuery(
+      "SELECT o_orderkey FROM lineitem JOIN orders ON l_orderkey = "
+      "o_orderkey");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->from.size(), 2u);
+  EXPECT_EQ(query->conjuncts.size(), 1u);
+}
+
+TEST(ParserTest, ParsesGroupOrderLimit) {
+  auto query = ParseSqlQuery(
+      "SELECT l_shipmode, count(*) AS n FROM lineitem GROUP BY l_shipmode "
+      "ORDER BY n DESC LIMIT 5");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->group_by.size(), 1u);
+  ASSERT_EQ(query->order_by.size(), 1u);
+  EXPECT_FALSE(query->order_by[0].ascending);
+  EXPECT_EQ(query->limit, 5);
+}
+
+TEST(ParserTest, ParsesCaseInBetweenExtract) {
+  auto query = ParseSqlQuery(
+      "SELECT CASE WHEN a IN ('X','Y') THEN 1 ELSE 0 END, "
+      "EXTRACT(YEAR FROM d) FROM t WHERE b BETWEEN 1 AND 5");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->select_items[0].expr->kind, SqlExpr::Kind::kCaseWhen);
+  EXPECT_EQ(query->select_items[1].expr->kind, SqlExpr::Kind::kExtractYear);
+  EXPECT_EQ(query->conjuncts[0]->kind, SqlExpr::Kind::kBetween);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseSqlQuery("SELEKT x FROM t").ok());
+  EXPECT_FALSE(ParseSqlQuery("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSqlQuery("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSqlQuery("SELECT a FROM t LIMIT abc").ok());
+}
+
+TEST(AnalyzerTest, LowersScanFilterProject) {
+  Catalog catalog = TestCatalog();
+  auto plan = SqlToPlan(
+      "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > "
+      "100000",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto fragments = FragmentPlan(*plan);
+  EXPECT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].scan_table, "orders");
+}
+
+TEST(AnalyzerTest, LowersJoinWithPushdown) {
+  Catalog catalog = TestCatalog();
+  auto plan = SqlToPlan(
+      "SELECT count(l_orderkey) FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND o_orderdate < DATE '1995-01-01'",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto fragments = FragmentPlan(*plan);
+  // join stage + 2 scan stages + final agg stage.
+  EXPECT_EQ(fragments.size(), 4u);
+  bool has_join = false;
+  for (const auto& f : fragments) has_join |= f.has_join;
+  EXPECT_TRUE(has_join);
+}
+
+TEST(AnalyzerTest, UnknownTableAndColumnFail) {
+  Catalog catalog = TestCatalog();
+  EXPECT_FALSE(SqlToPlan("SELECT x FROM ghosts", catalog).ok());
+  EXPECT_FALSE(SqlToPlan("SELECT ghost_col FROM orders", catalog).ok());
+  EXPECT_FALSE(
+      SqlToPlan("SELECT o_orderkey FROM orders, customer", catalog).ok());
+}
+
+TEST(SqlEndToEndTest, CountMatchesEngine) {
+  AccordionCluster::Options options;
+  options.num_workers = 2;
+  options.num_storage_nodes = 2;
+  options.scale_factor = 0.005;
+  options.engine.cost.scale = 0;
+  options.engine.rpc_latency_ms = 0;
+  AccordionCluster cluster(options);
+
+  auto plan = SqlToPlan(
+      "SELECT count(c_custkey) AS n FROM customer WHERE c_mktsegment = "
+      "'BUILDING'",
+      cluster.coordinator()->catalog());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto submitted = cluster.coordinator()->Submit(*plan);
+  ASSERT_TRUE(submitted.ok());
+  auto result = cluster.coordinator()->Wait(*submitted, 60000);
+  ASSERT_TRUE(result.ok());
+
+  // Independent reference.
+  int64_t expected = 0;
+  for (const auto& page : GenerateSplit("customer", 0.005, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      expected += page->column(6).StrAt(r) == "BUILDING";
+    }
+  }
+  ASSERT_EQ((*result).size(), 1u);
+  EXPECT_EQ((*result)[0]->column(0).IntAt(0), expected);
+}
+
+TEST(SqlEndToEndTest, GroupByWithOrderLimit) {
+  AccordionCluster::Options options;
+  options.num_workers = 2;
+  options.num_storage_nodes = 2;
+  options.scale_factor = 0.005;
+  options.engine.cost.scale = 0;
+  options.engine.rpc_latency_ms = 0;
+  AccordionCluster cluster(options);
+
+  auto plan = SqlToPlan(
+      "SELECT c_mktsegment, count(*) AS n, avg(c_acctbal) AS bal "
+      "FROM customer GROUP BY c_mktsegment ORDER BY c_mktsegment LIMIT 10",
+      cluster.coordinator()->catalog());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto submitted = cluster.coordinator()->Submit(*plan);
+  ASSERT_TRUE(submitted.ok());
+  auto result = cluster.coordinator()->Wait(*submitted, 60000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  int64_t rows = 0;
+  int64_t total = 0;
+  for (const auto& page : *result) {
+    rows += page->num_rows();
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      total += page->column(1).IntAt(r);
+    }
+  }
+  EXPECT_EQ(rows, 5);  // five market segments, alphabetical
+  EXPECT_EQ(total, TpchRowCount("customer", 0.005));
+  EXPECT_EQ((*result)[0]->column(0).StrAt(0), "AUTOMOBILE");
+}
+
+TEST(SqlEndToEndTest, TwoWayJoinThroughSql) {
+  AccordionCluster::Options options;
+  options.num_workers = 2;
+  options.num_storage_nodes = 2;
+  options.scale_factor = 0.005;
+  options.engine.cost.scale = 0;
+  options.engine.rpc_latency_ms = 0;
+  AccordionCluster cluster(options);
+
+  // The paper's Q2J expressed in SQL (§4.4).
+  auto plan = SqlToPlan(
+      "SELECT count(l_orderkey) FROM lineitem INNER JOIN orders ON "
+      "l_orderkey = o_orderkey",
+      cluster.coordinator()->catalog());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto submitted = cluster.coordinator()->Submit(*plan);
+  ASSERT_TRUE(submitted.ok());
+  auto result = cluster.coordinator()->Wait(*submitted, 60000);
+  ASSERT_TRUE(result.ok());
+  TpchSplitGenerator gen("lineitem", 0.005, 0, 1);
+  EXPECT_EQ((*result)[0]->column(0).IntAt(0), gen.TotalRows());
+}
+
+}  // namespace
+}  // namespace accordion

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "catalog/catalog.h"
+#include "storage/csv.h"
+#include "storage/page_source.h"
+#include "tpch/tpch.h"
+
+namespace accordion {
+namespace {
+
+constexpr double kSf = 0.01;
+
+TEST(CatalogTest, LookupAndChannels) {
+  Catalog catalog = MakeTpchCatalog(kSf, 10);
+  auto table = catalog.GetTable("lineitem");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ChannelOf("l_orderkey"), 0);
+  EXPECT_EQ(table->ChannelOf("l_shipdate"), 10);
+  EXPECT_EQ(table->ChannelOf("nope"), -1);
+  EXPECT_FALSE(catalog.GetTable("ghost").ok());
+  EXPECT_TRUE(catalog.HasTable("orders"));
+  EXPECT_EQ(catalog.TableNames().size(), 8u);
+}
+
+TEST(CatalogTest, Table1PartitioningScheme) {
+  Catalog catalog = MakeTpchCatalog(kSf, 10);
+  auto nation = catalog.GetLayout("nation");
+  ASSERT_TRUE(nation.ok());
+  EXPECT_EQ(nation->num_nodes, 1);
+  EXPECT_EQ(nation->TotalSplits(), 1);
+  auto lineitem = catalog.GetLayout("lineitem");
+  ASSERT_TRUE(lineitem.ok());
+  EXPECT_EQ(lineitem->num_nodes, 10);
+  EXPECT_EQ(lineitem->splits_per_node, 7);
+  EXPECT_EQ(lineitem->TotalSplits(), 70);
+  auto orders = catalog.GetLayout("orders");
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ(orders->TotalSplits(), 10);
+}
+
+TEST(TpchTest, RowCountsScale) {
+  EXPECT_EQ(TpchRowCount("nation", kSf), 25);
+  EXPECT_EQ(TpchRowCount("region", kSf), 5);
+  EXPECT_EQ(TpchRowCount("customer", kSf), 1500);
+  EXPECT_EQ(TpchRowCount("orders", kSf), 15000);
+  EXPECT_EQ(TpchRowCount("customer", 1.0), 150000);
+}
+
+TEST(TpchTest, SplitsPartitionWithoutOverlap) {
+  // Keys across 4 splits of customer must tile [1, N] exactly once.
+  std::set<int64_t> keys;
+  int64_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (const auto& page : GenerateSplit("customer", kSf, s, 4)) {
+      for (int64_t r = 0; r < page->num_rows(); ++r) {
+        keys.insert(page->column(0).IntAt(r));
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(total, TpchRowCount("customer", kSf));
+  EXPECT_EQ(static_cast<int64_t>(keys.size()), total);  // no duplicates
+  EXPECT_EQ(*keys.begin(), 1);
+  EXPECT_EQ(*keys.rbegin(), total);
+}
+
+TEST(TpchTest, GenerationIsDeterministic) {
+  auto a = GenerateSplit("orders", kSf, 2, 5);
+  auto b = GenerateSplit("orders", kSf, 2, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->Serialize(), b[i]->Serialize());
+  }
+}
+
+TEST(TpchTest, SplitCountDoesNotChangeValues) {
+  // Row for orderkey k must be identical whether generated in 1 or 5 splits.
+  auto whole = GenerateSplit("orders", kSf, 0, 1, 1 << 20);
+  auto part = GenerateSplit("orders", kSf, 4, 5, 1 << 20);
+  ASSERT_EQ(whole.size(), 1u);
+  ASSERT_EQ(part.size(), 1u);
+  int64_t first_key = part[0]->column(0).IntAt(0);
+  int64_t offset = first_key - 1;
+  for (int c = 0; c < part[0]->num_columns(); ++c) {
+    EXPECT_EQ(part[0]->column(c).ValueAt(0),
+              whole[0]->column(c).ValueAt(offset));
+  }
+}
+
+TEST(TpchTest, LineitemDatesAreConsistent) {
+  for (const auto& page : GenerateSplit("lineitem", kSf, 0, 10)) {
+    const auto& ship = page->column(10);
+    const auto& commit = page->column(11);
+    const auto& receipt = page->column(12);
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      EXPECT_GT(receipt.IntAt(r), ship.IntAt(r));
+      EXPECT_GT(commit.IntAt(r), 0);
+      EXPECT_GE(ship.IntAt(r), ParseDate("1992-01-01"));
+      EXPECT_LE(receipt.IntAt(r), ParseDate("1999-03-01"));
+    }
+  }
+}
+
+TEST(TpchTest, LineitemJoinsToOrdersDates) {
+  // l_shipdate must be strictly after the matching o_orderdate.
+  auto orders = GenerateSplit("orders", kSf, 0, 1, 1 << 20);
+  ASSERT_EQ(orders.size(), 1u);
+  const auto& odate = orders[0]->column(4);
+  for (const auto& page : GenerateSplit("lineitem", kSf, 3, 10)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      int64_t orderkey = page->column(0).IntAt(r);
+      EXPECT_GT(page->column(10).IntAt(r), odate.IntAt(orderkey - 1))
+          << "orderkey " << orderkey;
+    }
+  }
+}
+
+TEST(TpchTest, ForeignKeysInRange) {
+  int64_t customers = TpchRowCount("customer", kSf);
+  for (const auto& page : GenerateSplit("orders", kSf, 0, 10)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      int64_t custkey = page->column(1).IntAt(r);
+      EXPECT_GE(custkey, 1);
+      EXPECT_LE(custkey, customers);
+    }
+  }
+  int64_t parts = TpchRowCount("part", kSf);
+  int64_t suppliers = TpchRowCount("supplier", kSf);
+  for (const auto& page : GenerateSplit("lineitem", kSf, 0, 70)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      EXPECT_LE(page->column(1).IntAt(r), parts);
+      EXPECT_LE(page->column(2).IntAt(r), suppliers);
+    }
+  }
+}
+
+TEST(TpchTest, GeneratorTotalRowsMatchesProduced) {
+  for (const char* table : {"customer", "orders", "lineitem"}) {
+    TpchSplitGenerator gen(table, kSf, 1, 3, 512);
+    int64_t expected = gen.TotalRows();
+    int64_t produced = 0;
+    while (auto page = gen.NextPage()) produced += page->num_rows();
+    EXPECT_EQ(produced, expected) << table;
+  }
+}
+
+TEST(TpchTest, MarketSegmentsFromDomain) {
+  std::set<std::string> segments;
+  for (const auto& page : GenerateSplit("customer", kSf, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      segments.insert(page->column(6).StrAt(r));
+    }
+  }
+  EXPECT_EQ(segments.size(), 5u);
+  EXPECT_TRUE(segments.count("BUILDING"));
+}
+
+TEST(CsvTest, RoundTripThroughDisk) {
+  std::string path = testing::TempDir() + "/acc_orders_split.csv";
+  ASSERT_TRUE(ExportTpchSplitCsv("orders", kSf, 0, 20, path).ok());
+
+  CsvPageSource source(path, TpchSchema("orders"));
+  ASSERT_TRUE(source.status().ok()) << source.status().ToString();
+  auto generated = GenerateSplit("orders", kSf, 0, 20, 1024);
+  std::vector<PagePtr> read;
+  while (auto page = source.Next()) read.push_back(page);
+  ASSERT_TRUE(source.status().ok()) << source.status().ToString();
+
+  PagePtr expect = Page::Concat(generated);
+  PagePtr got = Page::Concat(read);
+  ASSERT_EQ(got->num_rows(), expect->num_rows());
+  for (int c = 0; c < expect->num_columns(); ++c) {
+    for (int64_t r = 0; r < expect->num_rows(); ++r) {
+      if (expect->column(c).type() == DataType::kDouble) {
+        EXPECT_DOUBLE_EQ(got->column(c).DoubleAt(r),
+                         expect->column(c).DoubleAt(r));
+      } else {
+        EXPECT_EQ(got->column(c).ValueAt(r), expect->column(c).ValueAt(r));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, QuotedFieldsSurvive) {
+  Column c(DataType::kString);
+  c.AppendStr("plain");
+  c.AppendStr("with,comma");
+  c.AppendStr("with\"quote");
+  std::string path = testing::TempDir() + "/acc_quoted.csv";
+  ASSERT_TRUE(WriteCsvSplit(path, {Page::Make({std::move(c)})}).ok());
+  CsvPageSource source(path, TableSchema("t", {{"s", DataType::kString}}));
+  auto page = source.Next();
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->column(0).StrAt(1), "with,comma");
+  EXPECT_EQ(page->column(0).StrAt(2), "with\"quote");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileReportsError) {
+  CsvPageSource source("/nonexistent/nope.csv", TpchSchema("orders"));
+  EXPECT_FALSE(source.status().ok());
+  EXPECT_EQ(source.Next(), nullptr);
+}
+
+TEST(PageSourceTest, GeneratorSourceStreams) {
+  GeneratorPageSource source("customer", kSf, 0, 2, 256);
+  int64_t rows = 0;
+  while (auto page = source.Next()) rows += page->num_rows();
+  EXPECT_EQ(rows, source.TotalRows());
+  EXPECT_EQ(rows, 750);
+}
+
+}  // namespace
+}  // namespace accordion

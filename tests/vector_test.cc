@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "vector/data_type.h"
+#include "vector/page.h"
+#include "vector/value.h"
+
+namespace accordion {
+namespace {
+
+Column MakeIntColumn(std::vector<int64_t> values) {
+  Column col(DataType::kInt64);
+  for (int64_t v : values) col.AppendInt(v);
+  return col;
+}
+
+TEST(DateTest, RoundTrip) {
+  for (const char* text : {"1970-01-01", "1992-02-29", "1994-03-05",
+                           "1998-12-01", "2025-06-22"}) {
+    int64_t days = ParseDate(text);
+    EXPECT_EQ(FormatDate(days), text) << text;
+  }
+}
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(ParseDate("1970-01-01"), 0); }
+
+TEST(DateTest, KnownOffsets) {
+  EXPECT_EQ(ParseDate("1970-01-02"), 1);
+  EXPECT_EQ(ParseDate("1971-01-01"), 365);
+  EXPECT_EQ(ParseDate("1972-03-01") - ParseDate("1972-02-28"), 2);  // leap
+}
+
+TEST(DateTest, YearExtraction) {
+  EXPECT_EQ(DateYear(ParseDate("1995-07-15")), 1995);
+  EXPECT_EQ(DateYear(ParseDate("1996-01-01")), 1996);
+}
+
+TEST(DateTest, OrderingMatchesCalendar) {
+  EXPECT_LT(ParseDate("1994-03-05"), ParseDate("1994-03-06"));
+  EXPECT_LT(ParseDate("1993-12-31"), ParseDate("1994-01-01"));
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::Str("abc").ToString(), "abc");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+}
+
+TEST(ValueTest, EqualityIsTypeAware) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Bool(true));
+  EXPECT_EQ(Value::Str("x"), Value::Str("x"));
+}
+
+TEST(ColumnTest, AppendAndAccess) {
+  Column col(DataType::kString);
+  col.AppendStr("alpha");
+  col.AppendStr("beta");
+  EXPECT_EQ(col.size(), 2);
+  EXPECT_EQ(col.StrAt(1), "beta");
+  EXPECT_EQ(col.ValueAt(0), Value::Str("alpha"));
+}
+
+TEST(ColumnTest, GatherReordersAndDuplicates) {
+  Column col = MakeIntColumn({10, 20, 30});
+  Column out = col.Gather({2, 0, 2});
+  ASSERT_EQ(out.size(), 3);
+  EXPECT_EQ(out.IntAt(0), 30);
+  EXPECT_EQ(out.IntAt(1), 10);
+  EXPECT_EQ(out.IntAt(2), 30);
+}
+
+TEST(ColumnTest, ByteSizeGrows) {
+  Column col(DataType::kInt64);
+  EXPECT_EQ(col.ByteSize(), 0);
+  col.AppendInt(1);
+  EXPECT_EQ(col.ByteSize(), 8);
+}
+
+TEST(ColumnTest, HashIsStableAndSpreads) {
+  Column col = MakeIntColumn({1, 2, 3, 1});
+  EXPECT_EQ(col.HashAt(0, 7), col.HashAt(3, 7));
+  EXPECT_NE(col.HashAt(0, 7), col.HashAt(1, 7));
+  EXPECT_NE(col.HashAt(0, 7), col.HashAt(0, 8));  // seed matters
+}
+
+TEST(PageTest, MakeAndShape) {
+  std::vector<Column> cols;
+  cols.push_back(MakeIntColumn({1, 2, 3}));
+  Column names(DataType::kString);
+  names.AppendStr("a");
+  names.AppendStr("b");
+  names.AppendStr("c");
+  cols.push_back(std::move(names));
+  PagePtr page = Page::Make(std::move(cols));
+  EXPECT_FALSE(page->IsEnd());
+  EXPECT_EQ(page->num_rows(), 3);
+  EXPECT_EQ(page->num_columns(), 2);
+  EXPECT_GT(page->ByteSize(), 0);
+}
+
+TEST(PageTest, EndPageHasNoData) {
+  PagePtr end = Page::End();
+  EXPECT_TRUE(end->IsEnd());
+  EXPECT_EQ(end->num_rows(), 0);
+}
+
+TEST(PageTest, SelectFilters) {
+  PagePtr page = Page::Make({MakeIntColumn({5, 6, 7, 8})});
+  PagePtr out = page->Select({1, 3});
+  EXPECT_EQ(out->num_rows(), 2);
+  EXPECT_EQ(out->column(0).IntAt(0), 6);
+  EXPECT_EQ(out->column(0).IntAt(1), 8);
+}
+
+TEST(PageTest, HashRowCombinesChannels) {
+  PagePtr page =
+      Page::Make({MakeIntColumn({1, 1}), MakeIntColumn({2, 3})});
+  EXPECT_EQ(page->HashRow(0, {0}), page->HashRow(1, {0}));
+  EXPECT_NE(page->HashRow(0, {0, 1}), page->HashRow(1, {0, 1}));
+}
+
+TEST(PageTest, SerializeRoundTrip) {
+  std::vector<Column> cols;
+  cols.push_back(MakeIntColumn({1, -5, 1LL << 40}));
+  Column d(DataType::kDouble);
+  d.AppendDouble(0.5);
+  d.AppendDouble(-2.25);
+  d.AppendDouble(1e12);
+  cols.push_back(std::move(d));
+  Column s(DataType::kString);
+  s.AppendStr("");
+  s.AppendStr("hello");
+  s.AppendStr(std::string(1000, 'x'));
+  cols.push_back(std::move(s));
+  PagePtr page = Page::Make(std::move(cols));
+
+  auto result = Page::Deserialize(page->Serialize());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  PagePtr back = *result;
+  ASSERT_EQ(back->num_rows(), 3);
+  ASSERT_EQ(back->num_columns(), 3);
+  EXPECT_EQ(back->column(0).IntAt(2), 1LL << 40);
+  EXPECT_DOUBLE_EQ(back->column(1).DoubleAt(1), -2.25);
+  EXPECT_EQ(back->column(2).StrAt(2), std::string(1000, 'x'));
+}
+
+TEST(PageTest, SerializeEndPage) {
+  auto result = Page::Deserialize(Page::End()->Serialize());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)->IsEnd());
+}
+
+TEST(PageTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Page::Deserialize("").ok());
+  EXPECT_FALSE(Page::Deserialize("\x00garbage").ok());
+  std::string truncated = Page::Make({MakeIntColumn({1, 2, 3})})->Serialize();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(Page::Deserialize(truncated).ok());
+}
+
+TEST(PageTest, ConcatStacksRows) {
+  PagePtr a = Page::Make({MakeIntColumn({1, 2})});
+  PagePtr b = Page::Make({MakeIntColumn({3})});
+  PagePtr cat = Page::Concat({a, b});
+  ASSERT_EQ(cat->num_rows(), 3);
+  EXPECT_EQ(cat->column(0).IntAt(2), 3);
+}
+
+// Property sweep: serialization round-trips random pages of all types.
+class PageSerdePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PageSerdePropertyTest, RandomRoundTrip) {
+  Random rng(GetParam());
+  int64_t rows = rng.NextInt(0, 200);
+  Column ints(DataType::kInt64);
+  Column doubles(DataType::kDouble);
+  Column strs(DataType::kString);
+  Column dates(DataType::kDate);
+  Column bools(DataType::kBool);
+  for (int64_t i = 0; i < rows; ++i) {
+    ints.AppendInt(static_cast<int64_t>(rng.NextUint64()));
+    doubles.AppendDouble(rng.NextDouble() * 1e6 - 5e5);
+    strs.AppendStr(rng.NextString(static_cast<int>(rng.NextInt(0, 30))));
+    dates.AppendInt(rng.NextInt(0, 20000));
+    bools.AppendInt(rng.NextInt(0, 1));
+  }
+  PagePtr page = Page::Make({std::move(ints), std::move(doubles),
+                             std::move(strs), std::move(dates),
+                             std::move(bools)});
+  auto result = Page::Deserialize(page->Serialize());
+  ASSERT_TRUE(result.ok());
+  PagePtr back = *result;
+  ASSERT_EQ(back->num_rows(), page->num_rows());
+  for (int c = 0; c < page->num_columns(); ++c) {
+    EXPECT_EQ(back->column(c).type(), page->column(c).type());
+    for (int64_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(back->column(c).ValueAt(r), page->column(c).ValueAt(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageSerdePropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace accordion
