@@ -9,10 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/random.h"
 #include "exec/join_bridge.h"
+#include "exec/operators.h"
 #include "exec/output_buffer.h"
 #include "expr/expr.h"
 #include "tpch/tpch.h"
@@ -95,6 +97,88 @@ void BM_JoinBridgeBuildProbe(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (state.range(0) + 4096));
 }
 BENCHMARK(BM_JoinBridgeBuildProbe)->Arg(1024)->Arg(16384);
+
+// --- hash-path microbenchmarks (1M-row inputs) -----------------------------
+// These track the perf trajectory of the vectorized hash path (flat
+// open-addressing tables for aggregation + join). Emit machine-readable
+// results with: bench_micro_core --benchmark_filter='1M' \
+//   --benchmark_format=json --benchmark_out=hash_path.json
+
+constexpr int64_t kMicroRows = 1 << 20;  // 1M rows
+constexpr int64_t kMicroPageRows = 8192;
+
+std::vector<PagePtr> MakeKeyedPages(int64_t total_rows, int64_t key_space,
+                                    uint32_t seed) {
+  Random rng(seed);
+  std::vector<PagePtr> pages;
+  for (int64_t off = 0; off < total_rows; off += kMicroPageRows) {
+    int64_t n = std::min(kMicroPageRows, total_rows - off);
+    Column keys(DataType::kInt64);
+    Column values(DataType::kDouble);
+    keys.Reserve(n);
+    values.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      keys.AppendInt(rng.NextInt(0, key_space));
+      values.AppendDouble(rng.NextDouble());
+    }
+    pages.push_back(Page::Make({std::move(keys), std::move(values)}));
+  }
+  return pages;
+}
+
+void BM_HashAggGroupBy1M(benchmark::State& state) {
+  const int64_t key_space = state.range(0);
+  std::vector<PagePtr> pages = MakeKeyedPages(kMicroRows, key_space, 42);
+  EngineConfig config;
+  config.partial_agg_flush_groups = 1LL << 40;  // keep all groups resident
+  ResourceGovernor cpu("bench.cpu", 1e12, 1e12);
+  ResourceGovernor nic("bench.nic", 1e12, 1e12);
+  TaskContext ctx("bench", &cpu, &nic, &config);
+  auto factory = MakePartialAggFactory(
+      {0},
+      {Aggregate{AggFunc::kSum, 1, DataType::kDouble},
+       Aggregate{AggFunc::kCount, -1, DataType::kInt64}},
+      {DataType::kInt64, DataType::kDouble});
+  for (auto _ : state) {
+    OperatorPtr op = factory->Create(&ctx, 0);
+    for (const auto& page : pages) op->AddInput(page);
+    op->Finish();
+    int64_t out_rows = 0;
+    while (PagePtr out = op->GetOutput()) {
+      if (out->IsEnd()) break;
+      out_rows += out->num_rows();
+    }
+    benchmark::DoNotOptimize(out_rows);
+  }
+  state.SetItemsProcessed(state.iterations() * kMicroRows);
+}
+BENCHMARK(BM_HashAggGroupBy1M)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_JoinBuildProbe1M(benchmark::State& state) {
+  const int64_t build_rows_n = state.range(0);
+  std::vector<PagePtr> build_pages =
+      MakeKeyedPages(build_rows_n, build_rows_n, 7);
+  std::vector<PagePtr> probe_pages = MakeKeyedPages(kMicroRows, build_rows_n, 9);
+  for (auto _ : state) {
+    JoinBridge bridge({DataType::kInt64, DataType::kDouble}, {0});
+    bridge.AddBuildDriver();
+    for (const auto& page : build_pages) bridge.AddBuildPage(page);
+    bridge.BuildDriverFinished();
+    int64_t matches = 0;
+    for (const auto& page : probe_pages) {
+      std::vector<int32_t> probe_rows;
+      std::vector<int64_t> build_rows;
+      bridge.Probe(*page, {0}, &probe_rows, &build_rows);
+      matches += static_cast<int64_t>(probe_rows.size());
+      if (!probe_rows.empty()) {
+        benchmark::DoNotOptimize(bridge.GatherBuild(1, build_rows));
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * (kMicroRows + build_rows_n));
+}
+BENCHMARK(BM_JoinBuildProbe1M)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_TpchGenerate(benchmark::State& state) {
   for (auto _ : state) {

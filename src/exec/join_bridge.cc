@@ -7,7 +7,9 @@ namespace accordion {
 
 JoinBridge::JoinBridge(std::vector<DataType> build_types,
                        std::vector<int> build_keys)
-    : build_types_(std::move(build_types)), build_keys_(std::move(build_keys)) {
+    : build_types_(std::move(build_types)),
+      build_keys_(std::move(build_keys)),
+      table_(HashTable::SelectKeyTypes(build_types_, build_keys_)) {
   data_.reserve(build_types_.size());
   for (DataType t : build_types_) data_.emplace_back(t);
 }
@@ -16,9 +18,7 @@ void JoinBridge::AddBuildPage(const PagePtr& page) {
   ACC_CHECK(!built_.load()) << "build page after hash table finalized";
   std::lock_guard<std::mutex> lock(mutex_);
   for (int c = 0; c < page->num_columns(); ++c) {
-    for (int64_t r = 0; r < page->num_rows(); ++r) {
-      data_[c].AppendFrom(page->column(c), r);
-    }
+    data_[c].AppendRange(page->column(c), 0, page->num_rows());
   }
 }
 
@@ -26,17 +26,26 @@ bool JoinBridge::BuildDriverFinished() {
   int remaining = --build_drivers_;
   ACC_CHECK(remaining >= 0) << "build driver underflow";
   if (remaining > 0) return false;
-  // Last driver constructs the index.
+  // Last driver constructs the index: one batch pass assigns a dense key
+  // id to every build row, then a counting sort groups each key's rows
+  // contiguously (ascending, since the scatter scans forward).
   Stopwatch sw;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     int64_t rows = data_.empty() ? 0 : data_[0].size();
-    index_.reserve(static_cast<size_t>(rows));
-    for (int64_t r = 0; r < rows; ++r) {
-      uint64_t h = 0x8445D61A4E774912ULL;
-      for (int key : build_keys_) h = data_[key].HashAt(r, h);
-      index_[h].push_back(r);
-    }
+    std::vector<const Column*> keys;
+    keys.reserve(build_keys_.size());
+    for (int key : build_keys_) keys.push_back(&data_[key]);
+    std::vector<int64_t> ids;
+    table_.Reserve(rows);  // skip the doubling/rehash ladder
+    table_.LookupOrInsert(keys, rows, &ids);
+    const int64_t num_keys = table_.size();
+    offsets_.assign(static_cast<size_t>(num_keys) + 1, 0);
+    for (int64_t r = 0; r < rows; ++r) ++offsets_[ids[r] + 1];
+    for (int64_t k = 0; k < num_keys; ++k) offsets_[k + 1] += offsets_[k];
+    rows_.resize(static_cast<size_t>(rows));
+    std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (int64_t r = 0; r < rows; ++r) rows_[cursor[ids[r]]++] = r;
   }
   build_index_us_ = sw.ElapsedMicros();
   built_ = true;
@@ -48,52 +57,23 @@ int64_t JoinBridge::build_rows() const {
   return data_.empty() ? 0 : data_[0].size();
 }
 
-bool JoinBridge::KeysEqualRow(const Page& probe,
-                              const std::vector<int>& probe_keys,
-                              int64_t probe_row, int64_t build_row) const {
-  for (size_t k = 0; k < probe_keys.size(); ++k) {
-    const Column& pc = probe.column(probe_keys[k]);
-    const Column& bc = data_[build_keys_[k]];
-    switch (bc.type()) {
-      case DataType::kString:
-        if (pc.StrAt(probe_row) != bc.StrAt(build_row)) return false;
-        break;
-      case DataType::kDouble:
-        if (pc.DoubleAt(probe_row) != bc.DoubleAt(build_row)) return false;
-        break;
-      default:
-        if (pc.IntAt(probe_row) != bc.IntAt(build_row)) return false;
-        break;
-    }
-  }
-  return true;
-}
-
 void JoinBridge::Probe(const Page& probe, const std::vector<int>& probe_keys,
                        std::vector<int32_t>* probe_rows,
                        std::vector<int64_t>* build_rows) const {
   ACC_CHECK(built_.load()) << "probe before hash table built";
   // No lock needed: the table is immutable once built.
-  for (int64_t r = 0; r < probe.num_rows(); ++r) {
-    uint64_t h = probe.HashRow(r, probe_keys);
-    auto it = index_.find(h);
-    if (it == index_.end()) continue;
-    for (int64_t candidate : it->second) {
-      if (KeysEqualRow(probe, probe_keys, r, candidate)) {
-        probe_rows->push_back(static_cast<int32_t>(r));
-        build_rows->push_back(candidate);
-      }
-    }
-  }
+  table_.FindJoin(probe, probe_keys, offsets_.data(), rows_.data(),
+                  probe_rows, build_rows);
 }
 
 Column JoinBridge::GatherBuild(int channel,
                                const std::vector<int64_t>& rows) const {
-  const Column& src = data_[channel];
-  Column out(src.type());
-  out.Reserve(static_cast<int64_t>(rows.size()));
-  for (int64_t r : rows) out.AppendFrom(src, r);
-  return out;
+  return GatherBuild(channel, rows.data(), static_cast<int64_t>(rows.size()));
+}
+
+Column JoinBridge::GatherBuild(int channel, const int64_t* rows,
+                               int64_t count) const {
+  return data_[channel].Gather(rows, count);
 }
 
 }  // namespace accordion

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "exec/hash_table.h"
 #include "vector/page.h"
 
 namespace accordion {
@@ -16,6 +16,16 @@ namespace accordion {
 /// last finishing driver constructs the index and flips `built`. Probe
 /// drivers stay blocked until then (paper §4.1: "probe-side data
 /// processing must wait for the build side").
+///
+/// The index is a flat open-addressing HashTable over the build keys plus
+/// a CSR-style match list: one batch pass over the accumulated build
+/// columns assigns every row a dense key id, then a counting sort groups
+/// the row numbers of each key contiguously — `rows_[offsets_[id] ..
+/// offsets_[id+1])` are the (ascending) build rows for key `id`. Probing
+/// reads one offsets pair and a contiguous span per hit instead of
+/// chasing head/next chain pointers. Because the table stores canonical
+/// keys, a probe hit is an exact key match — no per-candidate key
+/// re-comparison.
 class JoinBridge {
  public:
   JoinBridge(std::vector<DataType> build_types, std::vector<int> build_keys);
@@ -35,23 +45,24 @@ class JoinBridge {
   // --- probe side ---
   /// Appends to `probe_rows`/`build_rows` the matching row pairs for every
   /// row of `probe` (equality on all key channels). Requires built().
+  /// Thread-safe: the index is immutable once built.
   void Probe(const Page& probe, const std::vector<int>& probe_keys,
              std::vector<int32_t>* probe_rows,
              std::vector<int64_t>* build_rows) const;
 
   /// Gathers `channel` of the accumulated build rows at `rows`.
   Column GatherBuild(int channel, const std::vector<int64_t>& rows) const;
+  Column GatherBuild(int channel, const int64_t* rows, int64_t count) const;
 
  private:
-  bool KeysEqualRow(const Page& probe, const std::vector<int>& probe_keys,
-                    int64_t probe_row, int64_t build_row) const;
-
   std::vector<DataType> build_types_;
   std::vector<int> build_keys_;
 
   mutable std::mutex mutex_;
   std::vector<Column> data_;  // accumulated build rows, all channels
-  std::unordered_map<uint64_t, std::vector<int64_t>> index_;
+  HashTable table_;           // build-key -> dense key id
+  std::vector<int64_t> offsets_;  // key id -> start of its row span
+  std::vector<int64_t> rows_;     // build rows grouped by key id, ascending
   std::atomic<int> build_drivers_{0};
   std::atomic<bool> built_{false};
   std::atomic<int64_t> build_index_us_{0};

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_map>
 
 #include "common/logging.h"
+#include "exec/hash_table.h"
 
 namespace accordion {
 namespace {
@@ -281,10 +281,12 @@ class ProjectOperator : public Operator {
   }
 
   void AddInput(const PagePtr& page) override {
-    std::vector<Column> cols;
+    std::vector<ColumnPtr> cols;
     cols.reserve(exprs_.size());
-    for (const auto& e : exprs_) cols.push_back(e->Eval(*page));
-    pending_ = Page::Make(std::move(cols));
+    // EvalShared lets plain column references pass through the page's
+    // buffers untouched; computed expressions materialize once.
+    for (const auto& e : exprs_) cols.push_back(e->EvalShared(*page));
+    pending_ = Page::MakeShared(std::move(cols));
   }
 
   PagePtr GetOutput() override {
@@ -341,21 +343,24 @@ class LookupJoinOperator : public Operator {
   }
 
   void AddInput(const PagePtr& page) override {
-    std::vector<int32_t> probe_rows;
-    std::vector<int64_t> build_rows;
-    bridge_->Probe(*page, probe_keys_, &probe_rows, &build_rows);
-    if (probe_rows.empty()) return;
-    // Emit in bounded chunks to keep pages small.
+    probe_rows_.clear();
+    build_rows_.clear();
+    bridge_->Probe(*page, probe_keys_, &probe_rows_, &build_rows_);
+    if (probe_rows_.empty()) return;
+    // Emit in bounded chunks to keep pages small. Output columns are
+    // gathered directly from the match spans — no intermediate Select page
+    // or column copies.
+    const int64_t total = static_cast<int64_t>(probe_rows_.size());
     const int64_t chunk = task_ctx_->config().batch_rows * 4;
-    for (size_t off = 0; off < probe_rows.size();
-         off += static_cast<size_t>(chunk)) {
-      size_t end = std::min(probe_rows.size(), off + static_cast<size_t>(chunk));
-      std::vector<int32_t> p(probe_rows.begin() + off, probe_rows.begin() + end);
-      std::vector<int64_t> b(build_rows.begin() + off, build_rows.begin() + end);
-      PagePtr probe_part = page->Select(p);
-      std::vector<Column> cols = probe_part->columns();
+    for (int64_t off = 0; off < total; off += chunk) {
+      int64_t count = std::min(chunk, total - off);
+      std::vector<Column> cols;
+      cols.reserve(page->num_columns() + build_output_channels_.size());
+      for (int c = 0; c < page->num_columns(); ++c) {
+        cols.push_back(page->column(c).Gather(probe_rows_.data() + off, count));
+      }
       for (int ch : build_output_channels_) {
-        cols.push_back(bridge_->GatherBuild(ch, b));
+        cols.push_back(bridge_->GatherBuild(ch, build_rows_.data() + off, count));
       }
       pending_.push_back(Page::Make(std::move(cols)));
     }
@@ -381,6 +386,9 @@ class LookupJoinOperator : public Operator {
   std::vector<int> probe_keys_;
   std::vector<int> build_output_channels_;
   std::deque<PagePtr> pending_;
+  // Reused match buffers — cleared per input page, capacity retained.
+  std::vector<int32_t> probe_rows_;
+  std::vector<int64_t> build_rows_;
 };
 
 class LookupJoinFactory : public OperatorFactory {
@@ -414,41 +422,15 @@ struct AccState {
   bool has_v = false;
 };
 
-struct Group {
-  std::vector<Value> keys;
-  std::vector<AccState> states;
-};
-
-std::string EncodeKey(const Page& page, const std::vector<int>& channels,
-                      int64_t row) {
-  std::string key;
-  for (int ch : channels) {
-    const Column& col = page.column(ch);
-    switch (col.type()) {
-      case DataType::kString: {
-        const std::string& s = col.StrAt(row);
-        uint32_t len = static_cast<uint32_t>(s.size());
-        key.append(reinterpret_cast<const char*>(&len), 4);
-        key.append(s);
-        break;
-      }
-      case DataType::kDouble: {
-        double d = col.DoubleAt(row);
-        key.append(reinterpret_cast<const char*>(&d), 8);
-        break;
-      }
-      default: {
-        int64_t v = col.IntAt(row);
-        key.append(reinterpret_cast<const char*>(&v), 8);
-        break;
-      }
-    }
-  }
-  return key;
-}
-
-/// Base for both aggregation phases; subclasses define how a row updates
-/// states and how groups are emitted.
+/// Base for both aggregation phases; subclasses define how a batch updates
+/// states and how group results are emitted.
+///
+/// Groups live in a flat open-addressing HashTable that assigns dense,
+/// first-seen group ids and stores the key tuples columnar; accumulators
+/// live in one contiguous vector indexed `group_id * num_aggs + agg`.
+/// Input pages are consumed batch-at-a-time: one HashRows pass, one id
+/// resolution pass, then column-wise accumulator updates — no per-row key
+/// string or per-group heap allocations.
 class AggOperatorBase : public Operator {
  public:
   AggOperatorBase(TaskContext* ctx, std::vector<int> group_by,
@@ -457,23 +439,17 @@ class AggOperatorBase : public Operator {
       : Operator(ctx),
         group_by_(std::move(group_by)),
         aggs_(std::move(aggs)),
-        input_types_(std::move(input_types)) {}
+        input_types_(std::move(input_types)),
+        table_(HashTable::SelectKeyTypes(input_types_, group_by_)) {}
 
   bool NeedsInput() const override {
     return state_ == OperatorState::kRunning && pending_.empty();
   }
 
   void AddInput(const PagePtr& page) override {
-    for (int64_t r = 0; r < page->num_rows(); ++r) {
-      std::string key = EncodeKey(*page, group_by_, r);
-      auto [it, inserted] = groups_.try_emplace(std::move(key));
-      if (inserted) {
-        for (int ch : group_by_) it->second.keys.push_back(
-            page->column(ch).ValueAt(r));
-        it->second.states.resize(aggs_.size());
-      }
-      UpdateRow(*page, r, &it->second);
-    }
+    table_.LookupOrInsert(*page, group_by_, &group_ids_);
+    states_.resize(static_cast<size_t>(table_.size()) * aggs_.size());
+    UpdateBatch(*page, group_ids_);
     MaybeFlush();
   }
 
@@ -496,58 +472,107 @@ class AggOperatorBase : public Operator {
   }
 
  protected:
-  virtual void UpdateRow(const Page& page, int64_t row, Group* group) = 0;
+  virtual void UpdateBatch(const Page& page,
+                           const std::vector<int64_t>& ids) = 0;
   virtual std::vector<DataType> OutputTypes() const = 0;
-  virtual void EmitGroup(const Group& group, std::vector<Column>* cols) = 0;
+  /// Appends the per-agg result columns for groups [begin, end) to
+  /// `cols[group_by_.size()...]` (keys are already appended).
+  virtual void EmitStates(int64_t begin, int64_t end,
+                          std::vector<Column>* cols) = 0;
   /// Partial aggregation flushes early (destroy-and-rebuild, §4.1);
   /// final aggregation never does.
   virtual void MaybeFlush() {}
   /// Emit a default row when there are no groups and no GROUP BY keys?
   virtual bool EmitEmptyGroup() const { return false; }
 
+  /// Min/max accumulation shared by both phases; typed loops for the
+  /// numeric cases, string compare without Value round-trips.
+  void UpdateMinMax(const Column& col, const std::vector<int64_t>& ids,
+                    size_t a, bool is_max) {
+    const size_t num_aggs = aggs_.size();
+    const int64_t n = col.size();
+    switch (col.type()) {
+      case DataType::kString:
+        for (int64_t i = 0; i < n; ++i) {
+          AccState& st = states_[ids[i] * num_aggs + a];
+          const std::string& s = col.StrAt(i);
+          if (!st.has_v || (is_max ? s > st.v.str : s < st.v.str)) {
+            st.v.type = DataType::kString;
+            st.v.str = s;
+            st.has_v = true;
+          }
+        }
+        break;
+      case DataType::kDouble: {
+        const double* v = col.doubles().data();
+        for (int64_t i = 0; i < n; ++i) {
+          AccState& st = states_[ids[i] * num_aggs + a];
+          if (!st.has_v || (is_max ? v[i] > st.v.f64 : v[i] < st.v.f64)) {
+            st.v.type = DataType::kDouble;
+            st.v.f64 = v[i];
+            st.has_v = true;
+          }
+        }
+        break;
+      }
+      default: {
+        const int64_t* v = col.ints().data();
+        const DataType t = col.type();
+        for (int64_t i = 0; i < n; ++i) {
+          AccState& st = states_[ids[i] * num_aggs + a];
+          if (!st.has_v || (is_max ? v[i] > st.v.i64 : v[i] < st.v.i64)) {
+            st.v.type = t;
+            st.v.i64 = v[i];
+            st.has_v = true;
+          }
+        }
+        break;
+      }
+    }
+  }
+
   void FlushAll() {
     if (flushed_all_) return;
     flushed_all_ = true;
-    if (groups_.empty() && group_by_.empty() && EmitEmptyGroup()) {
-      Group empty;
-      empty.states.resize(aggs_.size());
-      groups_.emplace("", std::move(empty));
+    if (table_.empty() && group_by_.empty() && EmitEmptyGroup()) {
+      // Zero input rows, global aggregation: emit the default row.
+      states_.assign(aggs_.size(), AccState{});
+      std::vector<DataType> types = OutputTypes();
+      std::vector<Column> cols;
+      cols.reserve(types.size());
+      for (DataType t : types) cols.emplace_back(t);
+      EmitStates(0, 1, &cols);
+      pending_.push_back(Page::Make(std::move(cols)));
+      states_.clear();
+      return;
     }
-    if (groups_.empty()) return;
     EmitGroups();
   }
 
   void EmitGroups() {
+    const int64_t total = table_.size();
+    if (total == 0) return;
     std::vector<DataType> types = OutputTypes();
-    std::vector<Column> cols;
-    for (DataType t : types) cols.emplace_back(t);
-    int64_t rows = 0;
     const int64_t max_rows = task_ctx_->config().batch_rows * 4;
-    for (auto& [key, group] : groups_) {
-      for (size_t k = 0; k < group_by_.size(); ++k) {
-        cols[k].AppendValue(group.keys[k]);
-      }
-      // EmitGroup appends state/result columns after the keys.
-      std::vector<Column> tail;
-      EmitGroup(group, &tail);
-      for (size_t c = 0; c < tail.size(); ++c) {
-        cols[group_by_.size() + c].AppendValue(tail[c].ValueAt(0));
-      }
-      if (++rows >= max_rows) {
-        pending_.push_back(Page::Make(std::move(cols)));
-        cols.clear();
-        for (DataType t : types) cols.emplace_back(t);
-        rows = 0;
-      }
+    for (int64_t begin = 0; begin < total; begin += max_rows) {
+      int64_t end = std::min(total, begin + max_rows);
+      std::vector<Column> cols;
+      cols.reserve(types.size());
+      for (DataType t : types) cols.emplace_back(t);
+      table_.AppendKeys(begin, end, &cols);
+      EmitStates(begin, end, &cols);
+      pending_.push_back(Page::Make(std::move(cols)));
     }
-    if (rows > 0) pending_.push_back(Page::Make(std::move(cols)));
-    groups_.clear();
+    table_.Clear();
+    states_.clear();
   }
 
   std::vector<int> group_by_;
   std::vector<Aggregate> aggs_;
   std::vector<DataType> input_types_;
-  std::unordered_map<std::string, Group> groups_;
+  HashTable table_;
+  std::vector<AccState> states_;    // group-major: [group_id * num_aggs + a]
+  std::vector<int64_t> group_ids_;  // per-input-page scratch
   std::deque<PagePtr> pending_;
   bool flushed_all_ = false;
 };
@@ -562,40 +587,60 @@ class PartialAggOperator : public AggOperatorBase {
   std::string Name() const override { return "PartialAggregation"; }
 
  protected:
-  void UpdateRow(const Page& page, int64_t row, Group* group) override {
-    for (size_t a = 0; a < aggs_.size(); ++a) {
+  void UpdateBatch(const Page& page, const std::vector<int64_t>& ids) override {
+    const int64_t n = page.num_rows();
+    const size_t num_aggs = aggs_.size();
+    AccState* states = states_.data();
+    for (size_t a = 0; a < num_aggs; ++a) {
       const Aggregate& agg = aggs_[a];
-      AccState& st = group->states[a];
       switch (agg.func) {
         case AggFunc::kCount:
-          st.i += 1;
+          for (int64_t i = 0; i < n; ++i) states[ids[i] * num_aggs + a].i += 1;
           break;
-        case AggFunc::kSum:
+        case AggFunc::kSum: {
+          const Column& col = page.column(agg.input_channel);
           if (agg.ResultType() == DataType::kInt64) {
-            st.i += page.column(agg.input_channel).IntAt(row);
+            const int64_t* v = col.ints().data();
+            for (int64_t i = 0; i < n; ++i) {
+              states[ids[i] * num_aggs + a].i += v[i];
+            }
+          } else if (col.type() == DataType::kDouble) {
+            const double* v = col.doubles().data();
+            for (int64_t i = 0; i < n; ++i) {
+              states[ids[i] * num_aggs + a].d += v[i];
+            }
           } else {
-            st.d += page.column(agg.input_channel).NumericAt(row);
-          }
-          break;
-        case AggFunc::kMin:
-        case AggFunc::kMax: {
-          Value v = page.column(agg.input_channel).ValueAt(row);
-          if (!st.has_v) {
-            st.v = std::move(v);
-            st.has_v = true;
-          } else {
-            int c = CompareValues(v, st.v);
-            if ((agg.func == AggFunc::kMin && c < 0) ||
-                (agg.func == AggFunc::kMax && c > 0)) {
-              st.v = std::move(v);
+            const int64_t* v = col.ints().data();
+            for (int64_t i = 0; i < n; ++i) {
+              states[ids[i] * num_aggs + a].d += static_cast<double>(v[i]);
             }
           }
           break;
         }
-        case AggFunc::kAvg:
-          st.d += page.column(agg.input_channel).NumericAt(row);
-          st.i += 1;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          UpdateMinMax(page.column(agg.input_channel), ids, a,
+                       agg.func == AggFunc::kMax);
           break;
+        case AggFunc::kAvg: {
+          const Column& col = page.column(agg.input_channel);
+          if (col.type() == DataType::kDouble) {
+            const double* v = col.doubles().data();
+            for (int64_t i = 0; i < n; ++i) {
+              AccState& st = states[ids[i] * num_aggs + a];
+              st.d += v[i];
+              st.i += 1;
+            }
+          } else {
+            const int64_t* v = col.ints().data();
+            for (int64_t i = 0; i < n; ++i) {
+              AccState& st = states[ids[i] * num_aggs + a];
+              st.d += static_cast<double>(v[i]);
+              st.i += 1;
+            }
+          }
+          break;
+        }
       }
     }
   }
@@ -624,41 +669,56 @@ class PartialAggOperator : public AggOperatorBase {
     return types;
   }
 
-  void EmitGroup(const Group& group, std::vector<Column>* cols) override {
-    for (size_t a = 0; a < aggs_.size(); ++a) {
+  void EmitStates(int64_t begin, int64_t end,
+                  std::vector<Column>* cols) override {
+    const size_t num_aggs = aggs_.size();
+    const int64_t count = end - begin;
+    size_t c = group_by_.size();
+    for (size_t a = 0; a < num_aggs; ++a) {
       const Aggregate& agg = aggs_[a];
-      const AccState& st = group.states[a];
       switch (agg.func) {
         case AggFunc::kCount: {
-          Column c(DataType::kInt64);
-          c.AppendInt(st.i);
-          cols->push_back(std::move(c));
+          Column& col = (*cols)[c++];
+          col.Reserve(col.size() + count);
+          for (int64_t g = begin; g < end; ++g) {
+            col.AppendInt(states_[g * num_aggs + a].i);
+          }
           break;
         }
         case AggFunc::kSum: {
-          Column c(agg.ResultType());
+          Column& col = (*cols)[c++];
+          col.Reserve(col.size() + count);
           if (agg.ResultType() == DataType::kInt64) {
-            c.AppendInt(st.i);
+            for (int64_t g = begin; g < end; ++g) {
+              col.AppendInt(states_[g * num_aggs + a].i);
+            }
           } else {
-            c.AppendDouble(st.d);
+            for (int64_t g = begin; g < end; ++g) {
+              col.AppendDouble(states_[g * num_aggs + a].d);
+            }
           }
-          cols->push_back(std::move(c));
           break;
         }
         case AggFunc::kMin:
         case AggFunc::kMax: {
-          Column c(agg.input_type);
-          c.AppendValue(st.has_v ? st.v : Value{agg.input_type, 0, 0, {}});
-          cols->push_back(std::move(c));
+          Column& col = (*cols)[c++];
+          col.Reserve(col.size() + count);
+          for (int64_t g = begin; g < end; ++g) {
+            const AccState& st = states_[g * num_aggs + a];
+            col.AppendValue(st.has_v ? st.v : Value{agg.input_type, 0, 0, {}});
+          }
           break;
         }
         case AggFunc::kAvg: {
-          Column sum(DataType::kDouble);
-          sum.AppendDouble(st.d);
-          cols->push_back(std::move(sum));
-          Column count(DataType::kInt64);
-          count.AppendInt(st.i);
-          cols->push_back(std::move(count));
+          Column& sum = (*cols)[c++];
+          Column& cnt = (*cols)[c++];
+          sum.Reserve(sum.size() + count);
+          cnt.Reserve(cnt.size() + count);
+          for (int64_t g = begin; g < end; ++g) {
+            const AccState& st = states_[g * num_aggs + a];
+            sum.AppendDouble(st.d);
+            cnt.AppendInt(st.i);
+          }
           break;
         }
       }
@@ -666,8 +726,7 @@ class PartialAggOperator : public AggOperatorBase {
   }
 
   void MaybeFlush() override {
-    if (static_cast<int64_t>(groups_.size()) >=
-        task_ctx_->config().partial_agg_flush_groups) {
+    if (table_.size() >= task_ctx_->config().partial_agg_flush_groups) {
       EmitGroups();  // partial state is disposable
     }
   }
@@ -684,42 +743,56 @@ class FinalAggOperator : public AggOperatorBase {
 
  protected:
   // Input layout: group keys at [0, k), then per-agg state columns.
-  void UpdateRow(const Page& page, int64_t row, Group* group) override {
+  void UpdateBatch(const Page& page, const std::vector<int64_t>& ids) override {
+    const int64_t n = page.num_rows();
+    const size_t num_aggs = aggs_.size();
+    AccState* states = states_.data();
     int ch = static_cast<int>(group_by_.size());
-    for (size_t a = 0; a < aggs_.size(); ++a) {
+    for (size_t a = 0; a < num_aggs; ++a) {
       const Aggregate& agg = aggs_[a];
-      AccState& st = group->states[a];
       switch (agg.func) {
-        case AggFunc::kCount:
-          st.i += page.column(ch++).IntAt(row);
-          break;
-        case AggFunc::kSum:
-          if (agg.ResultType() == DataType::kInt64) {
-            st.i += page.column(ch++).IntAt(row);
-          } else {
-            st.d += page.column(ch++).NumericAt(row);
+        case AggFunc::kCount: {
+          const int64_t* v = page.column(ch++).ints().data();
+          for (int64_t i = 0; i < n; ++i) {
+            states[ids[i] * num_aggs + a].i += v[i];
           }
           break;
-        case AggFunc::kMin:
-        case AggFunc::kMax: {
-          Value v = page.column(ch++).ValueAt(row);
-          if (!st.has_v) {
-            st.v = std::move(v);
-            st.has_v = true;
+        }
+        case AggFunc::kSum: {
+          const Column& col = page.column(ch++);
+          if (agg.ResultType() == DataType::kInt64) {
+            const int64_t* v = col.ints().data();
+            for (int64_t i = 0; i < n; ++i) {
+              states[ids[i] * num_aggs + a].i += v[i];
+            }
+          } else if (col.type() == DataType::kDouble) {
+            const double* v = col.doubles().data();
+            for (int64_t i = 0; i < n; ++i) {
+              states[ids[i] * num_aggs + a].d += v[i];
+            }
           } else {
-            int c = CompareValues(v, st.v);
-            if ((agg.func == AggFunc::kMin && c < 0) ||
-                (agg.func == AggFunc::kMax && c > 0)) {
-              st.v = std::move(v);
+            const int64_t* v = col.ints().data();
+            for (int64_t i = 0; i < n; ++i) {
+              states[ids[i] * num_aggs + a].d += static_cast<double>(v[i]);
             }
           }
           break;
         }
-        case AggFunc::kAvg:
-          st.d += page.column(ch).DoubleAt(row);
-          st.i += page.column(ch + 1).IntAt(row);
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          UpdateMinMax(page.column(ch++), ids, a, agg.func == AggFunc::kMax);
+          break;
+        case AggFunc::kAvg: {
+          const double* sum = page.column(ch).doubles().data();
+          const int64_t* cnt = page.column(ch + 1).ints().data();
+          for (int64_t i = 0; i < n; ++i) {
+            AccState& st = states[ids[i] * num_aggs + a];
+            st.d += sum[i];
+            st.i += cnt[i];
+          }
           ch += 2;
           break;
+        }
       }
     }
   }
@@ -734,31 +807,47 @@ class FinalAggOperator : public AggOperatorBase {
     return types;
   }
 
-  void EmitGroup(const Group& group, std::vector<Column>* cols) override {
-    for (size_t a = 0; a < aggs_.size(); ++a) {
+  void EmitStates(int64_t begin, int64_t end,
+                  std::vector<Column>* cols) override {
+    const size_t num_aggs = aggs_.size();
+    const int64_t count = end - begin;
+    size_t c = group_by_.size();
+    for (size_t a = 0; a < num_aggs; ++a) {
       const Aggregate& agg = aggs_[a];
-      const AccState& st = group.states[a];
-      Column c(agg.ResultType());
+      Column& col = (*cols)[c++];
+      col.Reserve(col.size() + count);
       switch (agg.func) {
         case AggFunc::kCount:
-          c.AppendInt(st.i);
+          for (int64_t g = begin; g < end; ++g) {
+            col.AppendInt(states_[g * num_aggs + a].i);
+          }
           break;
         case AggFunc::kSum:
           if (agg.ResultType() == DataType::kInt64) {
-            c.AppendInt(st.i);
+            for (int64_t g = begin; g < end; ++g) {
+              col.AppendInt(states_[g * num_aggs + a].i);
+            }
           } else {
-            c.AppendDouble(st.d);
+            for (int64_t g = begin; g < end; ++g) {
+              col.AppendDouble(states_[g * num_aggs + a].d);
+            }
           }
           break;
         case AggFunc::kMin:
         case AggFunc::kMax:
-          c.AppendValue(st.has_v ? st.v : Value{agg.input_type, 0, 0, {}});
+          for (int64_t g = begin; g < end; ++g) {
+            const AccState& st = states_[g * num_aggs + a];
+            col.AppendValue(st.has_v ? st.v : Value{agg.input_type, 0, 0, {}});
+          }
           break;
         case AggFunc::kAvg:
-          c.AppendDouble(st.i == 0 ? 0 : st.d / static_cast<double>(st.i));
+          for (int64_t g = begin; g < end; ++g) {
+            const AccState& st = states_[g * num_aggs + a];
+            col.AppendDouble(st.i == 0 ? 0
+                                       : st.d / static_cast<double>(st.i));
+          }
           break;
       }
-      cols->push_back(std::move(c));
     }
   }
 

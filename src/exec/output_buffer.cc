@@ -294,9 +294,10 @@ void ShuffleBuffer::PartitionIntoGroupLocked(const PagePtr& page,
     return;
   }
   std::vector<std::vector<int32_t>> selections(group->count);
+  std::vector<uint64_t> hashes;
+  page->HashRows(config_.keys, &hashes);  // one column-at-a-time pass
   for (int64_t row = 0; row < page->num_rows(); ++row) {
-    uint64_t h = page->HashRow(row, config_.keys);
-    selections[h % group->count].push_back(static_cast<int32_t>(row));
+    selections[hashes[row] % group->count].push_back(static_cast<int32_t>(row));
   }
   for (int p = 0; p < group->count; ++p) {
     if (selections[p].empty()) continue;

@@ -1,6 +1,7 @@
 #include "expr/expr.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
 
@@ -62,13 +63,13 @@ class ColumnRefExpr : public Expr {
 
   DataType type() const override { return type_; }
 
-  Column Eval(const Page& page) const override {
+  ColumnPtr EvalShared(const Page& page) const override {
     ACC_CHECK(channel_ < page.num_columns())
         << "channel " << channel_ << " out of range";
-    const Column& src = page.column(channel_);
-    ACC_CHECK(src.type() == type_)
+    const ColumnPtr& src = page.shared_column(channel_);
+    ACC_CHECK(src->type() == type_)
         << "column ref type mismatch on channel " << channel_;
-    return src;  // copy of the column buffers (pages are immutable)
+    return src;  // shares the page's buffers (pages are immutable)
   }
 
   std::string ToString() const override {
@@ -86,11 +87,11 @@ class LiteralExpr : public Expr {
 
   DataType type() const override { return value_.type; }
 
-  Column Eval(const Page& page) const override {
+  ColumnPtr EvalShared(const Page& page) const override {
     Column out(value_.type);
     out.Reserve(page.num_rows());
     for (int64_t i = 0; i < page.num_rows(); ++i) out.AppendValue(value_);
-    return out;
+    return std::make_shared<Column>(std::move(out));
   }
 
   std::string ToString() const override {
@@ -127,9 +128,11 @@ class BinaryExpr : public Expr {
 
   DataType type() const override { return type_; }
 
-  Column Eval(const Page& page) const override {
-    Column lhs = left_->Eval(page);
-    Column rhs = right_->Eval(page);
+  ColumnPtr EvalShared(const Page& page) const override {
+    ColumnPtr lhs_ptr = left_->EvalShared(page);
+    ColumnPtr rhs_ptr = right_->EvalShared(page);
+    const Column& lhs = *lhs_ptr;
+    const Column& rhs = *rhs_ptr;
     int64_t n = page.num_rows();
     Column out(type_);
     out.Reserve(n);
@@ -139,7 +142,7 @@ class BinaryExpr : public Expr {
         bool a = lhs.IntAt(i) != 0, b = rhs.IntAt(i) != 0;
         out.AppendInt(op_ == BinaryOp::kAnd ? (a && b) : (a || b));
       }
-      return out;
+      return std::make_shared<Column>(std::move(out));
     }
 
     if (IsComparison(op_)) {
@@ -162,7 +165,7 @@ class BinaryExpr : public Expr {
           out.AppendInt(CompareResult(c));
         }
       }
-      return out;
+      return std::make_shared<Column>(std::move(out));
     }
 
     // Arithmetic.
@@ -177,7 +180,7 @@ class BinaryExpr : public Expr {
         out.AppendDouble(ApplyDouble(a, b));
       }
     }
-    return out;
+    return std::make_shared<Column>(std::move(out));
   }
 
   std::string ToString() const override {
@@ -250,14 +253,14 @@ class NotExpr : public Expr {
 
   DataType type() const override { return DataType::kBool; }
 
-  Column Eval(const Page& page) const override {
-    Column in = input_->Eval(page);
+  ColumnPtr EvalShared(const Page& page) const override {
+    ColumnPtr in = input_->EvalShared(page);
     Column out(DataType::kBool);
     out.Reserve(page.num_rows());
     for (int64_t i = 0; i < page.num_rows(); ++i) {
-      out.AppendInt(in.IntAt(i) == 0);
+      out.AppendInt(in->IntAt(i) == 0);
     }
-    return out;
+    return std::make_shared<Column>(std::move(out));
   }
 
   std::string ToString() const override {
@@ -296,17 +299,17 @@ class LikeExpr : public Expr {
 
   DataType type() const override { return DataType::kBool; }
 
-  Column Eval(const Page& page) const override {
-    Column in = input_->Eval(page);
+  ColumnPtr EvalShared(const Page& page) const override {
+    ColumnPtr in = input_->EvalShared(page);
     Column out(DataType::kBool);
     out.Reserve(page.num_rows());
     const char* p = pattern_.data();
     const char* pe = p + pattern_.size();
     for (int64_t i = 0; i < page.num_rows(); ++i) {
-      const std::string& s = in.StrAt(i);
+      const std::string& s = in->StrAt(i);
       out.AppendInt(LikeMatch(s.data(), s.data() + s.size(), p, pe));
     }
-    return out;
+    return std::make_shared<Column>(std::move(out));
   }
 
   std::string ToString() const override {
@@ -325,17 +328,17 @@ class InExpr : public Expr {
 
   DataType type() const override { return DataType::kBool; }
 
-  Column Eval(const Page& page) const override {
-    Column in = input_->Eval(page);
+  ColumnPtr EvalShared(const Page& page) const override {
+    ColumnPtr in = input_->EvalShared(page);
     Column out(DataType::kBool);
     out.Reserve(page.num_rows());
     for (int64_t i = 0; i < page.num_rows(); ++i) {
-      Value v = in.ValueAt(i);
+      Value v = in->ValueAt(i);
       bool hit = std::any_of(candidates_.begin(), candidates_.end(),
                              [&](const Value& c) { return c == v; });
       out.AppendInt(hit);
     }
-    return out;
+    return std::make_shared<Column>(std::move(out));
   }
 
   std::string ToString() const override {
@@ -368,31 +371,31 @@ class CaseWhenExpr : public Expr {
 
   DataType type() const override { return default_value_->type(); }
 
-  Column Eval(const Page& page) const override {
+  ColumnPtr EvalShared(const Page& page) const override {
     int64_t n = page.num_rows();
-    std::vector<Column> conds;
-    std::vector<Column> vals;
+    std::vector<ColumnPtr> conds;
+    std::vector<ColumnPtr> vals;
     conds.reserve(branches_.size());
     vals.reserve(branches_.size());
     for (const auto& [cond, val] : branches_) {
-      conds.push_back(cond->Eval(page));
-      vals.push_back(val->Eval(page));
+      conds.push_back(cond->EvalShared(page));
+      vals.push_back(val->EvalShared(page));
     }
-    Column dflt = default_value_->Eval(page);
+    ColumnPtr dflt = default_value_->EvalShared(page);
     Column out(type());
     out.Reserve(n);
     for (int64_t i = 0; i < n; ++i) {
       bool taken = false;
       for (size_t b = 0; b < branches_.size(); ++b) {
-        if (conds[b].IntAt(i) != 0) {
-          out.AppendFrom(vals[b], i);
+        if (conds[b]->IntAt(i) != 0) {
+          out.AppendFrom(*vals[b], i);
           taken = true;
           break;
         }
       }
-      if (!taken) out.AppendFrom(dflt, i);
+      if (!taken) out.AppendFrom(*dflt, i);
     }
-    return out;
+    return std::make_shared<Column>(std::move(out));
   }
 
   std::string ToString() const override {
@@ -416,14 +419,14 @@ class ExtractYearExpr : public Expr {
 
   DataType type() const override { return DataType::kInt64; }
 
-  Column Eval(const Page& page) const override {
-    Column in = input_->Eval(page);
+  ColumnPtr EvalShared(const Page& page) const override {
+    ColumnPtr in = input_->EvalShared(page);
     Column out(DataType::kInt64);
     out.Reserve(page.num_rows());
     for (int64_t i = 0; i < page.num_rows(); ++i) {
-      out.AppendInt(DateYear(in.IntAt(i)));
+      out.AppendInt(DateYear(in->IntAt(i)));
     }
-    return out;
+    return std::make_shared<Column>(std::move(out));
   }
 
   std::string ToString() const override {
@@ -474,10 +477,11 @@ ExprPtr ExtractYear(ExprPtr date_input) {
 
 std::vector<int32_t> FilterRows(const Expr& predicate, const Page& page) {
   ACC_CHECK(predicate.type() == DataType::kBool) << "filter on non-bool";
-  Column mask = predicate.Eval(page);
+  ColumnPtr mask = predicate.EvalShared(page);
   std::vector<int32_t> selected;
+  const int64_t* bits = mask->ints().data();
   for (int64_t i = 0; i < page.num_rows(); ++i) {
-    if (mask.IntAt(i) != 0) selected.push_back(static_cast<int32_t>(i));
+    if (bits[i] != 0) selected.push_back(static_cast<int32_t>(i));
   }
   return selected;
 }

@@ -41,8 +41,13 @@ class Expr {
   /// Result type of this expression.
   virtual DataType type() const = 0;
 
-  /// Evaluates over all rows of `page`.
-  virtual Column Eval(const Page& page) const = 0;
+  /// Evaluates over all rows of `page`. The primary entry point: plain
+  /// column references return the page's own shared column (zero-copy);
+  /// computed expressions materialize a new column once.
+  virtual ColumnPtr EvalShared(const Page& page) const = 0;
+
+  /// Copying convenience wrapper (tests, one-off callers).
+  Column Eval(const Page& page) const { return *EvalShared(page); }
 
   /// SQL-ish rendering for plans/EXPLAIN output.
   virtual std::string ToString() const = 0;

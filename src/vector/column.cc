@@ -1,28 +1,8 @@
 #include "vector/column.h"
 
+#include "vector/hashing.h"
+
 namespace accordion {
-namespace {
-
-inline uint64_t Mix64(uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xFF51AFD7ED558CCDULL;
-  x ^= x >> 33;
-  x *= 0xC4CEB9FE1A85EC53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
-inline uint64_t HashBytes(const char* data, size_t len, uint64_t seed) {
-  // FNV-1a folded through Mix64; sufficient distribution for partitioning.
-  uint64_t h = seed ^ 0xCBF29CE484222325ULL;
-  for (size_t i = 0; i < len; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 0x100000001B3ULL;
-  }
-  return Mix64(h);
-}
-
-}  // namespace
 
 int64_t Column::ByteSize() const {
   switch (type_) {
@@ -85,18 +65,76 @@ void Column::AppendFrom(const Column& other, int64_t row) {
   }
 }
 
-Column Column::Gather(const std::vector<int32_t>& indices) const {
-  Column out(type_);
-  out.Reserve(static_cast<int64_t>(indices.size()));
+void Column::AppendRange(const Column& other, int64_t start, int64_t count) {
   switch (type_) {
     case DataType::kDouble:
-      for (int32_t i : indices) out.doubles_.push_back(doubles_[i]);
+      doubles_.insert(doubles_.end(), other.doubles_.begin() + start,
+                      other.doubles_.begin() + start + count);
       break;
     case DataType::kString:
-      for (int32_t i : indices) out.strings_.push_back(strings_[i]);
+      strings_.insert(strings_.end(), other.strings_.begin() + start,
+                      other.strings_.begin() + start + count);
       break;
     default:
-      for (int32_t i : indices) out.ints_.push_back(ints_[i]);
+      ints_.insert(ints_.end(), other.ints_.begin() + start,
+                   other.ints_.begin() + start + count);
+      break;
+  }
+}
+
+namespace {
+
+// Indexed gather into pre-sized buffers: no per-element capacity checks,
+// and the compiler vectorizes the fixed-width loops.
+template <typename T, typename Index>
+void GatherInto(const std::vector<T>& src, const Index* indices, int64_t count,
+                std::vector<T>* dst) {
+  dst->resize(static_cast<size_t>(count));
+  T* out = dst->data();
+  const T* in = src.data();
+  for (int64_t i = 0; i < count; ++i) out[i] = in[indices[i]];
+}
+
+template <typename Index>
+void GatherStrings(const std::vector<std::string>& src, const Index* indices,
+                   int64_t count, std::vector<std::string>* dst) {
+  dst->reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) dst->push_back(src[indices[i]]);
+}
+
+}  // namespace
+
+Column Column::Gather(const std::vector<int32_t>& indices) const {
+  return Gather(indices.data(), static_cast<int64_t>(indices.size()));
+}
+
+Column Column::Gather(const int32_t* indices, int64_t count) const {
+  Column out(type_);
+  switch (type_) {
+    case DataType::kDouble:
+      GatherInto(doubles_, indices, count, &out.doubles_);
+      break;
+    case DataType::kString:
+      GatherStrings(strings_, indices, count, &out.strings_);
+      break;
+    default:
+      GatherInto(ints_, indices, count, &out.ints_);
+      break;
+  }
+  return out;
+}
+
+Column Column::Gather(const int64_t* indices, int64_t count) const {
+  Column out(type_);
+  switch (type_) {
+    case DataType::kDouble:
+      GatherInto(doubles_, indices, count, &out.doubles_);
+      break;
+    case DataType::kString:
+      GatherStrings(strings_, indices, count, &out.strings_);
+      break;
+    default:
+      GatherInto(ints_, indices, count, &out.ints_);
       break;
   }
   return out;
@@ -117,6 +155,32 @@ uint64_t Column::HashAt(int64_t i, uint64_t seed) const {
     }
     default:
       return Mix64(static_cast<uint64_t>(ints_[i]) ^ seed);
+  }
+}
+
+void Column::HashInto(std::vector<uint64_t>* hashes) const {
+  const int64_t n = size();
+  ACC_CHECK(static_cast<int64_t>(hashes->size()) == n)
+      << "HashInto size mismatch";
+  uint64_t* h = hashes->data();
+  switch (type_) {
+    case DataType::kDouble:
+      for (int64_t i = 0; i < n; ++i) {
+        uint64_t bits;
+        __builtin_memcpy(&bits, &doubles_[i], sizeof(bits));
+        h[i] = Mix64(bits ^ h[i]);
+      }
+      break;
+    case DataType::kString:
+      for (int64_t i = 0; i < n; ++i) {
+        h[i] = HashBytes(strings_[i].data(), strings_[i].size(), h[i]);
+      }
+      break;
+    default:
+      for (int64_t i = 0; i < n; ++i) {
+        h[i] = Mix64(static_cast<uint64_t>(ints_[i]) ^ h[i]);
+      }
+      break;
   }
 }
 

@@ -2,6 +2,7 @@
 #define ACCORDION_VECTOR_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,10 @@ class Column {
   /// Appends row `row` of `other` (same type) to this column.
   void AppendFrom(const Column& other, int64_t row);
 
+  /// Bulk-appends rows [start, start + count) of `other` (same type) —
+  /// one buffer insert instead of `count` element pushes.
+  void AppendRange(const Column& other, int64_t start, int64_t count);
+
   /// Direct buffer access for kernels.
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
@@ -67,10 +72,19 @@ class Column {
 
   /// New column with the rows selected by `indices`, in order.
   Column Gather(const std::vector<int32_t>& indices) const;
+  Column Gather(const int32_t* indices, int64_t count) const;
+  /// Gather over 64-bit row ids (join build sides can exceed 2^31 rows).
+  Column Gather(const int64_t* indices, int64_t count) const;
 
   /// Stable 64-bit hash of row i, mixed into `seed`. Used by partitioned
   /// shuffles and hash joins; must agree across workers.
   uint64_t HashAt(int64_t i, uint64_t seed) const;
+
+  /// Batch form of HashAt: folds every row of this column into the
+  /// running hashes, `(*hashes)[i] = HashAt(i, (*hashes)[i])`, with the
+  /// type switch hoisted out of the row loop. `hashes` must hold size()
+  /// entries.
+  void HashInto(std::vector<uint64_t>* hashes) const;
 
   void Reserve(int64_t n);
 
@@ -80,6 +94,10 @@ class Column {
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
 };
+
+/// Columns inside a Page are shared immutably; ColumnPtr lets column-ref
+/// expressions and Project hand out the same physical buffers with no copy.
+using ColumnPtr = std::shared_ptr<const Column>;
 
 }  // namespace accordion
 

@@ -1,0 +1,37 @@
+#ifndef ACCORDION_VECTOR_HASHING_H_
+#define ACCORDION_VECTOR_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace accordion {
+
+/// Shared 64-bit hashing kernels. Column::HashAt/HashInto and the hash
+/// table's fused single-word-key path must agree bit-for-bit — they are
+/// different entry points into the same hash space (per-row, per-column
+/// batch, and fused probe), and partitioned shuffles rely on the values
+/// agreeing across workers.
+
+/// Finalizer from MurmurHash3; full avalanche on 64 bits.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a folded through Mix64; sufficient distribution for partitioning.
+inline uint64_t HashBytes(const char* data, size_t len, uint64_t seed) {
+  uint64_t h = seed ^ 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace accordion
+
+#endif  // ACCORDION_VECTOR_HASHING_H_

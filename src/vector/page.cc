@@ -64,12 +64,21 @@ class Reader {
 }  // namespace
 
 PagePtr Page::Make(std::vector<Column> columns) {
+  std::vector<ColumnPtr> shared;
+  shared.reserve(columns.size());
+  for (auto& col : columns) {
+    shared.push_back(std::make_shared<Column>(std::move(col)));
+  }
+  return MakeShared(std::move(shared));
+}
+
+PagePtr Page::MakeShared(std::vector<ColumnPtr> columns) {
   auto page = std::shared_ptr<Page>(new Page());
   page->columns_ = std::move(columns);
-  page->num_rows_ = page->columns_.empty() ? 0 : page->columns_[0].size();
+  page->num_rows_ = page->columns_.empty() ? 0 : page->columns_[0]->size();
   for (const auto& col : page->columns_) {
-    ACC_CHECK(col.size() == page->num_rows_) << "ragged page";
-    page->byte_size_ += col.ByteSize();
+    ACC_CHECK(col->size() == page->num_rows_) << "ragged page";
+    page->byte_size_ += col->ByteSize();
   }
   return page;
 }
@@ -91,14 +100,20 @@ PagePtr Page::Select(const std::vector<int32_t>& indices) const {
   ACC_CHECK(!is_end_) << "Select on end page";
   std::vector<Column> cols;
   cols.reserve(columns_.size());
-  for (const auto& col : columns_) cols.push_back(col.Gather(indices));
+  for (const auto& col : columns_) cols.push_back(col->Gather(indices));
   return Make(std::move(cols));
 }
 
 uint64_t Page::HashRow(int64_t row, const std::vector<int>& key_channels) const {
-  uint64_t h = 0x8445D61A4E774912ULL;
-  for (int ch : key_channels) h = columns_[ch].HashAt(row, h);
+  uint64_t h = kHashSeed;
+  for (int ch : key_channels) h = columns_[ch]->HashAt(row, h);
   return h;
+}
+
+void Page::HashRows(const std::vector<int>& key_channels,
+                    std::vector<uint64_t>* out) const {
+  out->assign(static_cast<size_t>(num_rows_), kHashSeed);
+  for (int ch : key_channels) columns_[ch]->HashInto(out);
 }
 
 std::string Page::ToString(int64_t max_rows) const {
@@ -110,7 +125,7 @@ std::string Page::ToString(int64_t max_rows) const {
     out << "  ";
     for (size_t c = 0; c < columns_.size(); ++c) {
       if (c > 0) out << " | ";
-      out << columns_[c].ValueAt(r).ToString();
+      out << columns_[c]->ValueAt(r).ToString();
     }
     out << "\n";
   }
@@ -125,16 +140,16 @@ std::string Page::Serialize() const {
   PutI64(&out, num_rows_);
   PutI64(&out, static_cast<int64_t>(columns_.size()));
   for (const auto& col : columns_) {
-    PutU8(&out, static_cast<uint8_t>(col.type()));
-    switch (col.type()) {
+    PutU8(&out, static_cast<uint8_t>(col->type()));
+    switch (col->type()) {
       case DataType::kDouble:
-        for (double v : col.doubles()) PutF64(&out, v);
+        for (double v : col->doubles()) PutF64(&out, v);
         break;
       case DataType::kString:
-        for (const auto& s : col.strings()) PutStr(&out, s);
+        for (const auto& s : col->strings()) PutStr(&out, s);
         break;
       default:
-        for (int64_t v : col.ints()) PutI64(&out, v);
+        for (int64_t v : col->ints()) PutI64(&out, v);
         break;
     }
   }
@@ -198,9 +213,7 @@ PagePtr Page::Concat(const std::vector<PagePtr>& pages) {
   for (const auto& page : pages) {
     ACC_CHECK(!page->IsEnd());
     for (int c = 0; c < page->num_columns(); ++c) {
-      for (int64_t r = 0; r < page->num_rows(); ++r) {
-        cols[c].AppendFrom(page->column(c), r);
-      }
+      cols[c].AppendRange(page->column(c), 0, page->num_rows());
     }
   }
   return Make(std::move(cols));

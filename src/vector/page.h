@@ -27,8 +27,16 @@ using PagePtr = std::shared_ptr<const Page>;
 /// close stages bottom-up.
 class Page {
  public:
+  /// Seed every row hash starts from; HashRow/HashRows and the hash-table
+  /// consumers must agree on it across workers.
+  static constexpr uint64_t kHashSeed = 0x8445D61A4E774912ULL;
+
   /// Builds a data page; all columns must have `num_rows` rows.
   static PagePtr Make(std::vector<Column> columns);
+
+  /// Builds a data page that shares already-materialized columns (the
+  /// zero-copy path used by Project for plain column references).
+  static PagePtr MakeShared(std::vector<ColumnPtr> columns);
 
   /// The end-page singleton-like marker (one allocation per call is fine).
   static PagePtr End();
@@ -39,8 +47,11 @@ class Page {
   bool IsEnd() const { return is_end_; }
   int64_t num_rows() const { return num_rows_; }
   int num_columns() const { return static_cast<int>(columns_.size()); }
-  const Column& column(int i) const { return columns_[i]; }
-  const std::vector<Column>& columns() const { return columns_; }
+  const Column& column(int i) const { return *columns_[i]; }
+  /// Shared handle to column `i` — retains the buffers past this page's
+  /// lifetime without copying.
+  const ColumnPtr& shared_column(int i) const { return columns_[i]; }
+  const std::vector<ColumnPtr>& columns() const { return columns_; }
 
   /// Approximate in-memory/wire footprint in bytes.
   int64_t ByteSize() const { return byte_size_; }
@@ -50,6 +61,13 @@ class Page {
 
   /// Row hash over `key_channels`, used for partitioned exchange and joins.
   uint64_t HashRow(int64_t row, const std::vector<int>& key_channels) const;
+
+  /// Hashes every row over `key_channels` in one column-at-a-time pass;
+  /// `(*out)[row]` equals HashRow(row, key_channels). Used by partitioned
+  /// shuffle buffers; the hash table's agg/join paths reach the same
+  /// per-column Column::HashInto kernels directly.
+  void HashRows(const std::vector<int>& key_channels,
+                std::vector<uint64_t>* out) const;
 
   /// Human-readable dump (tests / examples); caps at `max_rows` rows.
   std::string ToString(int64_t max_rows = 10) const;
@@ -67,7 +85,7 @@ class Page {
   bool is_end_ = false;
   int64_t num_rows_ = 0;
   int64_t byte_size_ = 0;
-  std::vector<Column> columns_;
+  std::vector<ColumnPtr> columns_;
 };
 
 }  // namespace accordion

@@ -1,0 +1,376 @@
+#include "exec/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "tpch/queries.h"
+#include "tpch/tpch.h"
+
+namespace accordion {
+namespace {
+
+PagePtr IntPage(std::vector<int64_t> values) {
+  Column col(DataType::kInt64);
+  for (int64_t v : values) col.AppendInt(v);
+  return Page::Make({std::move(col)});
+}
+
+TEST(HashTableTest, AssignsDenseFirstSeenIds) {
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*IntPage({7, 3, 7, 9, 3, 7}), {0}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 0, 2, 1, 0}));
+  EXPECT_EQ(table.size(), 3);
+}
+
+TEST(HashTableTest, IdsStableAcrossBatches) {
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> first, second;
+  table.LookupOrInsert(*IntPage({1, 2, 3}), {0}, &first);
+  table.LookupOrInsert(*IntPage({3, 2, 1, 4}), {0}, &second);
+  EXPECT_EQ(second, (std::vector<int64_t>{2, 1, 0, 3}));
+  EXPECT_EQ(table.size(), 4);
+}
+
+TEST(HashTableTest, FindReturnsMinusOneForMisses) {
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*IntPage({10, 20}), {0}, &ids);
+  table.Find(*IntPage({20, 30, 10}), {0}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{1, -1, 0}));
+}
+
+TEST(HashTableTest, FindOnEmptyTableMissesEverything) {
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> ids;
+  table.Find(*IntPage({1, 2, 3}), {0}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{-1, -1, -1}));
+}
+
+TEST(HashTableTest, CollisionHeavyDuplicateKeys) {
+  // 100k rows over 16 distinct keys stresses repeated slot hits.
+  HashTable table({DataType::kInt64});
+  Random rng(1);
+  std::vector<int64_t> expected_hits(16, 0);
+  for (int batch = 0; batch < 25; ++batch) {
+    std::vector<int64_t> values;
+    for (int i = 0; i < 4000; ++i) values.push_back(rng.NextInt(0, 15));
+    std::vector<int64_t> ids;
+    table.LookupOrInsert(*IntPage(values), {0}, &ids);
+    for (size_t i = 0; i < values.size(); ++i) {
+      // Same key must always map to the same id within the run.
+      std::vector<int64_t> again;
+      table.Find(*IntPage({values[i]}), {0}, &again);
+      ASSERT_EQ(again[0], ids[i]);
+    }
+  }
+  EXPECT_EQ(table.size(), 16);
+}
+
+TEST(HashTableTest, GrowthAcrossResizeThresholds) {
+  // 50k distinct keys push the table through several doublings from its
+  // 1024-slot start; ids and canonical keys must survive every rehash.
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> ids;
+  constexpr int64_t kKeys = 50000;
+  for (int64_t base = 0; base < kKeys; base += 5000) {
+    std::vector<int64_t> values;
+    for (int64_t k = base; k < base + 5000; ++k) values.push_back(k * 11);
+    table.LookupOrInsert(*IntPage(values), {0}, &ids);
+  }
+  ASSERT_EQ(table.size(), kKeys);
+  // Every key resolves to its insertion-order id after all growth.
+  std::vector<int64_t> all;
+  for (int64_t k = 0; k < kKeys; ++k) all.push_back(k * 11);
+  table.Find(*IntPage(all), {0}, &ids);
+  for (int64_t k = 0; k < kKeys; ++k) ASSERT_EQ(ids[k], k);
+  // Canonical keys round-trip through AppendKeys.
+  std::vector<Column> out;
+  out.emplace_back(DataType::kInt64);
+  table.AppendKeys(0, table.size(), &out);
+  ASSERT_EQ(out[0].size(), kKeys);
+  for (int64_t k = 0; k < kKeys; ++k) ASSERT_EQ(out[0].IntAt(k), k * 11);
+}
+
+TEST(HashTableTest, ReservePresizesWithoutChangingIds) {
+  HashTable reserved({DataType::kInt64});
+  reserved.Reserve(100000);
+  HashTable grown({DataType::kInt64});
+  std::vector<int64_t> values;
+  Random rng(3);
+  for (int i = 0; i < 100000; ++i) values.push_back(rng.NextInt(0, 1 << 30));
+  std::vector<int64_t> a, b;
+  reserved.LookupOrInsert(*IntPage(values), {0}, &a);
+  grown.LookupOrInsert(*IntPage(values), {0}, &b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reserved.size(), grown.size());
+}
+
+TEST(HashTableTest, MultiColumnIntKeys) {
+  Column a(DataType::kInt64), b(DataType::kInt64);
+  for (auto [x, y] : std::vector<std::pair<int64_t, int64_t>>{
+           {1, 1}, {1, 2}, {2, 1}, {1, 1}, {2, 1}}) {
+    a.AppendInt(x);
+    b.AppendInt(y);
+  }
+  PagePtr page = Page::Make({std::move(a), std::move(b)});
+  HashTable table({DataType::kInt64, DataType::kInt64});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*page, {0, 1}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 2, 0, 2}));
+  std::vector<Column> out;
+  out.emplace_back(DataType::kInt64);
+  out.emplace_back(DataType::kInt64);
+  table.AppendKeys(0, table.size(), &out);
+  EXPECT_EQ(out[0].ints(), (std::vector<int64_t>{1, 1, 2}));
+  EXPECT_EQ(out[1].ints(), (std::vector<int64_t>{1, 2, 1}));
+}
+
+TEST(HashTableTest, DoubleKeys) {
+  Column col(DataType::kDouble);
+  for (double d : {1.5, 2.5, 1.5, -0.25}) col.AppendDouble(d);
+  PagePtr page = Page::Make({std::move(col)});
+  HashTable table({DataType::kDouble});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*page, {0}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 0, 2}));
+  std::vector<Column> out;
+  out.emplace_back(DataType::kDouble);
+  table.AppendKeys(0, table.size(), &out);
+  EXPECT_EQ(out[0].doubles(), (std::vector<double>{1.5, 2.5, -0.25}));
+}
+
+TEST(HashTableTest, StringKeys) {
+  Column col(DataType::kString);
+  for (const char* s : {"apple", "banana", "apple", "", "banana", "cherry"}) {
+    col.AppendStr(s);
+  }
+  PagePtr page = Page::Make({std::move(col)});
+  HashTable table({DataType::kString});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*page, {0}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 0, 2, 1, 3}));
+  std::vector<Column> out;
+  out.emplace_back(DataType::kString);
+  table.AppendKeys(0, table.size(), &out);
+  EXPECT_EQ(out[0].strings(),
+            (std::vector<std::string>{"apple", "banana", "", "cherry"}));
+}
+
+TEST(HashTableTest, MixedStringIntKeysNoConcatAmbiguity) {
+  // ("a", 1) vs ("a1", ...) style ambiguity: the length-prefixed arena
+  // encoding must keep ("ab", "c") distinct from ("a", "bc").
+  Column s1(DataType::kString), s2(DataType::kString);
+  s1.AppendStr("ab");
+  s2.AppendStr("c");
+  s1.AppendStr("a");
+  s2.AppendStr("bc");
+  PagePtr page = Page::Make({std::move(s1), std::move(s2)});
+  HashTable table({DataType::kString, DataType::kString});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*page, {0, 1}, &ids);
+  EXPECT_EQ(table.size(), 2);
+  EXPECT_NE(ids[0], ids[1]);
+}
+
+TEST(HashTableTest, MixedIntStringKeys) {
+  Column k(DataType::kInt64), s(DataType::kString);
+  for (auto [x, y] : std::vector<std::pair<int64_t, const char*>>{
+           {1, "x"}, {1, "y"}, {2, "x"}, {1, "x"}}) {
+    k.AppendInt(x);
+    s.AppendStr(y);
+  }
+  PagePtr page = Page::Make({std::move(k), std::move(s)});
+  HashTable table({DataType::kInt64, DataType::kString});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*page, {0, 1}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 2, 0}));
+  std::vector<Column> out;
+  out.emplace_back(DataType::kInt64);
+  out.emplace_back(DataType::kString);
+  table.AppendKeys(0, table.size(), &out);
+  EXPECT_EQ(out[0].ints(), (std::vector<int64_t>{1, 1, 2}));
+  EXPECT_EQ(out[1].strings(), (std::vector<std::string>{"x", "y", "x"}));
+}
+
+TEST(HashTableTest, ZeroKeyColumnsMapEverythingToOneGroup) {
+  HashTable table({});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*IntPage({5, 6, 7}), {}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 0, 0}));
+  EXPECT_EQ(table.size(), 1);
+}
+
+TEST(HashTableTest, ClearKeepsCapacityAndRestartsIds) {
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*IntPage({1, 2, 3}), {0}, &ids);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0);
+  table.LookupOrInsert(*IntPage({42}), {0}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{0}));
+  EXPECT_EQ(table.size(), 1);
+}
+
+TEST(HashTableTest, FindJoinExpandsSpans) {
+  // Table over keys {10, 20}; spans give key 10 two build rows and key 20
+  // one. Probing [20, 10, 30] must expand to (0,2), (1,0), (1,1).
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*IntPage({10, 20}), {0}, &ids);
+  std::vector<int64_t> offsets = {0, 2, 3};  // id 0 -> rows [0,2), id 1 -> [2,3)
+  std::vector<int64_t> rows = {4, 7, 9};
+  std::vector<int32_t> probe_rows;
+  std::vector<int64_t> build_rows;
+  table.FindJoin(*IntPage({20, 10, 30}), {0}, offsets.data(), rows.data(),
+                 &probe_rows, &build_rows);
+  EXPECT_EQ(probe_rows, (std::vector<int32_t>{0, 1, 1}));
+  EXPECT_EQ(build_rows, (std::vector<int64_t>{9, 4, 7}));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end equivalence: the hash-path rewrite must reproduce TPC-H Q1
+// (hash aggregation) and Q3 (hash join + aggregation) answers computed by
+// independent row-at-a-time references over the same generated data.
+// ---------------------------------------------------------------------------
+
+constexpr double kSf = 0.005;
+
+AccordionCluster::Options ZeroCostOptions() {
+  AccordionCluster::Options options;
+  options.num_workers = 2;
+  options.num_storage_nodes = 2;
+  options.scale_factor = kSf;
+  options.engine.cost.scale = 0;
+  options.engine.rpc_latency_ms = 0;
+  return options;
+}
+
+std::vector<PagePtr> RunQuery(int q) {
+  AccordionCluster cluster(ZeroCostOptions());
+  auto submitted = cluster.coordinator()->Submit(
+      TpchQueryPlan(q, cluster.coordinator()->catalog()));
+  EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto result = cluster.coordinator()->Wait(*submitted, 120000);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(HashPathEquivalenceTest, Q1MatchesReferenceAggregation) {
+  struct Acc {
+    double sum_qty = 0, sum_base = 0, sum_disc_price = 0, sum_charge = 0;
+    double sum_disc = 0;
+    int64_t count = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Acc> ref;
+  const int64_t cutoff = ParseDate("1998-09-02");
+  for (const auto& page : GenerateSplit("lineitem", kSf, 0, 1, 4096)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      if (page->column(10).IntAt(r) > cutoff) continue;  // l_shipdate
+      Acc& acc = ref[{page->column(8).StrAt(r), page->column(9).StrAt(r)}];
+      double qty = page->column(4).DoubleAt(r);
+      double price = page->column(5).DoubleAt(r);
+      double disc = page->column(6).DoubleAt(r);
+      double tax = page->column(7).DoubleAt(r);
+      acc.sum_qty += qty;
+      acc.sum_base += price;
+      acc.sum_disc_price += price * (1 - disc);
+      acc.sum_charge += price * (1 - disc) * (1 + tax);
+      acc.sum_disc += disc;
+      acc.count += 1;
+    }
+  }
+  ASSERT_FALSE(ref.empty());
+
+  std::vector<PagePtr> result = RunQuery(1);
+  int64_t rows = 0;
+  for (const auto& page : result) rows += page->num_rows();
+  ASSERT_EQ(rows, static_cast<int64_t>(ref.size()));
+  for (const auto& page : result) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      auto it = ref.find({page->column(0).StrAt(r), page->column(1).StrAt(r)});
+      ASSERT_NE(it, ref.end());
+      const Acc& acc = it->second;
+      auto near = [](double a, double b) {
+        return std::abs(a - b) <= std::abs(b) * 1e-9 + 1e-9;
+      };
+      EXPECT_TRUE(near(page->column(2).DoubleAt(r), acc.sum_qty));
+      EXPECT_TRUE(near(page->column(3).DoubleAt(r), acc.sum_base));
+      EXPECT_TRUE(near(page->column(4).DoubleAt(r), acc.sum_disc_price));
+      EXPECT_TRUE(near(page->column(5).DoubleAt(r), acc.sum_charge));
+      EXPECT_TRUE(near(page->column(6).DoubleAt(r),
+                       acc.sum_qty / static_cast<double>(acc.count)));
+      EXPECT_TRUE(near(page->column(7).DoubleAt(r),
+                       acc.sum_base / static_cast<double>(acc.count)));
+      EXPECT_TRUE(near(page->column(8).DoubleAt(r),
+                       acc.sum_disc / static_cast<double>(acc.count)));
+      EXPECT_EQ(page->column(9).IntAt(r), acc.count);
+    }
+  }
+}
+
+TEST(HashPathEquivalenceTest, Q3MatchesReferenceJoinAggregation) {
+  // Reference: nested hash-map join + aggregation in plain STL.
+  std::set<int64_t> building_custs;
+  for (const auto& page : GenerateSplit("customer", kSf, 0, 1, 4096)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      if (page->column(6).StrAt(r) == "BUILDING") {
+        building_custs.insert(page->column(0).IntAt(r));
+      }
+    }
+  }
+  const int64_t pivot = ParseDate("1995-03-15");
+  std::map<int64_t, std::pair<int64_t, int64_t>> orders;  // key -> (date, prio)
+  for (const auto& page : GenerateSplit("orders", kSf, 0, 1, 4096)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      if (page->column(4).IntAt(r) < pivot &&
+          building_custs.count(page->column(1).IntAt(r))) {
+        orders[page->column(0).IntAt(r)] = {page->column(4).IntAt(r),
+                                            page->column(7).IntAt(r)};
+      }
+    }
+  }
+  std::map<std::tuple<int64_t, int64_t, int64_t>, double> revenue;
+  for (const auto& page : GenerateSplit("lineitem", kSf, 0, 1, 4096)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      if (page->column(10).IntAt(r) <= pivot) continue;  // l_shipdate
+      auto it = orders.find(page->column(0).IntAt(r));
+      if (it == orders.end()) continue;
+      double price = page->column(5).DoubleAt(r);
+      double disc = page->column(6).DoubleAt(r);
+      revenue[{it->first, it->second.first, it->second.second}] +=
+          price * (1 - disc);
+    }
+  }
+
+  std::vector<PagePtr> result = RunQuery(3);
+  int64_t rows = 0;
+  for (const auto& page : result) rows += page->num_rows();
+  ASSERT_EQ(rows, std::min<int64_t>(10, static_cast<int64_t>(revenue.size())));
+
+  double prev = std::numeric_limits<double>::infinity();
+  for (const auto& page : result) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      std::tuple<int64_t, int64_t, int64_t> key{page->column(0).IntAt(r),
+                                                page->column(1).IntAt(r),
+                                                page->column(2).IntAt(r)};
+      auto it = revenue.find(key);
+      ASSERT_NE(it, revenue.end()) << "unexpected group in Q3 output";
+      double rev = page->column(3).DoubleAt(r);
+      EXPECT_NEAR(rev, it->second, std::abs(it->second) * 1e-9 + 1e-9);
+      EXPECT_LE(rev, prev + 1e-9) << "Q3 output not sorted by revenue desc";
+      prev = rev;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace accordion

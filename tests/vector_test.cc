@@ -72,6 +72,53 @@ TEST(ColumnTest, GatherReordersAndDuplicates) {
   EXPECT_EQ(out.IntAt(2), 30);
 }
 
+TEST(ColumnTest, GatherWithInt64Indices) {
+  Column col = MakeIntColumn({10, 20, 30});
+  std::vector<int64_t> idx = {1, 1, 2};
+  Column out = col.Gather(idx.data(), static_cast<int64_t>(idx.size()));
+  ASSERT_EQ(out.size(), 3);
+  EXPECT_EQ(out.IntAt(0), 20);
+  EXPECT_EQ(out.IntAt(1), 20);
+  EXPECT_EQ(out.IntAt(2), 30);
+}
+
+TEST(ColumnTest, AppendRangeBulkCopies) {
+  Column src = MakeIntColumn({1, 2, 3, 4, 5});
+  Column dst = MakeIntColumn({0});
+  dst.AppendRange(src, 1, 3);
+  ASSERT_EQ(dst.size(), 4);
+  EXPECT_EQ(dst.IntAt(1), 2);
+  EXPECT_EQ(dst.IntAt(3), 4);
+
+  Column sstr(DataType::kString);
+  sstr.AppendStr("a");
+  sstr.AppendStr("b");
+  sstr.AppendStr("c");
+  Column dstr(DataType::kString);
+  dstr.AppendRange(sstr, 0, 2);
+  ASSERT_EQ(dstr.size(), 2);
+  EXPECT_EQ(dstr.StrAt(1), "b");
+}
+
+TEST(ColumnTest, HashIntoMatchesHashAt) {
+  Column ints = MakeIntColumn({1, -5, 99});
+  Column strs(DataType::kString);
+  strs.AppendStr("x");
+  strs.AppendStr("");
+  strs.AppendStr("long-ish string value");
+  Column dbls(DataType::kDouble);
+  dbls.AppendDouble(0.5);
+  dbls.AppendDouble(-1.25);
+  dbls.AppendDouble(3.0);
+  for (const Column* col : {&ints, &strs, &dbls}) {
+    std::vector<uint64_t> hashes(col->size(), Page::kHashSeed);
+    col->HashInto(&hashes);
+    for (int64_t i = 0; i < col->size(); ++i) {
+      EXPECT_EQ(hashes[i], col->HashAt(i, Page::kHashSeed)) << i;
+    }
+  }
+}
+
 TEST(ColumnTest, ByteSizeGrows) {
   Column col(DataType::kInt64);
   EXPECT_EQ(col.ByteSize(), 0);
@@ -120,6 +167,32 @@ TEST(PageTest, HashRowCombinesChannels) {
       Page::Make({MakeIntColumn({1, 1}), MakeIntColumn({2, 3})});
   EXPECT_EQ(page->HashRow(0, {0}), page->HashRow(1, {0}));
   EXPECT_NE(page->HashRow(0, {0, 1}), page->HashRow(1, {0, 1}));
+}
+
+TEST(PageTest, HashRowsMatchesHashRow) {
+  Column tags(DataType::kString);
+  tags.AppendStr("p");
+  tags.AppendStr("q");
+  tags.AppendStr("p");
+  PagePtr page = Page::Make(
+      {MakeIntColumn({1, 2, 1}), std::move(tags)});
+  for (const std::vector<int>& channels :
+       {std::vector<int>{0}, std::vector<int>{1}, std::vector<int>{0, 1}}) {
+    std::vector<uint64_t> hashes;
+    page->HashRows(channels, &hashes);
+    ASSERT_EQ(hashes.size(), 3u);
+    for (int64_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(hashes[r], page->HashRow(r, channels));
+    }
+  }
+}
+
+TEST(PageTest, MakeSharedReusesColumns) {
+  PagePtr base = Page::Make({MakeIntColumn({1, 2, 3})});
+  PagePtr view = Page::MakeShared({base->shared_column(0)});
+  EXPECT_EQ(view->num_rows(), 3);
+  // Same physical column object — zero-copy.
+  EXPECT_EQ(&view->column(0), &base->column(0));
 }
 
 TEST(PageTest, SerializeRoundTrip) {
