@@ -10,6 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
 #include <numeric>
 
 #include "common/random.h"
@@ -100,9 +103,13 @@ BENCHMARK(BM_JoinBridgeBuildProbe)->Arg(1024)->Arg(16384);
 
 // --- hash-path microbenchmarks (1M-row inputs) -----------------------------
 // These track the perf trajectory of the vectorized hash path (flat
-// open-addressing tables for aggregation + join). Emit machine-readable
-// results with: bench_micro_core --benchmark_filter='1M' \
-//   --benchmark_format=json --benchmark_out=hash_path.json
+// open-addressing tables for aggregation + join). Every run also writes
+// machine-readable results to BENCH_micro.json (see main below); override
+// the path with ACCORDION_BENCH_JSON. The aggregation sweep covers
+// 1K/64K/1M groups — the 1M case exercises the radix-partitioned path
+// (adaptive partition split at radix_agg_min_groups distinct keys); the
+// RADIX_MIN/RADIX_TARGET/RADIX_DRAIN env knobs override the radix config
+// for tuning runs.
 
 constexpr int64_t kMicroRows = 1 << 20;  // 1M rows
 constexpr int64_t kMicroPageRows = 8192;
@@ -131,6 +138,9 @@ void BM_HashAggGroupBy1M(benchmark::State& state) {
   std::vector<PagePtr> pages = MakeKeyedPages(kMicroRows, key_space, 42);
   EngineConfig config;
   config.partial_agg_flush_groups = 1LL << 40;  // keep all groups resident
+  if (const char* e = std::getenv("RADIX_MIN")) config.radix_agg_min_groups = atoll(e);
+  if (const char* e = std::getenv("RADIX_TARGET")) config.radix_agg_partition_groups = atoll(e);
+  if (const char* e = std::getenv("RADIX_DRAIN")) config.radix_agg_drain_rows = atoll(e);
   ResourceGovernor cpu("bench.cpu", 1e12, 1e12);
   ResourceGovernor nic("bench.nic", 1e12, 1e12);
   TaskContext ctx("bench", &cpu, &nic, &config);
@@ -152,7 +162,7 @@ void BM_HashAggGroupBy1M(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kMicroRows);
 }
-BENCHMARK(BM_HashAggGroupBy1M)->Arg(1 << 10)->Arg(1 << 16);
+BENCHMARK(BM_HashAggGroupBy1M)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_JoinBuildProbe1M(benchmark::State& state) {
   const int64_t build_rows_n = state.range(0);
@@ -225,4 +235,28 @@ BENCHMARK(BM_BufferHandoff)->Arg(1)->Arg(0);
 }  // namespace
 }  // namespace accordion
 
-BENCHMARK_MAIN();
+// Custom main: in addition to the console output, always record a
+// machine-readable BENCH_micro.json (ACCORDION_BENCH_JSON overrides the
+// path) so every bench run extends the perf trajectory. An explicit
+// --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  const char* json_path = std::getenv("ACCORDION_BENCH_JSON");
+  std::string out_flag = std::string("--benchmark_out=") +
+                         (json_path != nullptr ? json_path : "BENCH_micro.json");
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -61,6 +61,23 @@ struct EngineConfig {
   /// destroy-and-rebuildable (paper §4.1).
   int64_t partial_agg_flush_groups = 1 << 16;
 
+  /// Group cardinality at which a driver's aggregation switches from one
+  /// flat hash table to radix-partitioned tables (0 disables radix
+  /// aggregation). Below the threshold the single-table path is used
+  /// unchanged, so low-cardinality queries pay nothing.
+  int64_t radix_agg_min_groups = 1 << 14;
+
+  /// Target distinct groups per radix partition, sized so one partition's
+  /// slots + keys + accumulators stay roughly L2-resident.
+  int64_t radix_agg_partition_groups = 1 << 12;
+
+  /// Upper bound on radix bits (2^bits partition tables per driver).
+  int radix_agg_max_bits = 10;
+
+  /// Rows buffered per radix partition before they are drained through
+  /// that partition's table (amortizes per-batch table overhead).
+  int64_t radix_agg_drain_rows = 2048;
+
   /// Idle wait inside driver loops when no progress was possible.
   int64_t driver_idle_sleep_us = 1000;
 

@@ -28,7 +28,8 @@ HashTable::HashTable(std::vector<DataType> key_types)
 }
 
 void HashTable::PrepareBatch(const std::vector<const Column*>& keys,
-                             int64_t num_rows, Scratch* scratch) const {
+                             int64_t num_rows, Scratch* scratch,
+                             const uint64_t* external_hashes) const {
   ACC_CHECK(static_cast<int>(keys.size()) == num_key_cols_)
       << "key column count mismatch";
   if (word_mode_) {
@@ -44,17 +45,27 @@ void HashTable::PrepareBatch(const std::vector<const Column*>& keys,
                   static_cast<size_t>(num_rows) * 8);
       scratch->words_data = scratch->words.data();
     }
+    if (external_hashes != nullptr) {
+      scratch->hashes_data = external_hashes;
+      return;
+    }
     scratch->hashes.resize(static_cast<size_t>(num_rows));
     uint64_t* h = scratch->hashes.data();
     const int64_t* k = scratch->words_data;
     for (int64_t i = 0; i < num_rows; ++i) {
       h[i] = Mix64(static_cast<uint64_t>(k[i]) ^ Page::kHashSeed);
     }
+    scratch->hashes_data = scratch->hashes.data();
     return;
   }
 
-  scratch->hashes.assign(static_cast<size_t>(num_rows), Page::kHashSeed);
-  for (const Column* col : keys) col->HashInto(&scratch->hashes);
+  if (external_hashes != nullptr) {
+    scratch->hashes_data = external_hashes;
+  } else {
+    scratch->hashes.assign(static_cast<size_t>(num_rows), Page::kHashSeed);
+    for (const Column* col : keys) col->HashInto(&scratch->hashes);
+    scratch->hashes_data = scratch->hashes.data();
+  }
 
   if (fixed_width_) {
     // Pack key words row-major: scratch->words[row * k + c].
@@ -183,7 +194,7 @@ void HashTable::LookupBatch(const Scratch& scratch, int64_t num_rows,
     // equality check and the miss-insert need no canonical-key access.
     // Members are used directly because Grow() may move the slot buffer.
     const int64_t* words = scratch.words_data;
-    const uint64_t* hashes = scratch.hashes.data();
+    const uint64_t* hashes = scratch.hashes_data;
     for (int64_t i = 0; i < num_rows; ++i) {
       if (i + kPrefetchDistance < num_rows) {
         __builtin_prefetch(&slots_[hashes[i + kPrefetchDistance] & mask_]);
@@ -213,13 +224,13 @@ void HashTable::LookupBatch(const Scratch& scratch, int64_t num_rows,
   }
   for (int64_t i = 0; i < num_rows; ++i) {
     if (i + kPrefetchDistance < num_rows) {
-      __builtin_prefetch(&slots_[scratch.hashes[i + kPrefetchDistance] & mask_]);
+      __builtin_prefetch(&slots_[scratch.hashes_data[i + kPrefetchDistance] & mask_]);
     }
     // Keep load below ~0.7 so linear probe chains stay short.
     if ((num_keys_ + 1) * 10 > static_cast<int64_t>(slots_.size()) * 7) {
       Grow();
     }
-    uint64_t h = scratch.hashes[i];
+    uint64_t h = scratch.hashes_data[i];
     uint64_t pos = h & mask_;
     while (true) {
       Slot& slot = slots_[pos];
@@ -248,7 +259,7 @@ void HashTable::FindBatch(const Scratch& scratch, int64_t num_rows,
     // one random access per row, everything else in registers.
     const Slot* slots = slots_.data();
     const int64_t* words = scratch.words_data;
-    const uint64_t* hashes = scratch.hashes.data();
+    const uint64_t* hashes = scratch.hashes_data;
     const uint64_t mask = mask_;
     for (int64_t i = 0; i < num_rows; ++i) {
       if (i + kPrefetchDistance < num_rows) {
@@ -272,9 +283,9 @@ void HashTable::FindBatch(const Scratch& scratch, int64_t num_rows,
   }
   for (int64_t i = 0; i < num_rows; ++i) {
     if (i + kPrefetchDistance < num_rows) {
-      __builtin_prefetch(&slots_[scratch.hashes[i + kPrefetchDistance] & mask_]);
+      __builtin_prefetch(&slots_[scratch.hashes_data[i + kPrefetchDistance] & mask_]);
     }
-    uint64_t h = scratch.hashes[i];
+    uint64_t h = scratch.hashes_data[i];
     uint64_t pos = h & mask_;
     int64_t found = -1;
     while (true) {
@@ -309,6 +320,18 @@ void HashTable::LookupOrInsert(const std::vector<const Column*>& keys,
     return;
   }
   PrepareBatch(keys, num_rows, &scratch_);
+  LookupBatch(scratch_, num_rows, ids);
+}
+
+void HashTable::LookupOrInsertHashed(const std::vector<const Column*>& keys,
+                                     int64_t num_rows, const uint64_t* hashes,
+                                     std::vector<int64_t>* ids) {
+  if (num_key_cols_ == 0) {
+    if (num_rows > 0) num_keys_ = 1;
+    ids->assign(static_cast<size_t>(num_rows), 0);
+    return;
+  }
+  PrepareBatch(keys, num_rows, &scratch_, hashes);
   LookupBatch(scratch_, num_rows, ids);
 }
 
@@ -352,7 +375,7 @@ void HashTable::FindJoin(const Page& page, const std::vector<int>& channels,
   static thread_local Scratch scratch;
   PrepareBatch(keys, num_rows, &scratch);
   const Slot* slots = slots_.data();
-  const uint64_t* hashes = scratch.hashes.data();
+  const uint64_t* hashes = scratch.hashes_data;
   const uint64_t mask = mask_;
   const int64_t* words = scratch.words_data;
   if (word_mode_) {

@@ -76,6 +76,14 @@ class HashTable {
   void LookupOrInsert(const std::vector<const Column*>& keys, int64_t num_rows,
                       std::vector<int64_t>* ids);
 
+  /// LookupOrInsert with precomputed row hashes (must equal what
+  /// Page::HashRows produces over the key columns). Callers that already
+  /// hashed the batch — radix-partitioned aggregation hashes once to pick
+  /// partitions — skip the second hash pass.
+  void LookupOrInsertHashed(const std::vector<const Column*>& keys,
+                            int64_t num_rows, const uint64_t* hashes,
+                            std::vector<int64_t>* ids);
+
   /// Read-only batch probe: `(*ids)[row]` is the id of the matching key or
   /// -1. Thread-safe once the table is no longer being inserted into.
   void Find(const Page& page, const std::vector<int>& channels,
@@ -118,6 +126,8 @@ class HashTable {
   // allocate its own while LookupOrInsert reuses the member instance.
   struct Scratch {
     std::vector<uint64_t> hashes;
+    // Points at `hashes`, or at caller-provided precomputed hashes.
+    const uint64_t* hashes_data = nullptr;
     std::vector<int64_t> words;    // fixed path: packed keys, row-major
     // Points at `words`, or straight at the key column's int64 buffer for
     // the dominant single-integer-key case (no packing pass at all).
@@ -126,8 +136,10 @@ class HashTable {
     std::vector<int64_t> offsets;  // fallback: per-row offsets into bytes
   };
 
+  /// `external_hashes` non-null skips hash computation and aliases it.
   void PrepareBatch(const std::vector<const Column*>& keys, int64_t num_rows,
-                    Scratch* scratch) const;
+                    Scratch* scratch,
+                    const uint64_t* external_hashes = nullptr) const;
   void LookupBatch(const Scratch& scratch, int64_t num_rows,
                    std::vector<int64_t>* ids);
   void FindBatch(const Scratch& scratch, int64_t num_rows,

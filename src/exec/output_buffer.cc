@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "exec/radix_partitioner.h"
 
 namespace accordion {
 
@@ -293,15 +294,18 @@ void ShuffleBuffer::PartitionIntoGroupLocked(const PagePtr& page,
     group->queued[0] += page->ByteSize();
     return;
   }
-  std::vector<std::vector<int32_t>> selections(group->count);
-  std::vector<uint64_t> hashes;
-  page->HashRows(config_.keys, &hashes);  // one column-at-a-time pass
-  for (int64_t row = 0; row < page->num_rows(); ++row) {
-    selections[hashes[row] % group->count].push_back(static_cast<int32_t>(row));
-  }
+  // Batch-hash, split into selection vectors, then scatter each partition
+  // with run-coalesced bulk copies (GatherSelection) — the same
+  // vectorized scatter the radix aggregation path uses. Routing stays
+  // `hash % count` so partition assignment matches the per-row protocol
+  // consumers were scheduled against.
+  page->HashRows(config_.keys, &scatter_hashes_);
+  RadixPartitioner::BuildModuloSelections(scatter_hashes_.data(),
+                                          page->num_rows(), group->count,
+                                          &scatter_selections_);
   for (int p = 0; p < group->count; ++p) {
-    if (selections[p].empty()) continue;
-    PagePtr part = page->Select(selections[p]);
+    if (scatter_selections_[p].empty()) continue;
+    PagePtr part = GatherSelection(*page, scatter_selections_[p]);
     group->queues[p].push_back(part);
     group->queued[p] += part->ByteSize();
   }

@@ -240,6 +240,10 @@ class ShuffleBuffer : public OutputBuffer {
   bool shutdown_ = false;
   std::atomic<int64_t> last_reshuffle_bytes_{0};
   std::vector<std::thread> executors_;
+  // Scatter scratch reused across pages; guarded by mutex_ (the partition
+  // step runs locked).
+  std::vector<uint64_t> scatter_hashes_;
+  std::vector<std::vector<int32_t>> scatter_selections_;
 };
 
 /// Creates the buffer implementation matching `config.partitioning`.

@@ -95,6 +95,16 @@ void GatherInto(const std::vector<T>& src, const Index* indices, int64_t count,
   for (int64_t i = 0; i < count; ++i) out[i] = in[indices[i]];
 }
 
+template <typename T, typename Index>
+void GatherAppend(const std::vector<T>& src, const Index* indices,
+                  int64_t count, std::vector<T>* dst) {
+  size_t old = dst->size();
+  dst->resize(old + static_cast<size_t>(count));
+  T* out = dst->data() + old;
+  const T* in = src.data();
+  for (int64_t i = 0; i < count; ++i) out[i] = in[indices[i]];
+}
+
 template <typename Index>
 void GatherStrings(const std::vector<std::string>& src, const Index* indices,
                    int64_t count, std::vector<std::string>* dst) {
@@ -122,6 +132,22 @@ Column Column::Gather(const int32_t* indices, int64_t count) const {
       break;
   }
   return out;
+}
+
+void Column::AppendGather(const Column& other, const int32_t* rows,
+                          int64_t count) {
+  switch (type_) {
+    case DataType::kDouble:
+      GatherAppend(other.doubles_, rows, count, &doubles_);
+      break;
+    case DataType::kString:
+      strings_.reserve(strings_.size() + static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) strings_.push_back(other.strings_[rows[i]]);
+      break;
+    default:
+      GatherAppend(other.ints_, rows, count, &ints_);
+      break;
+  }
 }
 
 Column Column::Gather(const int64_t* indices, int64_t count) const {
@@ -182,6 +208,12 @@ void Column::HashInto(std::vector<uint64_t>* hashes) const {
       }
       break;
   }
+}
+
+void Column::Clear() {
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
 }
 
 void Column::Reserve(int64_t n) {

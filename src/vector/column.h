@@ -62,6 +62,12 @@ class Column {
   /// one buffer insert instead of `count` element pushes.
   void AppendRange(const Column& other, int64_t start, int64_t count);
 
+  /// Appends the rows of `other` selected by `rows` (in order): the
+  /// gather-append used by selection-vector scatter (radix-partitioned
+  /// aggregation, partitioned shuffles). One resize, then a tight indexed
+  /// copy — no per-element capacity checks.
+  void AppendGather(const Column& other, const int32_t* rows, int64_t count);
+
   /// Direct buffer access for kernels.
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
@@ -87,6 +93,9 @@ class Column {
   void HashInto(std::vector<uint64_t>* hashes) const;
 
   void Reserve(int64_t n);
+
+  /// Drops all rows but keeps buffer capacity (partition-buffer reuse).
+  void Clear();
 
  private:
   DataType type_;

@@ -7,6 +7,7 @@
 #include <set>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -370,6 +371,181 @@ TEST(HashPathEquivalenceTest, Q3MatchesReferenceJoinAggregation) {
       prev = rev;
     }
   }
+}
+
+// --- adversarial property tests ---------------------------------------------
+// Inputs chosen to be hostile to an open-addressing table: degenerate key
+// distributions, batches that force mid-batch growth, and randomized
+// workloads cross-checked against std::unordered_map.
+
+TEST(HashTablePropertyTest, AllEqualKeys) {
+  // One distinct key across many batches: every probe lands on the same
+  // slot, ids must stay 0, and the table must never grow.
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> ids;
+  for (int batch = 0; batch < 8; ++batch) {
+    table.LookupOrInsert(*IntPage(std::vector<int64_t>(4096, 42)), {0}, &ids);
+    for (int64_t id : ids) ASSERT_EQ(id, 0);
+  }
+  EXPECT_EQ(table.size(), 1);
+  table.Find(*IntPage({42, 43}), {0}, &ids);
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, -1}));
+}
+
+TEST(HashTablePropertyTest, PowerOfTwoStrideKeys) {
+  // Keys i * 2^16 share all low bits pre-mix; a weak hash would pile them
+  // into one probe chain. All strides must still resolve exactly.
+  for (int64_t stride : {1LL << 10, 1LL << 16, 1LL << 20}) {
+    HashTable table({DataType::kInt64});
+    std::vector<int64_t> keys;
+    keys.reserve(50000);
+    for (int64_t i = 0; i < 50000; ++i) keys.push_back(i * stride);
+    std::vector<int64_t> ids;
+    table.LookupOrInsert(*IntPage(keys), {0}, &ids);
+    ASSERT_EQ(table.size(), 50000) << "stride " << stride;
+    for (int64_t i = 0; i < 50000; ++i) {
+      ASSERT_EQ(ids[i], i) << "stride " << stride;
+    }
+    table.Find(*IntPage(keys), {0}, &ids);
+    for (int64_t i = 0; i < 50000; ++i) {
+      ASSERT_EQ(ids[i], i) << "stride " << stride;
+    }
+  }
+}
+
+TEST(HashTablePropertyTest, ResizeDuringSingleBatch) {
+  // One batch far beyond the initial capacity (1024 slots) forces several
+  // Grow() calls mid-batch; ids handed out before and after each growth
+  // must stay consistent, including for rows that repeat earlier keys.
+  constexpr int64_t kDistinct = 100000;
+  std::vector<int64_t> keys;
+  keys.reserve(kDistinct + kDistinct / 2);
+  for (int64_t i = 0; i < kDistinct; ++i) {
+    keys.push_back(i * 7919);
+    if (i % 2 == 0) keys.push_back((i / 2) * 7919);  // revisit earlier key
+  }
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*IntPage(keys), {0}, &ids);
+  EXPECT_EQ(table.size(), kDistinct);
+  std::map<int64_t, int64_t> first_seen;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto [it, inserted] = first_seen.try_emplace(keys[i], ids[i]);
+    ASSERT_EQ(it->second, ids[i]) << "row " << i;
+  }
+}
+
+TEST(HashTablePropertyTest, RandomizedAgainstUnorderedMapSingleInt) {
+  Random rng(1234);
+  HashTable table({DataType::kInt64});
+  std::unordered_map<int64_t, int64_t> oracle;
+  std::vector<int64_t> ids;
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<int64_t> keys;
+    for (int i = 0; i < 1000; ++i) keys.push_back(rng.NextInt(0, 5000));
+    table.LookupOrInsert(*IntPage(keys), {0}, &ids);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto [it, inserted] =
+          oracle.try_emplace(keys[i], static_cast<int64_t>(oracle.size()));
+      ASSERT_EQ(ids[i], it->second) << "batch " << batch << " row " << i;
+    }
+    // Interleave read-only probes of present and absent keys.
+    std::vector<int64_t> probes;
+    for (int i = 0; i < 500; ++i) probes.push_back(rng.NextInt(0, 10000));
+    table.Find(*IntPage(probes), {0}, &ids);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      auto it = oracle.find(probes[i]);
+      ASSERT_EQ(ids[i], it == oracle.end() ? -1 : it->second);
+    }
+  }
+  EXPECT_EQ(table.size(), static_cast<int64_t>(oracle.size()));
+}
+
+TEST(HashTablePropertyTest, RandomizedAgainstUnorderedMapMultiColumn) {
+  // Two fixed-width key columns (packed-word path) cross-checked against
+  // an std::unordered_map over the concatenated pair.
+  Random rng(99);
+  HashTable table({DataType::kInt64, DataType::kInt64});
+  std::unordered_map<int64_t, int64_t> oracle;  // (a << 8 | b), a,b < 128
+  std::vector<int64_t> ids;
+  for (int batch = 0; batch < 10; ++batch) {
+    Column a(DataType::kInt64);
+    Column b(DataType::kInt64);
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    for (int i = 0; i < 2000; ++i) {
+      int64_t x = rng.NextInt(0, 128);
+      int64_t y = rng.NextInt(0, 128);
+      a.AppendInt(x);
+      b.AppendInt(y);
+      pairs.emplace_back(x, y);
+    }
+    PagePtr page = Page::Make({std::move(a), std::move(b)});
+    table.LookupOrInsert(*page, {0, 1}, &ids);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      int64_t packed = (pairs[i].first << 8) | pairs[i].second;
+      auto [it, inserted] =
+          oracle.try_emplace(packed, static_cast<int64_t>(oracle.size()));
+      ASSERT_EQ(ids[i], it->second);
+    }
+  }
+  EXPECT_EQ(table.size(), static_cast<int64_t>(oracle.size()));
+}
+
+TEST(HashTablePropertyTest, RandomizedAgainstUnorderedMapStringKeys) {
+  // String keys exercise the serialized-arena path, with shared prefixes
+  // and repeated values.
+  Random rng(7);
+  HashTable table({DataType::kString});
+  std::unordered_map<std::string, int64_t> oracle;
+  std::vector<int64_t> ids;
+  for (int batch = 0; batch < 10; ++batch) {
+    Column col(DataType::kString);
+    std::vector<std::string> keys;
+    for (int i = 0; i < 1000; ++i) {
+      std::string key = "prefix_" + std::to_string(rng.NextInt(0, 700));
+      col.AppendStr(key);
+      keys.push_back(std::move(key));
+    }
+    PagePtr page = Page::Make({std::move(col)});
+    table.LookupOrInsert(*page, {0}, &ids);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto [it, inserted] =
+          oracle.try_emplace(keys[i], static_cast<int64_t>(oracle.size()));
+      ASSERT_EQ(ids[i], it->second);
+    }
+  }
+  EXPECT_EQ(table.size(), static_cast<int64_t>(oracle.size()));
+  // AppendKeys must round-trip every canonical key.
+  std::vector<Column> out;
+  out.emplace_back(DataType::kString);
+  table.AppendKeys(0, table.size(), &out);
+  for (int64_t id = 0; id < table.size(); ++id) {
+    auto it = oracle.find(out[0].StrAt(id));
+    ASSERT_NE(it, oracle.end());
+    ASSERT_EQ(it->second, id);
+  }
+}
+
+TEST(HashTablePropertyTest, HashedLookupMatchesUnhashed) {
+  // LookupOrInsertHashed with Page::HashRows-computed hashes must behave
+  // exactly like the self-hashing path (the radix aggregation contract).
+  Random rng(321);
+  HashTable self_hashing({DataType::kInt64});
+  HashTable pre_hashed({DataType::kInt64});
+  for (int batch = 0; batch < 6; ++batch) {
+    std::vector<int64_t> keys;
+    for (int i = 0; i < 3000; ++i) keys.push_back(rng.NextInt(0, 4000));
+    PagePtr page = IntPage(keys);
+    std::vector<int64_t> ids_a, ids_b;
+    self_hashing.LookupOrInsert(*page, {0}, &ids_a);
+    std::vector<uint64_t> hashes;
+    page->HashRows({0}, &hashes);
+    std::vector<const Column*> cols{&page->column(0)};
+    pre_hashed.LookupOrInsertHashed(cols, page->num_rows(), hashes.data(),
+                                    &ids_b);
+    ASSERT_EQ(ids_a, ids_b) << "batch " << batch;
+  }
+  EXPECT_EQ(self_hashing.size(), pre_hashed.size());
 }
 
 }  // namespace

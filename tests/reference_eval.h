@@ -1,0 +1,49 @@
+#ifndef ACCORDION_TESTS_REFERENCE_EVAL_H_
+#define ACCORDION_TESTS_REFERENCE_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/plan_node.h"
+#include "vector/page.h"
+#include "vector/value.h"
+
+namespace accordion {
+
+/// Deliberately-naive scalar reference evaluator: an independent oracle
+/// for differential-testing the engine's TPC-H plans.
+///
+/// It walks the same physical plan the engine executes but replaces every
+/// optimized mechanism with the dumbest correct one — nested-loop joins
+/// with per-row Value comparisons instead of the vectorized hash path,
+/// a std::map keyed by Value tuples instead of the flat open-addressing
+/// (and radix-partitioned) group tables, full materialization instead of
+/// streaming pages through exchanges. Exchanges, local exchanges and
+/// shuffle stages are pass-throughs: the reference is single-threaded, so
+/// any dop/page-size dependence in the engine shows up as a diff.
+///
+/// Complexity is O(n*m) per join and O(n log n) per aggregation — only
+/// usable at the tiny scale factors the tests run.
+
+/// A fully materialized relation: row-major Values.
+struct RefRelation {
+  std::vector<DataType> types;
+  std::vector<std::vector<Value>> rows;
+};
+
+/// Evaluates `plan` (an unfragmented plan tree as built by TpchQueryPlan)
+/// over the synthetic TPC-H data at `scale_factor`.
+RefRelation ReferenceEvaluate(const PlanNodePtr& plan, double scale_factor);
+
+/// Compares the engine's result pages against the reference as row
+/// multisets (both sides sorted canonically): non-double cells must match
+/// exactly, doubles within `rel_tol` relative tolerance (the engine's
+/// parallel partial aggregation sums in a different order). Returns an
+/// empty string on match, else a human-readable diff description.
+std::string DiffRows(const RefRelation& expected,
+                     const std::vector<PagePtr>& actual_pages,
+                     double rel_tol = 1e-7);
+
+}  // namespace accordion
+
+#endif  // ACCORDION_TESTS_REFERENCE_EVAL_H_

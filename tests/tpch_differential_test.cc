@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "tests/reference_eval.h"
+#include "tpch/queries.h"
+
+namespace accordion {
+namespace {
+
+// Differential harness: every standalone TPC-H query is recomputed by the
+// deliberately-naive scalar reference evaluator (tests/reference_eval) and
+// the engine's result row multiset must match it — at dop 1 and 4 and at
+// two scan page sizes, so the vectorized hash paths, the radix-partitioned
+// aggregation, exchange routing and page chunking all face the same
+// oracle. The reference is evaluated once per query and shared across the
+// four engine configurations.
+
+constexpr double kScaleFactor = 0.005;
+
+AccordionCluster::Options ClusterOptions(int64_t batch_rows) {
+  AccordionCluster::Options options;
+  options.num_workers = 2;
+  options.num_storage_nodes = 2;
+  options.scale_factor = kScaleFactor;
+  options.engine.batch_rows = batch_rows;
+  options.engine.cost.scale = 0;
+  options.engine.rpc_latency_ms = 0;
+  return options;
+}
+
+class TpchDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchDifferentialTest, EngineMatchesScalarReference) {
+  const int q = GetParam();
+  RefRelation expected;
+  {
+    // Build the plan against any catalog instance — plans are
+    // deterministic, so the reference and all engine runs agree on it.
+    AccordionCluster cluster(ClusterOptions(256));
+    expected = ReferenceEvaluate(
+        TpchQueryPlan(q, cluster.coordinator()->catalog()), kScaleFactor);
+  }
+  for (int64_t batch_rows : {256, 1024}) {
+    for (int dop : {1, 4}) {
+      AccordionCluster cluster(ClusterOptions(batch_rows));
+      QueryOptions options;
+      options.stage_dop = dop;
+      options.task_dop = dop;
+      auto submitted = cluster.coordinator()->Submit(
+          TpchQueryPlan(q, cluster.coordinator()->catalog()), options);
+      ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+      auto result = cluster.coordinator()->Wait(*submitted, 120000);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      std::string diff = DiffRows(expected, *result);
+      EXPECT_TRUE(diff.empty())
+          << "Q" << q << " dop=" << dop << " batch_rows=" << batch_rows
+          << ": " << diff;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchDifferentialTest,
+                         ::testing::Range(1, 13));
+
+// The radix switch must not change any query answer: rerun a
+// representative high-group query with thresholds forced low enough that
+// the partitioned path (including a re-split) engages even at test scale.
+TEST(TpchDifferentialTest, RadixThresholdsDoNotChangeAnswers) {
+  for (int q : {3, 10, 11}) {
+    AccordionCluster::Options options = ClusterOptions(256);
+    RefRelation expected;
+    {
+      AccordionCluster cluster(options);
+      expected = ReferenceEvaluate(
+          TpchQueryPlan(q, cluster.coordinator()->catalog()), kScaleFactor);
+    }
+    options.engine.radix_agg_min_groups = 32;
+    options.engine.radix_agg_partition_groups = 16;
+    options.engine.radix_agg_drain_rows = 64;
+    AccordionCluster cluster(options);
+    QueryOptions query_options;
+    query_options.stage_dop = 2;
+    query_options.task_dop = 2;
+    auto submitted = cluster.coordinator()->Submit(
+        TpchQueryPlan(q, cluster.coordinator()->catalog()), query_options);
+    ASSERT_TRUE(submitted.ok());
+    auto result = cluster.coordinator()->Wait(*submitted, 120000);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::string diff = DiffRows(expected, *result);
+    EXPECT_TRUE(diff.empty()) << "Q" << q << " (forced radix): " << diff;
+  }
+}
+
+}  // namespace
+}  // namespace accordion
