@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "bench/bench_util.h"
 #include "tpch/queries.h"
 
@@ -36,18 +37,20 @@ int main() {
       options.num_workers = 2;  // "standalone": one coordinator, few nodes
       options.engine.elastic_buffers = mode == 0;
       AccordionCluster cluster(options);
+      Session session(cluster.coordinator());
       QueryOptions qopts;
       qopts.stage_dop = 2;
       qopts.task_dop = 2;
-      auto submitted = cluster.coordinator()->Submit(
-          TpchQueryPlan(q, cluster.coordinator()->catalog()), qopts);
-      if (!submitted.ok()) {
+      auto query =
+          session.Execute(TpchQueryPlan(q, session.catalog()), qopts);
+      if (!query.ok()) {
         std::fprintf(stderr, "Q%d submit failed: %s\n", q,
-                     submitted.status().ToString().c_str());
+                     query.status().ToString().c_str());
         return 1;
       }
-      bench::WaitSeconds(cluster.coordinator(), *submitted);
-      seconds[mode] = bench::QuerySeconds(cluster.coordinator(), *submitted);
+      bench::WaitSeconds(cluster.coordinator(), (*query)->id());
+      seconds[mode] = bench::QuerySeconds(cluster.coordinator(),
+                                          (*query)->id());
     }
     total_elastic += seconds[0];
     total_fixed += seconds[1];

@@ -1,12 +1,14 @@
 // Driving an experiment with the built-in scripting language (paper §6.1)
 // — the mechanism behind every timing figure in the evaluation: query
 // initiation and parallelism adjustments at specified times, with accepts
-// and rejections recorded.
+// and rejections recorded. Scripts run through the Session front door, so
+// a registered name can hold a hand-built plan or plain SQL text.
 //
 //   $ ./experiment_script
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "cluster/cluster.h"
 #include "script/script.h"
 #include "tpch/queries.h"
@@ -23,11 +25,16 @@ int main() {
   options.engine.initial_buffer_bytes = 2048;
   options.engine.max_buffer_bytes = 16 * 1024;
   AccordionCluster cluster(options);
+  Session session(cluster.coordinator());
   AutoTuner tuner(cluster.coordinator());
 
-  ScriptExecutor executor(cluster.coordinator(), &tuner);
-  executor.RegisterPlan("q2j",
-                        TpchQ2JPlan(cluster.coordinator()->catalog()));
+  ScriptExecutor executor(&session, &tuner);
+  // The two-way join of §4.4, registered once as SQL text...
+  executor.RegisterSql("q2j",
+                       "SELECT count(l_orderkey) AS cnt FROM lineitem "
+                       "INNER JOIN orders ON l_orderkey = o_orderkey");
+  // ...and once as the hand-built plan (identical stage tree).
+  executor.RegisterPlan("q2j_plan", TpchQ2JPlan(session.catalog()));
 
   const char* script = R"(
 # Fig. 26-style experiment: start the two-way join at stage DOP 2,

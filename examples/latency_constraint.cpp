@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "cluster/cluster.h"
 #include "common/clock.h"
 #include "tpch/queries.h"
@@ -26,14 +27,21 @@ int main() {
   options.engine.initial_buffer_bytes = 2048;
   options.engine.max_buffer_bytes = 16 * 1024;
   AccordionCluster cluster(options);
-  Coordinator* coordinator = cluster.coordinator();
-  AutoTuner tuner(coordinator);
+
+  // Session defaults apply to every Execute: this client always starts
+  // its queries at stage DOP 2.
+  SessionOptions session_options;
+  session_options.query_defaults.stage_dop = 2;
+  session_options.query_defaults.task_dop = 1;
+  Session session(cluster.coordinator(), session_options);
+  AutoTuner tuner(cluster.coordinator());
 
   constexpr double kDeadlineSeconds = 8.0;
-  QueryOptions qopts;
-  qopts.stage_dop = 2;
-  qopts.task_dop = 1;
-  auto id = coordinator->Submit(TpchQ2JPlan(coordinator->catalog()), qopts);
+  auto query = session.Execute(TpchQ2JPlan(session.catalog()));
+  if (!query.ok()) {
+    std::printf("execute failed: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
   std::printf("Q2J submitted with an %.0fs deadline; the DOP monitor will "
               "keep it on schedule with minimal parallelism.\n",
               kDeadlineSeconds);
@@ -42,20 +50,20 @@ int main() {
   unit.knob_stage = 1;  // the join stage, paced by the lineitem scan
   unit.deadline_seconds = kDeadlineSeconds;
   unit.max_dop = 8;
-  if (!tuner.StartMonitor(*id, {unit}, 500).ok()) return 1;
+  if (!tuner.StartMonitor((*query)->id(), {unit}, 500).ok()) return 1;
 
-  (void)coordinator->Wait(*id);
-  auto snapshot = coordinator->Snapshot(*id);
+  (void)(*query)->Wait();
+  auto snapshot = (*query)->Snapshot();
   double total = (snapshot->end_ms - snapshot->submit_ms) * 1e-3;
 
   std::printf("\nMonitor decisions:\n");
-  for (const auto& action : tuner.MonitorLog(*id)) {
+  for (const auto& action : tuner.MonitorLog((*query)->id())) {
     std::printf("  %s S%d: %d -> %d at %.2fs%s\n",
                 action.to_dop > action.from_dop ? "AP" : "RP", action.stage,
                 action.from_dop, action.to_dop, action.at_seconds,
                 action.rejected ? " (rejected)" : "");
   }
-  tuner.StopMonitor(*id);
+  tuner.StopMonitor((*query)->id());
 
   std::printf("\nFinished in %.2fs (deadline %.0fs) -> %s\n", total,
               kDeadlineSeconds,

@@ -1,12 +1,14 @@
 // Manual runtime DOP tuning — the paper's controller-interface workflow
 // (Fig. 2): start TPC-H Q3 at minimal parallelism, watch the runtime
-// information, locate the bottleneck stage, and widen it mid-query. The
-// same query is then run untouched for comparison.
+// information, locate the bottleneck stage, and widen it mid-query
+// through the query handle. The same query is then run untouched for
+// comparison.
 //
 //   $ ./manual_tuning
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "cluster/cluster.h"
 #include "common/clock.h"
 #include "tpch/queries.h"
@@ -27,6 +29,12 @@ AccordionCluster::Options DemoOptions() {
   return options;
 }
 
+double QuerySeconds(const QueryHandlePtr& query) {
+  auto snapshot = query->Snapshot();
+  if (!snapshot.ok() || snapshot->end_ms == 0) return -1;
+  return (snapshot->end_ms - snapshot->submit_ms) * 1e-3;
+}
+
 }  // namespace
 
 int main() {
@@ -36,23 +44,24 @@ int main() {
   double baseline;
   {
     AccordionCluster cluster(DemoOptions());
-    auto id = cluster.coordinator()->Submit(
-        TpchQueryPlan(3, cluster.coordinator()->catalog()));
-    (void)cluster.coordinator()->Wait(*id);
-    auto snapshot = cluster.coordinator()->Snapshot(*id);
-    baseline = (snapshot->end_ms - snapshot->submit_ms) * 1e-3;
+    Session session(cluster.coordinator());
+    auto query = session.Execute(TpchQueryPlan(3, session.catalog()));
+    (void)(*query)->Wait();
+    baseline = QuerySeconds(*query);
     std::printf("Baseline Q3 at DOP 1: %.2fs\n\n", baseline);
   }
 
   // Elastic run: observe, localize, tune.
   AccordionCluster cluster(DemoOptions());
-  Coordinator* coordinator = cluster.coordinator();
-  AutoTuner tuner(coordinator);
-  auto id = coordinator->Submit(TpchQueryPlan(3, coordinator->catalog()));
-  std::printf("Submitted Q3 as %s at stage/task DOP 1.\n", id->c_str());
+  Session session(cluster.coordinator());
+  AutoTuner tuner(cluster.coordinator());
+  auto query = session.Execute(TpchQueryPlan(3, session.catalog()));
+  std::printf("Submitted Q3 as %s at stage/task DOP 1.\n",
+              (*query)->id().c_str());
 
   SleepForMillis(800);
-  auto bottlenecks = LocateBottlenecks(coordinator, *id, 500);
+  auto bottlenecks =
+      LocateBottlenecks(cluster.coordinator(), (*query)->id(), 500);
   if (bottlenecks.ok()) {
     std::printf("Compute bottlenecks:");
     for (int s : bottlenecks->compute_bottlenecks) std::printf(" S%d", s);
@@ -60,11 +69,11 @@ int main() {
   }
 
   // What-if before committing (the paper's "Get Tips" button).
-  auto estimate = tuner.predictor()->EstimateRemaining(*id, 1);
+  auto estimate = tuner.predictor()->EstimateRemaining((*query)->id(), 1);
   SleepForMillis(500);
-  estimate = tuner.predictor()->EstimateRemaining(*id, 1);
+  estimate = tuner.predictor()->EstimateRemaining((*query)->id(), 1);
   if (estimate.ok()) {
-    auto what_if = tuner.predictor()->PredictAfterTuning(*id, 1, 4);
+    auto what_if = tuner.predictor()->PredictAfterTuning((*query)->id(), 1, 4);
     std::printf("S1: %.1fs remaining at current DOP; predicted %.1fs at "
                 "DOP 4.\n",
                 estimate->remaining_seconds,
@@ -75,7 +84,7 @@ int main() {
   // orders/customer join S3 completes early at this scale).
   for (auto [stage, dop] : {std::pair{1, 4}, {2, 4}}) {
     DopSwitchReport report;
-    Status st = tuner.Tune(*id, stage, dop, &report);
+    Status st = tuner.Tune((*query)->id(), stage, dop, &report);
     std::printf("Tune S%d -> DOP %d: %s", stage, dop,
                 st.ok() ? "accepted" : st.ToString().c_str());
     if (st.ok() && report.total_seconds > 0) {
@@ -84,9 +93,8 @@ int main() {
     std::printf("\n");
   }
 
-  (void)coordinator->Wait(*id);
-  auto snapshot = coordinator->Snapshot(*id);
-  double tuned = (snapshot->end_ms - snapshot->submit_ms) * 1e-3;
+  (void)(*query)->Wait();
+  double tuned = QuerySeconds(*query);
   std::printf("\nElastic Q3: %.2fs vs baseline %.2fs -> %.1f%% faster "
               "(paper Q3: 58-74%% reductions).\n",
               tuned, baseline, 100.0 * (baseline - tuned) / baseline);

@@ -1,16 +1,17 @@
 // Quickstart: spin up a simulated Accordion cluster, run SQL against the
-// built-in TPC-H data, and read the results — the "Welcome to Accordion
-// Cloud!" flow from the paper's Figure 1, minus the web UI.
+// built-in TPC-H data through a Session, and stream the results — the
+// "Welcome to Accordion Cloud!" flow from the paper's Figure 1, minus the
+// web UI.
 //
 //   $ ./quickstart
 //
-// Shows: cluster construction, SQL -> distributed plan, submission, and
-// result consumption.
+// Shows: cluster construction, EXPLAIN, SQL -> distributed execution,
+// cursor-based result streaming, and prepared statements.
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "cluster/cluster.h"
-#include "sql/analyzer.h"
 
 int main() {
   using namespace accordion;
@@ -23,7 +24,7 @@ int main() {
   options.scale_factor = 0.01;
   options.engine.cost.scale = 0.02;  // quick demo: minimal simulated work
   AccordionCluster cluster(options);
-  Coordinator* coordinator = cluster.coordinator();
+  Session session(cluster.coordinator());
 
   const char* sql =
       "SELECT c_mktsegment, count(*) AS customers, avg(c_acctbal) AS "
@@ -31,40 +32,59 @@ int main() {
       "FROM customer GROUP BY c_mktsegment ORDER BY customers DESC LIMIT 5";
   std::printf("SQL> %s\n\n", sql);
 
-  auto plan = SqlToPlan(sql, coordinator->catalog());
-  if (!plan.ok()) {
-    std::printf("planning failed: %s\n", plan.status().ToString().c_str());
+  auto explain = session.Explain(sql);
+  if (explain.ok()) std::printf("EXPLAIN:\n%s\n", explain->c_str());
+
+  auto query = session.Execute(sql);
+  if (!query.ok()) {
+    std::printf("execute failed: %s\n", query.status().ToString().c_str());
     return 1;
   }
 
-  auto query_id = coordinator->Submit(*plan);
-  if (!query_id.ok()) {
-    std::printf("submit failed: %s\n", query_id.status().ToString().c_str());
-    return 1;
-  }
-  auto result = coordinator->Wait(*query_id);
-  if (!result.ok()) {
-    std::printf("query failed: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-
+  // Results stream page by page off the running query's output buffer.
   std::printf("%-12s  %10s  %12s\n", "segment", "customers", "avg_balance");
-  for (const auto& page : *result) {
-    for (int64_t r = 0; r < page->num_rows(); ++r) {
+  ResultCursor cursor = (*query)->Cursor();
+  while (true) {
+    auto page = cursor.Next();
+    if (!page.ok()) {
+      std::printf("query failed: %s\n", page.status().ToString().c_str());
+      return 1;
+    }
+    if (*page == nullptr) break;  // end of stream
+    for (int64_t r = 0; r < (*page)->num_rows(); ++r) {
       std::printf("%-12s  %10lld  %12.2f\n",
-                  page->column(0).StrAt(r).c_str(),
-                  static_cast<long long>(page->column(1).IntAt(r)),
-                  page->column(2).DoubleAt(r));
+                  (*page)->column(0).StrAt(r).c_str(),
+                  static_cast<long long>((*page)->column(1).IntAt(r)),
+                  (*page)->column(2).DoubleAt(r));
     }
   }
 
-  auto snapshot = coordinator->Snapshot(*query_id);
+  // Prepared statement: one parse, many parameterized executions.
+  auto prepared = session.Prepare(
+      "SELECT count(c_custkey) AS n FROM customer WHERE c_mktsegment = ?");
+  if (prepared.ok()) {
+    std::printf("\nPrepared: %s\n", prepared->sql().c_str());
+    for (const char* segment : {"BUILDING", "MACHINERY"}) {
+      auto bound = session.Execute(*prepared, {Value::Str(segment)});
+      if (!bound.ok()) continue;
+      auto pages = (*bound)->Wait();
+      if (pages.ok() && !pages->empty()) {
+        std::printf("  %s customers: %lld\n", segment,
+                    static_cast<long long>((*pages)[0]->column(0).IntAt(0)));
+      }
+    }
+  }
+
+  auto snapshot = (*query)->Snapshot();
   if (snapshot.ok()) {
     std::printf("\nExecuted as %zu stages, %lld RPC requests, %.0f ms "
-                "initial schedule.\n",
+                "initial schedule; cursor streamed %lld rows in %lld pages.\n",
                 snapshot->stages.size(),
-                static_cast<long long>(coordinator->total_rpc_requests()),
-                snapshot->initial_schedule_ms);
+                static_cast<long long>(
+                    cluster.coordinator()->total_rpc_requests()),
+                snapshot->initial_schedule_ms,
+                static_cast<long long>(cursor.rows_seen()),
+                static_cast<long long>(cursor.pages_seen()));
   }
   return 0;
 }

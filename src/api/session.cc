@@ -1,0 +1,230 @@
+#include "api/session.h"
+
+#include <sstream>
+
+#include "common/clock.h"
+#include "plan/fragment.h"
+#include "sql/analyzer.h"
+
+namespace accordion {
+
+// --- ResultCursor ----------------------------------------------------------
+
+Result<PagePtr> ResultCursor::Next(int64_t timeout_ms) {
+  if (timeout_ms < 0) timeout_ms = default_timeout_ms_;
+  Stopwatch sw;
+  while (true) {
+    if (next_buffered_ < buffered_.size()) {
+      PagePtr page = std::move(buffered_[next_buffered_++]);
+      if (next_buffered_ == buffered_.size()) {
+        buffered_.clear();
+        next_buffered_ = 0;
+      }
+      ++pages_seen_;
+      rows_seen_ += page->num_rows();
+      return page;
+    }
+    if (done_) return PagePtr(nullptr);
+    auto fetched = coordinator_->FetchResults(query_id_, batch_pages_);
+    ACCORDION_RETURN_NOT_OK(fetched.status());
+    if (fetched->complete) done_ = true;
+    if (!fetched->pages.empty()) {
+      buffered_ = std::move(fetched->pages);
+      next_buffered_ = 0;
+      continue;
+    }
+    if (done_) return PagePtr(nullptr);
+    if (sw.ElapsedMillis() > timeout_ms) {
+      return Status::DeadlineExceeded("no result page within " +
+                                      std::to_string(timeout_ms) +
+                                      "ms on query " + query_id_);
+    }
+    SleepForMillis(2);
+  }
+}
+
+Result<PagesResult> ResultCursor::Poll() {
+  PagesResult out;
+  // Hand out anything already buffered first.
+  for (; next_buffered_ < buffered_.size(); ++next_buffered_) {
+    out.pages.push_back(std::move(buffered_[next_buffered_]));
+  }
+  buffered_.clear();
+  next_buffered_ = 0;
+  if (!done_) {
+    auto fetched = coordinator_->FetchResults(query_id_, batch_pages_);
+    ACCORDION_RETURN_NOT_OK(fetched.status());
+    for (auto& page : fetched->pages) out.pages.push_back(std::move(page));
+    if (fetched->complete) done_ = true;
+  }
+  out.complete = done_;
+  for (const auto& page : out.pages) {
+    ++pages_seen_;
+    rows_seen_ += page->num_rows();
+  }
+  return out;
+}
+
+Result<std::vector<PagePtr>> ResultCursor::Drain(int64_t timeout_ms) {
+  if (timeout_ms < 0) timeout_ms = default_timeout_ms_;
+  std::vector<PagePtr> pages;
+  Stopwatch sw;
+  // On ANY deadline (hit at the loop top or surfaced from inside Next),
+  // hand the collected pages back to the cursor as un-consumed (and
+  // uncount them) so a retrying Drain/Next resumes losslessly.
+  auto timed_out = [&]() -> Status {
+    if (!pages.empty()) {
+      pages_seen_ -= static_cast<int64_t>(pages.size());
+      for (const auto& page : pages) rows_seen_ -= page->num_rows();
+      for (size_t i = next_buffered_; i < buffered_.size(); ++i) {
+        pages.push_back(std::move(buffered_[i]));
+      }
+      buffered_ = std::move(pages);
+      next_buffered_ = 0;
+    }
+    return Status::DeadlineExceeded("cursor drain of query " + query_id_ +
+                                    " exceeded " +
+                                    std::to_string(timeout_ms) + "ms");
+  };
+  while (true) {
+    int64_t remaining_ms = timeout_ms - sw.ElapsedMillis();
+    if (remaining_ms <= 0) return timed_out();
+    auto page = Next(remaining_ms);
+    if (!page.ok()) {
+      if (page.status().code() == StatusCode::kDeadlineExceeded) {
+        return timed_out();
+      }
+      return page.status();
+    }
+    if (*page == nullptr) break;
+    pages.push_back(std::move(*page));
+  }
+  return pages;
+}
+
+// --- QueryHandle -----------------------------------------------------------
+
+ResultCursor QueryHandle::Cursor() const {
+  return ResultCursor(coordinator_, id_, fetch_batch_pages_,
+                      default_timeout_ms_);
+}
+
+Result<std::vector<PagePtr>> QueryHandle::Wait(int64_t timeout_ms) {
+  if (timeout_ms < 0) timeout_ms = default_timeout_ms_;
+  return coordinator_->Wait(id_, timeout_ms);
+}
+
+// --- Session ---------------------------------------------------------------
+
+int Session::PruneFinishedLocked() {
+  int running = 0;
+  size_t keep = 0;
+  for (size_t i = 0; i < active_ids_.size(); ++i) {
+    if (coordinator_->IsFinished(active_ids_[i])) continue;
+    active_ids_[keep++] = active_ids_[i];
+    ++running;
+  }
+  active_ids_.resize(keep);
+  return running;
+}
+
+int Session::active_queries() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return PruneFinishedLocked();
+}
+
+Result<QueryHandlePtr> Session::Submit(const PlanNodePtr& plan,
+                                       const QueryOptions& query_options) {
+  // Admission check reserves a slot under the lock; the (slow) stage
+  // scheduling itself runs unlocked so concurrent Execute/active_queries
+  // calls on this session don't serialize behind it.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    int running = PruneFinishedLocked();
+    if (options_.max_concurrent_queries > 0 &&
+        running + reserved_ >= options_.max_concurrent_queries) {
+      return Status::ResourceExhausted(
+          "session admission cap reached (" +
+          std::to_string(options_.max_concurrent_queries) +
+          " concurrent queries); wait for or abort a running query");
+    }
+    ++reserved_;
+  }
+  auto submitted = coordinator_->Submit(plan, query_options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  --reserved_;
+  ACCORDION_RETURN_NOT_OK(submitted.status());
+  std::string id = std::move(*submitted);
+  active_ids_.push_back(id);
+  return QueryHandlePtr(
+      new QueryHandle(coordinator_, std::move(id), options_));
+}
+
+Result<QueryHandlePtr> Session::Execute(const PlanNodePtr& plan) {
+  return Submit(plan, options_.query_defaults);
+}
+
+Result<QueryHandlePtr> Session::Execute(const PlanNodePtr& plan,
+                                        const QueryOptions& query_options) {
+  return Submit(plan, query_options);
+}
+
+Result<QueryHandlePtr> Session::Execute(const std::string& sql) {
+  return Execute(sql, options_.query_defaults);
+}
+
+Result<QueryHandlePtr> Session::Execute(const std::string& sql,
+                                        const QueryOptions& query_options) {
+  ACCORDION_ASSIGN_OR_RETURN(SqlQuery query, ParseSqlQuery(sql));
+  if (query.placeholder_count > 0) {
+    return Status::InvalidArgument(
+        "statement has ? parameters — use Prepare() and bind values");
+  }
+  ACCORDION_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                             AnalyzeSql(query, coordinator_->catalog()));
+  return Submit(plan, query_options);
+}
+
+Result<PreparedStatement> Session::Prepare(const std::string& sql) const {
+  PreparedStatement statement;
+  statement.sql_ = sql;
+  ACCORDION_ASSIGN_OR_RETURN(statement.query_, ParseSqlQuery(sql));
+  return statement;
+}
+
+Result<QueryHandlePtr> Session::Execute(const PreparedStatement& statement,
+                                        const std::vector<Value>& params) {
+  return Execute(statement, params, options_.query_defaults);
+}
+
+Result<QueryHandlePtr> Session::Execute(const PreparedStatement& statement,
+                                        const std::vector<Value>& params,
+                                        const QueryOptions& query_options) {
+  ACCORDION_ASSIGN_OR_RETURN(SqlQuery bound,
+                             BindPlaceholders(statement.query_, params));
+  ACCORDION_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                             AnalyzeSql(bound, coordinator_->catalog()));
+  return Submit(plan, query_options);
+}
+
+Result<std::string> Session::Explain(const PlanNodePtr& plan) const {
+  std::vector<PlanFragment> fragments = FragmentPlan(plan);
+  std::ostringstream out;
+  for (const auto& fragment : fragments) {
+    out << fragment.ToString();
+    if (!fragment.source_stage_ids.empty()) {
+      out << "  sources:";
+      for (int s : fragment.source_stage_ids) out << " stage " << s;
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<std::string> Session::Explain(const std::string& sql) const {
+  ACCORDION_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                             SqlToPlan(sql, coordinator_->catalog()));
+  return Explain(plan);
+}
+
+}  // namespace accordion

@@ -1,6 +1,7 @@
 #include "cluster/coordinator.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/clock.h"
 #include "common/logging.h"
@@ -23,7 +24,6 @@ Coordinator::~Coordinator() {
   }
   for (auto& query : queries) {
     Abort(query->id);
-    if (query->drain_thread.joinable()) query->drain_thread.join();
     CleanupQueryTasks(query.get());
   }
 }
@@ -172,57 +172,91 @@ Result<std::string> Coordinator::Submit(const PlanNodePtr& plan,
   query->initial_schedule_ms = schedule_watch.ElapsedSeconds() * 1000.0;
   query->initial_schedule_requests = bus_->total_requests() - requests_before;
 
-  // Drain stage 0 in the background.
+  // Remember stage 0's task: results are pulled from its output buffer by
+  // FetchResults (cursor / Wait) rather than drained by a background
+  // thread, so result buffering stays bounded by the elastic capacity and
+  // producers feel backpressure from a slow client.
   StageExec& root = query->stages.at(0);
   ACC_CHECK(root.tasks.size() == 1) << "root stage must have one task";
-  TaskId root_task = root.tasks[0];
-  int root_worker = root.task_workers[0];
-  query->drain_thread = std::thread(
-      [this, query, root_task, root_worker] {
-        DrainLoop(query, root_task, root_worker);
-      });
+  query->root_split = RemoteSplit{root.task_workers[0], root.tasks[0]};
 
   return query->id;
 }
 
-void Coordinator::DrainLoop(std::shared_ptr<QueryExec> query, TaskId root_task,
-                            int root_worker) {
-  RemoteSplit root{root_worker, root_task};
-  while (query->state.load() == QueryState::kRunning) {
-    PagesResult result = bus_->GetPages(root, /*buffer_id=*/0,
-                                        /*max_pages=*/16, nullptr);
-    if (!result.pages.empty()) {
-      std::lock_guard<std::mutex> lock(query->result_mutex);
-      for (auto& page : result.pages) query->results.push_back(std::move(page));
-    }
-    if (result.complete) {
-      query->end_ms = NowMillis();
-      QueryState expected = QueryState::kRunning;
-      query->state.compare_exchange_strong(expected, QueryState::kFinished);
-      break;
-    }
-    if (result.pages.empty()) SleepForMillis(5);
+Result<PagesResult> Coordinator::FetchResults(const std::string& query_id,
+                                              int max_pages) {
+  auto query = GetQuery(query_id);
+  if (query == nullptr) return Status::NotFound("no query " + query_id);
+  std::lock_guard<std::mutex> lock(query->fetch_mutex);
+  QueryState state = query->state.load();
+  if (state == QueryState::kAborted) {
+    return Status::Aborted("query " + query_id + " was aborted");
   }
-  query->drain_done = true;
+  if (state == QueryState::kFailed) {
+    return Status::Internal("query " + query_id + " failed");
+  }
+  if (!query->stash.empty()) {
+    // Redeliver pages a timed-out Wait consumed but could not return.
+    PagesResult out;
+    size_t take = std::min<size_t>(std::max(max_pages, 1),
+                                   query->stash.size());
+    out.pages.assign(std::make_move_iterator(query->stash.begin()),
+                     std::make_move_iterator(query->stash.begin() + take));
+    query->stash.erase(query->stash.begin(), query->stash.begin() + take);
+    out.complete = query->fetch_complete && query->stash.empty();
+    return out;
+  }
+  if (query->fetch_complete) {
+    PagesResult done;
+    done.complete = true;
+    return done;
+  }
+  PagesResult result =
+      bus_->GetPages(query->root_split, /*buffer_id=*/0, max_pages, nullptr);
+  // An abort can race the GetPages: the buffer reports completion because
+  // its producers died, not because the stream ended. Re-check state so
+  // the caller sees Aborted instead of a silently truncated result.
+  if (query->state.load() == QueryState::kAborted) {
+    return Status::Aborted("query " + query_id + " was aborted");
+  }
+  if (result.complete) {
+    query->fetch_complete = true;
+    query->end_ms = NowMillis();
+    QueryState expected = QueryState::kRunning;
+    query->state.compare_exchange_strong(expected, QueryState::kFinished);
+  }
+  return result;
 }
 
 Result<std::vector<PagePtr>> Coordinator::Wait(const std::string& query_id,
                                                int64_t timeout_ms) {
-  auto query = GetQuery(query_id);
-  if (query == nullptr) return Status::NotFound("no query " + query_id);
+  std::vector<PagePtr> pages;
   Stopwatch sw;
-  while (query->state.load() == QueryState::kRunning) {
+  while (true) {
+    auto fetched = FetchResults(query_id);
+    ACCORDION_RETURN_NOT_OK(fetched.status());
+    for (auto& page : fetched->pages) pages.push_back(std::move(page));
+    if (fetched->complete) return pages;
     if (sw.ElapsedMillis() > timeout_ms) {
-      return Status::Aborted("query " + query_id + " timed out in Wait");
+      // Distinct timeout status: the query is still running and can be
+      // aborted, retried with a longer deadline, or resumed via a cursor.
+      // Pages this call already pulled go back into the query's stash so
+      // the retry sees the complete stream.
+      if (!pages.empty()) {
+        auto query = GetQuery(query_id);
+        if (query != nullptr) {
+          std::lock_guard<std::mutex> lock(query->fetch_mutex);
+          query->stash.insert(query->stash.begin(),
+                              std::make_move_iterator(pages.begin()),
+                              std::make_move_iterator(pages.end()));
+        }
+      }
+      return Status::DeadlineExceeded("query " + query_id +
+                                      " did not finish within " +
+                                      std::to_string(timeout_ms) + "ms");
     }
-    SleepForMillis(5);
+    if (fetched->pages.empty()) SleepForMillis(2);
   }
-  if (query->drain_thread.joinable()) query->drain_thread.join();
-  if (query->state.load() == QueryState::kAborted) {
-    return Status::Aborted("query " + query_id + " was aborted");
-  }
-  std::lock_guard<std::mutex> lock(query->result_mutex);
-  return query->results;
 }
 
 bool Coordinator::IsFinished(const std::string& query_id) {

@@ -7,7 +7,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -98,11 +97,24 @@ class Coordinator {
   ~Coordinator();
 
   /// Schedules all stages bottom-up and starts execution; returns the
-  /// query id. A background thread drains stage 0 into the result set.
+  /// query id. Results stay in stage 0's output buffer until a consumer
+  /// pulls them (FetchResults / api::ResultCursor / Wait): producers feel
+  /// backpressure through the elastic buffer instead of a coordinator
+  /// thread draining everything into memory.
   Result<std::string> Submit(const PlanNodePtr& plan,
                              const QueryOptions& options = {});
 
-  /// Blocks until the query finishes; returns the result pages.
+  /// Pulls the next batch of result pages off stage 0's output buffer
+  /// (non-blocking; `complete` marks the end of the stream). Flips the
+  /// query to kFinished when the end page is observed. The primitive
+  /// under api::ResultCursor and Wait.
+  Result<PagesResult> FetchResults(const std::string& query_id,
+                                   int max_pages = 16);
+
+  /// Blocks until the query finishes; returns all pages fetched by this
+  /// call (a shim over FetchResults — don't mix with a cursor on the
+  /// same query). On timeout returns kDeadlineExceeded and leaves the
+  /// query running and abortable.
   Result<std::vector<PagePtr>> Wait(const std::string& query_id,
                                     int64_t timeout_ms = 600000);
 
@@ -160,10 +172,13 @@ class Coordinator {
     int64_t initial_schedule_requests = 0;
     std::mutex control_mutex;  // serializes tuning operations
     std::mutex split_mutex;
-    std::mutex result_mutex;
-    std::vector<PagePtr> results;
-    std::thread drain_thread;
-    std::atomic<bool> drain_done{false};
+    std::mutex fetch_mutex;  // serializes result fetches (cursor vs Wait)
+    RemoteSplit root_split;  // stage 0's single task, pulled by consumers
+    bool fetch_complete = false;  // end page observed (guarded by fetch_mutex)
+    /// Pages a timed-out Wait had already pulled off the buffer; served
+    /// before new fetches so a retry resumes the stream losslessly.
+    /// Guarded by fetch_mutex.
+    std::vector<PagePtr> stash;
   };
 
   std::shared_ptr<QueryExec> GetQuery(const std::string& query_id);
@@ -180,8 +195,6 @@ class Coordinator {
   Status DopSwitch(QueryExec* query, StageExec* stage, int dop,
                    DopSwitchReport* report);
 
-  void DrainLoop(std::shared_ptr<QueryExec> query, TaskId root_task,
-                 int root_worker);
   void CleanupQueryTasks(QueryExec* query);
 
   OutputBufferConfig BufferConfigFor(const QueryExec& query,

@@ -21,6 +21,7 @@ enum class StatusCode {
   kAborted,
   kIoError,
   kParseError,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -66,6 +67,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -43,10 +43,17 @@ void ScriptExecutor::RegisterPlan(const std::string& name, PlanNodePtr plan) {
   plans_[name] = std::move(plan);
 }
 
+void ScriptExecutor::RegisterSql(const std::string& name, std::string sql) {
+  sql_[name] = std::move(sql);
+}
+
 std::string ScriptExecutor::Report::ToString() const {
   std::ostringstream out;
-  out << "query " << query_id << (finished ? " finished" : " (running)")
-      << " in " << total_seconds << "s\n";
+  std::string state = finished ? " finished" : " (running)";
+  if (!finished && timed_out) state = " (wait timed out)";
+  if (!finished && !failure.empty()) state = " FAILED: " + failure;
+  out << "query " << query_id << state << " in " << total_seconds << "s, "
+      << result_rows << " result rows\n";
   for (const auto& action : actions) {
     out << "  [" << action.at_seconds << "s] " << action.statement << " -> "
         << (action.accepted ? "ACCEPT" : "REJECT");
@@ -59,9 +66,9 @@ std::string ScriptExecutor::Report::ToString() const {
 Result<ScriptExecutor::Report> ScriptExecutor::Run(
     const std::string& script_text) {
   Report report;
-  QueryOptions options;
+  QueryOptions options = session_->options().query_defaults;
   Stopwatch sw;
-  bool submitted = false;
+  QueryHandlePtr query;
 
   auto tune = [&](const std::string& mode, int stage, int dop,
                   const std::string& statement) {
@@ -78,7 +85,7 @@ Result<ScriptExecutor::Report> ScriptExecutor::Run(
         record.detail = detail.str();
       }
     } else {
-      st = coordinator_->SetTaskDop(report.query_id, stage, dop);
+      st = query->SetTaskDop(stage, dop);
     }
     record.accepted = st.ok();
     if (!st.ok()) record.detail = st.ToString();
@@ -109,15 +116,21 @@ Result<ScriptExecutor::Report> ScriptExecutor::Run(
         return fail("unknown option " + words[1]);
       }
     } else if (verb == "submit") {
-      if (words.size() != 2) return fail("submit <plan-name>");
-      auto it = plans_.find(words[1]);
-      if (it == plans_.end()) return fail("no plan named " + words[1]);
-      ACCORDION_ASSIGN_OR_RETURN(report.query_id,
-                                 coordinator_->Submit(it->second, options));
-      submitted = true;
+      if (words.size() != 2) return fail("submit <name>");
+      auto plan_it = plans_.find(words[1]);
+      auto sql_it = sql_.find(words[1]);
+      if (plan_it == plans_.end() && sql_it == sql_.end()) {
+        return fail("no plan or SQL registered as " + words[1]);
+      }
+      auto submitted = plan_it != plans_.end()
+                           ? session_->Execute(plan_it->second, options)
+                           : session_->Execute(sql_it->second, options);
+      ACCORDION_RETURN_NOT_OK(submitted.status());
+      query = *submitted;
+      report.query_id = query->id();
       sw.Restart();
     } else if (verb == "at") {
-      if (!submitted) return fail("'at' before submit");
+      if (query == nullptr) return fail("'at' before submit");
       if (words.size() != 5) return fail("at <t> stage_dop|task_dop <s> <d>");
       ACCORDION_ASSIGN_OR_RETURN(double at_s, ParseDouble(words[1]));
       ACCORDION_ASSIGN_OR_RETURN(int64_t stage, ParseInt(words[3]));
@@ -125,7 +138,7 @@ Result<ScriptExecutor::Report> ScriptExecutor::Run(
       SleepForMicros(static_cast<int64_t>(at_s * 1e6) - sw.ElapsedMicros());
       tune(words[2], static_cast<int>(stage), static_cast<int>(dop), line);
     } else if (verb == "at_progress") {
-      if (!submitted) return fail("'at_progress' before submit");
+      if (query == nullptr) return fail("'at_progress' before submit");
       if (words.size() != 6) {
         return fail("at_progress <frac> <scan-stage> stage_dop <s> <d>");
       }
@@ -133,7 +146,7 @@ Result<ScriptExecutor::Report> ScriptExecutor::Run(
       ACCORDION_ASSIGN_OR_RETURN(int64_t watch, ParseInt(words[2]));
       ACCORDION_ASSIGN_OR_RETURN(int64_t stage, ParseInt(words[4]));
       ACCORDION_ASSIGN_OR_RETURN(int64_t dop, ParseInt(words[5]));
-      while (!coordinator_->IsFinished(report.query_id)) {
+      while (!query->Finished()) {
         auto estimate = tuner_->predictor()->EstimateRemaining(
             report.query_id, static_cast<int>(watch));
         if (estimate.ok() && estimate->progress >= frac) break;
@@ -141,14 +154,21 @@ Result<ScriptExecutor::Report> ScriptExecutor::Run(
       }
       tune(words[3], static_cast<int>(stage), static_cast<int>(dop), line);
     } else if (verb == "wait") {
-      if (!submitted) return fail("'wait' before submit");
+      if (query == nullptr) return fail("'wait' before submit");
       double timeout_s = 600;
       if (words.size() == 2) {
         ACCORDION_ASSIGN_OR_RETURN(timeout_s, ParseDouble(words[1]));
       }
-      auto result = coordinator_->Wait(report.query_id,
-                                       static_cast<int64_t>(timeout_s * 1e3));
-      report.finished = result.ok();
+      ResultCursor cursor = query->Cursor();
+      auto pages = cursor.Drain(static_cast<int64_t>(timeout_s * 1e3));
+      if (pages.ok()) {
+        report.finished = true;
+        for (const auto& page : *pages) report.result_rows += page->num_rows();
+      } else if (pages.status().code() == StatusCode::kDeadlineExceeded) {
+        report.timed_out = true;  // query left running and abortable
+      } else {
+        report.failure = pages.status().ToString();  // abort / engine error
+      }
     } else {
       return fail("unknown statement '" + verb + "'");
     }

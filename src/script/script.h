@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/coordinator.h"
+#include "api/session.h"
 #include "tuner/auto_tuner.h"
 
 namespace accordion {
@@ -16,25 +16,31 @@ namespace accordion {
 /// executor to track throughput variations, manage parallelism changes
 /// and result recording."
 ///
+/// Queries run through the Session front door, so scripts drive exactly
+/// the surface clients use — registered plans or plain SQL text.
+///
 /// Grammar (one statement per line, '#' comments):
 ///
 ///   option stage_dop <n>            -- initial stage DOP for submit
 ///   option task_dop <n>             -- initial task DOP for submit
-///   submit <plan-name>              -- start a registered plan
+///   submit <name>                   -- start a registered plan or SQL query
 ///   at <seconds> stage_dop <stage> <dop>
 ///   at <seconds> task_dop <stage> <dop>
 ///   at_progress <frac> <stage> stage_dop <stage> <dop>
-///   wait [timeout-seconds]          -- block until the query finishes
+///   wait [timeout-seconds]          -- drain the query's result cursor
 ///
 /// Tuning statements go through the auto-tuner's request filter, so the
 /// report records accepts and rejections exactly like the paper's figures.
 class ScriptExecutor {
  public:
-  ScriptExecutor(Coordinator* coordinator, AutoTuner* tuner)
-      : coordinator_(coordinator), tuner_(tuner) {}
+  ScriptExecutor(Session* session, AutoTuner* tuner)
+      : session_(session), tuner_(tuner) {}
 
-  /// Makes a plan available to `submit`.
+  /// Makes a hand-built plan available to `submit`.
   void RegisterPlan(const std::string& name, PlanNodePtr plan);
+
+  /// Makes a SQL query available to `submit` under `name`.
+  void RegisterSql(const std::string& name, std::string sql);
 
   struct ActionRecord {
     double at_seconds = 0;
@@ -47,6 +53,9 @@ class ScriptExecutor {
     std::string query_id;
     double total_seconds = 0;
     bool finished = false;
+    bool timed_out = false;  // `wait` hit its deadline; query kept running
+    std::string failure;  // non-timeout `wait` failure (abort, engine error)
+    int64_t result_rows = 0;
     std::vector<ActionRecord> actions;
 
     std::string ToString() const;
@@ -56,9 +65,10 @@ class ScriptExecutor {
   Result<Report> Run(const std::string& script_text);
 
  private:
-  Coordinator* coordinator_;
+  Session* session_;
   AutoTuner* tuner_;
   std::map<std::string, PlanNodePtr> plans_;
+  std::map<std::string, std::string> sql_;
 };
 
 }  // namespace accordion

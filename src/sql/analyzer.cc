@@ -33,6 +33,37 @@ bool ContainsAggregate(const SqlExprPtr& expr) {
   return false;
 }
 
+bool IsStringType(DataType t) { return t == DataType::kString; }
+
+/// Type-checks a binary operator the way the Expr factories enforce it
+/// with ACC_CHECK, but as a recoverable Status: user SQL must never take
+/// the process down (the factories still hard-check engine-built plans).
+Status CheckBinaryTypes(const std::string& op, DataType left, DataType right) {
+  if (op == "AND" || op == "OR") {
+    if (left != DataType::kBool || right != DataType::kBool) {
+      return Status::InvalidArgument(op + " requires boolean operands");
+    }
+    return Status::OK();
+  }
+  bool comparison = op == "=" || op == "<>" || op == "<" || op == "<=" ||
+                    op == ">" || op == ">=";
+  if (comparison) {
+    if (IsStringType(left) != IsStringType(right)) {
+      return Status::InvalidArgument(
+          "cannot compare string with non-string ('" + op + "')");
+    }
+    return Status::OK();
+  }
+  // Arithmetic.
+  if (IsStringType(left) || IsStringType(right)) {
+    return Status::InvalidArgument("arithmetic ('" + op + "') on a string");
+  }
+  if (left == DataType::kBool || right == DataType::kBool) {
+    return Status::InvalidArgument("arithmetic ('" + op + "') on a boolean");
+  }
+  return Status::OK();
+}
+
 class Analyzer {
  public:
   Analyzer(const SqlQuery& query, const Catalog& catalog)
@@ -143,23 +174,47 @@ class Analyzer {
     }
     PlanBuilder::Rel rel = builder_.Scan(table->name, columns);
     for (const auto& filter : table->filters) {
-      ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, Lower(filter, rel));
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, LowerPredicate(filter, rel));
       rel = builder_.Filter(rel, pred);
     }
     return rel;
   }
 
+  /// Lower + require a boolean result (WHERE/ON conjuncts).
+  Result<ExprPtr> LowerPredicate(const SqlExprPtr& expr,
+                                 const PlanBuilder::Rel& rel) {
+    ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, Lower(expr, rel));
+    if (pred->type() != DataType::kBool) {
+      return Status::InvalidArgument(
+          "WHERE/ON predicate is not boolean: " + pred->ToString());
+    }
+    return pred;
+  }
+
   Result<PlanBuilder::Rel> BuildJoinTree() {
-    // Make sure all join-key columns are scanned.
+    // Make sure all join-key columns are scanned, and count how many join
+    // predicates use each column so pruning below never drops a key a
+    // later join still needs.
+    std::map<std::string, int> join_uses;
     for (const auto& p : join_predicates_) {
       for (int side = 0; side < 2; ++side) {
         std::string name = LowerStr(p->children[side]->text);
         auto it = column_table_.find(name);
         if (it != column_table_.end()) {
           tables_[it->second].needed_columns.insert(name);
+          ++join_uses[name];
         }
       }
     }
+    // Columns referenced above the join tree (select list, grouping,
+    // ordering, residual predicates) must survive every pruning step.
+    std::set<std::string> later_refs;
+    for (const auto& item : query_.select_items) {
+      CollectColumns(item.expr, &later_refs);
+    }
+    for (const auto& g : query_.group_by) CollectColumns(g, &later_refs);
+    for (const auto& o : query_.order_by) CollectColumns(o.expr, &later_refs);
+    for (const auto& r : residual_) CollectColumns(r, &later_refs);
 
     ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel rel, ScanTable(&tables_[0]));
     tables_[0].joined = true;
@@ -197,15 +252,23 @@ class Analyzer {
             "FROM tables are not connected by equi-join predicates "
             "(cross joins are outside the SQL subset)");
       }
+      // The chosen join consumes its predicates: their columns have one
+      // fewer pending join use.
+      for (size_t k = 0; k < probe_keys.size(); ++k) {
+        --join_uses[probe_keys[k]];
+        --join_uses[build_keys[k]];
+      }
       TableInfo& table = tables_[next];
       ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel build, ScanTable(&table));
-      // Build output: every needed column except pure join keys that are
-      // redundant with the probe side (keep them; pruning is cosmetic).
+      // Build output: every needed column except join keys whose only
+      // remaining purpose was this join (they are redundant with the
+      // probe side); keys referenced by later joins or clauses survive.
       std::vector<std::string> build_output;
       for (const auto& c : table.needed_columns) {
         bool is_key = std::find(build_keys.begin(), build_keys.end(), c) !=
                       build_keys.end();
-        if (!is_key) build_output.push_back(c);
+        bool still_needed = later_refs.count(c) > 0 || join_uses[c] > 0;
+        if (!is_key || still_needed) build_output.push_back(c);
       }
       bool broadcast = table.name == "nation" || table.name == "region";
       rel = builder_.Join(rel, build, probe_keys, build_keys, build_output,
@@ -221,7 +284,7 @@ class Analyzer {
       if (ContainsAggregate(conjunct)) {
         return Status::Unimplemented("HAVING-style predicates");
       }
-      ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, Lower(conjunct, *rel));
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, LowerPredicate(conjunct, *rel));
       *rel = builder_.Filter(*rel, pred);
     }
     return Status::OK();
@@ -250,14 +313,30 @@ class Analyzer {
       case SqlExpr::Kind::kBinary: {
         ACCORDION_ASSIGN_OR_RETURN(ExprPtr left, Lower(expr->children[0], rel));
         ExprPtr right;
-        // Date/string coercion: date_col < '1995-03-15'.
-        if (left->type() == DataType::kDate &&
-            expr->children[1]->kind == SqlExpr::Kind::kStringLiteral) {
-          right = LitDate(expr->children[1]->text);
+        // Date/string coercion: date_col < '1995-03-15' (literal or bound
+        // string parameter).
+        auto date_literal = [](const SqlExprPtr& e) -> const std::string* {
+          if (e->kind == SqlExpr::Kind::kStringLiteral) return &e->text;
+          if (e->kind == SqlExpr::Kind::kBoundValue &&
+              e->bound_value.type == DataType::kString) {
+            return &e->bound_value.str;
+          }
+          return nullptr;
+        };
+        if (const std::string* iso = date_literal(expr->children[1]);
+            left->type() == DataType::kDate && iso != nullptr) {
+          right = LitDate(*iso);
         } else {
           ACCORDION_ASSIGN_OR_RETURN(right, Lower(expr->children[1], rel));
         }
+        // And the mirrored form: '1995-03-15' < date_col.
+        if (const std::string* iso = date_literal(expr->children[0]);
+            right->type() == DataType::kDate && iso != nullptr) {
+          left = LitDate(*iso);
+        }
         const std::string& op = expr->text;
+        ACCORDION_RETURN_NOT_OK(
+            CheckBinaryTypes(op, left->type(), right->type()));
         if (op == "+") return Add(left, right);
         if (op == "-") return Sub(left, right);
         if (op == "*") return Mul(left, right);
@@ -274,10 +353,16 @@ class Analyzer {
       }
       case SqlExpr::Kind::kNot: {
         ACCORDION_ASSIGN_OR_RETURN(ExprPtr inner, Lower(expr->children[0], rel));
+        if (inner->type() != DataType::kBool) {
+          return Status::InvalidArgument("NOT requires a boolean operand");
+        }
         return Not(inner);
       }
       case SqlExpr::Kind::kLike: {
         ACCORDION_ASSIGN_OR_RETURN(ExprPtr inner, Lower(expr->children[0], rel));
+        if (inner->type() != DataType::kString) {
+          return Status::InvalidArgument("LIKE requires a string operand");
+        }
         return Like(inner, expr->text);
       }
       case SqlExpr::Kind::kIn: {
@@ -287,6 +372,11 @@ class Analyzer {
           ACCORDION_ASSIGN_OR_RETURN(Value v,
                                      LiteralValue(expr->children[i],
                                                   probe->type()));
+          if (v.type != probe->type()) {
+            return Status::InvalidArgument(
+                "IN list value '" + v.ToString() +
+                "' does not match the probe type");
+          }
           candidates.push_back(std::move(v));
         }
         return In(probe, std::move(candidates));
@@ -297,26 +387,47 @@ class Analyzer {
             Value lo, LiteralValue(expr->children[1], value->type()));
         ACCORDION_ASSIGN_OR_RETURN(
             Value hi, LiteralValue(expr->children[2], value->type()));
+        if (lo.type != value->type() || hi.type != value->type()) {
+          return Status::InvalidArgument(
+              "BETWEEN bounds do not match the value type");
+        }
         return Between(value, std::move(lo), std::move(hi));
       }
       case SqlExpr::Kind::kCaseWhen: {
         std::vector<std::pair<ExprPtr, ExprPtr>> branches;
         size_t n = expr->children.size();
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr dflt, Lower(expr->children[n - 1], rel));
         for (size_t i = 0; i + 1 < n; i += 2) {
           ACCORDION_ASSIGN_OR_RETURN(ExprPtr cond, Lower(expr->children[i], rel));
           ACCORDION_ASSIGN_OR_RETURN(ExprPtr val,
                                      Lower(expr->children[i + 1], rel));
+          if (cond->type() != DataType::kBool) {
+            return Status::InvalidArgument("WHEN condition must be boolean");
+          }
+          if (val->type() != dflt->type()) {
+            return Status::InvalidArgument(
+                "CASE branches must share one type");
+          }
           branches.emplace_back(std::move(cond), std::move(val));
         }
-        ACCORDION_ASSIGN_OR_RETURN(ExprPtr dflt, Lower(expr->children[n - 1], rel));
         return CaseWhen(std::move(branches), dflt);
       }
       case SqlExpr::Kind::kExtractYear: {
         ACCORDION_ASSIGN_OR_RETURN(ExprPtr inner, Lower(expr->children[0], rel));
+        if (inner->type() != DataType::kDate) {
+          return Status::InvalidArgument("EXTRACT(YEAR) requires a date");
+        }
         return ExtractYear(inner);
       }
+      case SqlExpr::Kind::kBoundValue:
+        return Lit(expr->bound_value);
+      case SqlExpr::Kind::kPlaceholder:
+        return Status::InvalidArgument(
+            "unbound '?' parameter — prepare the statement and bind values");
       case SqlExpr::Kind::kAggregate:
-        return Status::Internal("aggregate lowered outside aggregation");
+        return Status::InvalidArgument(
+            "aggregate not allowed here (nested aggregate or aggregate "
+            "outside the select list)");
     }
     return Status::Internal("unreachable");
   }
@@ -338,6 +449,19 @@ class Analyzer {
         return Value::Str(expr->text);
       case SqlExpr::Kind::kDateLiteral:
         return Value::Date(ParseDate(expr->text));
+      case SqlExpr::Kind::kBoundValue: {
+        Value v = expr->bound_value;
+        if (target == DataType::kDouble && v.type == DataType::kInt64) {
+          return Value::Double(static_cast<double>(v.i64));
+        }
+        if (target == DataType::kDate && v.type == DataType::kString) {
+          return Value::Date(ParseDate(v.str));
+        }
+        return v;
+      }
+      case SqlExpr::Kind::kPlaceholder:
+        return Status::InvalidArgument(
+            "unbound '?' parameter — prepare the statement and bind values");
       default:
         return Status::InvalidArgument("expected a literal");
     }
@@ -362,13 +486,19 @@ class Analyzer {
       return builder_.Project(rel, std::move(exprs), std::move(names));
     }
 
-    // Group keys must be plain columns.
+    // Group keys must be plain columns that exist in the join output.
     std::vector<std::string> group_names;
     for (const auto& key : query_.group_by) {
       if (key->kind != SqlExpr::Kind::kColumn) {
         return Status::Unimplemented("GROUP BY expressions (project first)");
       }
-      group_names.push_back(LowerStr(key->text));
+      std::string name = LowerStr(key->text);
+      if (std::find(rel.names.begin(), rel.names.end(), name) ==
+          rel.names.end()) {
+        return Status::InvalidArgument("unknown column '" + name +
+                                       "' in GROUP BY");
+      }
+      group_names.push_back(std::move(name));
     }
 
     // Pre-aggregation projection: group keys + one column per aggregate
@@ -403,6 +533,12 @@ class Analyzer {
         std::string input_name = "agg_in" + std::to_string(a);
         ACCORDION_ASSIGN_OR_RETURN(ExprPtr input,
                                    Lower(node->children[0], rel));
+        if ((spec.func == AggFunc::kSum || spec.func == AggFunc::kAvg) &&
+            (input->type() == DataType::kString ||
+             input->type() == DataType::kBool)) {
+          return Status::InvalidArgument(
+              node->text + " requires a numeric argument");
+        }
         pre_exprs.push_back(std::move(input));
         pre_names.push_back(input_name);
         spec.input = input_name;
@@ -509,8 +645,13 @@ class Analyzer {
       if (item.expr->kind != SqlExpr::Kind::kColumn) {
         return Status::Unimplemented("ORDER BY expressions (alias them)");
       }
-      std::string name = item.expr->text;
-      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      std::string name = LowerStr(item.expr->text);
+      if (std::find(rel->names.begin(), rel->names.end(), name) ==
+          rel->names.end()) {
+        return Status::InvalidArgument(
+            "unknown column '" + name +
+            "' in ORDER BY (not an output column or select alias)");
+      }
       keys.push_back(PlanBuilder::OrderKey{name, item.ascending});
     }
     int64_t limit = query_.limit >= 0 ? query_.limit : 1000000;

@@ -73,7 +73,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       i += 2;
       continue;
     }
-    static const std::string kSingles = "(),.*=<>+-/;";
+    static const std::string kSingles = "(),.*=<>+-/;?";
     if (kSingles.find(c) != std::string::npos) {
       tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c)});
       ++i;

@@ -13,7 +13,7 @@ enum class TokenKind {
   kInteger,
   kDecimal,
   kString,      // 'quoted'
-  kSymbol,      // ( ) , . * = <> < <= > >= + - /
+  kSymbol,      // ( ) , . * = <> < <= > >= + - / ? (parameter marker)
   kEnd,
 };
 

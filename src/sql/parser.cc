@@ -53,6 +53,7 @@ class Parser {
       return Status::ParseError("trailing tokens after query: '" +
                                 Peek().text + "'");
     }
+    query.placeholder_count = placeholders_;
     return query;
   }
 
@@ -287,6 +288,12 @@ class Parser {
 
   Result<SqlExprPtr> ParsePrimary() {
     const Token& t = Peek();
+    if (AcceptSymbol("?")) {
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kPlaceholder;
+      node->placeholder_index = placeholders_++;
+      return SqlExprPtr(node);
+    }
     if (AcceptSymbol("(")) {
       ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
       ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
@@ -393,13 +400,56 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int placeholders_ = 0;
 };
+
+/// Clones `expr` with kPlaceholder nodes replaced by kBoundValue nodes.
+SqlExprPtr SubstitutePlaceholders(const SqlExprPtr& expr,
+                                  const std::vector<Value>& params) {
+  if (expr == nullptr) return nullptr;
+  if (expr->kind == SqlExpr::Kind::kPlaceholder) {
+    auto bound = std::make_shared<SqlExpr>();
+    bound->kind = SqlExpr::Kind::kBoundValue;
+    bound->bound_value = params[expr->placeholder_index];
+    return bound;
+  }
+  bool changed = false;
+  std::vector<SqlExprPtr> children;
+  children.reserve(expr->children.size());
+  for (const auto& child : expr->children) {
+    SqlExprPtr replaced = SubstitutePlaceholders(child, params);
+    changed |= replaced != child;
+    children.push_back(std::move(replaced));
+  }
+  if (!changed) return expr;
+  auto copy = std::make_shared<SqlExpr>(*expr);
+  copy->children = std::move(children);
+  return copy;
+}
 
 }  // namespace
 
 Result<SqlQuery> ParseSqlQuery(const std::string& sql) {
   ACCORDION_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   return Parser(std::move(tokens)).Parse();
+}
+
+Result<SqlQuery> BindPlaceholders(const SqlQuery& query,
+                                  const std::vector<Value>& params) {
+  if (static_cast<int>(params.size()) != query.placeholder_count) {
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(query.placeholder_count) +
+        " parameter(s), " + std::to_string(params.size()) + " bound");
+  }
+  SqlQuery bound = query;
+  for (auto& item : bound.select_items) {
+    item.expr = SubstitutePlaceholders(item.expr, params);
+  }
+  for (auto& c : bound.conjuncts) c = SubstitutePlaceholders(c, params);
+  for (auto& g : bound.group_by) g = SubstitutePlaceholders(g, params);
+  for (auto& o : bound.order_by) o.expr = SubstitutePlaceholders(o.expr, params);
+  bound.placeholder_count = 0;
+  return bound;
 }
 
 }  // namespace accordion

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sql/lexer.h"
+#include "vector/value.h"
 
 namespace accordion {
 
@@ -33,12 +34,16 @@ struct SqlExpr {
     kCaseWhen,    // children = cond1, val1, cond2, val2, ..., else
     kExtractYear,
     kAggregate,   // text = COUNT/SUM/MIN/MAX/AVG; child optional (*)
+    kPlaceholder, // `?` parameter marker; placeholder_index is its ordinal
+    kBoundValue,  // placeholder after Bind(); bound_value carries the Value
   };
 
   Kind kind;
   std::string text;
   std::string qualifier;
   std::vector<SqlExprPtr> children;
+  int placeholder_index = -1;  // kPlaceholder only
+  Value bound_value;           // kBoundValue only
 };
 
 struct SqlTableRef {
@@ -63,10 +68,18 @@ struct SqlQuery {
   std::vector<SqlExprPtr> group_by;
   std::vector<SqlOrderItem> order_by;
   int64_t limit = -1;  // -1 = none
+  int placeholder_count = 0;  // number of `?` parameter markers
 };
 
 /// Parses one SELECT statement into the AST.
 Result<SqlQuery> ParseSqlQuery(const std::string& sql);
+
+/// Replaces every `?` placeholder with its bound Value (by ordinal).
+/// Fails unless exactly `placeholder_count` parameters are supplied.
+/// The input query is left untouched; expression trees are copied along
+/// the substitution path.
+Result<SqlQuery> BindPlaceholders(const SqlQuery& query,
+                                  const std::vector<Value>& params);
 
 }  // namespace accordion
 

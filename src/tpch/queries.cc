@@ -460,6 +460,87 @@ PlanNodePtr TpchQueryPlan(int q, const Catalog& catalog) {
   }
 }
 
+std::string TpchQuerySql(int q) {
+  switch (q) {
+    case 1:
+      return "SELECT l_returnflag, l_linestatus, "
+             "sum(l_quantity) AS sum_qty, "
+             "sum(l_extendedprice) AS sum_base_price, "
+             "sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+             "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS "
+             "sum_charge, "
+             "avg(l_quantity) AS avg_qty, "
+             "avg(l_extendedprice) AS avg_price, "
+             "avg(l_discount) AS avg_disc, "
+             "count(*) AS count_order "
+             "FROM lineitem "
+             "WHERE l_shipdate <= DATE '1998-09-02' "
+             "GROUP BY l_returnflag, l_linestatus "
+             "ORDER BY l_returnflag, l_linestatus LIMIT 100";
+    case 3:
+      return "SELECT l_orderkey, o_orderdate, o_shippriority, "
+             "sum(l_extendedprice * (1 - l_discount)) AS revenue "
+             "FROM lineitem, orders, customer "
+             "WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey "
+             "AND c_mktsegment = 'BUILDING' "
+             "AND o_orderdate < DATE '1995-03-15' "
+             "AND l_shipdate > DATE '1995-03-15' "
+             "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+             "ORDER BY revenue DESC, o_orderdate LIMIT 10";
+    case 5:
+      return "SELECT n_name, "
+             "sum(l_extendedprice * (1 - l_discount)) AS revenue "
+             "FROM lineitem, orders, customer, supplier, nation, region "
+             "WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey "
+             "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+             "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+             "AND r_name = 'ASIA' "
+             "AND o_orderdate >= DATE '1994-01-01' "
+             "AND o_orderdate < DATE '1995-01-01' "
+             "GROUP BY n_name ORDER BY revenue DESC LIMIT 100";
+    case 6:
+      return "SELECT sum(l_extendedprice * l_discount) AS revenue "
+             "FROM lineitem "
+             "WHERE l_shipdate >= DATE '1994-01-01' "
+             "AND l_shipdate < DATE '1995-01-01' "
+             "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
+    case 10:
+      return "SELECT c_custkey, c_name, c_acctbal, n_name, c_address, "
+             "c_phone, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+             "FROM lineitem, orders, customer, nation "
+             "WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey "
+             "AND c_nationkey = n_nationkey "
+             "AND o_orderdate >= DATE '1993-10-01' "
+             "AND o_orderdate < DATE '1994-01-01' "
+             "AND l_returnflag = 'R' "
+             "GROUP BY c_custkey, c_name, c_acctbal, n_name, c_address, "
+             "c_phone ORDER BY revenue DESC LIMIT 20";
+    case 11:
+      return "SELECT ps_partkey, "
+             "sum(ps_supplycost * ps_availqty) AS total_value "
+             "FROM partsupp, supplier, nation "
+             "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+             "AND n_name = 'GERMANY' "
+             "GROUP BY ps_partkey ORDER BY total_value DESC LIMIT 100";
+    case 12:
+      return "SELECT l_shipmode, "
+             "sum(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') "
+             "THEN 1 ELSE 0 END) AS high_line_count, "
+             "sum(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') "
+             "THEN 0 ELSE 1 END) AS low_line_count "
+             "FROM lineitem, orders "
+             "WHERE l_orderkey = o_orderkey "
+             "AND l_shipmode IN ('MAIL', 'SHIP') "
+             "AND l_commitdate < l_receiptdate "
+             "AND l_shipdate < l_commitdate "
+             "AND l_receiptdate >= DATE '1994-01-01' "
+             "AND l_receiptdate < DATE '1995-01-01' "
+             "GROUP BY l_shipmode ORDER BY l_shipmode LIMIT 100";
+    default:
+      return "";
+  }
+}
+
 PlanNodePtr TpchQ2JPlan(const Catalog& catalog) {
   PlanBuilder b(&catalog);
   Rel lineitem = b.Scan("lineitem", {"l_orderkey"});

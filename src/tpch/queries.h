@@ -27,6 +27,13 @@ namespace accordion {
 /// Builds TPC-H query `q` in [1, 12].
 PlanNodePtr TpchQueryPlan(int q, const Catalog& catalog);
 
+/// SQL text for query `q`, written against the engine's SQL subset so
+/// that the lowered plan produces exactly the same output columns (names,
+/// order, values) as TpchQueryPlan(q). Returns "" for queries outside the
+/// subset (Q2/Q4's decorrelated subqueries, Q7/Q8/Q9's expression group
+/// keys); drive those through the plan API.
+std::string TpchQuerySql(int q);
+
 /// The §4.4 two-way join: SELECT count(l_orderkey) FROM lineitem JOIN
 /// orders ON l_orderkey = o_orderkey (Fig. 15).
 PlanNodePtr TpchQ2JPlan(const Catalog& catalog);

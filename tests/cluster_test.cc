@@ -253,6 +253,29 @@ TEST(ClusterTest, AbortStopsQuery) {
   EXPECT_TRUE(cluster.coordinator()->IsFinished(*submitted));
 }
 
+TEST(ClusterTest, WaitTimeoutIsDistinctAndLeavesQueryRunning) {
+  auto options = FastOptions();
+  options.engine.cost.scale = 2.0;  // long-running
+  AccordionCluster cluster(options);
+  auto submitted = cluster.coordinator()->Submit(
+      TpchQ2JPlan(cluster.coordinator()->catalog()));
+  ASSERT_TRUE(submitted.ok());
+
+  // A blown deadline is reported as kDeadlineExceeded (not a generic
+  // failure), and the query keeps running...
+  auto timed_out = cluster.coordinator()->Wait(*submitted, 1);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(cluster.coordinator()->IsFinished(*submitted));
+
+  // ...so it can still be aborted, after which Wait reports kAborted.
+  ASSERT_TRUE(cluster.coordinator()->Abort(*submitted).ok());
+  auto aborted = cluster.coordinator()->Wait(*submitted, 30000);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kAborted);
+  EXPECT_TRUE(cluster.coordinator()->IsFinished(*submitted));
+}
+
 TEST(ClusterTest, RpcRequestsAreCounted) {
   AccordionCluster cluster(FastOptions());
   int64_t before = cluster.coordinator()->total_rpc_requests();

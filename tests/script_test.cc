@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "api/session.h"
 #include "cluster/cluster.h"
 #include "plan/builder.h"
 #include "script/script.h"
@@ -26,13 +27,25 @@ PlanNodePtr CountPlan(const Catalog& catalog) {
   return b.Output(rel);
 }
 
+struct ScriptFixture {
+  explicit ScriptFixture(double scale)
+      : cluster(ScriptOptions(scale)),
+        session(cluster.coordinator()),
+        tuner(cluster.coordinator()),
+        executor(&session, &tuner) {
+    executor.RegisterPlan("count_lineitem",
+                          CountPlan(cluster.coordinator()->catalog()));
+  }
+
+  AccordionCluster cluster;
+  Session session;
+  AutoTuner tuner;
+  ScriptExecutor executor;
+};
+
 TEST(ScriptTest, SubmitAndWait) {
-  AccordionCluster cluster(ScriptOptions(0));
-  AutoTuner tuner(cluster.coordinator());
-  ScriptExecutor executor(cluster.coordinator(), &tuner);
-  executor.RegisterPlan("count_lineitem",
-                        CountPlan(cluster.coordinator()->catalog()));
-  auto report = executor.Run(R"(
+  ScriptFixture f(0);
+  auto report = f.executor.Run(R"(
 # simple run
 option stage_dop 2
 submit count_lineitem
@@ -42,15 +55,25 @@ wait 60
   EXPECT_TRUE(report->finished);
   EXPECT_TRUE(report->actions.empty());
   EXPECT_FALSE(report->query_id.empty());
+  EXPECT_EQ(report->result_rows, 1);  // global count: one row
+}
+
+TEST(ScriptTest, SubmitSqlByName) {
+  ScriptFixture f(0);
+  f.executor.RegisterSql("count_sql",
+                         "SELECT count(l_orderkey) AS cnt FROM lineitem");
+  auto report = f.executor.Run(R"(
+submit count_sql
+wait 60
+)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->finished);
+  EXPECT_EQ(report->result_rows, 1);
 }
 
 TEST(ScriptTest, TimedTuningActionsAreRecorded) {
-  AccordionCluster cluster(ScriptOptions(1.5));
-  AutoTuner tuner(cluster.coordinator());
-  ScriptExecutor executor(cluster.coordinator(), &tuner);
-  executor.RegisterPlan("count_lineitem",
-                        CountPlan(cluster.coordinator()->catalog()));
-  auto report = executor.Run(R"(
+  ScriptFixture f(1.5);
+  auto report = f.executor.Run(R"(
 submit count_lineitem
 at 0.3 task_dop 1 3
 at 0.6 stage_dop 1 2
@@ -66,12 +89,8 @@ wait 120
 }
 
 TEST(ScriptTest, RejectionsAreRecorded) {
-  AccordionCluster cluster(ScriptOptions(0));
-  AutoTuner tuner(cluster.coordinator());
-  ScriptExecutor executor(cluster.coordinator(), &tuner);
-  executor.RegisterPlan("count_lineitem",
-                        CountPlan(cluster.coordinator()->catalog()));
-  auto report = executor.Run(R"(
+  ScriptFixture f(0);
+  auto report = f.executor.Run(R"(
 submit count_lineitem
 wait 60
 at 1.0 stage_dop 1 4
@@ -83,22 +102,39 @@ at 1.0 stage_dop 1 4
 }
 
 TEST(ScriptTest, ParseErrorsAreClear) {
-  AccordionCluster cluster(ScriptOptions(0));
-  AutoTuner tuner(cluster.coordinator());
-  ScriptExecutor executor(cluster.coordinator(), &tuner);
-  EXPECT_FALSE(executor.Run("submit nope\n").ok());
-  EXPECT_FALSE(executor.Run("at 1 stage_dop 1 2\n").ok());  // before submit
-  EXPECT_FALSE(executor.Run("frobnicate\n").ok());
-  EXPECT_FALSE(executor.Run("option stage_dop abc\n").ok());
+  ScriptFixture f(0);
+  EXPECT_FALSE(f.executor.Run("submit nope\n").ok());
+  EXPECT_FALSE(f.executor.Run("at 1 stage_dop 1 2\n").ok());  // before submit
+  EXPECT_FALSE(f.executor.Run("frobnicate\n").ok());
+  EXPECT_FALSE(f.executor.Run("option stage_dop abc\n").ok());
+}
+
+TEST(ScriptTest, BadSqlFailsAtSubmitWithStatus) {
+  ScriptFixture f(0);
+  f.executor.RegisterSql("bad", "SELECT ghost_col FROM orders");
+  auto report = f.executor.Run("submit bad\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScriptTest, WaitTimeoutLeavesQueryRunning) {
+  ScriptFixture f(3.0);  // slow enough that 1ms can't finish it
+  auto report = f.executor.Run(R"(
+submit count_lineitem
+wait 0.001
+)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->finished);
+  EXPECT_TRUE(report->timed_out);
+  EXPECT_FALSE(f.cluster.coordinator()->IsFinished(report->query_id));
+  EXPECT_TRUE(f.cluster.coordinator()->Abort(report->query_id).ok());
 }
 
 TEST(ScriptTest, ProgressTriggeredTuning) {
-  AccordionCluster cluster(ScriptOptions(1.5));
-  AutoTuner tuner(cluster.coordinator());
-  ScriptExecutor executor(cluster.coordinator(), &tuner);
-  executor.RegisterPlan("q2j",
-                        TpchQ2JPlan(cluster.coordinator()->catalog()));
-  auto report = executor.Run(R"(
+  ScriptFixture f(1.5);
+  f.executor.RegisterPlan("q2j",
+                          TpchQ2JPlan(f.cluster.coordinator()->catalog()));
+  auto report = f.executor.Run(R"(
 option stage_dop 2
 submit q2j
 at_progress 0.3 1 stage_dop 1 4

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "api/session.h"
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "plan/builder.h"
+#include "tpch/queries.h"
+#include "tpch/tpch.h"
+
+namespace accordion {
+namespace {
+
+constexpr double kSf = 0.005;
+
+AccordionCluster::Options FastOptions() {
+  AccordionCluster::Options options;
+  options.num_workers = 2;
+  options.num_storage_nodes = 2;
+  options.scale_factor = kSf;
+  options.engine.cost.scale = 0;
+  options.engine.rpc_latency_ms = 0;
+  return options;
+}
+
+/// Small buffers so backpressure is observable at test scale.
+AccordionCluster::Options StreamingOptions() {
+  AccordionCluster::Options options = FastOptions();
+  options.engine.initial_buffer_bytes = 2 * 1024;
+  options.engine.max_buffer_bytes = 8 * 1024;
+  return options;
+}
+
+/// Single-stage streaming plan: scan lineitem straight to the client.
+PlanNodePtr StreamingScanPlan(const Catalog& catalog) {
+  PlanBuilder b(&catalog);
+  auto rel = b.Scan("lineitem", {"l_orderkey", "l_extendedprice"});
+  return b.Output(rel);
+}
+
+TEST(SessionTest, SqlRoundTrip) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  auto query = session.Execute(
+      "SELECT count(c_custkey) AS n FROM customer");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto pages = (*query)->Wait();
+  ASSERT_TRUE(pages.ok()) << pages.status().ToString();
+  ASSERT_FALSE(pages->empty());
+  EXPECT_EQ((*pages)[0]->column(0).IntAt(0), TpchRowCount("customer", kSf));
+  EXPECT_TRUE((*query)->Finished());
+}
+
+// The core streaming claim: result pages reach the client while the query
+// is still running, and the engine does NOT run ahead unboundedly — the
+// elastic output buffer backpressures the scan until the cursor consumes.
+TEST(SessionTest, CursorStreamsPagesBeforeCompletion) {
+  AccordionCluster cluster(StreamingOptions());
+  Session session(cluster.coordinator());
+  auto query = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  ResultCursor cursor = (*query)->Cursor();
+  auto first = cursor.Next(60000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_NE(*first, nullptr);
+  // A page arrived while the query is still executing.
+  EXPECT_FALSE((*query)->Finished());
+
+  // Give producers time to run as far ahead as buffering allows; bounded
+  // peak buffering means the scan must stall well short of completion.
+  SleepForMillis(300);
+  auto snapshot = (*query)->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  const StageSnapshot* root = snapshot->stage(0);
+  ASSERT_NE(root, nullptr);
+  EXPECT_GT(root->scan_total_rows, 0);
+  EXPECT_LT(root->scan_rows, root->scan_total_rows)
+      << "scan ran to completion while the cursor was idle — results are "
+         "being materialized instead of streamed with backpressure";
+  EXPECT_FALSE((*query)->Finished());
+
+  // Now drain; every row must arrive exactly once. (Lineitem counts
+  // derive from orders' per-order line counts, so ask the generator.)
+  int64_t rows = (*first)->num_rows();
+  while (true) {
+    auto page = cursor.Next(60000);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    if (*page == nullptr) break;
+    rows += (*page)->num_rows();
+  }
+  EXPECT_EQ(rows, TpchSplitGenerator("lineitem", kSf, 0, 1).TotalRows());
+  EXPECT_TRUE(cursor.Done());
+  EXPECT_TRUE((*query)->Finished());
+}
+
+TEST(SessionTest, AbortWhileCursorDraining) {
+  AccordionCluster cluster(StreamingOptions());
+  cluster.coordinator();
+  Session session(cluster.coordinator());
+  auto query = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(query.ok());
+
+  ResultCursor cursor = (*query)->Cursor();
+  auto first = cursor.Next(60000);
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(*first, nullptr);
+
+  // Abort from another thread racing the cursor's fetch loop.
+  std::atomic<bool> aborted{false};
+  std::thread aborter([&] {
+    SleepForMillis(20);
+    (void)(*query)->Abort();
+    aborted = true;
+  });
+
+  Status final_status = Status::OK();
+  while (true) {
+    auto page = cursor.Next(60000);
+    if (!page.ok()) {
+      final_status = page.status();
+      break;
+    }
+    if (*page == nullptr) break;  // completed before the abort landed
+  }
+  aborter.join();
+  ASSERT_TRUE(aborted.load());
+  // Either the abort surfaced as kAborted, or the query legitimately
+  // finished first; it must never crash or hang.
+  if (!final_status.ok()) {
+    EXPECT_EQ(final_status.code(), StatusCode::kAborted);
+  }
+  EXPECT_TRUE((*query)->Finished());
+}
+
+TEST(SessionTest, CursorOutlivesQueryHandleAndQuery) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  ResultCursor cursor = [&] {
+    auto query = session.Execute(
+        "SELECT count(c_custkey) AS n FROM customer");
+    EXPECT_TRUE(query.ok());
+    return (*query)->Cursor();
+  }();  // handle destroyed here; query still running
+
+  int64_t rows = 0;
+  while (true) {
+    auto page = cursor.Next(60000);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    if (*page == nullptr) break;
+    rows += (*page)->num_rows();
+  }
+  EXPECT_EQ(rows, 1);
+  // Further pulls on a finished stream stay clean.
+  auto again = cursor.Next();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, nullptr);
+}
+
+TEST(SessionTest, CursorOnAbortedQueryReturnsAbortedStatus) {
+  AccordionCluster::Options options = StreamingOptions();
+  options.engine.cost.scale = 2.0;  // slow enough to abort mid-flight
+  AccordionCluster cluster(options);
+  Session session(cluster.coordinator());
+  auto query = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE((*query)->Abort().ok());
+  ResultCursor cursor = (*query)->Cursor();
+  auto page = cursor.Next(10000);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kAborted);
+}
+
+// Pages consumed off the output buffer by a timed-out Wait / Drain must
+// not be lost: a retry sees the complete stream.
+TEST(SessionTest, TimedOutWaitResumesLosslessly) {
+  AccordionCluster::Options options = StreamingOptions();
+  options.engine.cost.scale = 0.3;  // slow enough that 1ms times out
+  AccordionCluster cluster(options);
+  Session session(cluster.coordinator());
+  auto query = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(query.ok());
+
+  int64_t expected = TpchSplitGenerator("lineitem", kSf, 0, 1).TotalRows();
+
+  // First Wait times out after having consumed some pages.
+  auto timed_out = (*query)->Wait(1);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Retry with a real deadline: every row arrives exactly once.
+  auto pages = (*query)->Wait(120000);
+  ASSERT_TRUE(pages.ok()) << pages.status().ToString();
+  int64_t rows = 0;
+  for (const auto& page : *pages) rows += page->num_rows();
+  EXPECT_EQ(rows, expected);
+}
+
+TEST(SessionTest, TimedOutDrainResumesLosslessly) {
+  AccordionCluster::Options options = StreamingOptions();
+  options.engine.cost.scale = 0.3;
+  AccordionCluster cluster(options);
+  Session session(cluster.coordinator());
+  auto query = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(query.ok());
+
+  int64_t expected = TpchSplitGenerator("lineitem", kSf, 0, 1).TotalRows();
+
+  // A deadline long enough to collect some pages first, so the timeout
+  // surfaces mid-stream (from inside Next) with pages already in hand —
+  // those must be handed back to the cursor, not dropped.
+  ResultCursor cursor = (*query)->Cursor();
+  auto timed_out = cursor.Drain(250);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cursor.rows_seen(), 0);  // nothing was delivered to the caller
+
+  auto pages = cursor.Drain(120000);
+  ASSERT_TRUE(pages.ok()) << pages.status().ToString();
+  int64_t rows = 0;
+  for (const auto& page : *pages) rows += page->num_rows();
+  EXPECT_EQ(rows, expected);
+  // Counters reflect delivered pages only — exactly the full stream.
+  EXPECT_EQ(cursor.rows_seen(), expected);
+}
+
+TEST(SessionTest, AdmissionCapRejectsThenRecovers) {
+  AccordionCluster::Options options = FastOptions();
+  options.engine.cost.scale = 2.0;  // keep the first query running
+  AccordionCluster cluster(options);
+  SessionOptions session_options;
+  session_options.max_concurrent_queries = 1;
+  Session session(cluster.coordinator(), session_options);
+
+  auto first = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(session.active_queries(), 1);
+
+  auto second = session.Execute("SELECT count(c_custkey) AS n FROM customer");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+
+  // Freeing the slot (abort counts as finished) re-admits.
+  ASSERT_TRUE((*first)->Abort().ok());
+  auto third = session.Execute("SELECT count(c_custkey) AS n FROM customer");
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  auto pages = (*third)->Wait();
+  ASSERT_TRUE(pages.ok()) << pages.status().ToString();
+}
+
+TEST(SessionTest, SessionDefaultOptionsApply) {
+  AccordionCluster cluster(FastOptions());
+  SessionOptions session_options;
+  session_options.query_defaults.stage_dop = 2;
+  Session session(cluster.coordinator(), session_options);
+  auto query = session.Execute(TpchQ2JPlan(session.catalog()));
+  ASSERT_TRUE(query.ok());
+  auto snapshot = (*query)->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  const StageSnapshot* join_stage = snapshot->stage(1);
+  ASSERT_NE(join_stage, nullptr);
+  EXPECT_EQ(join_stage->dop, 2);
+  (void)(*query)->Wait();
+}
+
+TEST(SessionTest, PreparedStatementBindAndRebind) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  auto prepared = session.Prepare(
+      "SELECT count(c_custkey) AS n FROM customer "
+      "WHERE c_mktsegment = ? AND c_acctbal > ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->parameter_count(), 2);
+
+  // Arity mismatch is a typed error.
+  auto missing = session.Execute(*prepared, {Value::Str("BUILDING")});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+
+  auto run = [&](const std::string& segment) -> int64_t {
+    auto query = session.Execute(
+        *prepared, {Value::Str(segment), Value::Double(-10000.0)});
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    auto pages = (*query)->Wait();
+    EXPECT_TRUE(pages.ok());
+    return (*pages)[0]->column(0).IntAt(0);
+  };
+  // Independent reference counts from the generator.
+  auto expected = [&](const std::string& segment) {
+    int64_t n = 0;
+    for (const auto& page : GenerateSplit("customer", kSf, 0, 1)) {
+      for (int64_t r = 0; r < page->num_rows(); ++r) {
+        n += page->column(6).StrAt(r) == segment;
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(run("BUILDING"), expected("BUILDING"));
+  EXPECT_EQ(run("MACHINERY"), expected("MACHINERY"));
+}
+
+TEST(SessionTest, PreparedDateParameterCoerces) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  auto prepared = session.Prepare(
+      "SELECT count(o_orderkey) AS n FROM orders WHERE o_orderdate < ?");
+  ASSERT_TRUE(prepared.ok());
+  auto query = session.Execute(*prepared, {Value::Str("1995-01-01")});
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto pages = (*query)->Wait();
+  ASSERT_TRUE(pages.ok());
+  int64_t expected = 0;
+  int64_t cutoff = ParseDate("1995-01-01");
+  for (const auto& page : GenerateSplit("orders", kSf, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      expected += page->column(4).IntAt(r) < cutoff;
+    }
+  }
+  EXPECT_EQ((*pages)[0]->column(0).IntAt(0), expected);
+}
+
+TEST(SessionTest, ExecuteRejectsUnboundPlaceholders) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  auto query = session.Execute(
+      "SELECT count(c_custkey) AS n FROM customer WHERE c_mktsegment = ?");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, ExplainRendersStageTree) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  auto text = session.Explain(
+      "SELECT count(l_orderkey) AS n FROM lineitem INNER JOIN orders ON "
+      "l_orderkey = o_orderkey");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("Stage 0"), std::string::npos);
+  EXPECT_NE(text->find("Stage 1"), std::string::npos);
+  EXPECT_NE(text->find("TableScan(lineitem)"), std::string::npos);
+  EXPECT_NE(text->find("TableScan(orders)"), std::string::npos);
+  EXPECT_NE(text->find("join"), std::string::npos);
+
+  auto bad = session.Explain("SELECT nope FROM ghosts");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SessionTest, WaitShimMatchesCursorResults) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  const char* sql =
+      "SELECT c_mktsegment, count(*) AS n FROM customer "
+      "GROUP BY c_mktsegment ORDER BY c_mktsegment LIMIT 10";
+  auto via_wait = session.Execute(sql);
+  ASSERT_TRUE(via_wait.ok());
+  auto wait_pages = (*via_wait)->Wait();
+  ASSERT_TRUE(wait_pages.ok());
+
+  auto via_cursor = session.Execute(sql);
+  ASSERT_TRUE(via_cursor.ok());
+  auto cursor_pages = (*via_cursor)->Cursor().Drain();
+  ASSERT_TRUE(cursor_pages.ok());
+
+  auto rows = [](const std::vector<PagePtr>& pages) {
+    int64_t n = 0;
+    for (const auto& p : pages) n += p->num_rows();
+    return n;
+  };
+  EXPECT_EQ(rows(*wait_pages), 5);
+  EXPECT_EQ(rows(*cursor_pages), 5);
+}
+
+}  // namespace
+}  // namespace accordion

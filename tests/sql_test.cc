@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "api/session.h"
 #include "cluster/cluster.h"
 #include "plan/fragment.h"
 #include "sql/analyzer.h"
@@ -118,10 +119,113 @@ TEST(AnalyzerTest, LowersJoinWithPushdown) {
 
 TEST(AnalyzerTest, UnknownTableAndColumnFail) {
   Catalog catalog = TestCatalog();
-  EXPECT_FALSE(SqlToPlan("SELECT x FROM ghosts", catalog).ok());
-  EXPECT_FALSE(SqlToPlan("SELECT ghost_col FROM orders", catalog).ok());
+  auto no_table = SqlToPlan("SELECT x FROM ghosts", catalog);
+  ASSERT_FALSE(no_table.ok());
+  EXPECT_EQ(no_table.status().code(), StatusCode::kNotFound);
+  auto no_column = SqlToPlan("SELECT ghost_col FROM orders", catalog);
+  ASSERT_FALSE(no_column.ok());
+  EXPECT_EQ(no_column.status().code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(
       SqlToPlan("SELECT o_orderkey FROM orders, customer", catalog).ok());
+}
+
+// Every malformed or out-of-subset query must come back as a Status; none
+// of these may abort the process (they used to trip ACC_CHECKs in the
+// expression factories / plan builder).
+TEST(AnalyzerTest, TypeMismatchesReturnStatusNotAbort) {
+  Catalog catalog = TestCatalog();
+  const char* bad[] = {
+      // Arithmetic on strings / booleans.
+      "SELECT c_mktsegment + 1 FROM customer",
+      "SELECT c_name - c_address FROM customer",
+      // String vs non-string comparison.
+      "SELECT c_custkey FROM customer WHERE c_mktsegment > 5",
+      "SELECT c_custkey FROM customer WHERE c_acctbal = 'rich'",
+      // Logical operators over non-booleans.
+      "SELECT c_custkey FROM customer WHERE c_acctbal AND c_custkey",
+      "SELECT c_custkey FROM customer WHERE NOT c_acctbal",
+      // LIKE / EXTRACT on wrong types.
+      "SELECT c_custkey FROM customer WHERE c_acctbal LIKE 'x%'",
+      "SELECT EXTRACT(YEAR FROM c_name) FROM customer",
+      // IN / BETWEEN literal type mismatches.
+      "SELECT c_custkey FROM customer WHERE c_acctbal IN ('a', 'b')",
+      "SELECT c_custkey FROM customer WHERE c_mktsegment BETWEEN 1 AND 5",
+      // CASE branch type mismatch / non-bool WHEN.
+      "SELECT CASE WHEN c_custkey = 1 THEN 'x' ELSE 0 END FROM customer",
+      "SELECT CASE WHEN c_custkey THEN 1 ELSE 0 END FROM customer",
+      // Aggregate misuse.
+      "SELECT sum(c_mktsegment) FROM customer",
+      "SELECT sum(count(c_custkey)) FROM customer",
+      "SELECT c_custkey FROM customer WHERE count(c_custkey) > 1",
+      // Unknown GROUP BY / ORDER BY columns.
+      "SELECT count(*) AS n FROM customer GROUP BY ghost",
+      "SELECT c_custkey FROM customer ORDER BY ghost",
+      // Aggregates over grouped output that isn't projected.
+      "SELECT c_name, count(*) AS n FROM customer GROUP BY c_mktsegment",
+  };
+  for (const char* sql : bad) {
+    auto plan = SqlToPlan(sql, catalog);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << sql;
+  }
+}
+
+TEST(AnalyzerTest, UnsupportedSyntaxReturnsParseError) {
+  Catalog catalog = TestCatalog();
+  const char* bad[] = {
+      "INSERT INTO orders VALUES (1)",
+      "SELECT * FROM (SELECT 1)",
+      "SELECT a FROM t WHERE a IN (SELECT b FROM u)",
+      "SELECT count(*) FROM orders HAVING count(*) > 1",
+      "SELECT a FROM t; SELECT b FROM u",
+  };
+  for (const char* sql : bad) {
+    auto plan = SqlToPlan(sql, catalog);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << sql;
+  }
+}
+
+TEST(AnalyzerTest, UnboundPlaceholderIsInvalidArgument) {
+  Catalog catalog = TestCatalog();
+  auto plan = SqlToPlan(
+      "SELECT c_custkey FROM customer WHERE c_mktsegment = ?", catalog);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, CountsAndBindsPlaceholders) {
+  auto query = ParseSqlQuery(
+      "SELECT c_custkey FROM customer WHERE c_mktsegment = ? AND "
+      "c_acctbal > ?");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->placeholder_count, 2);
+
+  auto too_few = BindPlaceholders(*query, {Value::Str("BUILDING")});
+  ASSERT_FALSE(too_few.ok());
+  EXPECT_EQ(too_few.status().code(), StatusCode::kInvalidArgument);
+
+  auto bound = BindPlaceholders(
+      *query, {Value::Str("BUILDING"), Value::Double(0.0)});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->placeholder_count, 0);
+  // The original query is untouched (rebindable).
+  EXPECT_EQ(query->placeholder_count, 2);
+  auto rebound = BindPlaceholders(
+      *query, {Value::Str("MACHINERY"), Value::Double(1.0)});
+  EXPECT_TRUE(rebound.ok());
+}
+
+// A build-side join key needed by a LATER join or clause must survive
+// column pruning (used to abort in PlanBuilder::Rel::Ch).
+TEST(AnalyzerTest, JoinKeyReusedByLaterJoinSurvivesPruning) {
+  Catalog catalog = TestCatalog();
+  auto plan = SqlToPlan(
+      "SELECT count(l_orderkey) AS n "
+      "FROM lineitem, orders, customer, supplier, nation "
+      "WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey "
+      "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+      "AND s_nationkey = n_nationkey",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
 }
 
 TEST(SqlEndToEndTest, CountMatchesEngine) {
@@ -132,15 +236,13 @@ TEST(SqlEndToEndTest, CountMatchesEngine) {
   options.engine.cost.scale = 0;
   options.engine.rpc_latency_ms = 0;
   AccordionCluster cluster(options);
+  Session session(cluster.coordinator());
 
-  auto plan = SqlToPlan(
+  auto query = session.Execute(
       "SELECT count(c_custkey) AS n FROM customer WHERE c_mktsegment = "
-      "'BUILDING'",
-      cluster.coordinator()->catalog());
-  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
-  auto submitted = cluster.coordinator()->Submit(*plan);
-  ASSERT_TRUE(submitted.ok());
-  auto result = cluster.coordinator()->Wait(*submitted, 60000);
+      "'BUILDING'");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto result = (*query)->Wait(60000);
   ASSERT_TRUE(result.ok());
 
   // Independent reference.
@@ -162,15 +264,13 @@ TEST(SqlEndToEndTest, GroupByWithOrderLimit) {
   options.engine.cost.scale = 0;
   options.engine.rpc_latency_ms = 0;
   AccordionCluster cluster(options);
+  Session session(cluster.coordinator());
 
-  auto plan = SqlToPlan(
+  auto query = session.Execute(
       "SELECT c_mktsegment, count(*) AS n, avg(c_acctbal) AS bal "
-      "FROM customer GROUP BY c_mktsegment ORDER BY c_mktsegment LIMIT 10",
-      cluster.coordinator()->catalog());
-  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
-  auto submitted = cluster.coordinator()->Submit(*plan);
-  ASSERT_TRUE(submitted.ok());
-  auto result = cluster.coordinator()->Wait(*submitted, 60000);
+      "FROM customer GROUP BY c_mktsegment ORDER BY c_mktsegment LIMIT 10");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto result = (*query)->Wait(60000);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   int64_t rows = 0;
   int64_t total = 0;
@@ -193,16 +293,14 @@ TEST(SqlEndToEndTest, TwoWayJoinThroughSql) {
   options.engine.cost.scale = 0;
   options.engine.rpc_latency_ms = 0;
   AccordionCluster cluster(options);
+  Session session(cluster.coordinator());
 
   // The paper's Q2J expressed in SQL (§4.4).
-  auto plan = SqlToPlan(
+  auto query = session.Execute(
       "SELECT count(l_orderkey) FROM lineitem INNER JOIN orders ON "
-      "l_orderkey = o_orderkey",
-      cluster.coordinator()->catalog());
-  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
-  auto submitted = cluster.coordinator()->Submit(*plan);
-  ASSERT_TRUE(submitted.ok());
-  auto result = cluster.coordinator()->Wait(*submitted, 60000);
+      "l_orderkey = o_orderkey");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto result = (*query)->Wait(60000);
   ASSERT_TRUE(result.ok());
   TpchSplitGenerator gen("lineitem", 0.005, 0, 1);
   EXPECT_EQ((*result)[0]->column(0).IntAt(0), gen.TotalRows());

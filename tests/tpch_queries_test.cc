@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "api/session.h"
 #include "cluster/cluster.h"
 #include "tpch/queries.h"
 #include "tpch/tpch.h"
@@ -21,10 +22,10 @@ class TpchQueryRunTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(TpchQueryRunTest, CompletesAndProducesRows) {
   AccordionCluster cluster(ZeroCostOptions());
-  auto submitted = cluster.coordinator()->Submit(
-      TpchQueryPlan(GetParam(), cluster.coordinator()->catalog()));
-  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
-  auto result = cluster.coordinator()->Wait(*submitted, 120000);
+  Session session(cluster.coordinator());
+  auto query = session.Execute(TpchQueryPlan(GetParam(), session.catalog()));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto result = (*query)->Wait(120000);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   int64_t rows = 0;
   for (const auto& page : *result) rows += page->num_rows();
@@ -40,11 +41,12 @@ INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryRunTest,
 
 TEST(TpchQueryRunTest, Q2JAndShufflePlansComplete) {
   AccordionCluster cluster(ZeroCostOptions());
+  Session session(cluster.coordinator());
   for (bool shuffle : {false, true}) {
-    auto submitted = cluster.coordinator()->Submit(
-        ShuffleBottleneckPlan(cluster.coordinator()->catalog(), shuffle));
-    ASSERT_TRUE(submitted.ok());
-    auto result = cluster.coordinator()->Wait(*submitted, 120000);
+    auto query =
+        session.Execute(ShuffleBottleneckPlan(session.catalog(), shuffle));
+    ASSERT_TRUE(query.ok());
+    auto result = (*query)->Wait(120000);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
   }
 }
@@ -68,10 +70,11 @@ TEST(TpchQueryRunTest, Q6AnswerMatchesDirectEvaluation) {
   }
 
   AccordionCluster cluster(ZeroCostOptions());
-  auto submitted = cluster.coordinator()->Submit(
-      TpchQueryPlan(6, cluster.coordinator()->catalog()));
-  ASSERT_TRUE(submitted.ok());
-  auto result = cluster.coordinator()->Wait(*submitted, 120000);
+  Session session(cluster.coordinator());
+  // SQL text is the front door: Q6 is in the SQL subset.
+  auto query = session.Execute(TpchQuerySql(6));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto result = (*query)->Wait(120000);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 1u);
   ASSERT_EQ((*result)[0]->num_rows(), 1);
