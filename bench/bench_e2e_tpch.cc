@@ -1,7 +1,7 @@
 // End-to-end TPC-H through the Session front door: all 12 queries run via
-// Session::Execute — from SQL text for every query the SQL subset can
-// express (Q1, Q3, Q5, Q6, Q10, Q11, Q12), from the hand-built plan
-// library otherwise — with results streamed through a ResultCursor.
+// Session::Execute from their TpchQuerySql text (the SQL subset covers
+// the whole suite; the hand-built plan library remains the fallback for
+// queries without SQL), with results streamed through a ResultCursor.
 // Machine-readable timings land in BENCH_e2e.json (override the path
 // with ACCORDION_BENCH_JSON).
 //

@@ -3,7 +3,7 @@
 //
 // Purpose in the paper: sanity-check that the from-scratch engine is in
 // the same performance class as Presto/Prestissimo. Presto (JVM) and
-// Prestissimo are not available offline, so we compare (DESIGN.md):
+// Prestissimo are not available offline, so we compare:
 //   - Accordion        : this engine, elastic buffers (the paper system);
 //   - Presto-baseline  : the same engine with runtime elasticity disabled
 //                        and Presto's fixed 32 MB task output buffers

@@ -1,5 +1,5 @@
 // Micro-benchmarks (google-benchmark) for the substrate layers and the
-// §4.2 buffer design choices that DESIGN.md calls out:
+// §4.2 buffer design choices (see docs/ARCHITECTURE.md):
 //   - page serialization (the simulated Arrow IPC wire format),
 //   - row hashing / hash-partitioning (the shuffle executor inner loop),
 //   - join bridge build+probe,

@@ -2,7 +2,7 @@
 //
 // The paper lists, per TPC-H table, the partitioning scheme across the 10
 // storage nodes, the table size and the split size. We regenerate the
-// same layout at the benchmark scale factor (DESIGN.md substitution: the
+// same layout at the benchmark scale factor (documented substitution: the
 // deterministic generator stands in for dbgen CSV files) and print the
 // same four columns plus the total.
 

@@ -18,7 +18,7 @@ namespace bench {
 
 /// Default experiment cluster: the paper uses 10 compute + 10 storage
 /// nodes; we default to a compressed 4+4 with a time-scaled cost model so
-/// the full suite completes offline (DESIGN.md substitution note).
+/// the full suite completes offline (documented substitution).
 inline AccordionCluster::Options ExperimentOptions(double cost_scale,
                                                    double scale_factor = 0.01,
                                                    int workers = 4,

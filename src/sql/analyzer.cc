@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "plan/builder.h"
@@ -16,13 +17,13 @@ std::string LowerStr(const std::string& s) {
   return out;
 }
 
-/// Collects every column name referenced below `expr` (aggregates
-/// included) into `out`.
-void CollectColumns(const SqlExprPtr& expr, std::set<std::string>* out) {
-  if (expr->kind == SqlExpr::Kind::kColumn) {
-    out->insert(LowerStr(expr->text));
-  }
-  for (const auto& child : expr->children) CollectColumns(child, out);
+/// Collects every kColumn node below `expr` (aggregates included).
+/// Subquery bodies are stored out-of-band in SqlExpr::subquery, so this
+/// never descends into them — their columns belong to the inner scope.
+void CollectColumnNodes(const SqlExprPtr& expr,
+                        std::vector<SqlExprPtr>* out) {
+  if (expr->kind == SqlExpr::Kind::kColumn) out->push_back(expr);
+  for (const auto& child : expr->children) CollectColumnNodes(child, out);
 }
 
 bool ContainsAggregate(const SqlExprPtr& expr) {
@@ -31,6 +32,68 @@ bool ContainsAggregate(const SqlExprPtr& expr) {
     if (ContainsAggregate(child)) return true;
   }
   return false;
+}
+
+bool ContainsSubquery(const SqlExprPtr& expr) {
+  if (expr->kind == SqlExpr::Kind::kExists ||
+      expr->kind == SqlExpr::Kind::kScalarSubquery) {
+    return true;
+  }
+  for (const auto& child : expr->children) {
+    if (ContainsSubquery(child)) return true;
+  }
+  return false;
+}
+
+bool IsComparisonOp(const std::string& op) {
+  return op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
+         op == ">=";
+}
+
+/// `sub op x` rewritten as `x MirrorOp(op) sub`.
+std::string MirrorOp(const std::string& op) {
+  if (op == "<") return ">";
+  if (op == "<=") return ">=";
+  if (op == ">") return "<";
+  if (op == ">=") return "<=";
+  return op;  // = and <> are symmetric
+}
+
+/// Structural equality, used to match GROUP BY expressions against select
+/// items and to dedup aggregate calls. Column names compare
+/// case-insensitively; subqueries only compare by identity.
+bool SqlExprEquals(const SqlExprPtr& a, const SqlExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr || a->kind != b->kind) return false;
+  if (a->kind == SqlExpr::Kind::kColumn) {
+    return LowerStr(a->text) == LowerStr(b->text) &&
+           LowerStr(a->qualifier) == LowerStr(b->qualifier);
+  }
+  if (a->text != b->text || a->qualifier != b->qualifier) return false;
+  if (a->placeholder_index != b->placeholder_index) return false;
+  if (a->subquery != b->subquery) return false;
+  if (a->kind == SqlExpr::Kind::kBoundValue) {
+    // Exact payload comparison — ToString would round doubles to 4
+    // decimals and merge distinct bound parameters.
+    const Value& va = a->bound_value;
+    const Value& vb = b->bound_value;
+    if (va.type != vb.type || va.i64 != vb.i64 || va.f64 != vb.f64 ||
+        va.str != vb.str) {
+      return false;
+    }
+  }
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!SqlExprEquals(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+SqlExprPtr MakeColumnRef(std::string name) {
+  auto node = std::make_shared<SqlExpr>();
+  node->kind = SqlExpr::Kind::kColumn;
+  node->text = std::move(name);
+  return node;
 }
 
 bool IsStringType(DataType t) { return t == DataType::kString; }
@@ -45,9 +108,7 @@ Status CheckBinaryTypes(const std::string& op, DataType left, DataType right) {
     }
     return Status::OK();
   }
-  bool comparison = op == "=" || op == "<>" || op == "<" || op == "<=" ||
-                    op == ">" || op == ">=";
-  if (comparison) {
+  if (IsComparisonOp(op)) {
     if (IsStringType(left) != IsStringType(right)) {
       return Status::InvalidArgument(
           "cannot compare string with non-string ('" + op + "')");
@@ -66,28 +127,77 @@ Status CheckBinaryTypes(const std::string& op, DataType left, DataType right) {
 
 class Analyzer {
  public:
-  Analyzer(const SqlQuery& query, const Catalog& catalog)
-      : query_(query), catalog_(catalog), builder_(&catalog) {}
+  /// `select_list_matters` is false for EXISTS subqueries, whose select
+  /// list is validated but never evaluated — its columns must not be
+  /// scanned or carried through the inner join tree.
+  Analyzer(const SqlQuery& query, const Catalog& catalog, PlanBuilder* builder,
+           const Analyzer* outer, bool select_list_matters = true)
+      : query_(query),
+        catalog_(catalog),
+        builder_(builder),
+        outer_(outer),
+        select_list_matters_(select_list_matters) {}
 
   Result<PlanNodePtr> Run() {
-    ACCORDION_RETURN_NOT_OK(ResolveTables());
-    ACCORDION_RETURN_NOT_OK(ClassifyConjuncts());
-    ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel rel, BuildJoinTree());
-    ACCORDION_RETURN_NOT_OK(ApplyResidualFilters(&rel));
-    ACCORDION_ASSIGN_OR_RETURN(rel, BuildProjectionAndAggregation(rel));
-    ACCORDION_RETURN_NOT_OK(ApplyOrderByLimit(&rel));
-    return builder_.Output(rel);
+    ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel rel, RunToRel());
+    return builder_->Output(rel);
   }
 
  private:
+  using Rel = PlanBuilder::Rel;
+
   struct TableInfo {
     std::string name;   // catalog name (lower case)
-    std::string alias;  // lower case
+    std::string alias;  // lower case, unique within the FROM list
     TableSchema schema;
-    std::set<std::string> needed_columns;
-    std::vector<SqlExprPtr> filters;  // single-table conjuncts
+    std::set<std::string> needed_columns;  // catalog column names
+    std::vector<SqlExprPtr> filters;       // single-table conjuncts
     bool joined = false;
   };
+
+  /// A column resolved against this scope's FROM list.
+  struct ResolvedColumn {
+    int table = -1;
+    std::string column;  // catalog name
+  };
+
+  /// An equi-join conjunct between two FROM tables.
+  struct JoinPred {
+    int left_table = -1;
+    int right_table = -1;
+    std::string left;   // catalog name on left_table
+    std::string right;  // catalog name on right_table
+    bool consumed = false;
+  };
+
+  /// A WHERE conjunct carrying a subquery: `EXISTS (SELECT ...)` or
+  /// `<expr> <op> (SELECT <aggregate> ...)`. PrepareSubquery decorrelates
+  /// it into an aggregate relation joined on the correlation keys.
+  struct PendingSubquery {
+    std::shared_ptr<SqlQuery> query;
+    bool exists = false;
+    SqlExprPtr lhs;  // scalar only: outer comparison operand
+    std::string op;  // scalar only: normalized to `lhs op subquery`
+    // Filled by PrepareSubquery:
+    Rel rel;                              // aggregated inner relation
+    std::vector<std::string> outer_keys;  // internal names, this scope
+    std::vector<std::string> inner_keys;  // names in rel
+    std::string value_column;             // aggregate output (scalar)
+  };
+
+  Result<Rel> RunToRel() {
+    ACCORDION_RETURN_NOT_OK(ResolveTables());
+    ACCORDION_RETURN_NOT_OK(ClassifyConjuncts());
+    ACCORDION_RETURN_NOT_OK(PrepareSubqueries());
+    ACCORDION_ASSIGN_OR_RETURN(Rel rel, BuildJoinTree());
+    ACCORDION_RETURN_NOT_OK(ApplyResidualFilters(&rel));
+    ACCORDION_RETURN_NOT_OK(ApplySubqueryJoins(&rel));
+    ACCORDION_ASSIGN_OR_RETURN(rel, BuildProjectionAndAggregation(rel));
+    ACCORDION_RETURN_NOT_OK(ApplyOrderByLimit(&rel));
+    return rel;
+  }
+
+  // ---- Scope resolution -------------------------------------------------
 
   Status ResolveTables() {
     for (const auto& ref : query_.from) {
@@ -95,128 +205,497 @@ class Analyzer {
       info.name = LowerStr(ref.table);
       info.alias = LowerStr(ref.alias);
       ACCORDION_ASSIGN_OR_RETURN(info.schema, catalog_.GetTable(info.name));
+      if (alias_table_.count(info.alias) > 0) {
+        return Status::InvalidArgument(
+            "duplicate table alias '" + info.alias +
+            "' in FROM (alias each occurrence of a self-joined table)");
+      }
+      alias_table_[info.alias] = static_cast<int>(tables_.size());
       tables_.push_back(std::move(info));
     }
-    // Global column -> table index map; reject ambiguity (no self-joins).
     for (size_t t = 0; t < tables_.size(); ++t) {
       for (const auto& col : tables_[t].schema.columns()) {
-        if (column_table_.count(col.name) > 0) {
-          return Status::InvalidArgument(
-              "ambiguous column '" + col.name +
-              "' (self-joins are outside the SQL subset)");
-        }
-        column_table_[col.name] = static_cast<int>(t);
+        column_tables_[col.name].push_back(static_cast<int>(t));
       }
     }
-    // Record needed columns from every clause.
-    std::set<std::string> referenced;
-    for (const auto& item : query_.select_items) {
-      CollectColumns(item.expr, &referenced);
+    // Record needed columns from every clause (tolerantly: names that do
+    // not resolve here may be select aliases or outer references; they are
+    // diagnosed when lowered).
+    auto note = [this](const SqlExprPtr& e) { NoteNeededColumns(e); };
+    if (select_list_matters_) {
+      for (const auto& item : query_.select_items) note(item.expr);
     }
-    for (const auto& c : query_.conjuncts) CollectColumns(c, &referenced);
-    for (const auto& g : query_.group_by) CollectColumns(g, &referenced);
-    for (const auto& o : query_.order_by) CollectColumns(o.expr, &referenced);
-    for (const auto& name : referenced) {
-      auto it = column_table_.find(name);
-      if (it == column_table_.end()) {
-        // Might be a select alias used in ORDER BY; checked later.
-        continue;
-      }
-      tables_[it->second].needed_columns.insert(name);
-    }
+    for (const auto& c : query_.conjuncts) note(c);
+    for (const auto& g : query_.group_by) note(g);
+    for (const auto& h : query_.having) note(h);
+    for (const auto& o : query_.order_by) note(o.expr);
     return Status::OK();
   }
 
-  /// Table indexes referenced by an expression (resolvable columns only).
-  std::set<int> TablesOf(const SqlExprPtr& expr) const {
-    std::set<std::string> cols;
-    CollectColumns(expr, &cols);
-    std::set<int> out;
-    for (const auto& c : cols) {
-      auto it = column_table_.find(c);
-      if (it != column_table_.end()) out.insert(it->second);
+  void NoteNeededColumns(const SqlExprPtr& expr) {
+    std::vector<SqlExprPtr> cols;
+    CollectColumnNodes(expr, &cols);
+    ResolvedColumn rc;
+    for (const auto& col : cols) {
+      if (TryResolve(col, &rc)) {
+        tables_[rc.table].needed_columns.insert(rc.column);
+      }
     }
-    return out;
   }
+
+  /// Resolves a kColumn node in this scope only; false when unknown or
+  /// ambiguous (strict diagnosis happens in Resolve / Lower).
+  bool TryResolve(const SqlExprPtr& col, ResolvedColumn* out) const {
+    if (col->kind != SqlExpr::Kind::kColumn) return false;
+    std::string name = LowerStr(col->text);
+    if (!col->qualifier.empty()) {
+      auto it = alias_table_.find(LowerStr(col->qualifier));
+      if (it == alias_table_.end()) return false;
+      if (tables_[it->second].schema.ChannelOf(name) < 0) return false;
+      *out = ResolvedColumn{it->second, name};
+      return true;
+    }
+    auto it = column_tables_.find(name);
+    if (it == column_tables_.end() || it->second.size() != 1) return false;
+    *out = ResolvedColumn{it->second[0], name};
+    return true;
+  }
+
+  /// Strict resolution with typed errors (this scope only).
+  Result<ResolvedColumn> Resolve(const SqlExprPtr& col) const {
+    std::string name = LowerStr(col->text);
+    if (!col->qualifier.empty()) {
+      std::string alias = LowerStr(col->qualifier);
+      auto it = alias_table_.find(alias);
+      if (it == alias_table_.end()) {
+        return Status::InvalidArgument("unknown table or alias '" + alias +
+                                       "'");
+      }
+      if (tables_[it->second].schema.ChannelOf(name) < 0) {
+        return Status::InvalidArgument("table '" + alias +
+                                       "' has no column '" + name + "'");
+      }
+      return ResolvedColumn{it->second, name};
+    }
+    auto it = column_tables_.find(name);
+    if (it == column_tables_.end()) {
+      return Status::InvalidArgument("unknown column '" + name + "'");
+    }
+    if (it->second.size() > 1) {
+      return Status::InvalidArgument(
+          "ambiguous column '" + name +
+          "' — qualify it with a table alias (e.g. n1." + name + ")");
+    }
+    return ResolvedColumn{it->second[0], name};
+  }
+
+  /// True when the bare name exists in several FROM entries of THIS
+  /// scope — such a reference must be diagnosed as ambiguous, never
+  /// resolved against an enclosing scope.
+  bool IsAmbiguousLocal(const SqlExprPtr& col) const {
+    if (col->kind != SqlExpr::Kind::kColumn || !col->qualifier.empty()) {
+      return false;
+    }
+    auto it = column_tables_.find(LowerStr(col->text));
+    return it != column_tables_.end() && it->second.size() > 1;
+  }
+
+  bool ResolvesInChain(const SqlExprPtr& col) const {
+    ResolvedColumn rc;
+    for (const Analyzer* a = this; a != nullptr; a = a->outer_) {
+      if (a->TryResolve(col, &rc)) return true;
+    }
+    return false;
+  }
+
+  /// The column's name in Rel outputs. Columns whose plain name is
+  /// ambiguous across the FROM list (self-joins) are qualified as
+  /// "<alias>.<column>"; everything else keeps the catalog name.
+  std::string InternalName(const ResolvedColumn& rc) const {
+    auto it = column_tables_.find(rc.column);
+    if (it != column_tables_.end() && it->second.size() > 1) {
+      return tables_[rc.table].alias + "." + rc.column;
+    }
+    return rc.column;
+  }
+
+  DataType ColumnType(const ResolvedColumn& rc) const {
+    const TableSchema& schema = tables_[rc.table].schema;
+    return schema.TypeOf(schema.ChannelOf(rc.column));
+  }
+
+  /// Internal names of this scope's columns referenced below `expr`.
+  void CollectLocalInternal(const SqlExprPtr& expr,
+                            std::set<std::string>* out) const {
+    std::vector<SqlExprPtr> cols;
+    CollectColumnNodes(expr, &cols);
+    ResolvedColumn rc;
+    for (const auto& col : cols) {
+      if (TryResolve(col, &rc)) out->insert(InternalName(rc));
+    }
+  }
+
+  // ---- Conjunct classification ------------------------------------------
 
   Status ClassifyConjuncts() {
     for (const auto& conjunct : query_.conjuncts) {
-      std::set<int> refs = TablesOf(conjunct);
-      if (refs.size() <= 1) {
-        if (refs.empty()) {
-          residual_.push_back(conjunct);
-        } else {
-          tables_[*refs.begin()].filters.push_back(conjunct);
-        }
-        continue;
-      }
-      // Two-table equality on plain columns => join predicate.
-      if (refs.size() == 2 && conjunct->kind == SqlExpr::Kind::kBinary &&
-          conjunct->text == "=" &&
-          conjunct->children[0]->kind == SqlExpr::Kind::kColumn &&
-          conjunct->children[1]->kind == SqlExpr::Kind::kColumn) {
-        join_predicates_.push_back(conjunct);
-      } else {
-        residual_.push_back(conjunct);
-      }
+      ACCORDION_RETURN_NOT_OK(ClassifyOne(conjunct));
     }
     return Status::OK();
   }
 
-  Result<PlanBuilder::Rel> ScanTable(TableInfo* table) {
-    // Join keys must be scanned too; ensured by caller adding them to
-    // needed_columns before the scan is built.
-    std::vector<std::string> columns(table->needed_columns.begin(),
-                                     table->needed_columns.end());
+  Status ClassifyOne(const SqlExprPtr& conjunct) {
+    if (conjunct->kind == SqlExpr::Kind::kExists) {
+      PendingSubquery sq;
+      sq.query = conjunct->subquery;
+      sq.exists = true;
+      subqueries_.push_back(std::move(sq));
+      return Status::OK();
+    }
+    if (conjunct->kind == SqlExpr::Kind::kBinary &&
+        IsComparisonOp(conjunct->text)) {
+      bool left_sub =
+          conjunct->children[0]->kind == SqlExpr::Kind::kScalarSubquery;
+      bool right_sub =
+          conjunct->children[1]->kind == SqlExpr::Kind::kScalarSubquery;
+      if (left_sub && right_sub) {
+        return Status::Unimplemented(
+            "comparing two scalar subqueries with each other");
+      }
+      if (left_sub || right_sub) {
+        PendingSubquery sq;
+        sq.lhs = conjunct->children[left_sub ? 1 : 0];
+        sq.op = left_sub ? MirrorOp(conjunct->text) : conjunct->text;
+        sq.query = conjunct->children[left_sub ? 0 : 1]->subquery;
+        if (ContainsSubquery(sq.lhs)) {
+          return Status::Unimplemented(
+              "expressions combining multiple subqueries");
+        }
+        if (ContainsAggregate(sq.lhs)) {
+          return Status::InvalidArgument(
+              "aggregates cannot be compared with a subquery in WHERE");
+        }
+        subqueries_.push_back(std::move(sq));
+        return Status::OK();
+      }
+    }
+    if (ContainsSubquery(conjunct)) {
+      if (conjunct->kind == SqlExpr::Kind::kNot &&
+          conjunct->children[0]->kind == SqlExpr::Kind::kExists) {
+        return Status::Unimplemented(
+            "NOT EXISTS (anti-join shapes are outside the SQL subset)");
+      }
+      return Status::InvalidArgument(
+          "subqueries are only supported as top-level WHERE conjuncts: "
+          "EXISTS (SELECT ...) or <expr> <op> (SELECT <aggregate> ...)");
+    }
+
+    // Plain conjunct: route by the set of referenced tables.
+    std::vector<SqlExprPtr> cols;
+    CollectColumnNodes(conjunct, &cols);
+    std::set<int> refs;
+    ResolvedColumn rc;
+    for (const auto& col : cols) {
+      if (TryResolve(col, &rc)) refs.insert(rc.table);
+    }
+    if (refs.size() <= 1) {
+      if (refs.empty()) {
+        residual_.push_back(conjunct);
+      } else {
+        tables_[*refs.begin()].filters.push_back(conjunct);
+      }
+      return Status::OK();
+    }
+    // Two-table equality on plain columns => join predicate.
+    if (refs.size() == 2 && conjunct->kind == SqlExpr::Kind::kBinary &&
+        conjunct->text == "=" &&
+        conjunct->children[0]->kind == SqlExpr::Kind::kColumn &&
+        conjunct->children[1]->kind == SqlExpr::Kind::kColumn) {
+      ResolvedColumn left, right;
+      if (TryResolve(conjunct->children[0], &left) &&
+          TryResolve(conjunct->children[1], &right)) {
+        if (ColumnType(left) != ColumnType(right)) {
+          return Status::InvalidArgument(
+              "join predicate compares mismatched types: " +
+              InternalName(left) + " = " + InternalName(right));
+        }
+        join_preds_.push_back(JoinPred{left.table, right.table, left.column,
+                                       right.column, false});
+        return Status::OK();
+      }
+    }
+    residual_.push_back(conjunct);
+    return Status::OK();
+  }
+
+  // ---- Subquery decorrelation -------------------------------------------
+
+  /// Strictly diagnoses every column below `expr` against the subquery
+  /// scope chain (`sub`, then this outer scope): resolvable names pass,
+  /// unknown or locally-ambiguous names return their typed error.
+  Status DiagnoseSubqueryColumns(const Analyzer& sub,
+                                 const SqlExprPtr& expr) const {
+    std::vector<SqlExprPtr> cols;
+    CollectColumnNodes(expr, &cols);
+    ResolvedColumn rc;
+    for (const auto& col : cols) {
+      if (sub.TryResolve(col, &rc)) continue;
+      if (sub.IsAmbiguousLocal(col)) return sub.Resolve(col).status();
+      if (IsAmbiguousLocal(col)) {
+        // Ambiguous in THIS (outer) scope: report the ambiguity, not an
+        // inner-scope "unknown column".
+        return Resolve(col).status();
+      }
+      if (!ResolvesInChain(col)) return sub.Resolve(col).status();
+    }
+    return Status::OK();
+  }
+
+  Status PrepareSubqueries() {
+    for (auto& sq : subqueries_) {
+      ACCORDION_RETURN_NOT_OK(PrepareSubquery(&sq));
+    }
+    return Status::OK();
+  }
+
+  /// Lowers one EXISTS / scalar subquery onto the shape the hand-built
+  /// TPC-H plans use: the inner query is analyzed in its own scope,
+  /// correlated equality conjuncts become GROUP BY keys of an aggregate
+  /// over the inner join tree, and the result is later joined back to the
+  /// outer relation on those keys (EXISTS keeps no payload — the dedup
+  /// join IS the semi-join; a scalar subquery carries its aggregate and is
+  /// compared in a post-join filter).
+  Status PrepareSubquery(PendingSubquery* sq) {
+    if (outer_ != nullptr) return Status::Unimplemented("nested subqueries");
+    const SqlQuery& sub_query = *sq->query;
+    if (!sub_query.group_by.empty() || !sub_query.having.empty() ||
+        !sub_query.order_by.empty() || sub_query.limit >= 0) {
+      return Status::Unimplemented(
+          "GROUP BY / HAVING / ORDER BY / LIMIT inside a subquery");
+    }
+    SqlExprPtr agg_node;
+    if (!sq->exists) {
+      if (sub_query.select_star || sub_query.select_items.size() != 1 ||
+          sub_query.select_items[0].expr->kind !=
+              SqlExpr::Kind::kAggregate) {
+        return Status::InvalidArgument(
+            "a subquery in scalar position must select exactly one "
+            "aggregate, e.g. (SELECT min(x) FROM ...)");
+      }
+      agg_node = sub_query.select_items[0].expr;
+      if (agg_node->text == "COUNT") {
+        // COUNT over an empty correlation group is 0, not NULL; the
+        // inner-join decorrelation would wrongly drop those outer rows
+        // (zero-fill needs an outer join the engine does not have).
+        return Status::Unimplemented(
+            "COUNT in scalar subqueries (empty groups would need "
+            "zero-fill; use min/max/sum/avg or rewrite as EXISTS)");
+      }
+    } else if (!sub_query.select_star) {
+      // EXISTS ignores its select list, but it must still be well-formed:
+      // an aggregate would make the subquery always yield one row
+      // (EXISTS constantly true), and unknown columns must not slip by.
+      for (const auto& item : sub_query.select_items) {
+        if (ContainsAggregate(item.expr)) {
+          return Status::Unimplemented(
+              "aggregates in an EXISTS select list (an aggregate subquery "
+              "always yields one row — compare the aggregate instead)");
+        }
+        if (ContainsSubquery(item.expr)) {
+          return Status::Unimplemented("nested subqueries");
+        }
+      }
+    }
+
+    auto sub = std::make_unique<Analyzer>(sub_query, catalog_, builder_, this,
+                                          /*select_list_matters=*/!sq->exists);
+    ACCORDION_RETURN_NOT_OK(sub->ResolveTables());
+    for (const auto& item : sub_query.select_items) {
+      ACCORDION_RETURN_NOT_OK(DiagnoseSubqueryColumns(*sub, item.expr));
+    }
+
+    // Split the inner conjuncts: fully-local ones classify as usual;
+    // anything touching the outer scope must be an
+    // `<inner column> = <outer column>` correlation.
+    std::vector<std::pair<ResolvedColumn, ResolvedColumn>> corr;  // in, out
+    for (const auto& c : sub_query.conjuncts) {
+      if (ContainsSubquery(c)) {
+        return Status::Unimplemented("nested subqueries");
+      }
+      std::vector<SqlExprPtr> cols;
+      CollectColumnNodes(c, &cols);
+      bool all_local = true;
+      ResolvedColumn rc;
+      for (const auto& col : cols) {
+        all_local &= sub->TryResolve(col, &rc);
+      }
+      if (all_local) {
+        ACCORDION_RETURN_NOT_OK(sub->ClassifyOne(c));
+        continue;
+      }
+      // Diagnose unknown / locally-ambiguous names first, so a typo gets
+      // its proper error instead of the unsupported-correlation one.
+      ACCORDION_RETURN_NOT_OK(DiagnoseSubqueryColumns(*sub, c));
+      if (!(c->kind == SqlExpr::Kind::kBinary && c->text == "=" &&
+            c->children[0]->kind == SqlExpr::Kind::kColumn &&
+            c->children[1]->kind == SqlExpr::Kind::kColumn)) {
+        return Status::Unimplemented(
+            "correlated subquery predicates are limited to "
+            "<inner column> = <outer column> equalities");
+      }
+      ResolvedColumn inner_rc, outer_rc;
+      bool left_inner = sub->TryResolve(c->children[0], &inner_rc);
+      const SqlExprPtr& outer_col =
+          left_inner ? c->children[1] : c->children[0];
+      if (!left_inner && !sub->TryResolve(c->children[1], &inner_rc)) {
+        // Every name diagnosed above resolves somewhere, so both sides
+        // are outer columns here.
+        return Status::InvalidArgument(
+            "subquery predicate references only outer columns (move it "
+            "to the outer WHERE)");
+      }
+      ACCORDION_ASSIGN_OR_RETURN(outer_rc, Resolve(outer_col));
+      if (sub->ColumnType(inner_rc) != ColumnType(outer_rc)) {
+        return Status::InvalidArgument(
+            "correlated predicate compares mismatched types: " +
+            sub->InternalName(inner_rc) + " = " + InternalName(outer_rc));
+      }
+      corr.emplace_back(inner_rc, outer_rc);
+    }
+    if (corr.empty()) {
+      return Status::Unimplemented(
+          sq->exists
+              ? "uncorrelated EXISTS subqueries"
+              : "uncorrelated scalar subqueries (correlate with an outer "
+                "column equality; constant thresholds can be inlined)");
+    }
+
+    for (const auto& [inner_rc, outer_rc] : corr) {
+      sub->tables_[inner_rc.table].needed_columns.insert(inner_rc.column);
+      std::string inner_name = sub->InternalName(inner_rc);
+      sub->extra_refs_.insert(inner_name);
+      sq->inner_keys.push_back(std::move(inner_name));
+      tables_[outer_rc.table].needed_columns.insert(outer_rc.column);
+      std::string outer_name = InternalName(outer_rc);
+      extra_refs_.insert(outer_name);
+      sq->outer_keys.push_back(std::move(outer_name));
+    }
+    // The outer comparison operand is evaluated above the outer join tree;
+    // protect its columns from join-key pruning too.
+    if (sq->lhs != nullptr) CollectLocalInternal(sq->lhs, &extra_refs_);
+
+    ACCORDION_ASSIGN_OR_RETURN(Rel inner, sub->BuildJoinTree());
+    ACCORDION_RETURN_NOT_OK(sub->ApplyResidualFilters(&inner));
+
+    // Aggregate the inner relation by the correlation keys.
+    // '#' cannot appear in a SQL identifier, so internal names can never
+    // collide with user aliases or catalog columns.
+    sq->value_column = "#subq" + std::to_string(subquery_ordinal_++);
+    std::vector<ExprPtr> pre_exprs;
+    std::vector<std::string> pre_names;
+    for (const auto& k : sq->inner_keys) {
+      pre_exprs.push_back(inner.Ref(k));
+      pre_names.push_back(k);
+    }
+    PlanBuilder::AggSpec spec;
+    spec.output = sq->value_column;
+    if (sq->exists) {
+      spec.func = AggFunc::kCount;
+      spec.input = "";
+    } else {
+      ACCORDION_RETURN_NOT_OK(AggFuncOf(agg_node, &spec.func));
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr input,
+                                 sub->Lower(agg_node->children[0], inner));
+      ACCORDION_RETURN_NOT_OK(CheckAggInput(agg_node, input->type()));
+      std::string input_name = sq->value_column + "_in";
+      pre_exprs.push_back(std::move(input));
+      pre_names.push_back(input_name);
+      spec.input = input_name;
+    }
+    Rel pre = builder_->Project(inner, std::move(pre_exprs),
+                                std::move(pre_names));
+    sq->rel = builder_->Aggregate(pre, sq->inner_keys, {spec});
+    return Status::OK();
+  }
+
+  Status ApplySubqueryJoins(Rel* rel) {
+    for (const auto& sq : subqueries_) {
+      std::vector<std::string> build_output;
+      if (!sq.exists) build_output.push_back(sq.value_column);
+      *rel = builder_->Join(*rel, sq.rel, sq.outer_keys, sq.inner_keys,
+                            build_output);
+      if (sq.exists) continue;
+      // `lhs op value`: a missing group would be NULL in standard SQL and
+      // the comparison false — the inner join already dropped those rows.
+      // Lower() supplies the operator mapping and type checks.
+      auto cmp = std::make_shared<SqlExpr>();
+      cmp->kind = SqlExpr::Kind::kBinary;
+      cmp->text = sq.op;
+      cmp->children = {sq.lhs, MakeColumnRef(sq.value_column)};
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, LowerPredicate(cmp, *rel));
+      *rel = builder_->Filter(*rel, pred);
+    }
+    return Status::OK();
+  }
+
+  // ---- Join tree --------------------------------------------------------
+
+  Result<Rel> ScanTable(int table_idx) {
+    TableInfo& table = tables_[table_idx];
+    std::vector<std::string> columns(table.needed_columns.begin(),
+                                     table.needed_columns.end());
     if (columns.empty()) {
       // Degenerate (e.g., COUNT(*) from t): scan the primary key column.
-      columns.push_back(table->schema.columns()[0].name);
+      columns.push_back(table.schema.columns()[0].name);
     }
-    PlanBuilder::Rel rel = builder_.Scan(table->name, columns);
-    for (const auto& filter : table->filters) {
+    Rel rel = builder_->Scan(table.name, columns);
+    // Rename to internal names when this instance's columns need
+    // alias-qualification (self-joins).
+    bool renamed = false;
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (const auto& c : columns) {
+      std::string internal = InternalName(ResolvedColumn{table_idx, c});
+      renamed |= internal != c;
+      exprs.push_back(rel.Ref(c));
+      names.push_back(std::move(internal));
+    }
+    if (renamed) rel = builder_->Project(rel, std::move(exprs), std::move(names));
+    for (const auto& filter : table.filters) {
       ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, LowerPredicate(filter, rel));
-      rel = builder_.Filter(rel, pred);
+      rel = builder_->Filter(rel, pred);
     }
     return rel;
   }
 
-  /// Lower + require a boolean result (WHERE/ON conjuncts).
-  Result<ExprPtr> LowerPredicate(const SqlExprPtr& expr,
-                                 const PlanBuilder::Rel& rel) {
-    ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, Lower(expr, rel));
-    if (pred->type() != DataType::kBool) {
-      return Status::InvalidArgument(
-          "WHERE/ON predicate is not boolean: " + pred->ToString());
-    }
-    return pred;
-  }
-
-  Result<PlanBuilder::Rel> BuildJoinTree() {
+  Result<Rel> BuildJoinTree() {
     // Make sure all join-key columns are scanned, and count how many join
     // predicates use each column so pruning below never drops a key a
     // later join still needs.
     std::map<std::string, int> join_uses;
-    for (const auto& p : join_predicates_) {
-      for (int side = 0; side < 2; ++side) {
-        std::string name = LowerStr(p->children[side]->text);
-        auto it = column_table_.find(name);
-        if (it != column_table_.end()) {
-          tables_[it->second].needed_columns.insert(name);
-          ++join_uses[name];
-        }
-      }
+    for (const auto& p : join_preds_) {
+      tables_[p.left_table].needed_columns.insert(p.left);
+      tables_[p.right_table].needed_columns.insert(p.right);
+      ++join_uses[InternalName(ResolvedColumn{p.left_table, p.left})];
+      ++join_uses[InternalName(ResolvedColumn{p.right_table, p.right})];
     }
     // Columns referenced above the join tree (select list, grouping,
-    // ordering, residual predicates) must survive every pruning step.
-    std::set<std::string> later_refs;
-    for (const auto& item : query_.select_items) {
-      CollectColumns(item.expr, &later_refs);
+    // having, ordering, residual predicates, subquery correlations) must
+    // survive every pruning step.
+    std::set<std::string> later_refs = extra_refs_;
+    if (select_list_matters_) {
+      for (const auto& item : query_.select_items) {
+        CollectLocalInternal(item.expr, &later_refs);
+      }
     }
-    for (const auto& g : query_.group_by) CollectColumns(g, &later_refs);
-    for (const auto& o : query_.order_by) CollectColumns(o.expr, &later_refs);
-    for (const auto& r : residual_) CollectColumns(r, &later_refs);
+    for (const auto& g : query_.group_by) CollectLocalInternal(g, &later_refs);
+    for (const auto& h : query_.having) CollectLocalInternal(h, &later_refs);
+    for (const auto& o : query_.order_by) {
+      CollectLocalInternal(o.expr, &later_refs);
+    }
+    for (const auto& r : residual_) CollectLocalInternal(r, &later_refs);
 
-    ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel rel, ScanTable(&tables_[0]));
+    ACCORDION_ASSIGN_OR_RETURN(Rel rel, ScanTable(0));
     tables_[0].joined = true;
     size_t joined_count = 1;
 
@@ -225,24 +704,28 @@ class Analyzer {
       int next = -1;
       std::vector<std::string> probe_keys;
       std::vector<std::string> build_keys;
+      std::vector<JoinPred*> used;
       for (size_t t = 0; t < tables_.size() && next < 0; ++t) {
         if (tables_[t].joined) continue;
         probe_keys.clear();
         build_keys.clear();
-        for (const auto& p : join_predicates_) {
-          std::string a = LowerStr(p->children[0]->text);
-          std::string b = LowerStr(p->children[1]->text);
-          int ta = column_table_.count(a) ? column_table_.at(a) : -1;
-          int tb = column_table_.count(b) ? column_table_.at(b) : -1;
-          if (ta < 0 || tb < 0) continue;
-          bool a_joined = tables_[ta].joined;
-          bool b_joined = tables_[tb].joined;
-          if (a_joined && tb == static_cast<int>(t)) {
-            probe_keys.push_back(a);
-            build_keys.push_back(b);
-          } else if (b_joined && ta == static_cast<int>(t)) {
-            probe_keys.push_back(b);
-            build_keys.push_back(a);
+        used.clear();
+        for (auto& p : join_preds_) {
+          if (p.consumed) continue;
+          if (tables_[p.left_table].joined &&
+              p.right_table == static_cast<int>(t)) {
+            probe_keys.push_back(
+                InternalName(ResolvedColumn{p.left_table, p.left}));
+            build_keys.push_back(
+                InternalName(ResolvedColumn{p.right_table, p.right}));
+            used.push_back(&p);
+          } else if (tables_[p.right_table].joined &&
+                     p.left_table == static_cast<int>(t)) {
+            probe_keys.push_back(
+                InternalName(ResolvedColumn{p.right_table, p.right}));
+            build_keys.push_back(
+                InternalName(ResolvedColumn{p.left_table, p.left}));
+            used.push_back(&p);
           }
         }
         if (!probe_keys.empty()) next = static_cast<int>(t);
@@ -254,54 +737,102 @@ class Analyzer {
       }
       // The chosen join consumes its predicates: their columns have one
       // fewer pending join use.
-      for (size_t k = 0; k < probe_keys.size(); ++k) {
-        --join_uses[probe_keys[k]];
-        --join_uses[build_keys[k]];
+      for (JoinPred* p : used) {
+        p->consumed = true;
+        --join_uses[InternalName(ResolvedColumn{p->left_table, p->left})];
+        --join_uses[InternalName(ResolvedColumn{p->right_table, p->right})];
       }
       TableInfo& table = tables_[next];
-      ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel build, ScanTable(&table));
+      ACCORDION_ASSIGN_OR_RETURN(Rel build, ScanTable(next));
       // Build output: every needed column except join keys whose only
       // remaining purpose was this join (they are redundant with the
       // probe side); keys referenced by later joins or clauses survive.
       std::vector<std::string> build_output;
       for (const auto& c : table.needed_columns) {
-        bool is_key = std::find(build_keys.begin(), build_keys.end(), c) !=
-                      build_keys.end();
-        bool still_needed = later_refs.count(c) > 0 || join_uses[c] > 0;
-        if (!is_key || still_needed) build_output.push_back(c);
+        std::string internal = InternalName(ResolvedColumn{next, c});
+        bool is_key = std::find(build_keys.begin(), build_keys.end(),
+                                internal) != build_keys.end();
+        bool still_needed =
+            later_refs.count(internal) > 0 || join_uses[internal] > 0;
+        if (!is_key || still_needed) build_output.push_back(internal);
       }
       bool broadcast = table.name == "nation" || table.name == "region";
-      rel = builder_.Join(rel, build, probe_keys, build_keys, build_output,
-                          broadcast);
+      rel = builder_->Join(rel, build, probe_keys, build_keys, build_output,
+                           broadcast);
       table.joined = true;
       ++joined_count;
     }
     return rel;
   }
 
-  Status ApplyResidualFilters(PlanBuilder::Rel* rel) {
+  Status ApplyResidualFilters(Rel* rel) {
     for (const auto& conjunct : residual_) {
       if (ContainsAggregate(conjunct)) {
-        return Status::Unimplemented("HAVING-style predicates");
+        return Status::InvalidArgument(
+            "aggregates are not allowed in WHERE (move the predicate to "
+            "HAVING)");
       }
       ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, LowerPredicate(conjunct, *rel));
-      *rel = builder_.Filter(*rel, pred);
+      *rel = builder_->Filter(*rel, pred);
     }
     return Status::OK();
   }
 
-  /// Lowers an AST expression against `rel`'s columns.
-  Result<ExprPtr> Lower(const SqlExprPtr& expr, const PlanBuilder::Rel& rel) {
-    switch (expr->kind) {
-      case SqlExpr::Kind::kColumn: {
-        std::string name = LowerStr(expr->text);
-        for (size_t i = 0; i < rel.names.size(); ++i) {
-          if (rel.names[i] == name) {
-            return Col(static_cast<int>(i), rel.node->output_types()[i]);
-          }
+  // ---- Expression lowering ----------------------------------------------
+
+  /// Lower + require a boolean result (WHERE/ON/HAVING conjuncts).
+  Result<ExprPtr> LowerPredicate(const SqlExprPtr& expr, const Rel& rel) {
+    ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, Lower(expr, rel));
+    if (pred->type() != DataType::kBool) {
+      return Status::InvalidArgument(
+          "WHERE/ON predicate is not boolean: " + pred->ToString());
+    }
+    return pred;
+  }
+
+  Result<ExprPtr> LowerColumn(const SqlExprPtr& expr, const Rel& rel) {
+    std::string name = LowerStr(expr->text);
+    if (expr->qualifier.empty()) {
+      // Direct output-name match first: covers internal names below the
+      // aggregation and group-key / select-alias names above it.
+      for (size_t i = 0; i < rel.names.size(); ++i) {
+        if (rel.names[i] == name) {
+          return Col(static_cast<int>(i), rel.node->output_types()[i]);
         }
-        return Status::InvalidArgument("unknown column '" + name + "'");
       }
+    }
+    ACCORDION_ASSIGN_OR_RETURN(ResolvedColumn rc, ResolveOrExplain(expr));
+    std::string internal = InternalName(rc);
+    for (size_t i = 0; i < rel.names.size(); ++i) {
+      if (rel.names[i] == internal) {
+        return Col(static_cast<int>(i), rel.node->output_types()[i]);
+      }
+    }
+    return Status::InvalidArgument(
+        "column '" + internal +
+        "' is not available here (grouped output carries only GROUP BY "
+        "keys and aggregates)");
+  }
+
+  /// Strict resolution, upgrading "unknown column" to a correlation
+  /// diagnosis when the name would resolve in an enclosing query.
+  Result<ResolvedColumn> ResolveOrExplain(const SqlExprPtr& col) const {
+    Result<ResolvedColumn> rc = Resolve(col);
+    if (!rc.ok() && !IsAmbiguousLocal(col) && outer_ != nullptr &&
+        ResolvesInChain(col)) {
+      return Status::Unimplemented(
+          "correlated reference to outer column '" + LowerStr(col->text) +
+          "' (only <inner column> = <outer column> equality conjuncts are "
+          "supported)");
+    }
+    return rc;
+  }
+
+  /// Lowers an AST expression against `rel`'s columns.
+  Result<ExprPtr> Lower(const SqlExprPtr& expr, const Rel& rel) {
+    switch (expr->kind) {
+      case SqlExpr::Kind::kColumn:
+        return LowerColumn(expr, rel);
       case SqlExpr::Kind::kIntLiteral:
         return LitInt(std::atoll(expr->text.c_str()));
       case SqlExpr::Kind::kDecimalLiteral:
@@ -424,10 +955,15 @@ class Analyzer {
       case SqlExpr::Kind::kPlaceholder:
         return Status::InvalidArgument(
             "unbound '?' parameter — prepare the statement and bind values");
+      case SqlExpr::Kind::kExists:
+      case SqlExpr::Kind::kScalarSubquery:
+        return Status::InvalidArgument(
+            "subqueries are only supported as top-level WHERE conjuncts: "
+            "EXISTS (SELECT ...) or <expr> <op> (SELECT <aggregate> ...)");
       case SqlExpr::Kind::kAggregate:
         return Status::InvalidArgument(
             "aggregate not allowed here (nested aggregate or aggregate "
-            "outside the select list)");
+            "outside the select list / HAVING)");
     }
     return Status::Internal("unreachable");
   }
@@ -467,11 +1003,133 @@ class Analyzer {
     }
   }
 
-  Result<PlanBuilder::Rel> BuildProjectionAndAggregation(
-      PlanBuilder::Rel rel) {
+  // ---- Aggregation, HAVING and the select list --------------------------
+
+  static Status AggFuncOf(const SqlExprPtr& node, AggFunc* out) {
+    if (node->text == "COUNT") *out = AggFunc::kCount;
+    else if (node->text == "SUM") *out = AggFunc::kSum;
+    else if (node->text == "MIN") *out = AggFunc::kMin;
+    else if (node->text == "MAX") *out = AggFunc::kMax;
+    else if (node->text == "AVG") *out = AggFunc::kAvg;
+    else return Status::Internal("unknown aggregate " + node->text);
+    return Status::OK();
+  }
+
+  static Status CheckAggInput(const SqlExprPtr& node, DataType input) {
+    if ((node->text == "SUM" || node->text == "AVG") &&
+        (input == DataType::kString || input == DataType::kBool)) {
+      return Status::InvalidArgument(node->text +
+                                     " requires a numeric argument");
+    }
+    return Status::OK();
+  }
+
+  struct GroupKey {
+    SqlExprPtr expr;
+    std::string name;  // output name (select alias, column, or _key<i>)
+  };
+
+  /// Resolves one GROUP BY item to the expression it groups on and the
+  /// output column name: a bare identifier naming a select alias groups on
+  /// that item's expression; any expression key borrows the alias of a
+  /// structurally-equal select item when one exists.
+  Result<GroupKey> ResolveGroupKey(const SqlExprPtr& key, size_t index) {
+    if (ContainsAggregate(key)) {
+      return Status::InvalidArgument("aggregates are not allowed in GROUP BY");
+    }
+    if (ContainsSubquery(key)) {
+      return Status::InvalidArgument("subqueries are not allowed in GROUP BY");
+    }
+    {
+      // A key without any column reference is a constant — most likely
+      // the `GROUP BY 1` ordinal idiom, which this subset does not have.
+      std::vector<SqlExprPtr> cols;
+      CollectColumnNodes(key, &cols);
+      if (cols.empty()) {
+        return Status::InvalidArgument(
+            "constant GROUP BY key (ordinals like GROUP BY 1 are not "
+            "supported — name the column or select alias)");
+      }
+    }
+    if (key->kind == SqlExpr::Kind::kColumn && key->qualifier.empty()) {
+      std::string name = LowerStr(key->text);
+      // Standard resolution order: an input column wins over a select
+      // alias of the same name; aliases only catch names that are not
+      // (unambiguous) columns.
+      ResolvedColumn rc;
+      if (!TryResolve(key, &rc)) {
+        for (const auto& item : query_.select_items) {
+          if (LowerStr(item.alias) != name) continue;
+          if (ContainsAggregate(item.expr)) {
+            return Status::InvalidArgument(
+                "GROUP BY references select alias '" + name +
+                "', which is an aggregate");
+          }
+          return GroupKey{item.expr, name};
+        }
+      }
+      return GroupKey{key, name};
+    }
+    for (const auto& item : query_.select_items) {
+      if (!item.alias.empty() && SqlExprEquals(item.expr, key)) {
+        return GroupKey{key, LowerStr(item.alias)};
+      }
+    }
+    // Internal, never user-visible ('#' is untypeable in an identifier).
+    return GroupKey{key, "#key" + std::to_string(index)};
+  }
+
+  /// Rewrites a post-aggregation expression (select item or HAVING
+  /// conjunct): subtrees equal to a group key become references to the
+  /// key's output column, aggregate calls become references to their
+  /// aggregate output. The rewritten tree lowers against the aggregation's
+  /// output relation.
+  SqlExprPtr RewritePostAgg(const SqlExprPtr& expr,
+                            const std::vector<GroupKey>& keys,
+                            const std::vector<SqlExprPtr>& agg_nodes) {
+    for (const auto& k : keys) {
+      if (SqlExprEquals(expr, k.expr)) return MakeColumnRef(k.name);
+    }
+    if (expr->kind == SqlExpr::Kind::kAggregate) {
+      for (size_t a = 0; a < agg_nodes.size(); ++a) {
+        if (SqlExprEquals(expr, agg_nodes[a])) {
+          return MakeColumnRef("#agg" + std::to_string(a));
+        }
+      }
+      return expr;  // unreachable: every aggregate was collected
+    }
+    if (expr->children.empty()) return expr;
+    auto copy = std::make_shared<SqlExpr>(*expr);
+    for (auto& child : copy->children) {
+      child = RewritePostAgg(child, keys, agg_nodes);
+    }
+    return copy;
+  }
+
+  static void CollectAggregatesIn(const SqlExprPtr& expr,
+                                  std::vector<SqlExprPtr>* out) {
+    if (expr->kind == SqlExpr::Kind::kAggregate) {
+      for (const auto& seen : *out) {
+        if (SqlExprEquals(seen, expr)) return;
+      }
+      out->push_back(expr);
+      return;
+    }
+    for (const auto& child : expr->children) CollectAggregatesIn(child, out);
+  }
+
+  Result<Rel> BuildProjectionAndAggregation(Rel rel) {
+    if (query_.select_star) {
+      return Status::InvalidArgument(
+          "SELECT * is only supported inside EXISTS (list columns "
+          "explicitly)");
+    }
     bool has_agg = !query_.group_by.empty();
     for (const auto& item : query_.select_items) {
       has_agg |= ContainsAggregate(item.expr);
+    }
+    if (!query_.having.empty() && query_.group_by.empty()) {
+      return Status::InvalidArgument("HAVING requires GROUP BY");
     }
     if (!has_agg) {
       // Plain projection.
@@ -479,171 +1137,126 @@ class Analyzer {
       std::vector<std::string> names;
       for (size_t i = 0; i < query_.select_items.size(); ++i) {
         const auto& item = query_.select_items[i];
+        if (ContainsSubquery(item.expr)) {
+          return Status::InvalidArgument(
+              "subqueries are not allowed in the select list");
+        }
         ACCORDION_ASSIGN_OR_RETURN(ExprPtr e, Lower(item.expr, rel));
         exprs.push_back(std::move(e));
         names.push_back(OutputName(item, i));
       }
-      return builder_.Project(rel, std::move(exprs), std::move(names));
+      return builder_->Project(rel, std::move(exprs), std::move(names));
     }
 
-    // Group keys must be plain columns that exist in the join output.
-    std::vector<std::string> group_names;
-    for (const auto& key : query_.group_by) {
-      if (key->kind != SqlExpr::Kind::kColumn) {
-        return Status::Unimplemented("GROUP BY expressions (project first)");
-      }
-      std::string name = LowerStr(key->text);
-      if (std::find(rel.names.begin(), rel.names.end(), name) ==
-          rel.names.end()) {
-        return Status::InvalidArgument("unknown column '" + name +
-                                       "' in GROUP BY");
-      }
-      group_names.push_back(std::move(name));
+    // Group keys: plain columns, select aliases or expressions.
+    std::vector<GroupKey> keys;
+    for (size_t i = 0; i < query_.group_by.size(); ++i) {
+      ACCORDION_ASSIGN_OR_RETURN(GroupKey key,
+                                 ResolveGroupKey(query_.group_by[i], i));
+      keys.push_back(std::move(key));
     }
 
-    // Pre-aggregation projection: group keys + one column per aggregate
-    // input expression.
+    // Aggregate calls from the select list and HAVING, deduplicated
+    // structurally (the same sum in both places is computed once).
     std::vector<SqlExprPtr> agg_nodes;
-    CollectAggregates(&agg_nodes);
+    for (const auto& item : query_.select_items) {
+      CollectAggregatesIn(item.expr, &agg_nodes);
+    }
+    for (const auto& h : query_.having) CollectAggregatesIn(h, &agg_nodes);
+
+    // Pre-aggregation projection: group-key expressions + one column per
+    // aggregate input expression.
     std::vector<ExprPtr> pre_exprs;
     std::vector<std::string> pre_names;
-    for (const auto& g : group_names) {
-      pre_exprs.push_back(rel.Ref(g));
-      pre_names.push_back(g);
+    std::vector<std::string> group_names;
+    for (const auto& k : keys) {
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr e, Lower(k.expr, rel));
+      pre_exprs.push_back(std::move(e));
+      pre_names.push_back(k.name);
+      group_names.push_back(k.name);
     }
     std::vector<PlanBuilder::AggSpec> specs;
     for (size_t a = 0; a < agg_nodes.size(); ++a) {
       const auto& node = agg_nodes[a];
       PlanBuilder::AggSpec spec;
-      spec.output = "agg" + std::to_string(a);
-      if (node->text == "COUNT") {
-        spec.func = AggFunc::kCount;
-      } else if (node->text == "SUM") {
-        spec.func = AggFunc::kSum;
-      } else if (node->text == "MIN") {
-        spec.func = AggFunc::kMin;
-      } else if (node->text == "MAX") {
-        spec.func = AggFunc::kMax;
-      } else {
-        spec.func = AggFunc::kAvg;
-      }
+      spec.output = "#agg" + std::to_string(a);  // reserved internal name
+      ACCORDION_RETURN_NOT_OK(AggFuncOf(node, &spec.func));
       if (node->children.empty()) {
         spec.input = "";  // COUNT(*)
       } else {
-        std::string input_name = "agg_in" + std::to_string(a);
+        std::string input_name = "#in" + std::to_string(a);
         ACCORDION_ASSIGN_OR_RETURN(ExprPtr input,
                                    Lower(node->children[0], rel));
-        if ((spec.func == AggFunc::kSum || spec.func == AggFunc::kAvg) &&
-            (input->type() == DataType::kString ||
-             input->type() == DataType::kBool)) {
-          return Status::InvalidArgument(
-              node->text + " requires a numeric argument");
-        }
+        ACCORDION_RETURN_NOT_OK(CheckAggInput(node, input->type()));
         pre_exprs.push_back(std::move(input));
         pre_names.push_back(input_name);
         spec.input = input_name;
       }
       specs.push_back(std::move(spec));
     }
-    PlanBuilder::Rel pre =
-        builder_.Project(rel, std::move(pre_exprs), std::move(pre_names));
-    PlanBuilder::Rel agg = builder_.Aggregate(pre, group_names, specs);
+    // No keys and only COUNT(*) aggregates would project zero columns and
+    // lose the row counts; aggregate the input relation directly instead.
+    Rel pre = pre_exprs.empty()
+                  ? rel
+                  : builder_->Project(rel, std::move(pre_exprs),
+                                      std::move(pre_names));
+    Rel agg = builder_->Aggregate(pre, group_names, specs);
 
-    // Post-aggregation projection: select items with aggregates replaced
-    // by their output columns.
+    // HAVING filters over the aggregation output.
+    for (const auto& h : query_.having) {
+      if (ContainsSubquery(h)) {
+        return Status::Unimplemented(
+            "subqueries in HAVING (inline the threshold as a literal)");
+      }
+      SqlExprPtr rewritten = RewritePostAgg(h, keys, agg_nodes);
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, Lower(rewritten, agg));
+      if (pred->type() != DataType::kBool) {
+        return Status::InvalidArgument("HAVING predicate is not boolean");
+      }
+      agg = builder_->Filter(agg, pred);
+    }
+
+    // Post-aggregation projection: select items with group keys and
+    // aggregates replaced by their output columns.
     std::vector<ExprPtr> post_exprs;
     std::vector<std::string> post_names;
     for (size_t i = 0; i < query_.select_items.size(); ++i) {
       const auto& item = query_.select_items[i];
-      ACCORDION_ASSIGN_OR_RETURN(
-          ExprPtr e, LowerWithAggs(item.expr, agg, agg_nodes));
+      SqlExprPtr rewritten = RewritePostAgg(item.expr, keys, agg_nodes);
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr e, Lower(rewritten, agg));
       post_exprs.push_back(std::move(e));
       post_names.push_back(OutputName(item, i));
     }
-    return builder_.Project(agg, std::move(post_exprs),
-                            std::move(post_names));
-  }
-
-  void CollectAggregates(std::vector<SqlExprPtr>* out) {
-    for (const auto& item : query_.select_items) {
-      CollectAggregatesIn(item.expr, out);
-    }
-  }
-  static void CollectAggregatesIn(const SqlExprPtr& expr,
-                                  std::vector<SqlExprPtr>* out) {
-    if (expr->kind == SqlExpr::Kind::kAggregate) {
-      out->push_back(expr);
-      return;
-    }
-    for (const auto& child : expr->children) CollectAggregatesIn(child, out);
-  }
-
-  /// Lowers a select item against the aggregation output: aggregate nodes
-  /// become references to their output columns.
-  Result<ExprPtr> LowerWithAggs(const SqlExprPtr& expr,
-                                const PlanBuilder::Rel& agg,
-                                const std::vector<SqlExprPtr>& agg_nodes) {
-    if (expr->kind == SqlExpr::Kind::kAggregate) {
-      for (size_t a = 0; a < agg_nodes.size(); ++a) {
-        if (agg_nodes[a].get() == expr.get()) {
-          return agg.Ref("agg" + std::to_string(a));
-        }
-      }
-      return Status::Internal("aggregate not registered");
-    }
-    if (expr->kind == SqlExpr::Kind::kColumn) {
-      return Lower(expr, agg);  // group key
-    }
-    if (expr->children.empty()) return Lower(expr, agg);
-    // Rebuild with lowered children via a shallow copy hack: lower each
-    // child then re-lower the operator shape.
-    SqlExpr copy = *expr;
-    // For binary/case/etc. we reuse Lower()'s shape handling by lowering
-    // children into temporary literal-free exprs; simplest correct path:
-    switch (expr->kind) {
-      case SqlExpr::Kind::kBinary: {
-        ACCORDION_ASSIGN_OR_RETURN(
-            ExprPtr left, LowerWithAggs(expr->children[0], agg, agg_nodes));
-        ACCORDION_ASSIGN_OR_RETURN(
-            ExprPtr right, LowerWithAggs(expr->children[1], agg, agg_nodes));
-        const std::string& op = expr->text;
-        if (op == "+") return Add(left, right);
-        if (op == "-") return Sub(left, right);
-        if (op == "*") return Mul(left, right);
-        if (op == "/") return Div(left, right);
-        return Status::Unimplemented("operator " + op +
-                                     " over aggregate results");
-      }
-      default:
-        (void)copy;
-        return Status::Unimplemented(
-            "complex expressions over aggregate results");
-    }
+    return builder_->Project(agg, std::move(post_exprs),
+                             std::move(post_names));
   }
 
   static std::string OutputName(const SqlSelectItem& item, size_t index) {
-    if (!item.alias.empty()) {
-      std::string lower = item.alias;
-      for (char& c : lower) c = static_cast<char>(std::tolower(c));
-      return lower;
-    }
+    if (!item.alias.empty()) return LowerStr(item.alias);
     if (item.expr->kind == SqlExpr::Kind::kColumn) {
-      std::string lower = item.expr->text;
-      for (char& c : lower) c = static_cast<char>(std::tolower(c));
-      return lower;
+      return LowerStr(item.expr->text);
     }
     return "_col" + std::to_string(index);
   }
 
-  Status ApplyOrderByLimit(PlanBuilder::Rel* rel) {
+  Status ApplyOrderByLimit(Rel* rel) {
     if (query_.order_by.empty()) {
-      if (query_.limit >= 0) *rel = builder_.Limit(*rel, query_.limit);
+      if (query_.limit >= 0) *rel = builder_->Limit(*rel, query_.limit);
       return Status::OK();
     }
     std::vector<PlanBuilder::OrderKey> keys;
     for (const auto& item : query_.order_by) {
       if (item.expr->kind != SqlExpr::Kind::kColumn) {
         return Status::Unimplemented("ORDER BY expressions (alias them)");
+      }
+      if (!item.expr->qualifier.empty()) {
+        // Ordering operates on output columns; a bare qualified name
+        // could silently bind to the wrong self-join side.
+        return Status::InvalidArgument(
+            "ORDER BY must reference an output column or select alias — "
+            "alias '" + LowerStr(item.expr->qualifier) + "." +
+            LowerStr(item.expr->text) + "' in the select list and order "
+            "by the alias");
       }
       std::string name = LowerStr(item.expr->text);
       if (std::find(rel->names.begin(), rel->names.end(), name) ==
@@ -655,23 +1268,30 @@ class Analyzer {
       keys.push_back(PlanBuilder::OrderKey{name, item.ascending});
     }
     int64_t limit = query_.limit >= 0 ? query_.limit : 1000000;
-    *rel = builder_.OrderByLimit(*rel, keys, limit);
+    *rel = builder_->OrderByLimit(*rel, keys, limit);
     return Status::OK();
   }
 
   const SqlQuery& query_;
   const Catalog& catalog_;
-  PlanBuilder builder_;
+  PlanBuilder* builder_;
+  const Analyzer* outer_;  // enclosing query scope (subqueries only)
+  bool select_list_matters_;  // false inside EXISTS (list is ignored)
   std::vector<TableInfo> tables_;
-  std::map<std::string, int> column_table_;
-  std::vector<SqlExprPtr> join_predicates_;
+  std::map<std::string, int> alias_table_;
+  std::map<std::string, std::vector<int>> column_tables_;
+  std::vector<JoinPred> join_preds_;
   std::vector<SqlExprPtr> residual_;
+  std::vector<PendingSubquery> subqueries_;
+  std::set<std::string> extra_refs_;  // internal names pruning must keep
+  int subquery_ordinal_ = 0;
 };
 
 }  // namespace
 
 Result<PlanNodePtr> AnalyzeSql(const SqlQuery& query, const Catalog& catalog) {
-  return Analyzer(query, catalog).Run();
+  PlanBuilder builder(&catalog);
+  return Analyzer(query, catalog, &builder, nullptr).Run();
 }
 
 Result<PlanNodePtr> SqlToPlan(const std::string& sql, const Catalog& catalog) {

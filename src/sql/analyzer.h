@@ -14,13 +14,23 @@ namespace accordion {
 ///  - column pruning (only referenced columns are scanned),
 ///  - per-table filter pushdown below the exchanges,
 ///  - join ordering by FROM order with equi-join conjunct extraction
-///    (nation/region builds are broadcast),
-///  - two-phase aggregation for GROUP BY / aggregate select lists,
+///    (nation/region builds are broadcast); self-joins are supported via
+///    alias-qualified columns (`nation n1, nation n2` ... `n1.n_name`),
+///  - two-phase aggregation for GROUP BY over columns, select aliases or
+///    expressions (`GROUP BY l_year` with `EXTRACT(YEAR FROM ...) AS
+///    l_year` in the select list), with HAVING filtered over the
+///    aggregate output,
+///  - `EXISTS (SELECT ...)` conjuncts lowered to dedup-then-join (the
+///    hand-built Q4 shape) and `<expr> <op> (SELECT <agg> ...)` scalar
+///    subqueries decorrelated into aggregate joins (the Q2 shape);
+///    correlation must be `<inner column> = <outer column>` equalities,
 ///  - TopN for ORDER BY [+ LIMIT].
 ///
-/// Limitations (documented engine scope): single SELECT block, inner
-/// joins only, no self-joins (column names must be unambiguous), no
-/// subqueries, HAVING or DISTINCT.
+/// Limitations (documented engine scope, all rejected with a typed
+/// Status — see API.md "SQL reference"): single result SELECT block,
+/// inner joins only, no DISTINCT, no outer/anti joins (hence no NOT
+/// EXISTS), no IN (SELECT ...), no uncorrelated or nested subqueries,
+/// no subqueries outside top-level WHERE conjuncts.
 Result<PlanNodePtr> AnalyzeSql(const SqlQuery& query, const Catalog& catalog);
 
 /// Parse + analyze in one call.

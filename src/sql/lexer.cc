@@ -18,6 +18,14 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       while (i < n && sql[i] != '\n') ++i;
       continue;
     }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {  // block comment
+      size_t close = sql.find("*/", i + 2);
+      if (close == std::string::npos) {
+        return Status::ParseError("unterminated /* comment");
+      }
+      i = close + 2;
+      continue;
+    }
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       size_t start = i;
       while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||

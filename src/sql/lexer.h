@@ -31,6 +31,7 @@ struct Token {
 
 /// Splits a SQL statement into tokens. Identifiers/keywords are
 /// upper-cased (SQL is case-insensitive); string literals keep case.
+/// `-- line` and `/* block */` comments are skipped.
 Result<std::vector<Token>> Tokenize(const std::string& sql);
 
 }  // namespace accordion

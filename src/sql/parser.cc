@@ -11,6 +11,20 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<SqlQuery> Parse() {
+    ACCORDION_ASSIGN_OR_RETURN(SqlQuery query, ParseQueryBody());
+    (void)AcceptSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing tokens after query: '" +
+                                Peek().text + "'");
+    }
+    query.placeholder_count = placeholders_;
+    return query;
+  }
+
+ private:
+  /// One SELECT block; stops before a closing ')' so subqueries can reuse
+  /// it.
+  Result<SqlQuery> ParseQueryBody() {
     SqlQuery query;
     ACCORDION_RETURN_NOT_OK(Expect("SELECT"));
     ACCORDION_RETURN_NOT_OK(ParseSelectList(&query));
@@ -26,6 +40,10 @@ class Parser {
         ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr key, ParseExpr());
         query.group_by.push_back(std::move(key));
       } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("HAVING")) {
+      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr predicate, ParseExpr());
+      SplitConjuncts(predicate, &query.having);
     }
     if (AcceptKeyword("ORDER")) {
       ACCORDION_RETURN_NOT_OK(Expect("BY"));
@@ -48,16 +66,9 @@ class Parser {
       query.limit = std::atoll(t.text.c_str());
       Advance();
     }
-    (void)AcceptSymbol(";");
-    if (Peek().kind != TokenKind::kEnd) {
-      return Status::ParseError("trailing tokens after query: '" +
-                                Peek().text + "'");
-    }
-    query.placeholder_count = placeholders_;
     return query;
   }
 
- private:
   const Token& Peek(int ahead = 0) const {
     size_t i = pos_ + ahead;
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
@@ -94,6 +105,13 @@ class Parser {
   }
 
   Status ParseSelectList(SqlQuery* query) {
+    // `SELECT *` (no item list) — the analyzer only accepts it inside
+    // EXISTS, where the select list is irrelevant.
+    if (Peek().Is(TokenKind::kSymbol, "*") && Peek(1).IsKeyword("FROM")) {
+      Advance();
+      query->select_star = true;
+      return Status::OK();
+    }
     do {
       SqlSelectItem item;
       ACCORDION_ASSIGN_OR_RETURN(item.expr, ParseExpr());
@@ -145,9 +163,12 @@ class Parser {
     ref.table = Peek().text;
     Advance();
     // Optional alias (not a clause keyword).
-    static const char* kClauses[] = {"WHERE", "GROUP", "ORDER",  "LIMIT",
-                                     "INNER", "JOIN",  "ON",     "AS"};
+    static const char* kClauses[] = {"WHERE", "GROUP", "HAVING", "ORDER",
+                                     "LIMIT", "INNER", "JOIN",   "ON", "AS"};
     if (AcceptKeyword("AS")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Status::ParseError("expected table alias after AS");
+      }
       ref.alias = Peek().text;
       Advance();
     } else if (Peek().kind == TokenKind::kIdentifier) {
@@ -228,6 +249,10 @@ class Parser {
     }
     if (AcceptKeyword("IN")) {
       ACCORDION_RETURN_NOT_OK(ExpectSymbol("("));
+      if (Peek().IsKeyword("SELECT")) {
+        return Status::Unimplemented(
+            "IN (SELECT ...) subqueries (rewrite as EXISTS or a join)");
+      }
       auto node = std::make_shared<SqlExpr>();
       node->kind = SqlExpr::Kind::kIn;
       node->children.push_back(std::move(left));
@@ -295,6 +320,15 @@ class Parser {
       return SqlExprPtr(node);
     }
     if (AcceptSymbol("(")) {
+      // A parenthesized SELECT is a scalar subquery.
+      if (Peek().IsKeyword("SELECT")) {
+        ACCORDION_ASSIGN_OR_RETURN(SqlQuery sub, ParseQueryBody());
+        ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
+        auto node = std::make_shared<SqlExpr>();
+        node->kind = SqlExpr::Kind::kScalarSubquery;
+        node->subquery = std::make_shared<SqlQuery>(std::move(sub));
+        return SqlExprPtr(node);
+      }
       ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
       ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
       return inner;
@@ -344,6 +378,19 @@ class Parser {
       ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr dflt, ParseExpr());
       node->children.push_back(std::move(dflt));
       ACCORDION_RETURN_NOT_OK(Expect("END"));
+      return SqlExprPtr(node);
+    }
+    if (t.IsKeyword("EXISTS")) {
+      Advance();
+      ACCORDION_RETURN_NOT_OK(ExpectSymbol("("));
+      if (!Peek().IsKeyword("SELECT")) {
+        return Status::ParseError("EXISTS expects a (SELECT ...) subquery");
+      }
+      ACCORDION_ASSIGN_OR_RETURN(SqlQuery sub, ParseQueryBody());
+      ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kExists;
+      node->subquery = std::make_shared<SqlQuery>(std::move(sub));
       return SqlExprPtr(node);
     }
     if (t.IsKeyword("EXTRACT")) {
@@ -403,7 +450,11 @@ class Parser {
   int placeholders_ = 0;
 };
 
-/// Clones `expr` with kPlaceholder nodes replaced by kBoundValue nodes.
+SqlQuery SubstituteInQuery(const SqlQuery& query,
+                           const std::vector<Value>& params);
+
+/// Clones `expr` with kPlaceholder nodes replaced by kBoundValue nodes
+/// (descending into subquery bodies; `?` ordinals are global).
 SqlExprPtr SubstitutePlaceholders(const SqlExprPtr& expr,
                                   const std::vector<Value>& params) {
   if (expr == nullptr) return nullptr;
@@ -413,7 +464,7 @@ SqlExprPtr SubstitutePlaceholders(const SqlExprPtr& expr,
     bound->bound_value = params[expr->placeholder_index];
     return bound;
   }
-  bool changed = false;
+  bool changed = expr->subquery != nullptr;
   std::vector<SqlExprPtr> children;
   children.reserve(expr->children.size());
   for (const auto& child : expr->children) {
@@ -424,7 +475,24 @@ SqlExprPtr SubstitutePlaceholders(const SqlExprPtr& expr,
   if (!changed) return expr;
   auto copy = std::make_shared<SqlExpr>(*expr);
   copy->children = std::move(children);
+  if (expr->subquery != nullptr) {
+    copy->subquery =
+        std::make_shared<SqlQuery>(SubstituteInQuery(*expr->subquery, params));
+  }
   return copy;
+}
+
+SqlQuery SubstituteInQuery(const SqlQuery& query,
+                           const std::vector<Value>& params) {
+  SqlQuery bound = query;
+  for (auto& item : bound.select_items) {
+    item.expr = SubstitutePlaceholders(item.expr, params);
+  }
+  for (auto& c : bound.conjuncts) c = SubstitutePlaceholders(c, params);
+  for (auto& g : bound.group_by) g = SubstitutePlaceholders(g, params);
+  for (auto& h : bound.having) h = SubstitutePlaceholders(h, params);
+  for (auto& o : bound.order_by) o.expr = SubstitutePlaceholders(o.expr, params);
+  return bound;
 }
 
 }  // namespace
@@ -441,13 +509,7 @@ Result<SqlQuery> BindPlaceholders(const SqlQuery& query,
         "statement has " + std::to_string(query.placeholder_count) +
         " parameter(s), " + std::to_string(params.size()) + " bound");
   }
-  SqlQuery bound = query;
-  for (auto& item : bound.select_items) {
-    item.expr = SubstitutePlaceholders(item.expr, params);
-  }
-  for (auto& c : bound.conjuncts) c = SubstitutePlaceholders(c, params);
-  for (auto& g : bound.group_by) g = SubstitutePlaceholders(g, params);
-  for (auto& o : bound.order_by) o.expr = SubstitutePlaceholders(o.expr, params);
+  SqlQuery bound = SubstituteInQuery(query, params);
   bound.placeholder_count = 0;
   return bound;
 }

@@ -10,12 +10,16 @@
 
 namespace accordion {
 
-/// Minimal SQL AST covering the engine's workload: single-block SELECT
-/// with FROM (comma or INNER JOIN ... ON), WHERE, GROUP BY, ORDER BY and
-/// LIMIT; expressions with arithmetic, comparisons, AND/OR/NOT, LIKE, IN,
-/// BETWEEN, CASE WHEN, DATE 'lit' and EXTRACT(YEAR FROM x); aggregate
-/// calls count/sum/min/max/avg (count(*) included).
+/// SQL AST covering the engine's workload: SELECT with FROM (comma or
+/// INNER JOIN ... ON, aliases allowed — self-joins use alias-qualified
+/// columns), WHERE, GROUP BY (columns, select aliases or expressions),
+/// HAVING, ORDER BY and LIMIT; expressions with arithmetic, comparisons,
+/// AND/OR/NOT, LIKE, IN, BETWEEN, CASE WHEN, DATE 'lit' and
+/// EXTRACT(YEAR FROM x); aggregate calls count/sum/min/max/avg (count(*)
+/// included); EXISTS (SELECT ...) and scalar (SELECT <agg> ...)
+/// subqueries as WHERE conjuncts.
 
+struct SqlQuery;
 struct SqlExpr;
 using SqlExprPtr = std::shared_ptr<SqlExpr>;
 
@@ -36,6 +40,8 @@ struct SqlExpr {
     kAggregate,   // text = COUNT/SUM/MIN/MAX/AVG; child optional (*)
     kPlaceholder, // `?` parameter marker; placeholder_index is its ordinal
     kBoundValue,  // placeholder after Bind(); bound_value carries the Value
+    kExists,      // EXISTS (SELECT ...); body in subquery
+    kScalarSubquery,  // (SELECT <aggregate> ...); body in subquery
   };
 
   Kind kind;
@@ -44,6 +50,7 @@ struct SqlExpr {
   std::vector<SqlExprPtr> children;
   int placeholder_index = -1;  // kPlaceholder only
   Value bound_value;           // kBoundValue only
+  std::shared_ptr<SqlQuery> subquery;  // kExists / kScalarSubquery only
 };
 
 struct SqlTableRef {
@@ -63,12 +70,15 @@ struct SqlSelectItem {
 
 struct SqlQuery {
   std::vector<SqlSelectItem> select_items;
+  bool select_star = false;  // SELECT * (only meaningful inside EXISTS)
   std::vector<SqlTableRef> from;
   std::vector<SqlExprPtr> conjuncts;  // WHERE + JOIN..ON, AND-split
   std::vector<SqlExprPtr> group_by;
+  std::vector<SqlExprPtr> having;  // AND-split, aggregates allowed
   std::vector<SqlOrderItem> order_by;
   int64_t limit = -1;  // -1 = none
-  int placeholder_count = 0;  // number of `?` parameter markers
+  int placeholder_count = 0;  // number of `?` parameter markers (outermost
+                              // query only; ordinals are global)
 };
 
 /// Parses one SELECT statement into the AST.

@@ -15,10 +15,12 @@ namespace accordion {
 /// bottleneck query from §6.4.2).
 ///
 /// Queries involving features outside the engine's operator set are
-/// adapted with documented substitutions (DESIGN.md §3):
+/// adapted with documented substitutions (API.md "SQL reference"):
 ///  - Q4's EXISTS becomes dedup-then-join,
 ///  - Q11's HAVING-subquery threshold is dropped,
 ///  - correlated subqueries (Q2) are decorrelated into aggregate joins.
+/// The SQL analyzer lowers the same substitutions automatically, so
+/// TpchQuerySql(q) reproduces these plans' results for every query.
 ///
 /// Plans are deterministic: the same query number always produces the
 /// same stage tree, matching the paper's figures for Q3 (Fig. 21) and
@@ -27,11 +29,14 @@ namespace accordion {
 /// Builds TPC-H query `q` in [1, 12].
 PlanNodePtr TpchQueryPlan(int q, const Catalog& catalog);
 
-/// SQL text for query `q`, written against the engine's SQL subset so
-/// that the lowered plan produces exactly the same output columns (names,
-/// order, values) as TpchQueryPlan(q). Returns "" for queries outside the
-/// subset (Q2/Q4's decorrelated subqueries, Q7/Q8/Q9's expression group
-/// keys); drive those through the plan API.
+/// SQL text for query `q` in [1, 12], written against the engine's SQL
+/// subset so that the lowered plan produces exactly the same output
+/// columns (names, order, values) as TpchQueryPlan(q) — including the
+/// documented substitutions (Q11 drops its HAVING threshold, Q2 selects
+/// the correlated minimum as `min_cost`). All twelve queries are
+/// expressible since the analyzer gained alias self-joins, expression
+/// GROUP BY keys, EXISTS and scalar subqueries; the differential harness
+/// checks each text against the scalar oracle of the hand-built plan.
 std::string TpchQuerySql(int q);
 
 /// The §4.4 two-way join: SELECT count(l_orderkey) FROM lineitem JOIN

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <thread>
 
 #include "api/session.h"
@@ -299,6 +300,43 @@ TEST(SessionTest, PreparedStatementBindAndRebind) {
   };
   EXPECT_EQ(run("BUILDING"), expected("BUILDING"));
   EXPECT_EQ(run("MACHINERY"), expected("MACHINERY"));
+}
+
+TEST(SessionTest, PreparedPlaceholderInsideSubqueryBinds) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  // `?` ordinals are global across subquery boundaries: one parameter in
+  // the outer WHERE, one inside the EXISTS body.
+  auto prepared = session.Prepare(
+      "SELECT count(*) AS n FROM orders WHERE o_orderkey > ? AND EXISTS "
+      "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey "
+      "AND l_quantity > ?)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->parameter_count(), 2);
+
+  auto run = [&](int64_t min_key, double min_qty) -> int64_t {
+    auto query = session.Execute(
+        *prepared, {Value::Int(min_key), Value::Double(min_qty)});
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    auto pages = (*query)->Wait();
+    EXPECT_TRUE(pages.ok());
+    return (*pages)[0]->column(0).IntAt(0);
+  };
+  auto expected = [&](int64_t min_key, double min_qty) {
+    std::set<int64_t> orderkeys;
+    for (const auto& page : GenerateSplit("lineitem", kSf, 0, 1)) {
+      for (int64_t r = 0; r < page->num_rows(); ++r) {
+        if (page->column(4).DoubleAt(r) > min_qty) {
+          orderkeys.insert(page->column(0).IntAt(r));
+        }
+      }
+    }
+    int64_t n = 0;
+    for (int64_t key : orderkeys) n += key > min_key;
+    return n;
+  };
+  EXPECT_EQ(run(0, 0.0), expected(0, 0.0));
+  EXPECT_EQ(run(100, 25.0), expected(100, 25.0));
 }
 
 TEST(SessionTest, PreparedDateParameterCoerces) {

@@ -62,46 +62,55 @@ TEST_P(TpchDifferentialTest, EngineMatchesScalarReference) {
 }
 
 // SQL-text front door vs the scalar oracle of the hand-built plan: the
-// analyzer's lowering (join ordering, pushdown, two-phase aggregation)
-// must reproduce exactly the same result relation for every TPC-H query
-// expressible in the SQL subset — streamed through a cursor, not
-// materialized by Wait.
+// analyzer's lowering (join ordering, pushdown, self-join aliasing,
+// expression group keys, subquery decorrelation, two-phase aggregation)
+// must reproduce exactly the same result relation for every TPC-H query —
+// all twelve are in the SQL subset now — at dop {1,4} x page {256,1024},
+// streamed through a cursor, not materialized by Wait.
 class TpchSqlDifferentialTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(TpchSqlDifferentialTest, SqlTextMatchesScalarReference) {
   const int q = GetParam();
   std::string sql = TpchQuerySql(q);
-  ASSERT_FALSE(sql.empty());
+  ASSERT_FALSE(sql.empty()) << "Q" << q << " has no SQL text";
   RefRelation expected;
   {
     AccordionCluster cluster(ClusterOptions(256));
     expected = ReferenceEvaluate(
         TpchQueryPlan(q, cluster.coordinator()->catalog()), kScaleFactor);
   }
-  AccordionCluster cluster(ClusterOptions(256));
-  Session session(cluster.coordinator());
-  QueryOptions options;
-  options.stage_dop = 2;
-  options.task_dop = 2;
-  auto query = session.Execute(sql, options);
-  ASSERT_TRUE(query.ok()) << "Q" << q << ": " << query.status().ToString();
-  auto pages = (*query)->Cursor().Drain(120000);
-  ASSERT_TRUE(pages.ok()) << pages.status().ToString();
-  std::string diff = DiffRows(expected, *pages);
-  EXPECT_TRUE(diff.empty()) << "Q" << q << " (SQL): " << diff;
+  for (int64_t batch_rows : {256, 1024}) {
+    for (int dop : {1, 4}) {
+      AccordionCluster cluster(ClusterOptions(batch_rows));
+      Session session(cluster.coordinator());
+      QueryOptions options;
+      options.stage_dop = dop;
+      options.task_dop = dop;
+      auto query = session.Execute(sql, options);
+      ASSERT_TRUE(query.ok()) << "Q" << q << ": " << query.status().ToString();
+      auto pages = (*query)->Cursor().Drain(120000);
+      ASSERT_TRUE(pages.ok()) << pages.status().ToString();
+      std::string diff = DiffRows(expected, *pages);
+      EXPECT_TRUE(diff.empty())
+          << "Q" << q << " (SQL) dop=" << dop << " batch_rows=" << batch_rows
+          << ": " << diff;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(SqlSubsetQueries, TpchSqlDifferentialTest,
-                         ::testing::Values(1, 3, 5, 6, 10, 11, 12));
+                         ::testing::Range(1, 13));
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchDifferentialTest,
                          ::testing::Range(1, 13));
 
-// The radix switch must not change any query answer: rerun a
-// representative high-group query with thresholds forced low enough that
-// the partitioned path (including a re-split) engages even at test scale.
+// The radix switch must not change any query answer: rerun representative
+// high-group queries with thresholds forced low enough that the
+// partitioned path (including a re-split) engages even at test scale —
+// through the hand-built plan and through the SQL text (whose dedup /
+// decorrelation aggregations, e.g. Q4's, also cross the thresholds).
 TEST(TpchDifferentialTest, RadixThresholdsDoNotChangeAnswers) {
-  for (int q : {3, 10, 11}) {
+  for (int q : {3, 4, 9, 10, 11}) {
     AccordionCluster::Options options = ClusterOptions(256);
     RefRelation expected;
     {
@@ -124,6 +133,13 @@ TEST(TpchDifferentialTest, RadixThresholdsDoNotChangeAnswers) {
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     std::string diff = DiffRows(expected, *result);
     EXPECT_TRUE(diff.empty()) << "Q" << q << " (forced radix): " << diff;
+
+    auto sql_query = session.Execute(TpchQuerySql(q), query_options);
+    ASSERT_TRUE(sql_query.ok()) << sql_query.status().ToString();
+    auto sql_result = (*sql_query)->Wait(120000);
+    ASSERT_TRUE(sql_result.ok()) << sql_result.status().ToString();
+    diff = DiffRows(expected, *sql_result);
+    EXPECT_TRUE(diff.empty()) << "Q" << q << " (forced radix, SQL): " << diff;
   }
 }
 
