@@ -70,7 +70,9 @@ class ResultCursor {
   /// Returns the next result page, blocking until one is available.
   /// nullptr signals a cleanly finished stream. A query abort surfaces
   /// as kAborted, a blown deadline as kDeadlineExceeded (the query keeps
-  /// running and the cursor stays usable).
+  /// running and the cursor stays usable), and a failed query (worker
+  /// crash, retry exhaustion) as one contextful kUnavailable — a query
+  /// fails, it never hangs.
   Result<PagePtr> Next(int64_t timeout_ms = -1);
 
   /// Pulls whatever is currently buffered without blocking (empty result

@@ -5,6 +5,8 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/random.h"
+#include "common/retry_policy.h"
 #include "tpch/tpch.h"
 
 namespace accordion {
@@ -14,9 +16,13 @@ Coordinator::Coordinator(RpcBus* bus, Catalog catalog,
     : bus_(bus),
       catalog_(std::move(catalog)),
       config_(config),
-      scale_factor_(scale_factor) {}
+      scale_factor_(scale_factor) {
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
 
 Coordinator::~Coordinator() {
+  monitor_shutdown_ = true;
+  if (monitor_.joinable()) monitor_.join();
   std::vector<std::shared_ptr<QueryExec>> queries;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -25,6 +31,103 @@ Coordinator::~Coordinator() {
   for (auto& query : queries) {
     Abort(query->id);
     CleanupQueryTasks(query.get());
+  }
+}
+
+Status Coordinator::RetryRpc(QueryExec* query, const char* what,
+                             const std::function<Status()>& call) {
+  const RetryPolicy& policy = config_->rpc_retry;
+  Random rng(next_retry_seed_.fetch_add(1));
+  bool saw_unavailable = false;
+  int64_t start_ms = NowMillis();
+  for (int attempt = 1;; ++attempt) {
+    Status status = call();
+    if (status.ok()) return status;
+    // A dropped response makes the retried call observe its own earlier
+    // side effect as kAlreadyExists — the operation took effect.
+    if (saw_unavailable && status.code() == StatusCode::kAlreadyExists) {
+      return Status::OK();
+    }
+    if (!IsRetryableRpcStatus(status)) return status;
+    saw_unavailable = true;
+    if (attempt >= policy.max_attempts ||
+        NowMillis() - start_ms > policy.attempt_deadline_ms) {
+      return status.WithContext(std::string(what) + " failed after " +
+                                std::to_string(attempt) + " attempts");
+    }
+    if (query != nullptr) ++query->control_retries;
+    SleepForMillis(RetryBackoffMs(policy, attempt, &rng));
+  }
+}
+
+void Coordinator::AbortAllTasks(QueryExec* query) {
+  std::vector<std::pair<int, TaskId>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(query->registry_mutex);
+    tasks = query->task_registry;
+  }
+  for (const auto& [worker_id, task_id] : tasks) {
+    // Tasks on crashed workers were already aborted by the crash itself.
+    if (!bus_->WorkerAlive(worker_id)) continue;
+    // Best-effort with retry: an injected transient fault must not leave
+    // a task running, but exhaustion is acceptable (the monitor's next
+    // pass catches survivors).
+    RetryRpc(query, "AbortTask",
+             [&] { return bus_->AbortTask(worker_id, task_id); });
+  }
+}
+
+void Coordinator::FailQuery(const std::shared_ptr<QueryExec>& query,
+                            const Status& status) {
+  QueryState expected = QueryState::kRunning;
+  if (!query->state.compare_exchange_strong(expected, QueryState::kFailed)) {
+    return;  // already finished / aborted / failed
+  }
+  {
+    std::lock_guard<std::mutex> lock(query->failure_mutex);
+    query->failure = status;
+  }
+  query->end_ms = NowMillis();
+  ACC_LOG(kInfo) << "query " << query->id << " failed: " << status.ToString();
+  AbortAllTasks(query.get());
+}
+
+void Coordinator::MonitorLoop() {
+  while (!monitor_shutdown_.load()) {
+    SleepForMillis(config_->health_check_interval_ms);
+    std::vector<std::shared_ptr<QueryExec>> queries;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& [id, query] : queries_) queries.push_back(query);
+    }
+    std::vector<int> dead = bus_->DeadWorkers();
+    for (auto& query : queries) {
+      if (query->state.load() != QueryState::kRunning) continue;
+      Status failure;
+      {
+        std::lock_guard<std::mutex> lock(query->registry_mutex);
+        for (const auto& [worker_id, task_id] : query->task_registry) {
+          if (std::find(dead.begin(), dead.end(), worker_id) != dead.end()) {
+            failure = Status::Unavailable("worker " +
+                                          std::to_string(worker_id) +
+                                          " crashed")
+                          .WithContext("query " + query->id);
+            break;
+          }
+          // Cheap in-process heartbeat (no simulated RPC latency): the
+          // paper's coordinator gets the same signal from task-info
+          // polling; charging latency here would throttle detection.
+          WorkerNode* w = bus_->worker(worker_id);
+          Task* t = w == nullptr ? nullptr : w->GetTask(task_id);
+          if (t != nullptr && t->context()->failed()) {
+            failure = t->context()->failure().WithContext(
+                "task " + task_id.ToString());
+            break;
+          }
+        }
+      }
+      if (!failure.ok()) FailQuery(query, failure);
+    }
   }
 }
 
@@ -97,11 +200,27 @@ Result<TaskId> Coordinator::SpawnTask(
   } else {
     feed = [] { return std::optional<SystemSplit>{}; };
   }
-  ACCORDION_RETURN_NOT_OK(bus_->ScheduleTask(worker, std::move(spec), feed));
-  ACCORDION_RETURN_NOT_OK(bus_->StartTask(worker, id));
+  // Both calls are idempotent, so transient faults and dropped responses
+  // are retried; a duplicate ScheduleTask surfaces as kAlreadyExists,
+  // which RetryRpc folds into success.
+  ACCORDION_RETURN_NOT_OK(RetryRpc(query, "ScheduleTask", [&] {
+    TaskSpec attempt_spec = spec;
+    return bus_->ScheduleTask(worker, std::move(attempt_spec), feed);
+  }));
+  ACCORDION_RETURN_NOT_OK(
+      RetryRpc(query, "StartTask", [&] { return bus_->StartTask(worker, id); }));
   stage->tasks.push_back(id);
   stage->task_workers.push_back(worker);
   ++stage->dop;
+  {
+    std::lock_guard<std::mutex> lock(query->registry_mutex);
+    query->task_registry.emplace_back(worker, id);
+  }
+  if (query->state.load() != QueryState::kRunning) {
+    // Lost the race against a concurrent Abort/FailQuery that already
+    // swept the registry: this task must not keep running.
+    bus_->AbortTask(worker, id);
+  }
   return id;
 }
 
@@ -166,7 +285,14 @@ Result<std::string> Coordinator::Submit(const PlanNodePtr& plan,
     stage.next_output_buffer_id = stage.consumer_window_count;
     for (int t = 0; t < dop; ++t) {
       auto spawned = SpawnTask(query.get(), &stage, {});
-      ACCORDION_RETURN_NOT_OK(spawned.status());
+      if (!spawned.ok()) {
+        // Clean failure instead of a half-scheduled zombie: abort what
+        // was already spawned and surface the scheduling error.
+        Status failure = spawned.status().WithContext(
+            "initial scheduling of query " + query->id);
+        FailQuery(query, failure);
+        return failure;
+      }
     }
   }
   query->initial_schedule_ms = schedule_watch.ElapsedSeconds() * 1000.0;
@@ -193,7 +319,10 @@ Result<PagesResult> Coordinator::FetchResults(const std::string& query_id,
     return Status::Aborted("query " + query_id + " was aborted");
   }
   if (state == QueryState::kFailed) {
-    return Status::Internal("query " + query_id + " failed");
+    std::lock_guard<std::mutex> failure_lock(query->failure_mutex);
+    Status failure = query->failure;
+    if (failure.ok()) failure = Status::Internal("query failed");
+    return failure.WithContext("query " + query_id);
   }
   if (!query->stash.empty()) {
     // Redeliver pages a timed-out Wait consumed but could not return.
@@ -211,13 +340,47 @@ Result<PagesResult> Coordinator::FetchResults(const std::string& query_id,
     done.complete = true;
     return done;
   }
-  PagesResult result =
-      bus_->GetPages(query->root_split, /*buffer_id=*/0, max_pages, nullptr);
-  // An abort can race the GetPages: the buffer reports completion because
-  // its producers died, not because the stream ended. Re-check state so
-  // the caller sees Aborted instead of a silently truncated result.
+  // Pull with retry at the current resume sequence: the root buffer's
+  // unacked window re-serves pages whose response an injected fault
+  // dropped, so transient data-plane faults are invisible here.
+  PagesResult result;
+  {
+    const RetryPolicy& policy = config_->rpc_retry;
+    Random rng(next_retry_seed_.fetch_add(1));
+    int64_t start_ms = NowMillis();
+    for (int attempt = 1;; ++attempt) {
+      if (query->state.load() != QueryState::kRunning) break;
+      auto fetched = bus_->GetPages(query->root_split, /*buffer_id=*/0,
+                                    query->fetch_sequence, max_pages, nullptr);
+      if (fetched.ok()) {
+        result = std::move(fetched).value();
+        query->fetch_sequence += static_cast<int64_t>(result.pages.size());
+        break;
+      }
+      if (!IsRetryableRpcStatus(fetched.status()) ||
+          attempt >= policy.max_attempts ||
+          NowMillis() - start_ms > policy.attempt_deadline_ms) {
+        Status failure = fetched.status().WithContext(
+            "fetching results of query " + query_id);
+        FailQuery(query, failure);
+        return failure;
+      }
+      ++query->control_retries;
+      SleepForMillis(RetryBackoffMs(policy, attempt, &rng));
+    }
+  }
+  // An abort or failure can race the GetPages: the buffer reports
+  // completion because its producers died, not because the stream ended.
+  // Re-check state so the caller sees the query's real fate instead of a
+  // silently truncated result.
   if (query->state.load() == QueryState::kAborted) {
     return Status::Aborted("query " + query_id + " was aborted");
+  }
+  if (query->state.load() == QueryState::kFailed) {
+    std::lock_guard<std::mutex> failure_lock(query->failure_mutex);
+    Status failure = query->failure;
+    if (failure.ok()) failure = Status::Internal("query failed");
+    return failure.WithContext("query " + query_id);
   }
   if (result.complete) {
     query->fetch_complete = true;
@@ -267,17 +430,16 @@ bool Coordinator::IsFinished(const std::string& query_id) {
 Status Coordinator::Abort(const std::string& query_id) {
   auto query = GetQuery(query_id);
   if (query == nullptr) return Status::NotFound("no query " + query_id);
+  // Idempotent and race-free: the CAS decides the final state exactly
+  // once; every caller (including loser of the race) still sweeps the
+  // task registry, which is harmless because Task::Abort is a no-op on
+  // already-terminal tasks. No control_mutex — Abort must work while a
+  // tuning operation is stuck mid-flight.
   QueryState expected = QueryState::kRunning;
-  query->state.compare_exchange_strong(expected, QueryState::kAborted);
-  std::lock_guard<std::mutex> lock(query->control_mutex);
-  for (auto& [stage_id, stage] : query->stages) {
-    for (size_t t = 0; t < stage.tasks.size(); ++t) {
-      bus_->AbortTask(stage.task_workers[t], stage.tasks[t]);
-    }
-    for (size_t t = 0; t < stage.retired.size(); ++t) {
-      bus_->AbortTask(stage.retired_workers[t], stage.retired[t]);
-    }
+  if (query->state.compare_exchange_strong(expected, QueryState::kAborted)) {
+    query->end_ms = NowMillis();
   }
+  AbortAllTasks(query.get());
   return Status::OK();
 }
 
@@ -308,8 +470,11 @@ Status Coordinator::SetTaskDop(const std::string& query_id, int stage_id,
   }
   Status last = Status::OK();
   for (size_t t = 0; t < it->second.tasks.size(); ++t) {
-    Status st =
-        bus_->SetTaskDop(it->second.task_workers[t], it->second.tasks[t], dop);
+    int worker = it->second.task_workers[t];
+    TaskId task = it->second.tasks[t];
+    Status st = RetryRpc(query.get(), "SetTaskDop", [&] {
+      return bus_->SetTaskDop(worker, task, dop);
+    });
     if (!st.ok()) last = st;
   }
   return last;
@@ -365,8 +530,10 @@ Status Coordinator::IncreaseStageDop(QueryExec* query, StageExec* stage,
     for (int child_id : stage->fragment.source_stage_ids) {
       StageExec& child = query->stages.at(child_id);
       for (size_t t = 0; t < child.tasks.size(); ++t) {
-        ACCORDION_RETURN_NOT_OK(bus_->SetConsumerCount(
-            child.task_workers[t], child.tasks[t], new_seq + 1));
+        ACCORDION_RETURN_NOT_OK(RetryRpc(query, "SetConsumerCount", [&] {
+          return bus_->SetConsumerCount(child.task_workers[t], child.tasks[t],
+                                        new_seq + 1);
+        }));
       }
       child.consumer_window_count =
           std::max(child.consumer_window_count, new_seq + 1);
@@ -382,9 +549,11 @@ Status Coordinator::IncreaseStageDop(QueryExec* query, StageExec* stage,
       StageExec& parent = parent_it->second;
       int worker = stage->task_workers.back();
       for (size_t t = 0; t < parent.tasks.size(); ++t) {
-        ACCORDION_RETURN_NOT_OK(bus_->AddRemoteSplits(
-            parent.task_workers[t], parent.tasks[t], stage->fragment.stage_id,
-            {RemoteSplit{worker, *spawned}}));
+        ACCORDION_RETURN_NOT_OK(RetryRpc(query, "AddRemoteSplits", [&] {
+          return bus_->AddRemoteSplits(parent.task_workers[t], parent.tasks[t],
+                                       stage->fragment.stage_id,
+                                       {RemoteSplit{worker, *spawned}});
+        }));
       }
     }
   }
@@ -404,15 +573,19 @@ Status Coordinator::DecreaseStageDop(QueryExec* query, StageExec* stage,
 
     if (stage->fragment.IsScanStage()) {
       // End signal directly to the task's source operators.
-      ACCORDION_RETURN_NOT_OK(bus_->SignalEndSources(doomed_worker, doomed));
+      ACCORDION_RETURN_NOT_OK(RetryRpc(query, "SignalEndSources", [&] {
+        return bus_->SignalEndSources(doomed_worker, doomed);
+      }));
     } else {
       // End signals to the child stages' output buffers for this task's
       // buffer id; end pages then relay through the doomed task (§4.4).
       for (int child_id : stage->fragment.source_stage_ids) {
         StageExec& child = query->stages.at(child_id);
         for (size_t t = 0; t < child.tasks.size(); ++t) {
-          ACCORDION_RETURN_NOT_OK(bus_->EndSignalOutput(
-              child.task_workers[t], child.tasks[t], doomed.task_seq));
+          ACCORDION_RETURN_NOT_OK(RetryRpc(query, "EndSignalOutput", [&] {
+            return bus_->EndSignalOutput(child.task_workers[t], child.tasks[t],
+                                         doomed.task_seq);
+          }));
         }
       }
     }
@@ -435,8 +608,12 @@ Status Coordinator::DopSwitch(QueryExec* query, StageExec* stage, int dop,
     int first_id = child.next_output_buffer_id;
     child.next_output_buffer_id += dop;
     for (size_t t = 0; t < child.tasks.size(); ++t) {
-      ACCORDION_RETURN_NOT_OK(bus_->AddOutputTaskGroup(
-          child.task_workers[t], child.tasks[t], dop, first_id));
+      // Idempotent on the buffer (duplicate first_buffer_id is a no-op),
+      // so dropped responses retry safely.
+      ACCORDION_RETURN_NOT_OK(RetryRpc(query, "AddOutputTaskGroup", [&] {
+        return bus_->AddOutputTaskGroup(child.task_workers[t], child.tasks[t],
+                                        dop, first_id);
+      }));
     }
     first_buffer_id[child_id] = first_id;
     child.consumer_window_first = first_id;
@@ -468,9 +645,11 @@ Status Coordinator::DopSwitch(QueryExec* query, StageExec* stage, int dop,
       StageExec& parent = parent_it->second;
       int worker = stage->task_workers.back();
       for (size_t t = 0; t < parent.tasks.size(); ++t) {
-        ACCORDION_RETURN_NOT_OK(bus_->AddRemoteSplits(
-            parent.task_workers[t], parent.tasks[t], stage->fragment.stage_id,
-            {RemoteSplit{worker, *spawned}}));
+        ACCORDION_RETURN_NOT_OK(RetryRpc(query, "AddRemoteSplits", [&] {
+          return bus_->AddRemoteSplits(parent.task_workers[t], parent.tasks[t],
+                                       stage->fragment.stage_id,
+                                       {RemoteSplit{worker, *spawned}});
+        }));
       }
     }
   }
@@ -490,6 +669,10 @@ Status Coordinator::DopSwitch(QueryExec* query, StageExec* stage, int dop,
     SleepForMillis(20);
   }
   double build_seconds = build_watch.ElapsedSeconds();
+  if (query->state.load() != QueryState::kRunning) {
+    return Status::Aborted("query " + query->id +
+                           " terminated during DOP switch");
+  }
 
   // Phase 4: switch probe routing to the new group; old tasks drain and
   // close bottom-up through the end-page relay.
@@ -499,8 +682,11 @@ Status Coordinator::DopSwitch(QueryExec* query, StageExec* stage, int dop,
     if (is_build) continue;  // multicast keeps feeding all groups
     StageExec& child = query->stages.at(child_id);
     for (size_t t = 0; t < child.tasks.size(); ++t) {
-      ACCORDION_RETURN_NOT_OK(bus_->SwitchOutputToNewestGroup(
-          child.task_workers[t], child.tasks[t]));
+      ACCORDION_RETURN_NOT_OK(
+          RetryRpc(query, "SwitchOutputToNewestGroup", [&] {
+            return bus_->SwitchOutputToNewestGroup(child.task_workers[t],
+                                                   child.tasks[t]);
+          }));
     }
   }
 
@@ -528,6 +714,14 @@ Result<QuerySnapshot> Coordinator::Snapshot(const std::string& query_id) {
   snapshot.end_ms = query->end_ms.load();
   snapshot.initial_schedule_ms = query->initial_schedule_ms;
   snapshot.initial_schedule_requests = query->initial_schedule_requests;
+  snapshot.rpc_retries = query->control_retries.load();
+  QueryFaultStats fault_stats = bus_->query_fault_stats(query_id);
+  snapshot.faults_injected = fault_stats.faults_injected;
+  snapshot.worker_crashes = fault_stats.worker_crashes;
+  if (snapshot.state == QueryState::kFailed) {
+    std::lock_guard<std::mutex> failure_lock(query->failure_mutex);
+    snapshot.failure_message = query->failure.ToString();
+  }
 
   std::lock_guard<std::mutex> lock(query->control_mutex);
   for (auto& [stage_id, stage] : query->stages) {
@@ -548,6 +742,7 @@ Result<QuerySnapshot> Coordinator::Snapshot(const std::string& query_id) {
     auto absorb = [&](const TaskId& id, int worker, bool active) {
       auto info = bus_->GetTaskInfo(worker, id);
       if (!info.has_value()) return;
+      snapshot.rpc_retries += info->rpc_retries;
       s.output_rows += info->output_rows;
       s.output_bytes += info->output_bytes;
       s.processed_rows += info->processed_rows;
@@ -561,7 +756,8 @@ Result<QuerySnapshot> Coordinator::Snapshot(const std::string& query_id) {
       if (active) {
         s.task_dop = std::max(s.task_dop, info->task_dop);
         if (info->state != TaskState::kFinished &&
-            info->state != TaskState::kAborted) {
+            info->state != TaskState::kAborted &&
+            info->state != TaskState::kFailed) {
           all_finished = false;
         }
         if (info->has_join && !info->hash_tables_built) {

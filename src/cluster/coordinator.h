@@ -3,10 +3,13 @@
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -69,6 +72,18 @@ struct QuerySnapshot {
   int64_t end_ms = 0;  // 0 while running
   double initial_schedule_ms = 0;
   int64_t initial_schedule_requests = 0;
+
+  // --- fault-model counters ---
+  /// RPC retries performed for this query: coordinator control-plane and
+  /// result fetches plus every task's exchange-client data plane.
+  int64_t rpc_retries = 0;
+  /// Faults the injector fired on this query's calls, and how many of
+  /// them were worker crashes.
+  int64_t faults_injected = 0;
+  int64_t worker_crashes = 0;
+  /// Set when state == kFailed: the escalated root cause.
+  std::string failure_message;
+
   std::vector<StageSnapshot> stages;
 
   const StageSnapshot* stage(int id) const {
@@ -175,10 +190,30 @@ class Coordinator {
     std::mutex fetch_mutex;  // serializes result fetches (cursor vs Wait)
     RemoteSplit root_split;  // stage 0's single task, pulled by consumers
     bool fetch_complete = false;  // end page observed (guarded by fetch_mutex)
+    /// Result pages received so far — the resume point passed to the root
+    /// buffer so retried fetches are lossless. Guarded by fetch_mutex.
+    int64_t fetch_sequence = 0;
     /// Pages a timed-out Wait had already pulled off the buffer; served
     /// before new fetches so a retry resumes the stream losslessly.
     /// Guarded by fetch_mutex.
     std::vector<PagePtr> stash;
+
+    /// Control-plane + result-fetch retries (data-plane retries live in
+    /// the tasks' contexts and are summed at snapshot time).
+    std::atomic<int64_t> control_retries{0};
+
+    /// First escalated failure (state == kFailed).
+    std::mutex failure_mutex;
+    Status failure;
+
+    /// Flat (worker, task) registry of everything this query ever
+    /// spawned, including retired tasks. Unlike `stages` it is guarded by
+    /// its own small mutex that is never held across RPCs or waits, so
+    /// Abort and the health monitor stay responsive even while a tuning
+    /// operation holds control_mutex (e.g. a DOP switch waiting on a
+    /// build that will never finish because its worker died).
+    std::mutex registry_mutex;
+    std::vector<std::pair<int, TaskId>> task_registry;
   };
 
   std::shared_ptr<QueryExec> GetQuery(const std::string& query_id);
@@ -197,6 +232,27 @@ class Coordinator {
 
   void CleanupQueryTasks(QueryExec* query);
 
+  /// Runs `call` with exponential backoff on kUnavailable (idempotent
+  /// control-plane calls only). kAlreadyExists after an earlier
+  /// kUnavailable is success: the first attempt executed but its response
+  /// was lost. Exhaustion returns the last error with `what` as context.
+  Status RetryRpc(QueryExec* query, const char* what,
+                  const std::function<Status()>& call);
+
+  /// Escalates the query to kFailed with `status` as root cause and
+  /// aborts all its tasks. Idempotent; loses against an earlier
+  /// finish/abort/failure.
+  void FailQuery(const std::shared_ptr<QueryExec>& query,
+                 const Status& status);
+
+  /// Best-effort abort of every task the query ever spawned (registry
+  /// order). Takes no control_mutex — safe from any thread.
+  void AbortAllTasks(QueryExec* query);
+
+  /// Background health monitor: escalates crashed workers and failed
+  /// tasks to query failure every health_check_interval_ms.
+  void MonitorLoop();
+
   OutputBufferConfig BufferConfigFor(const QueryExec& query,
                                      const StageExec& stage) const;
   NextSplitFn SplitFeed(std::shared_ptr<QueryExec> query, int stage_id);
@@ -210,6 +266,13 @@ class Coordinator {
   std::map<std::string, std::shared_ptr<QueryExec>> queries_;
   std::atomic<int> next_worker_{0};
   std::atomic<int> next_query_{0};
+
+  /// Seed feed for per-call backoff jitter (deterministic order-dependent
+  /// stream, no global randomness).
+  std::atomic<uint64_t> next_retry_seed_{1};
+
+  std::atomic<bool> monitor_shutdown_{false};
+  std::thread monitor_;
 };
 
 }  // namespace accordion

@@ -2,6 +2,7 @@
 
 #include "cluster/worker.h"
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace accordion {
@@ -29,6 +30,84 @@ void RpcBus::SimulateLatency() {
   }
 }
 
+void RpcBus::CrashWorker(int worker_id) {
+  WorkerNode* w = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!dead_workers_.insert(worker_id).second) return;  // already dead
+    auto it = workers_.find(worker_id);
+    if (it != workers_.end()) w = it->second;
+  }
+  ACC_LOG(kInfo) << "worker " << worker_id << " crashed";
+  if (w != nullptr) w->Crash();
+}
+
+bool RpcBus::WorkerAlive(int worker_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dead_workers_.count(worker_id) == 0;
+}
+
+std::vector<int> RpcBus::DeadWorkers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<int>(dead_workers_.begin(), dead_workers_.end());
+}
+
+QueryFaultStats RpcBus::query_fault_stats(const std::string& query_id) const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  auto it = query_faults_.find(query_id);
+  return it == query_faults_.end() ? QueryFaultStats{} : it->second;
+}
+
+void RpcBus::RecordFault(const std::string& query_id, bool crash) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  QueryFaultStats& stats = query_faults_[query_id];
+  ++stats.faults_injected;
+  if (crash) ++stats.worker_crashes;
+}
+
+RpcBus::CallFate RpcBus::Intercept(const char* site, int worker_id,
+                                   const std::string& query_id) {
+  SimulateLatency();
+  CallFate fate;
+  if (!WorkerAlive(worker_id)) {
+    fate.pre = Status::Unavailable("worker " + std::to_string(worker_id) +
+                                   " is down")
+                   .WithContext(site);
+    return fate;
+  }
+  FaultInjector* injector = config_->fault_injector;
+  if (injector == nullptr || !injector->enabled()) return fate;
+  FaultDecision decision = injector->Decide(site);
+  if (!decision.fault) return fate;
+  RecordFault(query_id, decision.kind == FaultKind::kWorkerCrash);
+  switch (decision.kind) {
+    case FaultKind::kTransientError:
+      fate.pre = Status::Unavailable("injected transient error")
+                     .WithContext(site);
+      return fate;
+    case FaultKind::kAddedLatency:
+      if (decision.latency_ms > 0) {
+        SleepForMicros(static_cast<int64_t>(decision.latency_ms * 1000));
+      }
+      return fate;
+    case FaultKind::kDropResponse:
+      fate.drop = true;
+      return fate;
+    case FaultKind::kWorkerCrash:
+      CrashWorker(worker_id);
+      fate.pre = Status::Unavailable("worker " + std::to_string(worker_id) +
+                                     " crashed (injected)")
+                     .WithContext(site);
+      return fate;
+  }
+  return fate;
+}
+
+Status RpcBus::FinishCall(const CallFate& fate, const char* site) {
+  if (!fate.drop) return Status::OK();
+  return Status::Unavailable("injected response drop").WithContext(site);
+}
+
 namespace {
 Status NoWorker(int worker_id) {
   return Status::NotFound("no worker " + std::to_string(worker_id));
@@ -40,127 +119,156 @@ Status NoTask(const TaskId& task) {
 
 Status RpcBus::ScheduleTask(int worker_id, TaskSpec spec,
                             NextSplitFn next_split) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.ScheduleTask", worker_id, spec.id.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
-  return w->CreateTask(std::move(spec), std::move(next_split));
+  ACCORDION_RETURN_NOT_OK(w->CreateTask(std::move(spec), std::move(next_split)));
+  return FinishCall(fate, "rpc.ScheduleTask");
 }
 
 Status RpcBus::StartTask(int worker_id, const TaskId& task) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.StartTask", worker_id, task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
   Task* t = w->GetTask(task);
   if (t == nullptr) return NoTask(task);
   t->Start();
-  return Status::OK();
+  return FinishCall(fate, "rpc.StartTask");
 }
 
 Status RpcBus::AddRemoteSplits(int worker_id, const TaskId& task,
                                int source_stage,
                                const std::vector<RemoteSplit>& splits) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.AddRemoteSplits", worker_id, task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
   Task* t = w->GetTask(task);
   if (t == nullptr) return NoTask(task);
   t->AddRemoteSplits(source_stage, splits);
-  return Status::OK();
+  return FinishCall(fate, "rpc.AddRemoteSplits");
 }
 
 Status RpcBus::SetTaskDop(int worker_id, const TaskId& task, int dop) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.SetTaskDop", worker_id, task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
   Task* t = w->GetTask(task);
   if (t == nullptr) return NoTask(task);
-  return t->SetDop(dop);
+  ACCORDION_RETURN_NOT_OK(t->SetDop(dop));
+  return FinishCall(fate, "rpc.SetTaskDop");
 }
 
 Status RpcBus::SetConsumerCount(int worker_id, const TaskId& task, int count) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.SetConsumerCount", worker_id, task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
   Task* t = w->GetTask(task);
   if (t == nullptr) return NoTask(task);
   t->output_buffer()->SetConsumerCount(count);
-  return Status::OK();
+  return FinishCall(fate, "rpc.SetConsumerCount");
 }
 
 Status RpcBus::EndSignalOutput(int worker_id, const TaskId& task,
                                int buffer_id) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.EndSignalOutput", worker_id, task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
   Task* t = w->GetTask(task);
   if (t == nullptr) return NoTask(task);
   t->EndSignalOutput(buffer_id);
-  return Status::OK();
+  return FinishCall(fate, "rpc.EndSignalOutput");
 }
 
 Status RpcBus::SignalEndSources(int worker_id, const TaskId& task) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.SignalEndSources", worker_id, task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
   Task* t = w->GetTask(task);
   if (t == nullptr) return NoTask(task);
   t->SignalEndSources();
-  return Status::OK();
+  return FinishCall(fate, "rpc.SignalEndSources");
 }
 
 Status RpcBus::AbortTask(int worker_id, const TaskId& task) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.AbortTask", worker_id, task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
   Task* t = w->GetTask(task);
   if (t == nullptr) return NoTask(task);
   t->Abort();
-  return Status::OK();
+  return FinishCall(fate, "rpc.AbortTask");
 }
 
 Status RpcBus::AddOutputTaskGroup(int worker_id, const TaskId& task, int count,
                                   int first_buffer_id) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.AddOutputTaskGroup", worker_id, task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
   Task* t = w->GetTask(task);
   if (t == nullptr) return NoTask(task);
   t->AddOutputTaskGroup(count, first_buffer_id);
-  return Status::OK();
+  return FinishCall(fate, "rpc.AddOutputTaskGroup");
 }
 
 Status RpcBus::SwitchOutputToNewestGroup(int worker_id, const TaskId& task) {
-  SimulateLatency();
+  CallFate fate =
+      Intercept("rpc.SwitchOutputToNewestGroup", worker_id, task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return NoWorker(worker_id);
   Task* t = w->GetTask(task);
   if (t == nullptr) return NoTask(task);
   t->SwitchOutputToNewestGroup();
-  return Status::OK();
+  return FinishCall(fate, "rpc.SwitchOutputToNewestGroup");
 }
 
-PagesResult RpcBus::GetPages(const RemoteSplit& split, int buffer_id,
-                             int max_pages, ResourceGovernor* consumer_nic) {
-  SimulateLatency();
+Result<PagesResult> RpcBus::GetPages(const RemoteSplit& split, int buffer_id,
+                                     int64_t start_sequence, int max_pages,
+                                     ResourceGovernor* consumer_nic) {
+  CallFate fate =
+      Intercept("rpc.GetPages", split.worker_id, split.task.query_id);
+  if (!fate.pre.ok()) return fate.pre;
   WorkerNode* w = worker(split.worker_id);
-  if (w == nullptr) return PagesResult{{}, true};
+  if (w == nullptr) {
+    // A vanished worker is indistinguishable from an unreachable one for
+    // the data plane; kUnavailable keeps the caller retrying until the
+    // health monitor resolves the query's fate.
+    return Status::Unavailable("no worker " + std::to_string(split.worker_id))
+        .WithContext("rpc.GetPages");
+  }
   Task* t = w->GetTask(split.task);
-  if (t == nullptr) return PagesResult{{}, true};
-  PagesResult result = t->GetPages(buffer_id, max_pages);
+  if (t == nullptr) {
+    return Status::Unavailable("no task " + split.task.ToString())
+        .WithContext("rpc.GetPages");
+  }
+  PagesResult result = t->GetPages(buffer_id, start_sequence, max_pages);
   int64_t bytes = result.TotalBytes();
   if (bytes > 0) {
-    // Producer uplink and consumer downlink both carry the pages.
+    // Producer uplink and consumer downlink both carry the pages — also
+    // for dropped responses: the bytes were on the wire.
     w->nic()->Consume(static_cast<double>(bytes));
     if (consumer_nic != nullptr && consumer_nic != w->nic()) {
       consumer_nic->Consume(static_cast<double>(bytes));
     }
   }
+  Status drop = FinishCall(fate, "rpc.GetPages");
+  if (!drop.ok()) return drop;
   return result;
 }
 
 std::optional<TaskInfo> RpcBus::GetTaskInfo(int worker_id,
                                             const TaskId& task) {
-  SimulateLatency();
+  CallFate fate = Intercept("rpc.GetTaskInfo", worker_id, task.query_id);
+  if (!fate.pre.ok() || fate.drop) return std::nullopt;
   WorkerNode* w = worker(worker_id);
   if (w == nullptr) return std::nullopt;
   Task* t = w->GetTask(task);

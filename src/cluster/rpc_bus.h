@@ -5,6 +5,9 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "exec/task.h"
@@ -12,6 +15,13 @@
 namespace accordion {
 
 class WorkerNode;
+
+/// Injected-fault accounting attributed to one query (the query whose
+/// call the fault fired on). Surfaced through QueryHandle::Snapshot.
+struct QueryFaultStats {
+  int64_t faults_injected = 0;
+  int64_t worker_crashes = 0;
+};
 
 /// In-process message bus standing in for the RESTful RPC layer of the
 /// paper's cluster. Every call sleeps the configured per-request latency
@@ -21,6 +31,13 @@ class WorkerNode;
 ///
 /// Page transfers additionally charge the producer's and consumer's NIC
 /// governors, which is where shuffle/network bottlenecks come from.
+///
+/// Fault model: when EngineConfig::fault_injector is set, every call first
+/// consults it under the site name "rpc.<Method>". A transient error skips
+/// the call; a drop-response performs the call but loses the reply (the
+/// caller sees kUnavailable either way); a worker crash kills the callee.
+/// Calls to a crashed worker fail with kUnavailable forever after — the
+/// coordinator's health monitor escalates that to query failure.
 class RpcBus {
  public:
   explicit RpcBus(const EngineConfig* config) : config_(config) {}
@@ -44,9 +61,21 @@ class RpcBus {
   Status SwitchOutputToNewestGroup(int worker_id, const TaskId& task);
 
   // --- data plane ---
-  /// Pulls pages from `split`'s output buffer; charges both NICs.
-  PagesResult GetPages(const RemoteSplit& split, int buffer_id, int max_pages,
-                       ResourceGovernor* consumer_nic);
+  /// Pulls pages from `split`'s output buffer, resuming at
+  /// `start_sequence` (see OutputBuffer::GetPages); charges both NICs.
+  /// kUnavailable covers injected faults, crashed workers and vanished
+  /// tasks — all retryable with the same start_sequence.
+  Result<PagesResult> GetPages(const RemoteSplit& split, int buffer_id,
+                               int64_t start_sequence, int max_pages,
+                               ResourceGovernor* consumer_nic);
+
+  // --- worker health ---
+  /// Kills `worker_id`: aborts all its tasks and makes every later call
+  /// to it fail with kUnavailable. Idempotent; callable from fault
+  /// injection or directly by chaos tests.
+  void CrashWorker(int worker_id);
+  bool WorkerAlive(int worker_id) const;
+  std::vector<int> DeadWorkers() const;
 
   // --- observability ---
   std::optional<TaskInfo> GetTaskInfo(int worker_id, const TaskId& task);
@@ -55,13 +84,30 @@ class RpcBus {
   /// Latency-free request count bump (split assignment etc.).
   void CountRequest() { ++requests_; }
 
+  /// Injected faults attributed to `query_id`'s calls so far.
+  QueryFaultStats query_fault_stats(const std::string& query_id) const;
+
  private:
+  /// Outcome of the fault/health interception of one call.
+  struct CallFate {
+    Status pre;        // non-OK: fail now, skip the call entirely
+    bool drop = false; // perform the call, then lose the response
+  };
+
   void SimulateLatency();
+  CallFate Intercept(const char* site, int worker_id,
+                     const std::string& query_id);
+  Status FinishCall(const CallFate& fate, const char* site);
+  void RecordFault(const std::string& query_id, bool crash);
 
   const EngineConfig* config_;
   std::map<int, WorkerNode*> workers_;
   mutable std::mutex mutex_;
+  std::set<int> dead_workers_;
   std::atomic<int64_t> requests_{0};
+
+  mutable std::mutex fault_mutex_;
+  std::map<std::string, QueryFaultStats> query_faults_;
 };
 
 }  // namespace accordion

@@ -79,12 +79,15 @@ Status WorkerNode::CreateTask(TaskSpec spec, NextSplitFn next_split) {
     return storage_->OpenSplit(split, &nic_);
   };
   apis.fetch_pages = [this](const RemoteSplit& split, int buffer_id,
-                            int max_pages) {
-    return bus_->GetPages(split, buffer_id, max_pages, &nic_);
+                            int64_t start_sequence, int max_pages) {
+    return bus_->GetPages(split, buffer_id, start_sequence, max_pages, &nic_);
   };
 
   std::string key = spec.id.ToString();
   std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_.load()) {
+    return Status::Unavailable("worker " + std::to_string(id_) + " is down");
+  }
   if (tasks_.count(key) > 0) {
     return Status::AlreadyExists("task " + key + " already scheduled");
   }
@@ -118,6 +121,18 @@ Status WorkerNode::RemoveTask(const TaskId& task_id) {
 int WorkerNode::NumTasks() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<int>(tasks_.size());
+}
+
+void WorkerNode::Crash() {
+  if (crashed_.exchange(true)) return;
+  std::vector<Task*> tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& entry : tasks_) tasks.push_back(entry.second.get());
+  }
+  // Abort outside the map lock: Abort() only flips flags, but driver
+  // threads it unblocks may call back into GetTask.
+  for (Task* t : tasks) t->Abort();
 }
 
 }  // namespace accordion

@@ -1,6 +1,7 @@
 #ifndef ACCORDION_CLUSTER_WORKER_H_
 #define ACCORDION_CLUSTER_WORKER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,7 +52,13 @@ class WorkerNode {
   Status RemoveTask(const TaskId& task_id);
   int NumTasks() const;
 
+  /// Simulated node death (invoked by RpcBus::CrashWorker): aborts every
+  /// task so driver threads wind down, and refuses new tasks. Idempotent.
+  void Crash();
+  bool crashed() const { return crashed_.load(); }
+
  private:
+  std::atomic<bool> crashed_{false};
   int id_;
   const EngineConfig* engine_config_;
   RpcBus* bus_;

@@ -22,6 +22,10 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kDeadlineExceeded,
+  /// A remote peer (worker, RPC endpoint) is unreachable or answered with
+  /// a transient transport error. Idempotent calls may be retried; retry
+  /// exhaustion escalates the query to kFailed with this code.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -70,6 +74,18 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  /// Returns this status with `context` prepended to the message, keeping
+  /// the code. Chained along the call path so an error carries where it
+  /// happened, e.g. "GetPages q0.2.1 -> worker 3: injected fault". No-op
+  /// on OK statuses.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

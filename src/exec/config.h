@@ -3,7 +3,11 @@
 
 #include <cstdint>
 
+#include "common/retry_policy.h"
+
 namespace accordion {
+
+class FaultInjector;
 
 /// Virtual per-row CPU costs (microseconds of simulated core time) charged
 /// by drivers to their worker's CPU governor. These calibrate the
@@ -86,6 +90,23 @@ struct EngineConfig {
   /// capacity is used (Presto default: 32 MB).
   bool elastic_buffers = true;
   int64_t fixed_buffer_bytes = 32LL * 1024 * 1024;
+
+  // --- fault model (chaos harness, tests, benches) ---
+
+  /// Optional fault-injection control plane consulted by the RpcBus on
+  /// every control- and data-plane call. Null (default) means a
+  /// fault-free cluster; the owner (test/bench) keeps it alive for the
+  /// cluster's lifetime.
+  FaultInjector* fault_injector = nullptr;
+
+  /// Retry schedule for idempotent RPCs: the coordinator's control-plane
+  /// calls and the exchange clients' GetPages pulls. Retry exhaustion
+  /// escalates the query to kFailed.
+  RetryPolicy rpc_retry;
+
+  /// Cadence of the coordinator's health monitor, which escalates worker
+  /// crashes and retry-exhausted tasks to query failure.
+  int64_t health_check_interval_ms = 20;
 };
 
 /// Per-simulated-node resources (paper: c5.2xlarge, 8 vCPU, 10 Gbps).

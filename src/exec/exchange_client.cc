@@ -1,18 +1,31 @@
 #include "exec/exchange_client.h"
 
+#include <functional>
+
 #include "common/clock.h"
 #include "common/logging.h"
 
 namespace accordion {
+
+namespace {
+/// Deterministic per-client jitter seed: clients of the same task
+/// decorrelate without any global randomness source.
+uint64_t JitterSeed(const std::string& task_id, int buffer_id) {
+  return std::hash<std::string>{}(task_id) * 1099511628211ULL +
+         static_cast<uint64_t>(buffer_id) + 1;
+}
+}  // namespace
 
 ExchangeClient::ExchangeClient(TaskContext* task_ctx, int own_buffer_id,
                                FetchPagesFn fetch)
     : task_ctx_(task_ctx),
       own_buffer_id_(own_buffer_id),
       fetch_(std::move(fetch)),
-      capacity_(&task_ctx->config(), task_ctx) {}
+      capacity_(&task_ctx->config(), task_ctx),
+      rng_(JitterSeed(task_ctx->task_id(), own_buffer_id)) {}
 
 ExchangeClient::~ExchangeClient() {
+  // Safe also when Start() was never called: joinable() is then false.
   shutdown_ = true;
   if (fetcher_.joinable()) fetcher_.join();
 }
@@ -22,7 +35,9 @@ void ExchangeClient::AddRemoteSplit(const RemoteSplit& split) {
   for (const auto& s : sources_) {
     if (s.split == split) return;  // idempotent registration
   }
-  sources_.push_back(Source{split, false});
+  Source source;
+  source.split = split;
+  sources_.push_back(std::move(source));
 }
 
 void ExchangeClient::Start() {
@@ -40,15 +55,30 @@ bool ExchangeClient::AllSourcesFinishedLocked() const {
   return true;
 }
 
+void ExchangeClient::Fail(const Status& status) {
+  failed_ = true;
+  task_ctx_->ReportFailure(
+      status.WithContext("exchange client of task " + task_ctx_->task_id()));
+}
+
 void ExchangeClient::FetchLoop() {
+  const RetryPolicy& retry = task_ctx_->config().rpc_retry;
   size_t cursor = 0;
+  int64_t empty_streak = 0;
   while (!shutdown_.load()) {
+    if (failed_.load()) {
+      // Unrecoverable: idle until the coordinator aborts the task. Never
+      // complete the stream — that would truncate results silently.
+      SleepForMillis(5);
+      continue;
+    }
     // Backpressure: respect the elastic receive-buffer capacity.
     if (!capacity_.Accepting(buffered_bytes_.load())) {
       SleepForMillis(1);
       continue;
     }
     RemoteSplit target;
+    int64_t start_sequence = 0;
     bool have_target = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -60,6 +90,7 @@ void ExchangeClient::FetchLoop() {
         size_t i = (cursor + probe) % sources_.size();
         if (!sources_[i].finished) {
           target = sources_[i].split;
+          start_sequence = sources_[i].next_sequence;
           cursor = i + 1;
           have_target = true;
           break;
@@ -70,10 +101,45 @@ void ExchangeClient::FetchLoop() {
       SleepForMillis(1);
       continue;
     }
-    PagesResult result = fetch_(
-        target, own_buffer_id_, task_ctx_->config().max_pages_per_fetch);
+    Result<PagesResult> fetched =
+        fetch_(target, own_buffer_id_, start_sequence,
+               task_ctx_->config().max_pages_per_fetch);
+    if (!fetched.ok()) {
+      const Status& error = fetched.status();
+      if (!IsRetryableRpcStatus(error)) {
+        Fail(error);
+        continue;
+      }
+      int attempts = 0;
+      int64_t elapsed_ms = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto& s : sources_) {
+          if (!(s.split == target)) continue;
+          if (s.attempts == 0) s.first_failure_ms = NowMillis();
+          attempts = ++s.attempts;
+          elapsed_ms = NowMillis() - s.first_failure_ms;
+        }
+      }
+      if (attempts >= retry.max_attempts ||
+          elapsed_ms > retry.attempt_deadline_ms) {
+        Fail(error.WithContext("GetPages from task " +
+                               target.task.ToString() + " failed after " +
+                               std::to_string(attempts) + " attempts"));
+        continue;
+      }
+      task_ctx_->AddRpcRetry();
+      SleepForMillis(RetryBackoffMs(retry, attempts, &rng_));
+      continue;
+    }
+    PagesResult result = std::move(fetched).value();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& s : sources_) {
+        if (!(s.split == target)) continue;
+        s.attempts = 0;
+        s.next_sequence += static_cast<int64_t>(result.pages.size());
+      }
       for (auto& page : result.pages) {
         buffered_bytes_ += page->ByteSize();
         queue_.push_back(std::move(page));
@@ -88,7 +154,15 @@ void ExchangeClient::FetchLoop() {
         }
       }
     }
-    if (result.pages.empty() && !result.complete) SleepForMillis(4);
+    if (result.pages.empty() && !result.complete) {
+      // Exponential idle backoff instead of a fixed hot-poll cadence:
+      // upstream is slow, so ease off up to ~16 ms between probes.
+      ++empty_streak;
+      SleepForMillis(std::min<int64_t>(1LL << std::min<int64_t>(empty_streak, 4),
+                                       16));
+    } else {
+      empty_streak = 0;
+    }
   }
 }
 
@@ -112,7 +186,8 @@ PagePtr ExchangeClient::Poll() {
     return nullptr;
   }
   // Consumption outpaced production: grow the receive buffer and count a
-  // turn-up (paper §5.1 bottleneck signal).
+  // turn-up (paper §5.1 bottleneck signal). A failed client keeps
+  // returning nullptr until the coordinator aborts the query.
   capacity_.OnEmptyPop();
   return nullptr;
 }

@@ -8,16 +8,20 @@
 #include <thread>
 #include <vector>
 
+#include "common/random.h"
+#include "common/retry_policy.h"
 #include "exec/output_buffer.h"
 #include "exec/split.h"
 #include "exec/task_context.h"
 
 namespace accordion {
 
-/// Performs one GetPages RPC against an upstream task's output buffer.
-/// Wired by the cluster layer (adds RPC latency and NIC charging).
-using FetchPagesFn =
-    std::function<PagesResult(const RemoteSplit&, int buffer_id, int max_pages)>;
+/// Performs one GetPages RPC against an upstream task's output buffer,
+/// resuming at `start_sequence` (the pages already received from that
+/// buffer id). Wired by the cluster layer (adds RPC latency, NIC charging
+/// and fault injection); kUnavailable errors are retryable.
+using FetchPagesFn = std::function<Result<PagesResult>(
+    const RemoteSplit&, int buffer_id, int64_t start_sequence, int max_pages)>;
 
 /// Task-side client pulling pages from all tasks of one upstream stage
 /// (paper Fig. 7's exchange receive buffer + Fig. 12a's global remote
@@ -29,6 +33,13 @@ using FetchPagesFn =
 /// bottleneck localizer (§5.1). Remote splits can be added while running
 /// — that is what makes upstream intra-stage DOP increases invisible to
 /// the consuming operators.
+///
+/// Fault handling: each source keeps its own receive sequence, so a
+/// transient fetch error (injected fault, dropped response) is retried
+/// with backoff at the same sequence and the upstream resume window
+/// re-serves exactly the missed pages. When retries are exhausted the
+/// client reports the failure to its TaskContext and stalls — it never
+/// fabricates completion, because that would silently truncate results.
 class ExchangeClient {
  public:
   ExchangeClient(TaskContext* task_ctx, int own_buffer_id, FetchPagesFn fetch);
@@ -45,27 +56,41 @@ class ExchangeClient {
   PagePtr Poll();
 
   bool complete() const { return complete_.load(); }
+  /// True once a fetch failed unrecoverably (also reported to the
+  /// TaskContext, from where the coordinator escalates).
+  bool failed() const { return failed_.load(); }
   int64_t buffered_bytes() const { return buffered_bytes_.load(); }
   int num_sources() const;
 
  private:
   void FetchLoop();
   bool AllSourcesFinishedLocked() const;
+  /// Marks the client (and its task) failed; the fetcher idles afterwards.
+  void Fail(const Status& status);
 
   TaskContext* task_ctx_;
   int own_buffer_id_;
   FetchPagesFn fetch_;
   ElasticCapacity capacity_;
+  Random rng_;  // fetcher-thread only (backoff jitter)
 
   mutable std::mutex mutex_;
   struct Source {
     RemoteSplit split;
     bool finished = false;
+    /// Pages received so far == resume point for the next fetch.
+    int64_t next_sequence = 0;
+    /// Consecutive failed fetches (reset on success).
+    int attempts = 0;
+    /// Wall-clock start of the current retry run (first failure), for the
+    /// deadline check.
+    int64_t first_failure_ms = 0;
   };
   std::vector<Source> sources_;
   std::deque<PagePtr> queue_;
   std::atomic<int64_t> buffered_bytes_{0};
   std::atomic<bool> complete_{false};
+  std::atomic<bool> failed_{false};
   std::atomic<bool> shutdown_{false};
   std::thread fetcher_;
   bool started_ = false;

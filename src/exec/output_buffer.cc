@@ -74,6 +74,41 @@ void OutputBuffer::SwitchToNewestGroup() {
   ACC_CHECK(false) << "SwitchToNewestGroup on non-shuffle buffer";
 }
 
+PagesResult OutputBuffer::GetPages(int buffer_id, int64_t start_sequence,
+                                   int max_pages) {
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  ConsumerStream& stream = streams_[buffer_id];
+  if (start_sequence == kAutoSequence) start_sequence = stream.next_sequence;
+  // Acknowledge: everything below start_sequence arrived at the consumer.
+  while (stream.window_start < start_sequence && !stream.window.empty()) {
+    stream.window.pop_front();
+    ++stream.window_start;
+  }
+  if (start_sequence < stream.next_sequence) {
+    // Retry after a lost response: re-serve from the unacked window.
+    PagesResult result;
+    size_t offset = static_cast<size_t>(start_sequence - stream.window_start);
+    for (size_t i = offset; i < stream.window.size() &&
+                            static_cast<int>(result.pages.size()) < max_pages;
+         ++i) {
+      result.pages.push_back(stream.window[i]);
+    }
+    result.complete =
+        stream.complete_seen &&
+        start_sequence + static_cast<int64_t>(result.pages.size()) ==
+            stream.next_sequence;
+    return result;
+  }
+  PagesResult result = FetchNewPages(buffer_id, max_pages);
+  for (const auto& page : result.pages) {
+    stream.window.push_back(page);
+    ++stream.next_sequence;
+  }
+  if (result.complete) stream.complete_seen = true;
+  result.complete = stream.complete_seen;
+  return result;
+}
+
 // ---------------------------------------------------------------------------
 // SharedBuffer
 // ---------------------------------------------------------------------------
@@ -97,7 +132,7 @@ void SharedBuffer::Enqueue(const PagePtr& page) {
   queued_bytes_ += page->ByteSize();
 }
 
-PagesResult SharedBuffer::GetPages(int buffer_id, int max_pages) {
+PagesResult SharedBuffer::FetchNewPages(int buffer_id, int max_pages) {
   PagesResult result;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -188,7 +223,7 @@ void BroadcastBuffer::Enqueue(const PagePtr& page) {
   queued_bytes_ += page->ByteSize();
 }
 
-PagesResult BroadcastBuffer::GetPages(int buffer_id, int max_pages) {
+PagesResult BroadcastBuffer::FetchNewPages(int buffer_id, int max_pages) {
   PagesResult result;
   int64_t bytes = 0;
   {
@@ -350,7 +385,7 @@ bool ShuffleBuffer::DrainedLocked() const {
   return input_queue_.empty() && in_flight_ == 0 && replaying_ == 0;
 }
 
-PagesResult ShuffleBuffer::GetPages(int buffer_id, int max_pages) {
+PagesResult ShuffleBuffer::FetchNewPages(int buffer_id, int max_pages) {
   PagesResult result;
   int64_t bytes = 0;
   {
@@ -443,6 +478,10 @@ void ShuffleBuffer::AddTaskGroup(int count, int first_buffer_id) {
   std::vector<PagePtr> replay;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    for (const Group& existing : groups_) {
+      // Retried RPC (response dropped): the group already exists.
+      if (existing.first_buffer_id == first_buffer_id) return;
+    }
     Group group;
     group.first_buffer_id = first_buffer_id;
     group.count = count;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -101,7 +102,24 @@ class OutputBuffer {
   void ProducerDriverFinished();
 
   // --- consumer side (downstream exchange clients, via RPC) ---
-  virtual PagesResult GetPages(int buffer_id, int max_pages) = 0;
+
+  /// Pulls pages for `buffer_id` with lossless-retry semantics:
+  /// `start_sequence` is the number of pages the consumer has already
+  /// received from this buffer id. Pages handed out stay in a per-consumer
+  /// unacked window until a later call's start_sequence acknowledges them,
+  /// so a consumer whose response was lost in flight re-fetches with its
+  /// old sequence and gets exactly the same pages again — a dropped
+  /// GetPages response is invisible to the query. Completion is likewise
+  /// re-observable. Pass kAutoSequence for local consumers that never
+  /// retry (acks everything outstanding, serves only new pages).
+  static constexpr int64_t kAutoSequence = -1;
+  PagesResult GetPages(int buffer_id, int64_t start_sequence, int max_pages);
+
+  /// Legacy single-shot form: no resume window (every page is delivered
+  /// exactly once, immediately acked).
+  PagesResult GetPages(int buffer_id, int max_pages) {
+    return GetPages(buffer_id, kAutoSequence, max_pages);
+  }
 
   /// Grows the buffer-ID array to `n` consumers (ids [0, n)).
   virtual void SetConsumerCount(int n) = 0;
@@ -129,6 +147,11 @@ class OutputBuffer {
   int64_t queued_bytes() const { return queued_bytes_.load(); }
 
  protected:
+  /// Implementation hook: hands out the next batch of *new* pages for
+  /// `buffer_id` (destructive pop). The resume window above it makes the
+  /// public GetPages retry-safe.
+  virtual PagesResult FetchNewPages(int buffer_id, int max_pages) = 0;
+
   bool NoMoreInput() const {
     return producers_started_ && producer_drivers_.load() == 0;
   }
@@ -139,6 +162,18 @@ class OutputBuffer {
   std::atomic<int64_t> queued_bytes_{0};
   std::atomic<int> producer_drivers_{0};
   std::atomic<bool> producers_started_{false};
+
+ private:
+  /// Per-consumer delivery stream backing the resume protocol.
+  struct ConsumerStream {
+    int64_t window_start = 0;     // sequence of window.front()
+    int64_t next_sequence = 0;    // sequence the next new page gets
+    bool complete_seen = false;   // impl reported end-of-stream
+    std::deque<PagePtr> window;   // delivered but unacknowledged
+  };
+
+  std::mutex stream_mutex_;
+  std::map<int, ConsumerStream> streams_;  // keyed by buffer id
 };
 
 /// Arbitrary-distribution buffer (paper Fig. 10a): one page queue, any
@@ -149,10 +184,12 @@ class SharedBuffer : public OutputBuffer {
 
   bool AcceptingInput() const override;
   void Enqueue(const PagePtr& page) override;
-  PagesResult GetPages(int buffer_id, int max_pages) override;
   void SetConsumerCount(int n) override;
   void EndSignal(int buffer_id) override;
   bool AllConsumersDone() const override;
+
+ protected:
+  PagesResult FetchNewPages(int buffer_id, int max_pages) override;
 
  private:
   mutable std::mutex mutex_;
@@ -169,10 +206,12 @@ class BroadcastBuffer : public OutputBuffer {
 
   bool AcceptingInput() const override;
   void Enqueue(const PagePtr& page) override;
-  PagesResult GetPages(int buffer_id, int max_pages) override;
   void SetConsumerCount(int n) override;
   void EndSignal(int buffer_id) override;
   bool AllConsumersDone() const override;
+
+ protected:
+  PagesResult FetchNewPages(int buffer_id, int max_pages) override;
 
  private:
   struct Consumer {
@@ -195,11 +234,12 @@ class ShuffleBuffer : public OutputBuffer {
 
   bool AcceptingInput() const override;
   void Enqueue(const PagePtr& page) override;
-  PagesResult GetPages(int buffer_id, int max_pages) override;
   void SetConsumerCount(int n) override;
   void EndSignal(int buffer_id) override;
   bool AllConsumersDone() const override;
 
+  /// Idempotent: a group with the same first_buffer_id already exists ->
+  /// no-op (a retried AddOutputTaskGroup RPC must not double-create).
   void AddTaskGroup(int count, int first_buffer_id) override;
   void SwitchToNewestGroup() override;
 
@@ -209,6 +249,9 @@ class ShuffleBuffer : public OutputBuffer {
   /// Bytes reshuffled from cache by the latest AddTaskGroup (Table 2's
   /// shuffle-time accounting).
   int64_t last_reshuffle_bytes() const { return last_reshuffle_bytes_.load(); }
+
+ protected:
+  PagesResult FetchNewPages(int buffer_id, int max_pages) override;
 
  private:
   struct Group {

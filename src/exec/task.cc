@@ -95,7 +95,9 @@ void Task::AddDriverLocked(int pipeline_id) {
 
 void Task::Start() {
   std::lock_guard<std::mutex> lock(mutex_);
-  ACC_CHECK(state_ == TaskState::kCreated) << "task started twice";
+  // Idempotent: a StartTask RPC whose response was dropped is retried by
+  // the coordinator, and the retry must be a no-op.
+  if (state_ != TaskState::kCreated) return;
   for (size_t p = 0; p < pipelines_.size(); ++p) {
     int dop = pipelines_[p].tunable ? spec_.initial_dop : 1;
     for (int d = 0; d < dop; ++d) AddDriverLocked(static_cast<int>(p));
@@ -169,8 +171,9 @@ Status Task::SetDop(int dop) {
   return Status::OK();
 }
 
-PagesResult Task::GetPages(int buffer_id, int max_pages) {
-  PagesResult result = buffer_->GetPages(buffer_id, max_pages);
+PagesResult Task::GetPages(int buffer_id, int64_t start_sequence,
+                           int max_pages) {
+  PagesResult result = buffer_->GetPages(buffer_id, start_sequence, max_pages);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     UpdateStateLocked();
@@ -206,6 +209,10 @@ void Task::SwitchOutputToNewestGroup() { buffer_->SwitchToNewestGroup(); }
 
 void Task::UpdateStateLocked() {
   if (state_ != TaskState::kRunning) return;
+  if (task_ctx_.failed()) {
+    state_ = TaskState::kFailed;
+    return;
+  }
   for (const auto& pipeline_drivers : drivers_) {
     for (const auto& slot : pipeline_drivers) {
       if (!slot.driver->done()) return;
@@ -218,7 +225,8 @@ void Task::UpdateStateLocked() {
 bool Task::Finished() {
   std::lock_guard<std::mutex> lock(mutex_);
   UpdateStateLocked();
-  return state_ == TaskState::kFinished || state_ == TaskState::kAborted;
+  return state_ == TaskState::kFinished || state_ == TaskState::kAborted ||
+         state_ == TaskState::kFailed;
 }
 
 TaskInfo Task::Info() {
@@ -248,6 +256,9 @@ TaskInfo Task::Info() {
   for (const auto& [id, bridge] : join_bridges_) {
     if (!bridge->built()) info.hash_tables_built = false;
   }
+  info.failed = task_ctx_.failed();
+  if (info.failed) info.failure_message = task_ctx_.failure().ToString();
+  info.rpc_retries = task_ctx_.rpc_retries();
   return info;
 }
 

@@ -61,7 +61,8 @@ class Task {
   Task(const Task&) = delete;
   Task& operator=(const Task&) = delete;
 
-  /// Creates the initial drivers and begins execution.
+  /// Creates the initial drivers and begins execution. Idempotent:
+  /// repeated calls (retried StartTask RPCs) are no-ops.
   void Start();
 
   /// Registers additional upstream tasks for `source_stage_id`.
@@ -74,8 +75,10 @@ class Task {
   /// Sets the driver count of one pipeline.
   Status SetPipelineDop(int pipeline_id, int dop);
 
-  /// Consumer-side page poll on this task's output buffer.
-  PagesResult GetPages(int buffer_id, int max_pages);
+  /// Consumer-side page poll on this task's output buffer, resuming at
+  /// `start_sequence` (pass OutputBuffer::kAutoSequence for local
+  /// consumers that never retry).
+  PagesResult GetPages(int buffer_id, int64_t start_sequence, int max_pages);
 
   /// End signal for one downstream consumer of this task's buffer.
   void EndSignalOutput(int buffer_id);

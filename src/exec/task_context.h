@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/resource_governor.h"
+#include "common/status.h"
 #include "exec/config.h"
 
 namespace accordion {
@@ -40,6 +42,7 @@ class TaskContext {
   void AddProcessedRows(int64_t n) { processed_rows_ += n; }
   void BufferTurnUp() { ++turn_up_counter_; }
   void SetHashBuildMicros(int64_t us) { hash_build_us_ = us; }
+  void AddRpcRetry() { ++rpc_retries_; }
 
   int64_t output_rows() const { return output_rows_; }
   int64_t output_bytes() const { return output_bytes_; }
@@ -48,6 +51,22 @@ class TaskContext {
   int64_t processed_rows() const { return processed_rows_; }
   int64_t turn_up_counter() const { return turn_up_counter_; }
   int64_t hash_build_micros() const { return hash_build_us_; }
+  int64_t rpc_retries() const { return rpc_retries_; }
+
+  // --- failure reporting ---
+  /// Records an unrecoverable task-local error (e.g. GetPages retry
+  /// exhaustion). First failure wins; the coordinator's health monitor
+  /// picks it up from TaskInfo and escalates the query to kFailed.
+  void ReportFailure(const Status& status) {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    if (failure_.ok()) failure_ = status;
+    failed_.store(true, std::memory_order_release);
+  }
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  Status failure() const {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    return failure_;
+  }
 
  private:
   std::string task_id_;
@@ -62,6 +81,11 @@ class TaskContext {
   std::atomic<int64_t> processed_rows_{0};
   std::atomic<int64_t> turn_up_counter_{0};
   std::atomic<int64_t> hash_build_us_{0};
+  std::atomic<int64_t> rpc_retries_{0};
+
+  std::atomic<bool> failed_{false};
+  mutable std::mutex failure_mutex_;
+  Status failure_;
 };
 
 }  // namespace accordion

@@ -9,7 +9,7 @@
 
 namespace accordion {
 
-enum class TaskState { kCreated, kRunning, kFinished, kAborted };
+enum class TaskState { kCreated, kRunning, kFinished, kAborted, kFailed };
 
 inline const char* TaskStateName(TaskState state) {
   switch (state) {
@@ -21,6 +21,8 @@ inline const char* TaskStateName(TaskState state) {
       return "finished";
     case TaskState::kAborted:
       return "aborted";
+    case TaskState::kFailed:
+      return "failed";
   }
   return "?";
 }
@@ -53,6 +55,13 @@ struct TaskInfo {
   /// Node-level utilizations at snapshot time (for n_f capping, §5.3).
   double cpu_utilization = 0;
   double nic_utilization = 0;
+
+  // --- fault-model state (coordinator health monitor inputs) ---
+  /// Task hit an unrecoverable error (retry exhaustion); the query fails.
+  bool failed = false;
+  std::string failure_message;
+  /// Data-plane RPC retries performed by this task's exchange clients.
+  int64_t rpc_retries = 0;
 };
 
 }  // namespace accordion

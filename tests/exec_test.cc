@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
 #include <numeric>
+#include <vector>
 
 #include "common/clock.h"
+#include "exec/exchange_client.h"
 #include "exec/task.h"
 #include "plan/builder.h"
 #include "plan/fragment.h"
@@ -30,7 +34,8 @@ struct TestEnv {
           split.table, split.scale_factor, split.split_index,
           split.split_count, 256);
     };
-    apis.fetch_pages = [](const RemoteSplit&, int, int) {
+    apis.fetch_pages = [](const RemoteSplit&, int, int64_t,
+                          int) -> Result<PagesResult> {
       return PagesResult{{}, true};
     };
     return apis;
@@ -49,7 +54,8 @@ std::vector<PagePtr> DrainTask(Task* task, int buffer_id = 0,
   std::vector<PagePtr> pages;
   Stopwatch sw;
   while (sw.ElapsedMillis() < timeout_ms) {
-    PagesResult result = task->GetPages(buffer_id, 64);
+    PagesResult result =
+        task->GetPages(buffer_id, OutputBuffer::kAutoSequence, 64);
     for (auto& p : result.pages) pages.push_back(std::move(p));
     if (result.complete) return pages;
     SleepForMillis(1);
@@ -174,8 +180,9 @@ TEST(TaskTest, GlobalCountAcrossTwoWiredTasks) {
 
   TaskApis parent_apis = env.ApisFor();
   parent_apis.fetch_pages = [&](const RemoteSplit& split, int buffer_id,
-                                int max_pages) {
-    return child.GetPages(buffer_id, max_pages);
+                                int64_t start_sequence,
+                                int max_pages) -> Result<PagesResult> {
+    return child.GetPages(buffer_id, start_sequence, max_pages);
   };
   Task parent(parent_spec, parent_apis, &env.cpu, &env.nic, &env.config);
 
@@ -227,9 +234,10 @@ TEST(TaskTest, JoinInsideTaskViaBridgeAndLocalExchange) {
 
   TaskApis join_apis = env.ApisFor();
   join_apis.fetch_pages = [&](const RemoteSplit& split, int buffer_id,
-                              int max_pages) {
+                              int64_t start_sequence,
+                              int max_pages) -> Result<PagesResult> {
     Task* source = split.task.stage_id == 1 ? &probe_task : &build_task;
-    return source->GetPages(buffer_id, max_pages);
+    return source->GetPages(buffer_id, start_sequence, max_pages);
   };
   Task join_task(join_spec, join_apis, &env.cpu, &env.nic, &env.config);
 
@@ -513,6 +521,112 @@ TEST(OutputBufferTest, ShuffleSwitchRoutesExactlyOnce) {
     }
   }
   EXPECT_EQ(total, 100);  // every row delivered exactly once
+}
+
+// --- exchange-client fault handling ----------------------------------------
+
+TEST(ExchangeClientTest, DestructorWithoutStartIsSafe) {
+  TestEnv env;
+  TaskContext ctx("t", &env.cpu, &env.nic, &env.config);
+  ExchangeClient client(
+      &ctx, 0,
+      [](const RemoteSplit&, int, int64_t, int) -> Result<PagesResult> {
+        return PagesResult{{}, true};
+      });
+  client.AddRemoteSplit(RemoteSplit{0, TaskId{"q", 1, 0}});
+  // Never Start()ed: destruction must not join a non-existent thread or
+  // hang. The test completing is the assertion.
+}
+
+TEST(ExchangeClientTest, VanishedUpstreamFailsTaskInsteadOfCompleting) {
+  TestEnv env;
+  TaskContext ctx("t", &env.cpu, &env.nic, &env.config);
+  ExchangeClient client(
+      &ctx, 0,
+      [](const RemoteSplit&, int, int64_t, int) -> Result<PagesResult> {
+        // Non-retryable: the upstream task is gone for good.
+        return Status::NotFound("no task q.1.0");
+      });
+  client.AddRemoteSplit(RemoteSplit{0, TaskId{"q", 1, 0}});
+  client.Start();
+
+  Stopwatch sw;
+  while (!client.failed() && sw.ElapsedMillis() < 5000) SleepForMillis(1);
+  EXPECT_TRUE(client.failed());
+  EXPECT_TRUE(ctx.failed());
+  // Never fabricate completion — that would silently truncate results.
+  EXPECT_FALSE(client.complete());
+  EXPECT_EQ(client.Poll(), nullptr);
+}
+
+TEST(ExchangeClientTest, RetryExhaustionReportsContextfulFailure) {
+  TestEnv env;
+  TaskContext ctx("t", &env.cpu, &env.nic, &env.config);
+  std::atomic<int> calls{0};
+  ExchangeClient client(
+      &ctx, 0,
+      [&](const RemoteSplit&, int, int64_t, int) -> Result<PagesResult> {
+        ++calls;
+        return Status::Unavailable("injected outage");
+      });
+  client.AddRemoteSplit(RemoteSplit{0, TaskId{"q", 1, 0}});
+  client.Start();
+
+  Stopwatch sw;
+  while (!client.failed() && sw.ElapsedMillis() < 10000) SleepForMillis(1);
+  ASSERT_TRUE(client.failed());
+  EXPECT_GE(calls.load(), env.config.rpc_retry.max_attempts);
+  EXPECT_GT(ctx.rpc_retries(), 0);
+  Status failure = ctx.failure();
+  EXPECT_EQ(failure.code(), StatusCode::kUnavailable);
+  EXPECT_NE(failure.ToString().find("attempts"), std::string::npos)
+      << failure.ToString();
+}
+
+TEST(ExchangeClientTest, TransientBlipResumesAtSameSequence) {
+  TestEnv env;
+  TaskContext ctx("t", &env.cpu, &env.nic, &env.config);
+  std::mutex seq_mutex;
+  std::vector<int64_t> sequences;
+  std::atomic<int> calls{0};
+  ExchangeClient client(
+      &ctx, 0,
+      [&](const RemoteSplit&, int, int64_t start_sequence,
+          int) -> Result<PagesResult> {
+        int n = ++calls;
+        {
+          std::lock_guard<std::mutex> lock(seq_mutex);
+          sequences.push_back(start_sequence);
+        }
+        if (n <= 2) return Status::Unavailable("blip");
+        if (n == 3) return PagesResult{{IntsPage({1, 2, 3})}, false};
+        return PagesResult{{}, true};
+      });
+  client.AddRemoteSplit(RemoteSplit{0, TaskId{"q", 1, 0}});
+  client.Start();
+
+  int64_t rows = 0;
+  Stopwatch sw;
+  while (sw.ElapsedMillis() < 10000) {
+    PagePtr page = client.Poll();
+    if (page == nullptr) {
+      SleepForMillis(1);
+      continue;
+    }
+    if (page->IsEnd()) break;
+    rows += page->num_rows();
+  }
+  EXPECT_EQ(rows, 3);
+  EXPECT_EQ(ctx.rpc_retries(), 2);
+  EXPECT_FALSE(ctx.failed());
+  std::lock_guard<std::mutex> lock(seq_mutex);
+  ASSERT_GE(sequences.size(), 4u);
+  // Both retries resume at sequence 0; only delivered pages advance it
+  // (sequences count pages, not rows).
+  EXPECT_EQ(sequences[0], 0);
+  EXPECT_EQ(sequences[1], 0);
+  EXPECT_EQ(sequences[2], 0);
+  EXPECT_EQ(sequences[3], 1);
 }
 
 TEST(ElasticCapacityTest, GrowsOnEmptyAndCounts) {

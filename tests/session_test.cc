@@ -4,9 +4,12 @@
 #include <set>
 #include <thread>
 
+#include <vector>
+
 #include "api/session.h"
 #include "cluster/cluster.h"
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "plan/builder.h"
 #include "tpch/queries.h"
 #include "tpch/tpch.h"
@@ -225,6 +228,100 @@ TEST(SessionTest, TimedOutDrainResumesLosslessly) {
   EXPECT_EQ(rows, expected);
   // Counters reflect delivered pages only — exactly the full stream.
   EXPECT_EQ(cursor.rows_seen(), expected);
+}
+
+TEST(SessionTest, DoubleAbortIsIdempotent) {
+  AccordionCluster cluster(StreamingOptions());
+  Session session(cluster.coordinator());
+  auto query = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(query.ok());
+
+  // Racing aborts from several threads: exactly one wins the state
+  // transition, every call returns OK, nothing deadlocks.
+  std::vector<std::thread> racers;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 4; ++i) {
+    racers.emplace_back([&] {
+      if (!(*query)->Abort().ok()) ++failures;
+    });
+  }
+  for (auto& t : racers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE((*query)->Finished());
+
+  // Sequential re-abort of an already-aborted query is also a no-op.
+  EXPECT_TRUE((*query)->Abort().ok());
+  auto snapshot = (*query)->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->state, QueryState::kAborted);
+}
+
+TEST(SessionTest, ZeroTimeoutWaitPreservesStream) {
+  AccordionCluster::Options options = StreamingOptions();
+  options.engine.cost.scale = 0.3;
+  AccordionCluster cluster(options);
+  Session session(cluster.coordinator());
+  auto query = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(query.ok());
+
+  int64_t expected = TpchSplitGenerator("lineitem", kSf, 0, 1).TotalRows();
+
+  // timeout_ms = 0: the degenerate deadline. Must come back immediately
+  // with kDeadlineExceeded — not hang, not error — and must not consume
+  // the caller's stream position.
+  auto timed_out = (*query)->Wait(0);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto pages = (*query)->Wait(120000);
+  ASSERT_TRUE(pages.ok()) << pages.status().ToString();
+  int64_t rows = 0;
+  for (const auto& page : *pages) rows += page->num_rows();
+  EXPECT_EQ(rows, expected);
+}
+
+TEST(SessionTest, DeadlineDuringRetryPreservesStream) {
+  // A sustained data-plane outage at query start: the 2nd through 31st
+  // GetPages calls all fail. Fetchers sit in retry/backoff when the
+  // caller's deadline expires — that must surface as kDeadlineExceeded
+  // (not kUnavailable: the outage is curable), and once the outage
+  // lifts a patient Wait must still deliver every row exactly once.
+  FaultInjector injector(13);
+  FaultPolicy outage;
+  outage.kind = FaultKind::kTransientError;
+  outage.trigger_on_nth = 2;
+  outage.burst = 30;
+  injector.AddPolicy("rpc.GetPages", outage);
+
+  AccordionCluster::Options options = StreamingOptions();
+  options.engine.fault_injector = &injector;
+  // Survive the outage: plenty of attempts, slow enough backoff that the
+  // short Wait below reliably lands inside the retry window.
+  options.engine.rpc_retry.max_attempts = 60;
+  options.engine.rpc_retry.initial_backoff_ms = 5;
+  options.engine.rpc_retry.max_backoff_ms = 16;
+  AccordionCluster cluster(options);
+  Session session(cluster.coordinator());
+  auto query = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  int64_t expected = TpchSplitGenerator("lineitem", kSf, 0, 1).TotalRows();
+
+  auto timed_out = (*query)->Wait(25);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded)
+      << timed_out.status().ToString();
+
+  auto pages = (*query)->Wait(120000);
+  ASSERT_TRUE(pages.ok()) << pages.status().ToString();
+  int64_t rows = 0;
+  for (const auto& page : *pages) rows += page->num_rows();
+  EXPECT_EQ(rows, expected);
+
+  auto snapshot = (*query)->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->state, QueryState::kFinished);
+  EXPECT_GT(snapshot->rpc_retries, 0);
 }
 
 TEST(SessionTest, AdmissionCapRejectsThenRecovers) {

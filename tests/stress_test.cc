@@ -11,6 +11,7 @@
 
 #include "cluster/cluster.h"
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "plan/builder.h"
 #include "tpch/queries.h"
 #include "tpch/tpch.h"
@@ -159,6 +160,50 @@ TEST(StressTest, ManyConcurrentQueries) {
     auto result = cluster.coordinator()->Wait(id, 300000);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_EQ(SingleInt(*result), ExactLineitemRows());
+  }
+}
+
+// Fault-sweep mode: the elasticity machinery (rapid stage retuning) and
+// the fault machinery (transient errors + dropped data-plane responses)
+// active at once, across several seeds. Tuning RPCs may individually
+// fail and are (void)'d — but the row count must stay exact: retries and
+// sequence-resumed fetches may never duplicate or drop a page.
+TEST(StressTest, FaultSweepTuningStaysExact) {
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    FaultInjector injector(seed);
+    FaultPolicy transient;
+    transient.kind = FaultKind::kTransientError;
+    transient.probability = 0.03;
+    injector.AddPolicy("rpc.", transient);
+    FaultPolicy drop;
+    drop.kind = FaultKind::kDropResponse;
+    drop.probability = 0.03;
+    injector.AddPolicy("rpc.GetPages", drop);
+
+    AccordionCluster::Options options = StressOptions(0.8);
+    options.engine.fault_injector = &injector;
+    // Sized for the injected fault rate (see tests/chaos_test.cc): keeps
+    // consecutive-fault retry exhaustion a ~1e-9 tail event even on
+    // sanitizer-slowed runs that issue thousands of fetches.
+    options.engine.rpc_retry.max_attempts = 10;
+    options.engine.rpc_retry.attempt_deadline_ms = 10000;
+    AccordionCluster cluster(options);
+    Catalog catalog = MakeTpchCatalog(kSf, 4);
+    PlanBuilder b(&catalog);
+    auto rel = b.Scan("lineitem", {"l_orderkey"});
+    rel = b.Aggregate(rel, {}, {{AggFunc::kCount, "l_orderkey", "cnt"}});
+    auto id = cluster.coordinator()->Submit(b.Output(rel));
+    ASSERT_TRUE(id.ok()) << "seed=" << seed << ": " << id.status().ToString();
+
+    for (int round = 0; round < 4; ++round) {
+      SleepForMillis(120);
+      if (cluster.coordinator()->IsFinished(*id)) break;
+      (void)cluster.coordinator()->SetStageDop(*id, 1, round % 2 == 0 ? 4 : 1);
+    }
+    auto result = cluster.coordinator()->Wait(*id, 180000);
+    ASSERT_TRUE(result.ok())
+        << "seed=" << seed << ": " << result.status().ToString();
+    EXPECT_EQ(SingleInt(*result), ExactLineitemRows()) << "seed=" << seed;
   }
 }
 
