@@ -1,0 +1,200 @@
+// Concurrency under the shared CPU pool: N client sessions (default 8)
+// each run a TPC-H mix against one cluster, so every driver, exchange
+// fetcher and shuffle executor of every concurrent query multiplexes the
+// same fixed pool. Reports per-query p50/p99 latency plus the process
+// thread-count high-water mark — the bounded-thread claim in numbers:
+// thread count must not scale with concurrent queries.
+// Machine-readable results land in BENCH_concurrency.json (override the
+// path with ACCORDION_BENCH_JSON; session count with ACCORDION_SESSIONS).
+//
+//   $ ./bench_concurrency
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "exec/scheduler.h"
+#include "tpch/queries.h"
+
+namespace {
+
+int ProcessThreadCount() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      std::istringstream in(line.substr(8));
+      int count = 0;
+      in >> count;
+      return count;
+    }
+  }
+  return -1;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main() {
+  using namespace accordion;
+  bench::PrintHeader(
+      "Concurrent sessions on the shared CPU pool: per-query p50/p99 "
+      "latency and the thread-count high-water mark",
+      "Shared-pool scheduler acceptance run (N sessions x TPC-H mix)");
+
+  const char* sessions_env = std::getenv("ACCORDION_SESSIONS");
+  const int kSessions = sessions_env != nullptr ? std::atoi(sessions_env) : 8;
+  const int kRounds = 2;
+  const std::vector<int> kMix = {1, 3, 6, 12};
+
+  AccordionCluster::Options options;
+  options.num_workers = 2;
+  options.num_storage_nodes = 2;
+  options.scale_factor = 0.01;
+  options.engine.cost.scale = 0;
+  options.engine.rpc_latency_ms = 0;
+  AccordionCluster cluster(options);
+
+  const int baseline_threads = ProcessThreadCount();
+
+  std::mutex mutex;
+  std::map<int, std::vector<double>> latencies_ms;  // query -> samples
+  std::atomic<int> failures{0};
+  std::atomic<int> max_threads{0};
+  std::atomic<bool> done{false};
+
+  std::thread sampler([&done, &max_threads] {
+    while (!done.load()) {
+      int now = ProcessThreadCount();
+      int prev = max_threads.load();
+      while (now > prev && !max_threads.compare_exchange_weak(prev, now)) {
+      }
+      SleepForMillis(5);
+    }
+  });
+
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back([&cluster, &mutex, &latencies_ms, &failures, &kMix] {
+      Session session(cluster.coordinator());
+      for (int round = 0; round < kRounds; ++round) {
+        for (int q : kMix) {
+          Stopwatch sw;
+          auto query = session.Execute(TpchQueryPlan(q, session.catalog()));
+          if (!query.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          auto result = (*query)->Wait(600000);
+          if (!result.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          double ms = sw.ElapsedMicros() * 1e-3;
+          std::lock_guard<std::mutex> lock(mutex);
+          latencies_ms[q].push_back(ms);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double wall_seconds = wall.ElapsedSeconds();
+  done.store(true);
+  sampler.join();
+
+  MorselScheduler* scheduler = cluster.scheduler();
+  int pool_threads = scheduler != nullptr ? scheduler->num_threads() : 0;
+
+  std::printf("%-6s  %6s  %10s  %10s  %10s\n", "Query", "Runs", "p50 (ms)",
+              "p99 (ms)", "max (ms)");
+  struct Row {
+    int q;
+    int runs;
+    double p50;
+    double p99;
+    double max;
+  };
+  std::vector<Row> rows;
+  for (auto& [q, samples] : latencies_ms) {
+    std::sort(samples.begin(), samples.end());
+    Row row;
+    row.q = q;
+    row.runs = static_cast<int>(samples.size());
+    row.p50 = Percentile(samples, 0.50);
+    row.p99 = Percentile(samples, 0.99);
+    row.max = samples.back();
+    rows.push_back(row);
+    std::printf("Q%-5d  %6d  %10.2f  %10.2f  %10.2f\n", row.q, row.runs,
+                row.p50, row.p99, row.max);
+  }
+  std::printf("\nsessions=%d wall=%.2fs failures=%d\n", kSessions,
+              wall_seconds, failures.load());
+  std::printf("threads: pool=%d baseline=%d max_during_run=%d "
+              "(clients add %d)\n",
+              pool_threads, baseline_threads, max_threads.load(),
+              kSessions + 1);
+
+  // The bounded-thread claim, enforced: the run may add the client
+  // threads and the sampler, nothing else.
+  const int allowed = baseline_threads + kSessions + 1 + 2;
+  if (max_threads.load() > allowed) {
+    std::fprintf(stderr,
+                 "FAIL: thread count grew with concurrency (%d > %d)\n",
+                 max_threads.load(), allowed);
+    return 1;
+  }
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "FAIL: %d queries failed\n", failures.load());
+    return 1;
+  }
+
+  const char* json_path = std::getenv("ACCORDION_BENCH_JSON");
+  std::string out_path =
+      json_path != nullptr ? json_path : "BENCH_concurrency.json";
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"concurrent_sessions_shared_pool\",\n"
+               "  \"sessions\": %d,\n  \"rounds\": %d,\n"
+               "  \"pool_threads\": %d,\n  \"baseline_threads\": %d,\n"
+               "  \"max_threads\": %d,\n  \"wall_seconds\": %.6f,\n"
+               "  \"queries\": [\n",
+               kSessions, kRounds, pool_threads, baseline_threads,
+               max_threads.load(), wall_seconds);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"query\": %d, \"runs\": %d, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"max_ms\": %.3f}%s\n",
+                 row.q, row.runs, row.p50, row.p99, row.max,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("Wrote %s\n", out_path.c_str());
+  return 0;
+}

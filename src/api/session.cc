@@ -133,6 +133,27 @@ int Session::active_queries() {
   return PruneFinishedLocked();
 }
 
+namespace {
+/// Releases a session admission reservation on every exit path exactly
+/// once — early error returns between reserve and release cannot wedge
+/// the cap.
+class ReservationGuard {
+ public:
+  ReservationGuard(std::mutex* mutex, int* reserved)
+      : mutex_(mutex), reserved_(reserved) {}
+  ~ReservationGuard() {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    --*reserved_;
+  }
+  ReservationGuard(const ReservationGuard&) = delete;
+  ReservationGuard& operator=(const ReservationGuard&) = delete;
+
+ private:
+  std::mutex* mutex_;
+  int* reserved_;
+};
+}  // namespace
+
 Result<QueryHandlePtr> Session::Submit(const PlanNodePtr& plan,
                                        const QueryOptions& query_options) {
   // Admission check reserves a slot under the lock; the (slow) stage
@@ -150,12 +171,16 @@ Result<QueryHandlePtr> Session::Submit(const PlanNodePtr& plan,
     }
     ++reserved_;
   }
-  auto submitted = coordinator_->Submit(plan, query_options);
-  std::lock_guard<std::mutex> lock(mutex_);
-  --reserved_;
+  ReservationGuard guard(&mutex_, &reserved_);
+  QueryOptions effective = query_options;
+  if (effective.tenant.empty()) effective.tenant = options_.tenant;
+  auto submitted = coordinator_->Submit(plan, effective);
   ACCORDION_RETURN_NOT_OK(submitted.status());
   std::string id = std::move(*submitted);
-  active_ids_.push_back(id);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_ids_.push_back(id);
+  }
   return QueryHandlePtr(
       new QueryHandle(coordinator_, std::move(id), options_));
 }

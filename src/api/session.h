@@ -42,8 +42,17 @@ struct SessionOptions {
   /// Applied to Execute() calls that don't pass explicit QueryOptions.
   QueryOptions query_defaults;
 
-  /// Admission cap: Execute() fails with ResourceExhausted while this
-  /// many of the session's queries are still running (<= 0: unlimited).
+  /// Tenant the session's queries are accounted against for the
+  /// cluster-global per-tenant admission quota
+  /// (EngineConfig::max_queries_per_tenant). Stamped onto submitted
+  /// QueryOptions whose own tenant is empty.
+  std::string tenant;
+
+  /// Session-local admission cap: Execute() fails with ResourceExhausted
+  /// while this many of the session's queries are still running (<= 0:
+  /// unlimited). Layered under the cluster-global limits
+  /// (EngineConfig::max_concurrent_queries / max_queries_per_tenant),
+  /// which the coordinator enforces across all sessions.
   int max_concurrent_queries = 8;
 
   /// Default deadline for blocking calls (QueryHandle::Wait, cursor
@@ -125,6 +134,15 @@ class QueryHandle {
 
   bool Finished() const { return coordinator_->IsFinished(id_); }
   Status Abort() { return coordinator_->Abort(id_); }
+
+  /// Async completion: `callback` runs exactly once when the query
+  /// reaches a terminal state (fires immediately if it already has), so
+  /// clients need not poll Finished()/Next() to learn a query's fate.
+  /// Runs on the thread that completes the query — keep it cheap and do
+  /// not call blocking QueryHandle APIs from it.
+  Status OnComplete(std::function<void(QueryState)> callback) {
+    return coordinator_->NotifyOnCompletion(id_, std::move(callback));
+  }
 
   /// Runtime information tree (paper Fig. 18).
   Result<QuerySnapshot> Snapshot() const { return coordinator_->Snapshot(id_); }

@@ -1,11 +1,22 @@
 #include "cluster/cluster.h"
 
+#include "exec/scheduler.h"
 #include "tpch/tpch.h"
 
 namespace accordion {
 
 AccordionCluster::AccordionCluster(Options options)
     : options_(std::move(options)) {
+  if (options_.engine.scheduler == nullptr) {
+    // Cluster-owned shared CPU pool: every driver, exchange fetcher and
+    // shuffle executor of every worker runs on it. Sized by the engine
+    // config, not per task, so concurrency no longer scales thread count.
+    MorselScheduler::Options sched;
+    sched.num_threads = options_.engine.scheduler_threads;
+    sched.quantum_us = options_.engine.scheduler_quantum_us;
+    scheduler_ = std::make_unique<MorselScheduler>(sched);
+    options_.engine.scheduler = scheduler_.get();
+  }
   bus_ = std::make_unique<RpcBus>(&options_.engine);
   storage_ = std::make_unique<StorageService>(
       options_.num_storage_nodes, options_.storage_node, &options_.engine);

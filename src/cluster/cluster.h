@@ -34,11 +34,16 @@ class AccordionCluster {
   RpcBus* bus() { return bus_.get(); }
   WorkerNode* worker(int i) { return workers_[i].get(); }
   StorageService* storage() { return storage_.get(); }
+  MorselScheduler* scheduler() { return options_.engine.scheduler; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
   const EngineConfig& engine_config() const { return options_.engine; }
 
  private:
   Options options_;
+  /// Declared first so it is destroyed last: tasks retire their units into
+  /// it during worker/coordinator teardown. Null when Options::engine
+  /// already named an external scheduler.
+  std::unique_ptr<MorselScheduler> scheduler_;
   std::unique_ptr<RpcBus> bus_;
   std::unique_ptr<StorageService> storage_;
   std::vector<std::unique_ptr<WorkerNode>> workers_;

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/retry_policy.h"
+#include "exec/scheduler.h"
 #include "tpch/tpch.h"
 
 namespace accordion {
@@ -90,6 +91,50 @@ void Coordinator::FailQuery(const std::shared_ptr<QueryExec>& query,
   query->end_ms = NowMillis();
   ACC_LOG(kInfo) << "query " << query->id << " failed: " << status.ToString();
   AbortAllTasks(query.get());
+  FireCompletion(query);
+}
+
+void Coordinator::FireCompletion(const std::shared_ptr<QueryExec>& query) {
+  QueryState state = query->state.load();
+  if (state == QueryState::kRunning) return;
+  std::vector<std::function<void(QueryState)>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(query->completion_mutex);
+    if (query->completion_fired) return;
+    query->completion_fired = true;
+    callbacks.swap(query->completion_callbacks);
+  }
+  // The query's pool-share record is no longer needed; its remaining
+  // units (tasks are torn down later) fall back to the default weight.
+  SchedulerFor(*config_)->ClearGroup(query->id);
+  for (auto& callback : callbacks) callback(state);
+}
+
+Status Coordinator::NotifyOnCompletion(
+    const std::string& query_id, std::function<void(QueryState)> callback) {
+  auto query = GetQuery(query_id);
+  if (query == nullptr) return Status::NotFound("no query " + query_id);
+  {
+    std::lock_guard<std::mutex> lock(query->completion_mutex);
+    if (!query->completion_fired) {
+      query->completion_callbacks.push_back(std::move(callback));
+      return Status::OK();
+    }
+  }
+  // Already completed (and callbacks swapped out): fire on this thread.
+  callback(query->state.load());
+  return Status::OK();
+}
+
+void Coordinator::UpdateQueryShare(QueryExec* query) {
+  int parallelism = 1;
+  for (const auto& [stage_id, stage] : query->stages) {
+    parallelism =
+        std::max(parallelism, stage.dop * std::max(1, stage.task_dop));
+  }
+  double weight = query->options.scheduler_weight *
+                  static_cast<double>(std::max(1, parallelism));
+  SchedulerFor(*config_)->SetGroupWeight(query->id, weight);
 }
 
 void Coordinator::MonitorLoop() {
@@ -179,7 +224,9 @@ Result<TaskId> Coordinator::SpawnTask(
   TaskSpec spec;
   spec.id = TaskId{query->id, stage->fragment.stage_id, stage->next_task_seq++};
   spec.fragment = stage->fragment;
-  spec.initial_dop = query->options.task_dop;
+  // New tasks start at the stage's current task DOP (which tracks
+  // SetTaskDop), not the submit-time default.
+  spec.initial_dop = std::max(1, stage->task_dop);
   spec.output_config = BufferConfigFor(*query, *stage);
   spec.source_buffer_ids = source_buffer_ids;
   for (int child_id : stage->fragment.source_stage_ids) {
@@ -235,6 +282,7 @@ Result<std::string> Coordinator::Submit(const PlanNodePtr& plan,
   for (auto& fragment : fragments) {
     StageExec stage;
     stage.fragment = fragment;
+    stage.task_dop = std::max(1, options.task_dop);
     stage.source_is_build = BuildSideSourceStages(fragment);
     if (fragment.IsScanStage()) {
       auto layout = catalog_.GetLayout(fragment.scan_table);
@@ -264,6 +312,32 @@ Result<std::string> Coordinator::Submit(const PlanNodePtr& plan,
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Cluster-global admission, derived by counting the live query table
+    // at insert time: no reservation to leak on any later error path.
+    if (config_->max_concurrent_queries > 0 ||
+        config_->max_queries_per_tenant > 0) {
+      int running = 0;
+      int tenant_running = 0;
+      for (const auto& [id, other] : queries_) {
+        if (other->state.load() != QueryState::kRunning) continue;
+        ++running;
+        if (other->options.tenant == options.tenant) ++tenant_running;
+      }
+      if (config_->max_concurrent_queries > 0 &&
+          running >= config_->max_concurrent_queries) {
+        return Status::ResourceExhausted(
+            "cluster admission limit reached (" +
+            std::to_string(config_->max_concurrent_queries) +
+            " concurrent queries)");
+      }
+      if (config_->max_queries_per_tenant > 0 &&
+          tenant_running >= config_->max_queries_per_tenant) {
+        return Status::ResourceExhausted(
+            "tenant '" + options.tenant + "' admission limit reached (" +
+            std::to_string(config_->max_queries_per_tenant) +
+            " concurrent queries)");
+      }
+    }
     queries_[query->id] = query;
   }
 
@@ -306,6 +380,7 @@ Result<std::string> Coordinator::Submit(const PlanNodePtr& plan,
   ACC_CHECK(root.tasks.size() == 1) << "root stage must have one task";
   query->root_split = RemoteSplit{root.task_workers[0], root.tasks[0]};
 
+  UpdateQueryShare(query.get());
   return query->id;
 }
 
@@ -387,6 +462,7 @@ Result<PagesResult> Coordinator::FetchResults(const std::string& query_id,
     query->end_ms = NowMillis();
     QueryState expected = QueryState::kRunning;
     query->state.compare_exchange_strong(expected, QueryState::kFinished);
+    FireCompletion(query);
   }
   return result;
 }
@@ -440,6 +516,7 @@ Status Coordinator::Abort(const std::string& query_id) {
     query->end_ms = NowMillis();
   }
   AbortAllTasks(query.get());
+  FireCompletion(query);
   return Status::OK();
 }
 
@@ -476,6 +553,12 @@ Status Coordinator::SetTaskDop(const std::string& query_id, int stage_id,
       return bus_->SetTaskDop(worker, task, dop);
     });
     if (!st.ok()) last = st;
+  }
+  if (last.ok()) {
+    it->second.task_dop = std::max(1, dop);
+    // More (or fewer) drivers means a larger (smaller) pool share, not a
+    // different thread count.
+    UpdateQueryShare(query.get());
   }
   return last;
 }
@@ -514,10 +597,16 @@ Status Coordinator::SetStageDop(const std::string& query_id, int stage_id,
         probe_feed_hash = true;
       }
     }
-    if (probe_feed_hash) return DopSwitch(query.get(), &stage, dop, report);
+    if (probe_feed_hash) {
+      Status st = DopSwitch(query.get(), &stage, dop, report);
+      if (st.ok()) UpdateQueryShare(query.get());
+      return st;
+    }
   }
-  if (dop > stage.dop) return IncreaseStageDop(query.get(), &stage, dop);
-  return DecreaseStageDop(query.get(), &stage, dop);
+  Status st = dop > stage.dop ? IncreaseStageDop(query.get(), &stage, dop)
+                              : DecreaseStageDop(query.get(), &stage, dop);
+  if (st.ok()) UpdateQueryShare(query.get());
+  return st;
 }
 
 Status Coordinator::IncreaseStageDop(QueryExec* query, StageExec* stage,

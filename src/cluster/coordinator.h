@@ -27,6 +27,17 @@ struct QueryOptions {
   int task_dop = 1;
   /// Per-stage initial DOP overrides (stage id -> DOP).
   std::map<int, int> stage_dop_overrides;
+
+  /// Tenant this query is accounted against for the per-tenant admission
+  /// quota (EngineConfig::max_queries_per_tenant). Empty = the anonymous
+  /// tenant (still quota'd as one tenant).
+  std::string tenant;
+
+  /// Multiplier on the query's share of the shared CPU pool. The
+  /// effective fair-queueing weight is this times the query's current
+  /// parallelism (max over stages of stage DOP x task DOP), so DOP tuning
+  /// changes a query's pool share rather than its thread count.
+  double scheduler_weight = 1.0;
 };
 
 enum class QueryState { kRunning, kFinished, kFailed, kAborted };
@@ -116,6 +127,12 @@ class Coordinator {
   /// pulls them (FetchResults / api::ResultCursor / Wait): producers feel
   /// backpressure through the elastic buffer instead of a coordinator
   /// thread draining everything into memory.
+  ///
+  /// Admission control is cluster-global: kResourceExhausted when the
+  /// running-query count is at EngineConfig::max_concurrent_queries or the
+  /// tenant's running count is at max_queries_per_tenant. Counting is
+  /// derived from the live query table at insert time (no reservation
+  /// bookkeeping), so an admission slot can never leak.
   Result<std::string> Submit(const PlanNodePtr& plan,
                              const QueryOptions& options = {});
 
@@ -148,6 +165,15 @@ class Coordinator {
   Status SetStageDop(const std::string& query_id, int stage_id, int dop,
                      DopSwitchReport* report = nullptr);
 
+  /// Registers `callback` to run exactly once when the query reaches a
+  /// terminal state (finished / failed / aborted), with that state as
+  /// argument. Fires immediately (on the calling thread) if the query is
+  /// already terminal; otherwise fires on whichever thread completes the
+  /// query. Callbacks must not call back into the Coordinator's blocking
+  /// APIs for the same query.
+  Status NotifyOnCompletion(const std::string& query_id,
+                            std::function<void(QueryState)> callback);
+
   // --- observability ---
   Result<QuerySnapshot> Snapshot(const std::string& query_id);
   int64_t total_rpc_requests() const { return bus_->total_requests(); }
@@ -164,6 +190,9 @@ class Coordinator {
     std::vector<TaskId> retired;     // replaced/removed tasks (kept for info)
     std::vector<int> retired_workers;
     std::deque<SystemSplit> splits;  // scan stages only
+    /// Drivers per tunable pipeline of this stage's tasks (SetTaskDop
+    /// target); feeds the query's pool-share weight.
+    int task_dop = 1;
     double last_state_transfer_seconds = 0;  // latest DOP-switch duration
     std::map<int, bool> source_is_build;  // source stage -> feeds build side
 
@@ -205,6 +234,12 @@ class Coordinator {
     /// First escalated failure (state == kFailed).
     std::mutex failure_mutex;
     Status failure;
+
+    /// Terminal-state callbacks (NotifyOnCompletion); swapped out and run
+    /// exactly once by FireCompletion.
+    std::mutex completion_mutex;
+    std::vector<std::function<void(QueryState)>> completion_callbacks;
+    bool completion_fired = false;
 
     /// Flat (worker, task) registry of everything this query ever
     /// spawned, including retired tasks. Unlike `stages` it is guarded by
@@ -248,6 +283,16 @@ class Coordinator {
   /// Best-effort abort of every task the query ever spawned (registry
   /// order). Takes no control_mutex — safe from any thread.
   void AbortAllTasks(QueryExec* query);
+
+  /// Runs the query's completion callbacks exactly once (no-op while the
+  /// query is still running) and releases its scheduler group. Called at
+  /// every terminal transition: finish, abort, failure.
+  void FireCompletion(const std::shared_ptr<QueryExec>& query);
+
+  /// Recomputes the query's fair-queueing weight from its current
+  /// parallelism and pushes it to the shared pool. Caller holds
+  /// control_mutex (or is still single-threaded in Submit).
+  void UpdateQueryShare(QueryExec* query);
 
   /// Background health monitor: escalates crashed workers and failed
   /// tasks to query failure every health_check_interval_ms.

@@ -1,5 +1,7 @@
 #include "cluster/rpc_bus.h"
 
+#include <algorithm>
+
 #include "cluster/worker.h"
 #include "common/clock.h"
 #include "common/fault_injector.h"
@@ -88,6 +90,48 @@ RpcBus::CallFate RpcBus::Intercept(const char* site, int worker_id,
     case FaultKind::kAddedLatency:
       if (decision.latency_ms > 0) {
         SleepForMicros(static_cast<int64_t>(decision.latency_ms * 1000));
+      }
+      return fate;
+    case FaultKind::kDropResponse:
+      fate.drop = true;
+      return fate;
+    case FaultKind::kWorkerCrash:
+      CrashWorker(worker_id);
+      fate.pre = Status::Unavailable("worker " + std::to_string(worker_id) +
+                                     " crashed (injected)")
+                     .WithContext(site);
+      return fate;
+  }
+  return fate;
+}
+
+RpcBus::CallFate RpcBus::InterceptDeferred(const char* site, int worker_id,
+                                           const std::string& query_id,
+                                           int64_t* delay_us) {
+  ++requests_;
+  if (config_->rpc_latency_ms > 0) {
+    *delay_us += static_cast<int64_t>(config_->rpc_latency_ms * 1000);
+  }
+  CallFate fate;
+  if (!WorkerAlive(worker_id)) {
+    fate.pre = Status::Unavailable("worker " + std::to_string(worker_id) +
+                                   " is down")
+                   .WithContext(site);
+    return fate;
+  }
+  FaultInjector* injector = config_->fault_injector;
+  if (injector == nullptr || !injector->enabled()) return fate;
+  FaultDecision decision = injector->Decide(site);
+  if (!decision.fault) return fate;
+  RecordFault(query_id, decision.kind == FaultKind::kWorkerCrash);
+  switch (decision.kind) {
+    case FaultKind::kTransientError:
+      fate.pre = Status::Unavailable("injected transient error")
+                     .WithContext(site);
+      return fate;
+    case FaultKind::kAddedLatency:
+      if (decision.latency_ms > 0) {
+        *delay_us += static_cast<int64_t>(decision.latency_ms * 1000);
       }
       return fate;
     case FaultKind::kDropResponse:
@@ -259,6 +303,45 @@ Result<PagesResult> RpcBus::GetPages(const RemoteSplit& split, int buffer_id,
     if (consumer_nic != nullptr && consumer_nic != w->nic()) {
       consumer_nic->Consume(static_cast<double>(bytes));
     }
+  }
+  Status drop = FinishCall(fate, "rpc.GetPages");
+  if (!drop.ok()) return drop;
+  return result;
+}
+
+Result<PagesResult> RpcBus::GetPagesDeferred(const RemoteSplit& split,
+                                             int buffer_id,
+                                             int64_t start_sequence,
+                                             int max_pages,
+                                             ResourceGovernor* consumer_nic,
+                                             int64_t* ready_at_us) {
+  int64_t delay_us = 0;
+  CallFate fate = InterceptDeferred("rpc.GetPages", split.worker_id,
+                                    split.task.query_id, &delay_us);
+  *ready_at_us = NowMicros() + delay_us;
+  if (!fate.pre.ok()) return fate.pre;
+  WorkerNode* w = worker(split.worker_id);
+  if (w == nullptr) {
+    return Status::Unavailable("no worker " + std::to_string(split.worker_id))
+        .WithContext("rpc.GetPages");
+  }
+  Task* t = w->GetTask(split.task);
+  if (t == nullptr) {
+    return Status::Unavailable("no task " + split.task.ToString())
+        .WithContext("rpc.GetPages");
+  }
+  PagesResult result = t->GetPages(buffer_id, start_sequence, max_pages);
+  int64_t bytes = result.TotalBytes();
+  if (bytes > 0) {
+    // Producer uplink and consumer downlink both carry the pages — also
+    // for dropped responses: the bytes were on the wire. Reserved, not
+    // blocked on: the grant time pushes out the response arrival.
+    int64_t grant_us = w->nic()->ReserveMicros(static_cast<double>(bytes));
+    if (consumer_nic != nullptr && consumer_nic != w->nic()) {
+      grant_us = std::max(
+          grant_us, consumer_nic->ReserveMicros(static_cast<double>(bytes)));
+    }
+    *ready_at_us = std::max(*ready_at_us, grant_us + delay_us);
   }
   Status drop = FinishCall(fate, "rpc.GetPages");
   if (!drop.ok()) return drop;

@@ -69,6 +69,17 @@ class RpcBus {
                                int64_t start_sequence, int max_pages,
                                ResourceGovernor* consumer_nic);
 
+  /// Non-blocking GetPages for pool-scheduled callers: instead of sleeping
+  /// the RPC latency and blocking on NIC bandwidth, reports via
+  /// `*ready_at_us` the absolute time the response arrives (request
+  /// latency + injected latency + both NIC grants). The caller must not
+  /// consume the pages before then — exchange clients yield their pool
+  /// thread until it.
+  Result<PagesResult> GetPagesDeferred(const RemoteSplit& split, int buffer_id,
+                                       int64_t start_sequence, int max_pages,
+                                       ResourceGovernor* consumer_nic,
+                                       int64_t* ready_at_us);
+
   // --- worker health ---
   /// Kills `worker_id`: aborts all its tasks and makes every later call
   /// to it fail with kUnavailable. Idempotent; callable from fault
@@ -97,6 +108,11 @@ class RpcBus {
   void SimulateLatency();
   CallFate Intercept(const char* site, int worker_id,
                      const std::string& query_id);
+  /// Intercept variant that accumulates the simulated latency (base RPC
+  /// latency + injected added latency) into `*delay_us` instead of
+  /// sleeping it. Fault semantics are identical to Intercept.
+  CallFate InterceptDeferred(const char* site, int worker_id,
+                             const std::string& query_id, int64_t* delay_us);
   Status FinishCall(const CallFate& fate, const char* site);
   void RecordFault(const std::string& query_id, bool crash);
 

@@ -82,6 +82,12 @@ Status WorkerNode::CreateTask(TaskSpec spec, NextSplitFn next_split) {
                             int64_t start_sequence, int max_pages) {
     return bus_->GetPages(split, buffer_id, start_sequence, max_pages, &nic_);
   };
+  apis.fetch_pages_deferred = [this](const RemoteSplit& split, int buffer_id,
+                                     int64_t start_sequence, int max_pages,
+                                     int64_t* ready_at_us) {
+    return bus_->GetPagesDeferred(split, buffer_id, start_sequence, max_pages,
+                                  &nic_, ready_at_us);
+  };
 
   std::string key = spec.id.ToString();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -113,7 +119,7 @@ Status WorkerNode::RemoveTask(const TaskId& task_id) {
     doomed = std::move(it->second);
     tasks_.erase(it);
   }
-  // Destruction joins driver threads outside the map lock.
+  // Destruction retires the task's scheduler units outside the map lock.
   doomed.reset();
   return Status::OK();
 }

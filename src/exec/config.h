@@ -8,6 +8,7 @@
 namespace accordion {
 
 class FaultInjector;
+class MorselScheduler;
 
 /// Virtual per-row CPU costs (microseconds of simulated core time) charged
 /// by drivers to their worker's CPU governor. These calibrate the
@@ -107,6 +108,34 @@ struct EngineConfig {
   /// Cadence of the coordinator's health monitor, which escalates worker
   /// crashes and retry-exhausted tasks to query failure.
   int64_t health_check_interval_ms = 20;
+
+  // --- morsel scheduler (shared CPU pool) ---
+
+  /// The shared pool that runs every driver, exchange fetcher and shuffle
+  /// executor as resumable quanta. Null (default) means the process-wide
+  /// default pool; clusters that want an isolated or size-capped pool own
+  /// a MorselScheduler and point this at it.
+  MorselScheduler* scheduler = nullptr;
+
+  /// Pool size for a cluster-owned scheduler (see AccordionCluster):
+  /// 0 means hardware_concurrency() with a fallback of 4 when that
+  /// reports 0. Ignored when `scheduler` is set explicitly.
+  int scheduler_threads = 0;
+
+  /// Target wall time of one scheduling quantum.
+  int64_t scheduler_quantum_us = 1000;
+
+  // --- cluster-level admission (coordinator) ---
+
+  /// Global inflight limiter: queries running cluster-wide, across all
+  /// sessions. Submit fails with kResourceExhausted at the cap
+  /// (<= 0: unlimited). Complements the per-session cap in
+  /// SessionOptions::max_concurrent_queries.
+  int max_concurrent_queries = 0;
+
+  /// Per-tenant quota (QueryOptions::tenant): running queries per tenant
+  /// (<= 0: unlimited).
+  int max_queries_per_tenant = 0;
 };
 
 /// Per-simulated-node resources (paper: c5.2xlarge, 8 vCPU, 10 Gbps).

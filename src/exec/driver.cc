@@ -27,18 +27,30 @@ void Driver::Charge(const Operator& op, int64_t rows) {
   int64_t grant_us = task_ctx_->ReserveCpuMicros(cost_us);
   // Two constraints: the node's aggregate core budget (grant_us) and this
   // driver's own single-core speed (start + accumulated virtual time).
+  // Recorded instead of slept: the driver yields the pool thread until
+  // the deadline, letting other units overlap the simulated wait.
   int64_t pace_us = start_us_ + static_cast<int64_t>(virtual_us_);
-  SleepForMicros(std::max(grant_us, pace_us) - NowMicros());
+  pace_until_us_ = std::max(pace_until_us_, std::max(grant_us, pace_us));
   task_ctx_->AddProcessedRows(rows);
 }
 
-void Driver::Run() {
-  start_us_ = NowMicros();
+Schedulable::Quantum Driver::RunQuantum(int64_t quantum_us) {
+  if (!started_) {
+    started_ = true;
+    start_us_ = NowMicros();
+    finish_relayed_.assign(operators_.size(), false);
+  }
+  const int64_t deadline_us = NowMicros() + quantum_us;
   const size_t n = operators_.size();
-  std::vector<bool> finish_relayed(n, false);
 
-  while (!operators_.back()->IsFinished()) {
-    if (cancelled_->load()) break;
+  while (true) {
+    if (operators_.back()->IsFinished() || cancelled_->load()) {
+      done_ = true;
+      return Quantum::Finished();
+    }
+    int64_t now_us = NowMicros();
+    if (pace_until_us_ > now_us) return Quantum::Waiting(pace_until_us_);
+    if (now_us >= deadline_us) return Quantum::Runnable();
     if (end_requested_.exchange(false)) operators_[0]->SignalEnd();
 
     bool progressed = false;
@@ -46,8 +58,8 @@ void Driver::Run() {
       Operator& producer = *operators_[i];
       Operator& consumer = *operators_[i + 1];
       // Relay the end page: producer finished -> consumer enters finishing.
-      if (producer.IsFinished() && !finish_relayed[i]) {
-        finish_relayed[i] = true;
+      if (producer.IsFinished() && !finish_relayed_[i]) {
+        finish_relayed_[i] = true;
         consumer.Finish();
         progressed = true;
         continue;
@@ -58,7 +70,7 @@ void Driver::Run() {
       progressed = true;
       if (page->IsEnd()) {
         // Producer emitted its end page (it marked itself finished).
-        finish_relayed[i] = true;
+        finish_relayed_[i] = true;
         consumer.Finish();
       } else {
         // Cost accounting: the head source pays its production cost, and
@@ -74,10 +86,12 @@ void Driver::Run() {
     if (operators_.back()->GetOutput() != nullptr) progressed = true;
 
     if (!progressed) {
-      SleepForMicros(task_ctx_->config().driver_idle_sleep_us);
+      // Blocked on upstream data or downstream backpressure: yield the
+      // pool thread instead of spinning or sleeping on it.
+      return Quantum::Waiting(NowMicros() +
+                              task_ctx_->config().driver_idle_sleep_us);
     }
   }
-  done_ = true;
 }
 
 void Driver::RequestEnd() { end_requested_ = true; }

@@ -6,21 +6,25 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/scheduler.h"
 
 namespace accordion {
 
 /// A physical operator sequence — the smallest unit of scheduling and
-/// execution in a task (paper §2). One driver == one thread of simulated
-/// execution: the driver moves pages between adjacent operators, relays
-/// end pages (Fig. 13), and charges each operator's virtual CPU cost to
-/// the worker governor while pacing itself to one simulated core.
-class Driver {
+/// execution in a task (paper §2). One driver == one resumable unit on
+/// the shared morsel-scheduler pool: each quantum moves pages between
+/// adjacent operators and relays end pages (Fig. 13), charging each
+/// operator's virtual CPU cost to the worker governor. Instead of
+/// sleeping to pace itself to one simulated core, the driver records the
+/// pace deadline and yields the pool thread until it; backpressure and
+/// idle upstreams likewise yield instead of blocking.
+class Driver : public Schedulable {
  public:
   Driver(int pipeline_id, int driver_seq, std::vector<OperatorPtr> operators,
          TaskContext* task_ctx, const std::atomic<bool>* cancelled);
 
-  /// Runs to completion; called on the driver's own thread.
-  void Run();
+  /// Runs up to `quantum_us` of operator work; called only by the pool.
+  Quantum RunQuantum(int64_t quantum_us) override;
 
   /// Paper end signal: asks the head (source) operator to stop early; the
   /// end page then relays through the chain, closing the driver cleanly.
@@ -31,8 +35,8 @@ class Driver {
   int driver_seq() const { return driver_seq_; }
 
  private:
-  /// Charges `rows` of `op`'s per-row cost: reserves node CPU and paces
-  /// the driver to at most one simulated core.
+  /// Charges `rows` of `op`'s per-row cost: reserves node CPU and records
+  /// the pace deadline (at most one simulated core per driver).
   void Charge(const Operator& op, int64_t rows);
 
   int pipeline_id_;
@@ -42,8 +46,15 @@ class Driver {
   const std::atomic<bool>* cancelled_;
   std::atomic<bool> end_requested_{false};
   std::atomic<bool> done_{false};
+
+  // Quantum-crossing execution state (touched only under the scheduler's
+  // run-exclusivity: one quantum of a unit at a time).
+  bool started_ = false;
+  std::vector<bool> finish_relayed_;
   int64_t start_us_ = 0;
   double virtual_us_ = 0;
+  /// Absolute time before which the driver owes simulated CPU pacing.
+  int64_t pace_until_us_ = 0;
 };
 
 }  // namespace accordion

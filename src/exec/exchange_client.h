@@ -5,12 +5,12 @@
 #include <deque>
 #include <functional>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "common/retry_policy.h"
 #include "exec/output_buffer.h"
+#include "exec/scheduler.h"
 #include "exec/split.h"
 #include "exec/task_context.h"
 
@@ -23,33 +23,48 @@ namespace accordion {
 using FetchPagesFn = std::function<Result<PagesResult>(
     const RemoteSplit&, int buffer_id, int64_t start_sequence, int max_pages)>;
 
+/// Deferred-latency variant for pool-scheduled fetchers: performs the
+/// fetch immediately but reports when the response would arrive
+/// (`ready_at_us`, simulated RPC latency + NIC bandwidth grants) instead
+/// of sleeping. The client commits the pages at that time and yields the
+/// pool thread in between.
+using FetchPagesDeferredFn = std::function<Result<PagesResult>(
+    const RemoteSplit&, int buffer_id, int64_t start_sequence, int max_pages,
+    int64_t* ready_at_us)>;
+
 /// Task-side client pulling pages from all tasks of one upstream stage
 /// (paper Fig. 7's exchange receive buffer + Fig. 12a's global remote
 /// split set). One client per RemoteSource node per task; shared by all
 /// exchange-operator drivers of that pipeline.
 ///
-/// A background fetcher round-robins over the upstream tasks; its receive
-/// buffer is elastic (§4.2.2) and its turn-up counter feeds the
-/// bottleneck localizer (§5.1). Remote splits can be added while running
-/// — that is what makes upstream intra-stage DOP increases invisible to
-/// the consuming operators.
+/// The fetcher is a resumable unit on the shared morsel-scheduler pool
+/// (no dedicated thread): each quantum issues at most one fetch,
+/// round-robining over the upstream tasks, and yields while the simulated
+/// response is in flight, while backpressured by the elastic receive
+/// buffer (§4.2.2), or while backing off after an error. Remote splits
+/// can be added while running — that is what makes upstream intra-stage
+/// DOP increases invisible to the consuming operators.
 ///
 /// Fault handling: each source keeps its own receive sequence, so a
 /// transient fetch error (injected fault, dropped response) is retried
 /// with backoff at the same sequence and the upstream resume window
 /// re-serves exactly the missed pages. When retries are exhausted the
-/// client reports the failure to its TaskContext and stalls — it never
+/// client reports the failure to its TaskContext and idles — it never
 /// fabricates completion, because that would silently truncate results.
-class ExchangeClient {
+class ExchangeClient : public Schedulable {
  public:
-  ExchangeClient(TaskContext* task_ctx, int own_buffer_id, FetchPagesFn fetch);
-  ~ExchangeClient();
+  ExchangeClient(TaskContext* task_ctx, int own_buffer_id, FetchPagesFn fetch,
+                 FetchPagesDeferredFn fetch_deferred = nullptr);
+  ~ExchangeClient() override;
 
   /// Registers an upstream task (startup wiring or runtime DOP increase).
   void AddRemoteSplit(const RemoteSplit& split);
 
-  /// Starts the background fetcher. Call after initial splits are added.
+  /// Enqueues the fetcher on the pool. Call after initial splits are added.
   void Start();
+
+  /// One fetch round; called only by the pool.
+  Quantum RunQuantum(int64_t quantum_us) override;
 
   /// Data page, nullptr (nothing buffered yet), or the end page once all
   /// upstream tasks have completed and the buffer drained.
@@ -63,16 +78,19 @@ class ExchangeClient {
   int num_sources() const;
 
  private:
-  void FetchLoop();
   bool AllSourcesFinishedLocked() const;
   /// Marks the client (and its task) failed; the fetcher idles afterwards.
   void Fail(const Status& status);
+  /// Applies a successfully fetched batch whose simulated response has
+  /// arrived: sequences, queue, completion, idle backoff.
+  void CommitPending();
 
   TaskContext* task_ctx_;
   int own_buffer_id_;
   FetchPagesFn fetch_;
+  FetchPagesDeferredFn fetch_deferred_;
   ElasticCapacity capacity_;
-  Random rng_;  // fetcher-thread only (backoff jitter)
+  Random rng_;  // quantum-only (backoff jitter)
 
   mutable std::mutex mutex_;
   struct Source {
@@ -91,9 +109,20 @@ class ExchangeClient {
   std::atomic<int64_t> buffered_bytes_{0};
   std::atomic<bool> complete_{false};
   std::atomic<bool> failed_{false};
-  std::atomic<bool> shutdown_{false};
-  std::thread fetcher_;
   bool started_ = false;
+
+  // Quantum-crossing fetch state; touched only inside quanta (the
+  // scheduler runs at most one quantum of a unit at a time).
+  struct PendingFetch {
+    bool active = false;
+    RemoteSplit target;
+    PagesResult result;
+    int64_t ready_at_us = 0;
+  };
+  PendingFetch pending_;
+  size_t cursor_ = 0;
+  int64_t empty_streak_ = 0;
+  int64_t backoff_until_us_ = 0;
 };
 
 }  // namespace accordion

@@ -293,8 +293,11 @@ ShuffleBuffer::ShuffleBuffer(OutputBufferConfig config, TaskContext* task_ctx)
   groups_.push_back(std::move(group));
   int executors = task_ctx_->config().shuffle_executors;
   executors_.reserve(executors);
+  MorselScheduler* scheduler = task_ctx_->scheduler();
   for (int i = 0; i < executors; ++i) {
-    executors_.emplace_back([this] { ExecutorLoop(); });
+    executors_.push_back(std::make_unique<ExecutorUnit>(this));
+    scheduler->Enqueue(task_ctx_->scheduler_group(),
+                       NonOwning(executors_.back().get()));
   }
 }
 
@@ -303,8 +306,11 @@ ShuffleBuffer::~ShuffleBuffer() {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
-  for (auto& t : executors_) t.join();
+  // Retire before the members are destroyed: blocks at most one in-flight
+  // quantum per unit (the old thread-join here was the TSan-flagged
+  // destruction race when executors outlived the buffer's fields).
+  MorselScheduler* scheduler = task_ctx_->scheduler();
+  for (auto& unit : executors_) scheduler->Retire(unit.get());
 }
 
 bool ShuffleBuffer::AcceptingInput() const {
@@ -319,7 +325,9 @@ void ShuffleBuffer::Enqueue(const PagePtr& page) {
     queued_bytes_ += page->ByteSize();
     if (config_.retain_cache) cache_.push_back(page);
   }
-  work_cv_.notify_one();
+  // Kick idle executors out of their poll backoff.
+  MorselScheduler* scheduler = task_ctx_->scheduler();
+  for (auto& unit : executors_) scheduler->Wake(unit.get());
 }
 
 void ShuffleBuffer::PartitionIntoGroupLocked(const PagePtr& page,
@@ -346,25 +354,20 @@ void ShuffleBuffer::PartitionIntoGroupLocked(const PagePtr& page,
   }
 }
 
-void ShuffleBuffer::ExecutorLoop() {
+Schedulable::Quantum ShuffleBuffer::ExecutorUnit::RunQuantum(
+    int64_t quantum_us) {
+  return parent_->ExecutorQuantum(this, quantum_us);
+}
+
+Schedulable::Quantum ShuffleBuffer::ExecutorQuantum(ExecutorUnit* unit,
+                                                    int64_t quantum_us) {
+  const int64_t deadline_us = NowMicros() + quantum_us;
   while (true) {
-    PagePtr page;
-    int64_t seq;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !input_queue_.empty(); });
-      if (shutdown_) return;
-      seq = input_queue_.front().first;
-      page = input_queue_.front().second;
-      input_queue_.pop_front();
-      ++in_flight_;
-    }
-    // Charge shuffle CPU outside the lock.
-    double cost_us = static_cast<double>(page->num_rows()) *
-                     task_ctx_->config().cost.shuffle_executor_us *
-                     task_ctx_->config().cost.scale;
-    task_ctx_->cpu()->Consume(cost_us * 1e-6);
-    {
+    if (unit->active_) {
+      // Deliver the popped page once its simulated shuffle CPU is granted.
+      if (NowMicros() < unit->grant_us_) {
+        return Schedulable::Quantum::Waiting(unit->grant_us_);
+      }
       std::lock_guard<std::mutex> lock(mutex_);
       for (size_t g = 0; g < groups_.size(); ++g) {
         Group& group = groups_[g];
@@ -372,12 +375,33 @@ void ShuffleBuffer::ExecutorLoop() {
                            ? group.routing
                            : static_cast<int>(g) == active_group_;
         // Pages predating the group arrived through the cache replay.
-        if (deliver && group.routing && seq >= group.created_seq) {
-          PartitionIntoGroupLocked(page, &group);
+        if (deliver && group.routing && unit->seq_ >= group.created_seq) {
+          PartitionIntoGroupLocked(unit->page_, &group);
         }
       }
       --in_flight_;
+      unit->active_ = false;
+      unit->page_ = nullptr;
     }
+    if (NowMicros() >= deadline_us) return Schedulable::Quantum::Runnable();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return Schedulable::Quantum::Finished();
+      if (input_queue_.empty()) {
+        // Enqueue() wakes us early; this is just the fallback poll.
+        return Schedulable::Quantum::Waiting(
+            NowMicros() + task_ctx_->config().driver_idle_sleep_us);
+      }
+      unit->seq_ = input_queue_.front().first;
+      unit->page_ = input_queue_.front().second;
+      input_queue_.pop_front();
+      ++in_flight_;
+      unit->active_ = true;
+    }
+    double cost_us = static_cast<double>(unit->page_->num_rows()) *
+                     task_ctx_->config().cost.shuffle_executor_us *
+                     task_ctx_->config().cost.scale;
+    unit->grant_us_ = task_ctx_->ReserveCpuMicros(cost_us);
   }
 }
 

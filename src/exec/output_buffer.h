@@ -2,14 +2,13 @@
 #define ACCORDION_EXEC_OUTPUT_BUFFER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "exec/scheduler.h"
 #include "exec/task_context.h"
 #include "plan/plan_node.h"
 #include "vector/page.h"
@@ -227,6 +226,13 @@ class BroadcastBuffer : public OutputBuffer {
 /// Hash-partitioned buffer with shuffle executors, page cache, buffer-ID
 /// groups and task groups (paper Fig. 10b + §4.5). The workhorse of
 /// intra-stage elasticity for partitioned hash joins.
+///
+/// Shuffle executors are resumable units on the shared morsel-scheduler
+/// pool (not dedicated threads): each pops a page, reserves the shuffle
+/// CPU cost from the worker governor, yields the pool thread until the
+/// grant time, then partitions the page into the live task groups. A page
+/// counts as in-flight from pop to delivery, so consumers never observe a
+/// spurious completion while its rows are mid-shuffle.
 class ShuffleBuffer : public OutputBuffer {
  public:
   ShuffleBuffer(OutputBufferConfig config, TaskContext* task_ctx);
@@ -266,23 +272,39 @@ class ShuffleBuffer : public OutputBuffer {
     std::vector<int64_t> queued;  // bytes per queue
   };
 
-  void ExecutorLoop();
+  /// One pool-scheduled shuffle executor. State that crosses quanta (the
+  /// popped page and its CPU grant) lives on the unit; mutation happens
+  /// only inside quanta.
+  class ExecutorUnit : public Schedulable {
+   public:
+    explicit ExecutorUnit(ShuffleBuffer* parent) : parent_(parent) {}
+    Quantum RunQuantum(int64_t quantum_us) override;
+
+   private:
+    friend class ShuffleBuffer;
+    ShuffleBuffer* parent_;
+    bool active_ = false;  // a popped page awaits delivery
+    int64_t seq_ = 0;
+    PagePtr page_;
+    int64_t grant_us_ = 0;  // CPU reservation grant time
+  };
+
+  Schedulable::Quantum ExecutorQuantum(ExecutorUnit* unit, int64_t quantum_us);
   /// Partitions `page` into `group`'s queues. Caller holds mutex_.
   void PartitionIntoGroupLocked(const PagePtr& page, Group* group);
   bool DrainedLocked() const;
 
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
   std::deque<std::pair<int64_t, PagePtr>> input_queue_;  // (seq, page)
   int64_t next_seq_ = 0;
   std::vector<PagePtr> cache_;
   std::vector<Group> groups_;
   int active_group_ = 0;
-  int in_flight_ = 0;   // pages being partitioned by executors
+  int in_flight_ = 0;   // pages popped but not yet delivered
   int replaying_ = 0;   // active AddTaskGroup cache replays
   bool shutdown_ = false;
   std::atomic<int64_t> last_reshuffle_bytes_{0};
-  std::vector<std::thread> executors_;
+  std::vector<std::unique_ptr<ExecutorUnit>> executors_;
   // Scatter scratch reused across pages; guarded by mutex_ (the partition
   // step runs locked).
   std::vector<uint64_t> scatter_hashes_;

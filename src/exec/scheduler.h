@@ -1,0 +1,178 @@
+#ifndef ACCORDION_EXEC_SCHEDULER_H_
+#define ACCORDION_EXEC_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace accordion {
+
+struct EngineConfig;
+
+/// A resumable unit of work driven by the shared CPU pool — a driver, an
+/// exchange fetcher or a shuffle executor. The pool calls RunQuantum
+/// repeatedly; the unit does up to `quantum_us` of work and yields instead
+/// of blocking, so a fixed-size pool can multiplex every driver of every
+/// concurrent query (morsel-driven scheduling, Leis et al.).
+class Schedulable {
+ public:
+  struct Quantum {
+    enum class State {
+      kRunnable,  // more work available right now — requeue
+      kWaiting,   // nothing to do before `resume_at_us` (backpressure,
+                  // pacing, idle upstream); a Wake() resumes earlier
+      kFinished,  // unit completed; the scheduler drops it
+    };
+    State state = State::kRunnable;
+    int64_t resume_at_us = 0;  // absolute NowMicros time, kWaiting only
+
+    static Quantum Runnable() { return Quantum{State::kRunnable, 0}; }
+    static Quantum Waiting(int64_t resume_at_us) {
+      return Quantum{State::kWaiting, resume_at_us};
+    }
+    static Quantum Finished() { return Quantum{State::kFinished, 0}; }
+  };
+
+  virtual ~Schedulable() = default;
+
+  /// Runs up to `quantum_us` of work. Must not block on locks held across
+  /// quanta, other units' progress, or simulated latency — yield instead.
+  virtual Quantum RunQuantum(int64_t quantum_us) = 0;
+};
+
+/// Non-owning handle for units whose lifetime is managed by their task
+/// structures (drivers, exchange clients, shuffle buffers). The owner must
+/// Retire() the unit before destroying it.
+inline std::shared_ptr<Schedulable> NonOwning(Schedulable* unit) {
+  return std::shared_ptr<Schedulable>(unit, [](Schedulable*) {});
+}
+
+/// The shared, fixed-size CPU pool with weighted fair queueing across
+/// queries (paper §5.4's latency-constraint substrate; ROADMAP open item
+/// 1). Every unit belongs to a group — the query id — and each group
+/// accumulates virtual runtime `elapsed / weight` as its units run; the
+/// pool always serves the runnable group with the smallest virtual
+/// runtime, so CPU time divides between queries proportionally to their
+/// weights regardless of how many units each query enqueues. The
+/// coordinator maps DOP changes onto group weights, which is what turns
+/// the paper's thread-count tuning into a queue-share change.
+///
+/// Waiting units sit on a timer heap and cost nothing; Wake() resumes one
+/// early (new input arrived). Retire() synchronously removes a unit,
+/// blocking until any in-flight quantum returns — the teardown primitive
+/// replacing thread joins.
+class MorselScheduler {
+ public:
+  struct Options {
+    /// Pool size; 0 means hardware_concurrency() (4 if that reports 0).
+    int num_threads = 0;
+    /// Target wall time of one quantum before a unit must requeue.
+    int64_t quantum_us = 1000;
+  };
+
+  MorselScheduler() : MorselScheduler(Options()) {}
+  explicit MorselScheduler(Options options);
+  ~MorselScheduler();
+
+  MorselScheduler(const MorselScheduler&) = delete;
+  MorselScheduler& operator=(const MorselScheduler&) = delete;
+
+  /// Process-wide default pool, used when EngineConfig::scheduler is
+  /// null. Never destroyed (it must outlive all static-duration users).
+  static MorselScheduler* Default();
+
+  /// Adds `unit` to `group`'s run queue. The scheduler keeps the
+  /// shared_ptr until the unit finishes or is retired; owners that manage
+  /// lifetime themselves pass NonOwning(unit) and must Retire().
+  void Enqueue(const std::string& group, std::shared_ptr<Schedulable> unit);
+
+  /// Sets `group`'s fair-queueing weight (default 1.0; minimum clamped to
+  /// a small positive value). Takes effect from the next quantum.
+  void SetGroupWeight(const std::string& group, double weight);
+
+  /// Drops `group`'s weight record once its units are gone (query end).
+  void ClearGroup(const std::string& group);
+
+  /// Moves a kWaiting unit back to its run queue immediately (e.g. new
+  /// input arrived before its timer). No-op for running/queued/unknown.
+  void Wake(Schedulable* unit);
+
+  /// Removes `unit` from the scheduler, blocking until an in-flight
+  /// quantum (if any) returns. After Retire the scheduler holds no
+  /// reference to the unit. No-op if the unit already finished. Must not
+  /// be called from a pool thread — that would self-deadlock.
+  void Retire(Schedulable* unit);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+  int64_t quantum_us() const { return quantum_us_; }
+
+  /// Units currently registered (queued + waiting + running). Test hook.
+  int num_units() const;
+  /// Groups currently known (with units or an explicit weight). Test hook.
+  int num_groups() const;
+
+ private:
+  enum class UnitState { kQueued, kRunning, kWaiting };
+
+  struct Unit {
+    std::shared_ptr<Schedulable> ref;
+    std::string group;
+    UnitState state = UnitState::kQueued;
+    /// Invalidates stale timer-heap entries after a Wake or state change.
+    int64_t wait_epoch = 0;
+    bool retire_requested = false;
+  };
+
+  struct Group {
+    double weight = 1.0;
+    double vruntime = 0;
+    int members = 0;  // units registered under this group
+    /// Weight was set explicitly; keep the (possibly empty) group until
+    /// ClearGroup instead of dropping the weight with its last unit.
+    bool pinned = false;
+    std::deque<Schedulable*> runnable;
+  };
+
+  struct Timer {
+    int64_t resume_at_us;
+    Schedulable* unit;
+    int64_t wait_epoch;
+    bool operator>(const Timer& other) const {
+      return resume_at_us > other.resume_at_us;
+    }
+  };
+
+  void WorkerLoop();
+  /// Moves expired timers' units back to their run queues.
+  void PromoteTimersLocked(int64_t now_us);
+  /// Runnable unit of the smallest-vruntime group, or null.
+  Schedulable* PickLocked();
+  double MinActiveVruntimeLocked() const;
+  /// Erases the unit and its group bookkeeping; notifies retire waiters.
+  void EraseUnitLocked(Schedulable* unit);
+
+  int64_t quantum_us_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable retire_cv_;
+  std::map<Schedulable*, Unit> units_;
+  std::map<std::string, Group> groups_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// The scheduler a component should use: the config's, or the process
+/// default when the config doesn't name one.
+MorselScheduler* SchedulerFor(const EngineConfig& config);
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_SCHEDULER_H_

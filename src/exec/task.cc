@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "exec/scheduler.h"
 
 namespace accordion {
 
@@ -11,6 +12,13 @@ Task::Task(TaskSpec spec, TaskApis apis, ResourceGovernor* cpu,
     : spec_(std::move(spec)),
       apis_(std::move(apis)),
       task_ctx_(spec_.id.ToString(), cpu, nic, config) {
+  // All units of a query share one fair-queueing group, so the scheduler
+  // arbitrates between queries, not between a query's own tasks. Must be
+  // set before any unit is enqueued (the shuffle buffer enqueues its
+  // executors at construction).
+  if (!spec_.id.query_id.empty()) {
+    task_ctx_.set_scheduler_group(spec_.id.query_id);
+  }
   buffer_ = MakeOutputBuffer(spec_.output_config, &task_ctx_);
 
   PipelineBuildContext ctx;
@@ -25,8 +33,8 @@ Task::Task(TaskSpec spec, TaskApis apis, ResourceGovernor* cpu,
       if (override_it != spec_.source_buffer_ids.end()) {
         buffer_id = override_it->second;
       }
-      auto client = std::make_unique<ExchangeClient>(&task_ctx_, buffer_id,
-                                                     apis_.fetch_pages);
+      auto client = std::make_unique<ExchangeClient>(
+          &task_ctx_, buffer_id, apis_.fetch_pages, apis_.fetch_pages_deferred);
       it = exchange_clients_.emplace(source_stage_id, std::move(client)).first;
     }
     return it->second.get();
@@ -68,12 +76,20 @@ Task::Task(TaskSpec spec, TaskApis apis, ResourceGovernor* cpu,
 
 Task::~Task() {
   Abort();
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& pipeline_drivers : drivers_) {
-    for (auto& slot : pipeline_drivers) {
-      if (slot.thread.joinable()) slot.thread.join();
+  // Collect under the lock, retire outside it: Retire blocks until an
+  // in-flight quantum returns, and that quantum may call mutex-taking
+  // Task/TaskContext methods — joining under mutex_ here was a deadlock.
+  std::vector<Driver*> to_retire;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& pipeline_drivers : drivers_) {
+      for (auto& slot : pipeline_drivers) to_retire.push_back(slot.driver.get());
     }
   }
+  MorselScheduler* scheduler = task_ctx_.scheduler();
+  for (Driver* driver : to_retire) scheduler->Retire(driver);
+  // Exchange clients and the output buffer retire their own units in
+  // their destructors (after the drivers that reference them are gone).
 }
 
 void Task::AddDriverLocked(int pipeline_id) {
@@ -89,8 +105,8 @@ void Task::AddDriverLocked(int pipeline_id) {
   Driver* raw = driver.get();
   DriverSlot slot;
   slot.driver = std::move(driver);
-  slot.thread = std::thread([raw] { raw->Run(); });
   drivers_[pipeline_id].push_back(std::move(slot));
+  task_ctx_.scheduler()->Enqueue(task_ctx_.scheduler_group(), NonOwning(raw));
 }
 
 void Task::Start() {

@@ -4,7 +4,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -39,11 +38,15 @@ struct TaskApis {
   NextSplitFn next_split;
   OpenSplitFn open_split;
   FetchPagesFn fetch_pages;
+  /// Optional non-blocking variant (see FetchPagesDeferredFn); when set,
+  /// exchange clients prefer it and yield instead of sleeping latency.
+  FetchPagesDeferredFn fetch_pages_deferred;
 };
 
 /// The smallest unit of distributed execution (paper §2). Owns its
-/// pipelines, drivers (one thread each), shared structures (local
-/// exchanges, join bridges, exchange clients) and its output buffer.
+/// pipelines, drivers (resumable units on the shared morsel-scheduler
+/// pool), shared structures (local exchanges, join bridges, exchange
+/// clients) and its output buffer.
 ///
 /// Runtime elasticity surface:
 ///  - SetDop() adds/retires drivers on tunable pipelines (intra-task DOP,
@@ -105,7 +108,6 @@ class Task {
  private:
   struct DriverSlot {
     std::unique_ptr<Driver> driver;
-    std::thread thread;
     bool ended_requested = false;
   };
 

@@ -12,6 +12,8 @@
 
 namespace accordion {
 
+class MorselScheduler;
+
 /// Shared, thread-safe per-task runtime state: resource governors of the
 /// hosting worker, engine config, and the metric counters that the
 /// coordinator's runtime information collector reads (paper Fig. 18:
@@ -20,12 +22,28 @@ class TaskContext {
  public:
   TaskContext(std::string task_id, ResourceGovernor* cpu,
               ResourceGovernor* nic, const EngineConfig* config)
-      : task_id_(std::move(task_id)), cpu_(cpu), nic_(nic), config_(config) {}
+      : task_id_(std::move(task_id)),
+        scheduler_group_(task_id_),
+        cpu_(cpu),
+        nic_(nic),
+        config_(config) {}
 
   const std::string& task_id() const { return task_id_; }
   const EngineConfig& config() const { return *config_; }
   ResourceGovernor* cpu() { return cpu_; }
   ResourceGovernor* nic() { return nic_; }
+
+  /// The shared CPU pool this task's units run on (config's scheduler or
+  /// the process default). Defined in scheduler.cc.
+  MorselScheduler* scheduler() const;
+
+  /// Fair-queueing group of this task's units — the query id for tasks
+  /// created through the cluster, the task id for standalone tasks. Set
+  /// once at task construction, before any unit is enqueued.
+  const std::string& scheduler_group() const { return scheduler_group_; }
+  void set_scheduler_group(std::string group) {
+    scheduler_group_ = std::move(group);
+  }
 
   /// Reserves virtual CPU microseconds against the node; returns the
   /// absolute grant time. Drivers combine this with their own single-core
@@ -70,6 +88,7 @@ class TaskContext {
 
  private:
   std::string task_id_;
+  std::string scheduler_group_;
   ResourceGovernor* cpu_;
   ResourceGovernor* nic_;
   const EngineConfig* config_;

@@ -507,5 +507,73 @@ TEST(SessionTest, WaitShimMatchesCursorResults) {
   EXPECT_EQ(rows(*cursor_pages), 5);
 }
 
+// Regression for the Submit reservation leak: every failing Submit used
+// to be able to strand its reserved_ slot, so enough failures wedged the
+// session cap shut permanently. Hammer the exact boundary — reservation
+// taken, then the coordinator (global cap) or the analyzer (bad SQL)
+// rejects — and prove the cap still admits afterwards.
+TEST(SessionTest, FailedSubmitsNeverWedgeTheAdmissionCap) {
+  AccordionCluster::Options options = StreamingOptions();
+  options.engine.max_concurrent_queries = 1;  // coordinator rejects all else
+  AccordionCluster cluster(options);
+  SessionOptions session_options;
+  session_options.max_concurrent_queries = 2;
+  Session session(cluster.coordinator(), session_options);
+
+  // Pin the single global slot with an unconsumed streaming query.
+  auto running = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(running.ok()) << running.status().ToString();
+
+  // Each of these reserves the session's second slot, then fails in the
+  // coordinator. If any reservation leaked, the session cap (2) would
+  // start rejecting with its own "session admission cap" error instead.
+  for (int i = 0; i < 100; ++i) {
+    auto q = session.Execute(StreamingScanPlan(session.catalog()));
+    ASSERT_FALSE(q.ok());
+    EXPECT_EQ(q.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(q.status().ToString().find("session admission cap"),
+              std::string::npos)
+        << "iteration " << i << " tripped the session cap — a reservation "
+        << "leaked: " << q.status().ToString();
+  }
+
+  // Same boundary under contention: concurrent failing submits (bad SQL
+  // fails in analysis, bad plans fail in the coordinator).
+  std::vector<std::thread> hammers;
+  std::atomic<int> unexpected{0};
+  for (int t = 0; t < 4; ++t) {
+    hammers.emplace_back([&session, &unexpected, t] {
+      for (int i = 0; i < 25; ++i) {
+        if ((t + i) % 2 == 0) {
+          auto q = session.Execute("SELECT nope FROM no_such_table");
+          if (q.ok()) unexpected.fetch_add(1);
+        } else {
+          auto q = session.Execute(StreamingScanPlan(session.catalog()));
+          if (q.ok()) unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : hammers) t.join();
+  EXPECT_EQ(unexpected.load(), 0);
+
+  // The cap never wedged: free the global slot and a valid query both
+  // admits and completes.
+  ASSERT_TRUE((*running)->Abort().ok());
+  Stopwatch sw;
+  Result<QueryHandlePtr> fresh = Status::ResourceExhausted("not yet");
+  while (sw.ElapsedMillis() < 10000) {
+    fresh = session.Execute("SELECT count(l_orderkey) AS n FROM lineitem");
+    if (fresh.ok()) break;
+    ASSERT_EQ(fresh.status().code(), StatusCode::kResourceExhausted)
+        << fresh.status().ToString();
+    SleepForMillis(5);
+  }
+  ASSERT_TRUE(fresh.ok()) << "admission cap wedged after failed submits";
+  auto pages = (*fresh)->Wait();
+  ASSERT_TRUE(pages.ok()) << pages.status().ToString();
+  EXPECT_EQ(session.active_queries(), 0);
+}
+
 }  // namespace
 }  // namespace accordion
