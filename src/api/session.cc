@@ -1,5 +1,6 @@
 #include "api/session.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "common/clock.h"
@@ -10,12 +11,39 @@ namespace accordion {
 
 // --- ResultCursor ----------------------------------------------------------
 
+void ResultCursor::StartPrefetch() {
+  Coordinator* coordinator = coordinator_;
+  std::string query_id = query_id_;
+  int batch_pages = batch_pages_;
+  prefetch_ = std::async(std::launch::async,
+                         [coordinator, query_id, batch_pages]() {
+                           return coordinator->FetchResults(query_id,
+                                                            batch_pages);
+                         });
+  ++prefetches_issued_;
+}
+
+Result<PagesResult> ResultCursor::TakeFetch() {
+  if (prefetch_.valid()) {
+    ++prefetch_hits_;
+    return prefetch_.get();
+  }
+  return coordinator_->FetchResults(query_id_, batch_pages_);
+}
+
 Result<PagePtr> ResultCursor::Next(int64_t timeout_ms) {
   if (timeout_ms < 0) timeout_ms = default_timeout_ms_;
   Stopwatch sw;
   while (true) {
     if (next_buffered_ < buffered_.size()) {
       PagePtr page = std::move(buffered_[next_buffered_++]);
+      // Double buffering: once half the batch is handed out, fetch the
+      // next one in the background so transfer latency overlaps with the
+      // client's processing of the remaining pages.
+      if (!done_ && !prefetch_.valid() &&
+          next_buffered_ * 2 >= buffered_.size()) {
+        StartPrefetch();
+      }
       if (next_buffered_ == buffered_.size()) {
         buffered_.clear();
         next_buffered_ = 0;
@@ -25,7 +53,7 @@ Result<PagePtr> ResultCursor::Next(int64_t timeout_ms) {
       return page;
     }
     if (done_) return PagePtr(nullptr);
-    auto fetched = coordinator_->FetchResults(query_id_, batch_pages_);
+    auto fetched = TakeFetch();
     ACCORDION_RETURN_NOT_OK(fetched.status());
     if (fetched->complete) done_ = true;
     if (!fetched->pages.empty()) {
@@ -51,8 +79,17 @@ Result<PagesResult> ResultCursor::Poll() {
   }
   buffered_.clear();
   next_buffered_ = 0;
+  if (!done_ && prefetch_.valid() &&
+      prefetch_.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+    // A background fetch is in flight but not ready; starting a second
+    // concurrent fetch would interleave the stream, and waiting would
+    // block. Hand out what we have.
+    out.complete = false;
+    return out;
+  }
   if (!done_) {
-    auto fetched = coordinator_->FetchResults(query_id_, batch_pages_);
+    auto fetched = TakeFetch();
     ACCORDION_RETURN_NOT_OK(fetched.status());
     for (auto& page : fetched->pages) out.pages.push_back(std::move(page));
     if (fetched->complete) done_ = true;
@@ -205,8 +242,9 @@ Result<QueryHandlePtr> Session::Execute(const std::string& sql,
     return Status::InvalidArgument(
         "statement has ? parameters — use Prepare() and bind values");
   }
-  ACCORDION_ASSIGN_OR_RETURN(PlanNodePtr plan,
-                             AnalyzeSql(query, coordinator_->catalog()));
+  ACCORDION_ASSIGN_OR_RETURN(
+      PlanNodePtr plan,
+      AnalyzeSql(query, coordinator_->catalog(), query_options.optimizer));
   return Submit(plan, query_options);
 }
 
@@ -227,8 +265,9 @@ Result<QueryHandlePtr> Session::Execute(const PreparedStatement& statement,
                                         const QueryOptions& query_options) {
   ACCORDION_ASSIGN_OR_RETURN(SqlQuery bound,
                              BindPlaceholders(statement.query_, params));
-  ACCORDION_ASSIGN_OR_RETURN(PlanNodePtr plan,
-                             AnalyzeSql(bound, coordinator_->catalog()));
+  ACCORDION_ASSIGN_OR_RETURN(
+      PlanNodePtr plan,
+      AnalyzeSql(bound, coordinator_->catalog(), query_options.optimizer));
   return Submit(plan, query_options);
 }
 
@@ -247,9 +286,14 @@ Result<std::string> Session::Explain(const PlanNodePtr& plan) const {
 }
 
 Result<std::string> Session::Explain(const std::string& sql) const {
-  ACCORDION_ASSIGN_OR_RETURN(PlanNodePtr plan,
-                             SqlToPlan(sql, coordinator_->catalog()));
-  return Explain(plan);
+  ACCORDION_ASSIGN_OR_RETURN(SqlQuery query, ParseSqlQuery(sql));
+  ACCORDION_ASSIGN_OR_RETURN(
+      AnalyzedPlan analyzed,
+      AnalyzeSqlWithReport(query, coordinator_->catalog(),
+                           options_.query_defaults.optimizer));
+  ACCORDION_ASSIGN_OR_RETURN(std::string rendered, Explain(analyzed.plan));
+  if (analyzed.optimizer_report.empty()) return rendered;
+  return "-- optimizer --\n" + analyzed.optimizer_report + rendered;
 }
 
 }  // namespace accordion

@@ -1,6 +1,7 @@
 #ifndef ACCORDION_API_SESSION_H_
 #define ACCORDION_API_SESSION_H_
 
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -97,6 +98,11 @@ class ResultCursor {
   int64_t pages_seen() const { return pages_seen_; }
   int64_t rows_seen() const { return rows_seen_; }
 
+  /// Double-buffering observability: background fetches started, and how
+  /// many of them were consumed as the next batch.
+  int64_t prefetches_issued() const { return prefetches_issued_; }
+  int64_t prefetch_hits() const { return prefetch_hits_; }
+
  private:
   friend class QueryHandle;
   ResultCursor(Coordinator* coordinator, std::string query_id,
@@ -105,6 +111,15 @@ class ResultCursor {
         query_id_(std::move(query_id)),
         batch_pages_(batch_pages),
         default_timeout_ms_(default_timeout_ms) {}
+
+  /// Starts a background fetch of the next batch (double buffering). Only
+  /// called once at least half of the current batch is consumed, so a
+  /// client that stops reading holds at most one extra batch and the
+  /// engine's elastic-buffer backpressure still applies.
+  void StartPrefetch();
+  /// Next batch: the pending background fetch if one exists (blocking
+  /// until it lands), otherwise a synchronous fetch.
+  Result<PagesResult> TakeFetch();
 
   Coordinator* coordinator_;
   std::string query_id_;
@@ -115,6 +130,9 @@ class ResultCursor {
   bool done_ = false;
   int64_t pages_seen_ = 0;
   int64_t rows_seen_ = 0;
+  std::future<Result<PagesResult>> prefetch_;  // in-flight background fetch
+  int64_t prefetches_issued_ = 0;
+  int64_t prefetch_hits_ = 0;
 };
 
 /// Owns one query's lifecycle: result consumption, tuning knobs,

@@ -42,6 +42,15 @@ bool Catalog::HasTable(const std::string& name) const {
   return tables_.count(name) > 0;
 }
 
+void Catalog::SetStats(const std::string& name, TableStats stats) {
+  stats_[name] = std::move(stats);
+}
+
+const TableStats* Catalog::GetStats(const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());

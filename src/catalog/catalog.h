@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "vector/data_type.h"
+#include "vector/value.h"
 
 namespace accordion {
 
@@ -48,7 +49,30 @@ struct TableLayout {
   int TotalSplits() const { return num_nodes * splits_per_node; }
 };
 
-/// Name -> schema/layout registry shared by planner and workers.
+/// Per-column statistics: non-null row count (== row count, the engine has
+/// no nulls), min/max, and an estimated distinct count from a KMV sketch.
+struct ColumnStats {
+  DataType type = DataType::kInt64;
+  int64_t row_count = 0;
+  bool has_min_max = false;  // false for empty columns
+  Value min;
+  Value max;
+  int64_t ndv = 0;
+
+  /// NDV with a floor of 1 for non-empty columns (selectivity math divides
+  /// by it).
+  double NdvOrOne() const { return ndv > 0 ? static_cast<double>(ndv) : 1.0; }
+};
+
+/// Per-table statistics, parallel to the schema's column order. Collected
+/// once at load time (CSV ingest or TPC-H catalog bootstrap) and consumed
+/// by the cost-based optimizer.
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;  // one per schema column
+};
+
+/// Name -> schema/layout/statistics registry shared by planner and workers.
 class Catalog {
  public:
   void AddTable(TableSchema schema, TableLayout layout);
@@ -58,9 +82,18 @@ class Catalog {
   bool HasTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
+  /// Attaches load-time statistics to a registered table (replacing any
+  /// previous stats).
+  void SetStats(const std::string& name, TableStats stats);
+
+  /// Statistics for a table, or nullptr when none were collected. The
+  /// pointer stays valid while the catalog lives and stats are not reset.
+  const TableStats* GetStats(const std::string& name) const;
+
  private:
   std::map<std::string, TableSchema> tables_;
   std::map<std::string, TableLayout> layouts_;
+  std::map<std::string, TableStats> stats_;
 };
 
 }  // namespace accordion

@@ -15,6 +15,7 @@
 #include "catalog/catalog.h"
 #include "cluster/rpc_bus.h"
 #include "cluster/worker.h"
+#include "optimizer/options.h"
 #include "plan/fragment.h"
 
 namespace accordion {
@@ -38,6 +39,11 @@ struct QueryOptions {
   /// parallelism (max over stages of stage DOP x task DOP), so DOP tuning
   /// changes a query's pool share rather than its thread count.
   double scheduler_weight = 1.0;
+
+  /// Cost-based optimizer knobs applied when the query arrives as SQL
+  /// text (hand-built plans bypass the optimizer). See
+  /// src/optimizer/options.h.
+  OptimizerOptions optimizer;
 };
 
 enum class QueryState { kRunning, kFinished, kFailed, kAborted };

@@ -1,0 +1,35 @@
+#ifndef ACCORDION_OPTIMIZER_CARDINALITY_H_
+#define ACCORDION_OPTIMIZER_CARDINALITY_H_
+
+#include <functional>
+
+#include "optimizer/stats.h"
+#include "sql/parser.h"
+
+namespace accordion {
+
+/// Maps a kColumn AST node to that column's statistics, or nullptr when
+/// the column is unknown / has no stats. Supplied by the analyzer, which
+/// owns scope resolution.
+using ColumnStatsResolver =
+    std::function<const ColumnStats*(const SqlExpr& column)>;
+
+/// Estimated fraction of rows a boolean predicate keeps, from column
+/// min/max ranges and NDV sketches. Covers the filter grammar
+/// (comparisons, BETWEEN, IN, LIKE, AND/OR/NOT); anything it cannot
+/// reason about falls back to textbook defaults. Clamped to
+/// [1e-4, 1.0] so downstream cost math never divides by zero or zeroes
+/// out a whole plan on one confident guess.
+double EstimateSelectivity(const SqlExprPtr& predicate,
+                           const ColumnStatsResolver& resolver);
+
+/// Estimated distinct values an expression takes over `input_rows` rows:
+/// columns use their NDV, EXTRACT(YEAR) uses the min/max year span,
+/// everything else defaults to sqrt(input_rows).
+double EstimateExprNdv(const SqlExprPtr& expr,
+                       const ColumnStatsResolver& resolver,
+                       double input_rows);
+
+}  // namespace accordion
+
+#endif  // ACCORDION_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,129 @@
+#include "optimizer/stats.h"
+
+#include <cstring>
+
+#include "storage/page_source.h"
+#include "vector/hashing.h"
+
+namespace accordion {
+
+namespace {
+
+uint64_t HashValue(const Column& column, int64_t row) {
+  switch (column.type()) {
+    case DataType::kDouble: {
+      double d = column.DoubleAt(row);
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case DataType::kString: {
+      const std::string& s = column.StrAt(row);
+      return HashBytes(s.data(), s.size(), 0);
+    }
+    default:
+      return Mix64(static_cast<uint64_t>(column.IntAt(row)));
+  }
+}
+
+}  // namespace
+
+int64_t NdvSketch::Estimate() const {
+  int64_t kept = static_cast<int64_t>(kept_.size());
+  if (kept < k_ || kept == 0) return kept;  // saw fewer than k distinct
+  // k-th smallest hash h_k: distinct values are uniform in hash space, so
+  // density k / h_k extends to the whole 2^64 range. (k-1)/h_k is the
+  // standard unbiased variant.
+  uint64_t h_k = *kept_.rbegin();
+  if (h_k == 0) return kept;
+  double estimate = static_cast<double>(k_ - 1) *
+                    (18446744073709551616.0 / static_cast<double>(h_k));
+  return static_cast<int64_t>(estimate);
+}
+
+StatsCollector::StatsCollector(const TableSchema& schema, int sketch_k)
+    : schema_(schema) {
+  int n = schema_.num_columns();
+  sketches_.reserve(n);
+  for (int i = 0; i < n; ++i) sketches_.emplace_back(sketch_k);
+  has_min_max_.assign(n, false);
+  mins_.resize(n);
+  maxs_.resize(n);
+}
+
+void StatsCollector::AddPage(const Page& page) {
+  if (page.IsEnd() || page.num_rows() == 0) return;
+  rows_seen_ += page.num_rows();
+  int n = std::min(page.num_columns(), schema_.num_columns());
+  for (int c = 0; c < n; ++c) {
+    const Column& column = page.column(c);
+    for (int64_t r = 0; r < page.num_rows(); ++r) {
+      sketches_[c].Add(HashValue(column, r));
+    }
+    // Min/max via Value comparison (cheap at stats-sample scale).
+    for (int64_t r = 0; r < page.num_rows(); ++r) {
+      Value v = column.ValueAt(r);
+      if (!has_min_max_[c]) {
+        mins_[c] = v;
+        maxs_[c] = v;
+        has_min_max_[c] = true;
+        continue;
+      }
+      if (CompareValues(v, mins_[c]) < 0) mins_[c] = v;
+      if (CompareValues(v, maxs_[c]) > 0) maxs_[c] = std::move(v);
+    }
+  }
+}
+
+TableStats StatsCollector::Finish() const {
+  TableStats stats;
+  stats.row_count = rows_seen_;
+  int n = schema_.num_columns();
+  stats.columns.resize(n);
+  for (int c = 0; c < n; ++c) {
+    ColumnStats& col = stats.columns[c];
+    col.type = schema_.TypeOf(c);
+    col.row_count = rows_seen_;
+    col.has_min_max = has_min_max_[c];
+    if (col.has_min_max) {
+      col.min = mins_[c];
+      col.max = maxs_[c];
+    }
+    col.ndv = std::min(sketches_[c].Estimate(), rows_seen_);
+  }
+  return stats;
+}
+
+TableStats ExtrapolateStats(TableStats sample, int64_t actual_rows) {
+  if (actual_rows < 0 || actual_rows <= sample.row_count) return sample;
+  double ratio = sample.row_count > 0
+                     ? static_cast<double>(actual_rows) /
+                           static_cast<double>(sample.row_count)
+                     : 0.0;
+  for (ColumnStats& col : sample.columns) {
+    // Near-unique columns (keys) keep growing with the table; columns
+    // that saturated well below the sample size already hold (almost) all
+    // their distinct values.
+    if (sample.row_count > 0 &&
+        col.ndv >= static_cast<int64_t>(0.8 * sample.row_count)) {
+      col.ndv = static_cast<int64_t>(static_cast<double>(col.ndv) * ratio);
+    }
+    col.ndv = std::min(col.ndv, actual_rows);
+    col.row_count = actual_rows;
+  }
+  sample.row_count = actual_rows;
+  return sample;
+}
+
+TableStats CollectStats(const TableSchema& schema, PageSource* source,
+                        int64_t sample_rows, int64_t actual_rows) {
+  StatsCollector collector(schema);
+  while (sample_rows < 0 || collector.rows_seen() < sample_rows) {
+    PagePtr page = source->Next();
+    if (page == nullptr || page->IsEnd()) break;
+    collector.AddPage(*page);
+  }
+  return ExtrapolateStats(collector.Finish(), actual_rows);
+}
+
+}  // namespace accordion

@@ -176,6 +176,13 @@ PlanNodePtr PlanBuilder::Output(Rel input) {
   return std::make_shared<OutputNode>(NextId(), input.names, input.node);
 }
 
+PlanBuilder::Rel PlanBuilder::AnnotateRows(Rel rel, double rows) {
+  if (rel.node != nullptr && rows >= 0) {
+    std::const_pointer_cast<PlanNode>(rel.node)->set_estimated_rows(rows);
+  }
+  return rel;
+}
+
 PlanBuilder::Rel PlanBuilder::Values(std::vector<PagePtr> pages,
                                      std::vector<DataType> types,
                                      std::vector<std::string> names) {

@@ -95,6 +95,11 @@ class PlanBuilder {
   Rel Values(std::vector<PagePtr> pages, std::vector<DataType> types,
              std::vector<std::string> names);
 
+  /// Attaches a cardinality estimate to the relation's top node (and to
+  /// the exchange it may sit on). Builder-owned nodes are not shared yet,
+  /// so mutating the annotation here is safe.
+  static Rel AnnotateRows(Rel rel, double rows);
+
  private:
   int NextId() { return next_node_id_++; }
 

@@ -38,8 +38,12 @@ class Fragmenter {
       PlanNodePtr child_root = Rewrite(node->children()[0], child_index);
       fragments_[child_index].root = child_root;
 
-      return std::make_shared<RemoteSourceNode>(node->id(), child_stage,
-                                                node->output_types());
+      auto remote = std::make_shared<RemoteSourceNode>(node->id(), child_stage,
+                                                       node->output_types());
+      // The remote source stands for the exchange and carries its
+      // cardinality estimate.
+      remote->set_estimated_rows(node->estimated_rows());
+      return remote;
     }
 
     std::vector<PlanNodePtr> new_children;
@@ -51,7 +55,12 @@ class Fragmenter {
       new_children.push_back(std::move(rewritten));
     }
     if (!changed) return node;
-    return CloneWithChildren(*node, std::move(new_children));
+    PlanNodePtr clone = CloneWithChildren(*node, std::move(new_children));
+    // Preserve optimizer annotations across the rewrite (safe: the clone
+    // is not shared yet).
+    std::const_pointer_cast<PlanNode>(clone)->set_estimated_rows(
+        node->estimated_rows());
+    return clone;
   }
 
   static PlanNodePtr CloneWithChildren(const PlanNode& node,

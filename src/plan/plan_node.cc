@@ -87,7 +87,11 @@ DataType Aggregate::ResultType() const {
 
 std::string PlanNode::ToString(int indent) const {
   std::ostringstream out;
-  out << std::string(indent * 2, ' ') << Describe() << "\n";
+  out << std::string(indent * 2, ' ') << Describe();
+  if (estimated_rows_ >= 0) {
+    out << "  [est. rows: " << static_cast<int64_t>(estimated_rows_) << "]";
+  }
+  out << "\n";
   for (const auto& child : children_) out << child->ToString(indent + 1);
   return out.str();
 }

@@ -91,14 +91,25 @@ class PlanNode {
   /// Single-line description used by plan printing.
   virtual std::string Describe() const { return PlanNodeKindName(kind_); }
 
-  /// Indented multi-line plan tree rendering.
+  /// Indented multi-line plan tree rendering (appends the estimated-rows
+  /// annotation when present).
   std::string ToString(int indent = 0) const;
+
+  /// Optimizer cardinality estimate for this node's output, or -1 when the
+  /// node was not annotated (hand-built plans, optimizer off).
+  double estimated_rows() const { return estimated_rows_; }
+
+  /// Attaches a cardinality estimate. Only the plan builder (before the
+  /// node is shared) and the fragmenter (when cloning) may call this —
+  /// nodes are immutable once published.
+  void set_estimated_rows(double rows) { estimated_rows_ = rows; }
 
  private:
   PlanNodeKind kind_;
   int id_;
   std::vector<DataType> output_types_;
   std::vector<PlanNodePtr> children_;
+  double estimated_rows_ = -1;
 };
 
 // ---------------------------------------------------------------------------

@@ -5,8 +5,12 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 
+#include "optimizer/cardinality.h"
+#include "optimizer/join_order.h"
 #include "plan/builder.h"
+#include "vector/hashing.h"
 
 namespace accordion {
 namespace {
@@ -131,17 +135,22 @@ class Analyzer {
   /// list is validated but never evaluated — its columns must not be
   /// scanned or carried through the inner join tree.
   Analyzer(const SqlQuery& query, const Catalog& catalog, PlanBuilder* builder,
-           const Analyzer* outer, bool select_list_matters = true)
+           const Analyzer* outer, const OptimizerOptions& options,
+           bool select_list_matters = true)
       : query_(query),
         catalog_(catalog),
         builder_(builder),
         outer_(outer),
+        options_(options),
         select_list_matters_(select_list_matters) {}
 
   Result<PlanNodePtr> Run() {
     ACCORDION_ASSIGN_OR_RETURN(PlanBuilder::Rel rel, RunToRel());
     return builder_->Output(rel);
   }
+
+  /// Optimizer decision report accumulated during Run().
+  const std::string& report() const { return report_; }
 
  private:
   using Rel = PlanBuilder::Rel;
@@ -153,6 +162,8 @@ class Analyzer {
     std::set<std::string> needed_columns;  // catalog column names
     std::vector<SqlExprPtr> filters;       // single-table conjuncts
     bool joined = false;
+    double base_rows = -1;  // catalog row count (cost model)
+    double est_rows = -1;   // estimated rows after local filters
   };
 
   /// A column resolved against this scope's FROM list.
@@ -246,10 +257,14 @@ class Analyzer {
   /// Resolves a kColumn node in this scope only; false when unknown or
   /// ambiguous (strict diagnosis happens in Resolve / Lower).
   bool TryResolve(const SqlExprPtr& col, ResolvedColumn* out) const {
-    if (col->kind != SqlExpr::Kind::kColumn) return false;
-    std::string name = LowerStr(col->text);
-    if (!col->qualifier.empty()) {
-      auto it = alias_table_.find(LowerStr(col->qualifier));
+    return TryResolve(*col, out);
+  }
+
+  bool TryResolve(const SqlExpr& col, ResolvedColumn* out) const {
+    if (col.kind != SqlExpr::Kind::kColumn) return false;
+    std::string name = LowerStr(col.text);
+    if (!col.qualifier.empty()) {
+      auto it = alias_table_.find(LowerStr(col.qualifier));
       if (it == alias_table_.end()) return false;
       if (tables_[it->second].schema.ChannelOf(name) < 0) return false;
       *out = ResolvedColumn{it->second, name};
@@ -508,6 +523,7 @@ class Analyzer {
     }
 
     auto sub = std::make_unique<Analyzer>(sub_query, catalog_, builder_, this,
+                                          options_,
                                           /*select_list_matters=*/!sq->exists);
     ACCORDION_RETURN_NOT_OK(sub->ResolveTables());
     for (const auto& item : sub_query.select_items) {
@@ -586,6 +602,10 @@ class Analyzer {
 
     ACCORDION_ASSIGN_OR_RETURN(Rel inner, sub->BuildJoinTree());
     ACCORDION_RETURN_NOT_OK(sub->ApplyResidualFilters(&inner));
+    if (!sub->report_.empty()) {
+      report_ += std::string(sq->exists ? "EXISTS" : "scalar") +
+                 " subquery:\n" + sub->report_;
+    }
 
     // Aggregate the inner relation by the correlation keys.
     // '#' cannot appear in a SQL identifier, so internal names can never
@@ -661,14 +681,81 @@ class Analyzer {
       names.push_back(std::move(internal));
     }
     if (renamed) rel = builder_->Project(rel, std::move(exprs), std::move(names));
+    rel = PlanBuilder::AnnotateRows(rel, table.base_rows);
     for (const auto& filter : table.filters) {
       ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, LowerPredicate(filter, rel));
       rel = builder_->Filter(rel, pred);
     }
+    if (!table.filters.empty()) {
+      rel = PlanBuilder::AnnotateRows(rel, table.est_rows);
+    }
     return rel;
   }
 
+  // ---- Statistics access (cost model inputs) ----------------------------
+
+  const ColumnStats* ResolvedStats(const ResolvedColumn& rc) const {
+    const TableStats* ts = catalog_.GetStats(tables_[rc.table].name);
+    if (ts == nullptr) return nullptr;
+    int ch = tables_[rc.table].schema.ChannelOf(rc.column);
+    if (ch < 0 || ch >= static_cast<int>(ts->columns.size())) return nullptr;
+    return &ts->columns[ch];
+  }
+
+  /// Resolver restricted to one FROM table (per-table filter selectivity).
+  ColumnStatsResolver TableStatsResolver(int table) const {
+    return [this, table](const SqlExpr& col) -> const ColumnStats* {
+      ResolvedColumn rc;
+      if (!TryResolve(col, &rc) || rc.table != table) return nullptr;
+      return ResolvedStats(rc);
+    };
+  }
+
+  /// Resolver over the whole FROM scope (post-join expressions).
+  ColumnStatsResolver ScopeStatsResolver() const {
+    return [this](const SqlExpr& col) -> const ColumnStats* {
+      ResolvedColumn rc;
+      if (!TryResolve(col, &rc)) return nullptr;
+      return ResolvedStats(rc);
+    };
+  }
+
+  double ColumnNdv(int table, const std::string& column) const {
+    const ColumnStats* stats =
+        ResolvedStats(ResolvedColumn{table, column});
+    if (stats != nullptr && stats->ndv > 0) {
+      return static_cast<double>(stats->ndv);
+    }
+    // No statistics: assume a key-ish column on a tenth of the rows.
+    return std::max(1.0, tables_[table].base_rows / 10.0);
+  }
+
+  // ---- Join tree --------------------------------------------------------
+
   Result<Rel> BuildJoinTree() {
+    // Effective pushdown knobs. kOff reproduces the legacy planner
+    // (pushdown always on); kFuzz draws them from the seed.
+    bool filter_pushdown = true;
+    bool projection_pushdown = true;
+    if (options_.mode == OptimizerMode::kOn) {
+      filter_pushdown = options_.filter_pushdown;
+      projection_pushdown = options_.projection_pushdown;
+    } else if (options_.mode == OptimizerMode::kFuzz) {
+      uint64_t bits = Mix64(options_.fuzz_seed ^ 0x9E3779B97F4A7C15ULL);
+      filter_pushdown = (bits & 1) != 0;
+      projection_pushdown = (bits & 2) != 0;
+    }
+    if (!filter_pushdown) {
+      // Pushdown off: single-table predicates leave the scans and apply
+      // above the join tree like any residual conjunct.
+      for (auto& table : tables_) {
+        for (auto& f : table.filters) residual_.push_back(f);
+        table.filters.clear();
+      }
+    }
+    residual_applied_.assign(residual_.size(), false);
+    eager_residuals_ = filter_pushdown && options_.mode != OptimizerMode::kOff;
+
     // Make sure all join-key columns are scanned, and count how many join
     // predicates use each column so pruning below never drops a key a
     // later join still needs.
@@ -695,42 +782,77 @@ class Analyzer {
     }
     for (const auto& r : residual_) CollectLocalInternal(r, &later_refs);
 
-    ACCORDION_ASSIGN_OR_RETURN(Rel rel, ScanTable(0));
-    tables_[0].joined = true;
-    size_t joined_count = 1;
+    // Cost model: estimate each table's post-filter cardinality from the
+    // catalog statistics, then hand the join graph to the optimizer.
+    JoinGraph graph;
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      TableInfo& table = tables_[t];
+      const TableStats* ts = catalog_.GetStats(table.name);
+      table.base_rows =
+          ts != nullptr ? std::max<double>(1.0, ts->row_count) : 1000.0;
+      double selectivity = 1.0;
+      ColumnStatsResolver resolver = TableStatsResolver(static_cast<int>(t));
+      for (const auto& f : table.filters) {
+        selectivity *= EstimateSelectivity(f, resolver);
+      }
+      table.est_rows = std::max(1.0, table.base_rows * selectivity);
+      graph.tables.push_back(JoinGraph::Table{
+          table.alias.empty() ? table.name : table.alias, table.est_rows});
+    }
+    for (const auto& p : join_preds_) {
+      graph.edges.push_back(JoinGraph::Edge{
+          p.left_table, p.right_table, ColumnNdv(p.left_table, p.left),
+          ColumnNdv(p.right_table, p.right)});
+    }
+    ACCORDION_ASSIGN_OR_RETURN(JoinPlan jplan, PlanJoinOrder(graph, options_));
 
-    while (joined_count < tables_.size()) {
-      // Pick the next FROM-order table connected to the current rel.
-      int next = -1;
+    std::ostringstream rep;
+    rep << "join order:";
+    for (const auto& step : jplan.steps) {
+      rep << " " << graph.tables[step.table].label;
+    }
+    if (jplan.reordered) {
+      rep << "  [reordered; FROM order:";
+      for (const auto& table : graph.tables) rep << " " << table.label;
+      rep << "]";
+    } else {
+      rep << "  [FROM order kept]";
+    }
+    rep << "\n";
+
+    int start = jplan.steps[0].table;
+    ACCORDION_ASSIGN_OR_RETURN(Rel rel, ScanTable(start));
+    tables_[start].joined = true;
+    rep << "  scan " << graph.tables[start].label << ": est rows "
+        << static_cast<int64_t>(jplan.steps[0].est_rows) << "\n";
+    ACCORDION_RETURN_NOT_OK(ApplyEagerResiduals(&rel));
+
+    for (size_t i = 1; i < jplan.steps.size(); ++i) {
+      const JoinStep& step = jplan.steps[i];
+      int next = step.table;
+      // Every unconsumed predicate between the joined set and `next`
+      // becomes a key pair of this join (declaration order keeps key
+      // ordering identical to the legacy planner).
       std::vector<std::string> probe_keys;
       std::vector<std::string> build_keys;
       std::vector<JoinPred*> used;
-      for (size_t t = 0; t < tables_.size() && next < 0; ++t) {
-        if (tables_[t].joined) continue;
-        probe_keys.clear();
-        build_keys.clear();
-        used.clear();
-        for (auto& p : join_preds_) {
-          if (p.consumed) continue;
-          if (tables_[p.left_table].joined &&
-              p.right_table == static_cast<int>(t)) {
-            probe_keys.push_back(
-                InternalName(ResolvedColumn{p.left_table, p.left}));
-            build_keys.push_back(
-                InternalName(ResolvedColumn{p.right_table, p.right}));
-            used.push_back(&p);
-          } else if (tables_[p.right_table].joined &&
-                     p.left_table == static_cast<int>(t)) {
-            probe_keys.push_back(
-                InternalName(ResolvedColumn{p.right_table, p.right}));
-            build_keys.push_back(
-                InternalName(ResolvedColumn{p.left_table, p.left}));
-            used.push_back(&p);
-          }
+      for (auto& p : join_preds_) {
+        if (p.consumed) continue;
+        if (tables_[p.left_table].joined && p.right_table == next) {
+          probe_keys.push_back(
+              InternalName(ResolvedColumn{p.left_table, p.left}));
+          build_keys.push_back(
+              InternalName(ResolvedColumn{p.right_table, p.right}));
+          used.push_back(&p);
+        } else if (tables_[p.right_table].joined && p.left_table == next) {
+          probe_keys.push_back(
+              InternalName(ResolvedColumn{p.right_table, p.right}));
+          build_keys.push_back(
+              InternalName(ResolvedColumn{p.left_table, p.left}));
+          used.push_back(&p);
         }
-        if (!probe_keys.empty()) next = static_cast<int>(t);
       }
-      if (next < 0) {
+      if (probe_keys.empty()) {
         return Status::InvalidArgument(
             "FROM tables are not connected by equi-join predicates "
             "(cross joins are outside the SQL subset)");
@@ -744,29 +866,84 @@ class Analyzer {
       }
       TableInfo& table = tables_[next];
       ACCORDION_ASSIGN_OR_RETURN(Rel build, ScanTable(next));
-      // Build output: every needed column except join keys whose only
-      // remaining purpose was this join (they are redundant with the
-      // probe side); keys referenced by later joins or clauses survive.
-      std::vector<std::string> build_output;
-      for (const auto& c : table.needed_columns) {
-        std::string internal = InternalName(ResolvedColumn{next, c});
-        bool is_key = std::find(build_keys.begin(), build_keys.end(),
-                                internal) != build_keys.end();
-        bool still_needed =
-            later_refs.count(internal) > 0 || join_uses[internal] > 0;
-        if (!is_key || still_needed) build_output.push_back(internal);
+      bool broadcast = options_.mode == OptimizerMode::kOff
+                           ? table.name == "nation" || table.name == "region"
+                           : step.broadcast;
+      if (!step.flip) {
+        // Build output: every needed column except join keys whose only
+        // remaining purpose was this join (they are redundant with the
+        // probe side); keys referenced by later joins or clauses survive.
+        std::vector<std::string> build_output;
+        for (const auto& c : table.needed_columns) {
+          std::string internal = InternalName(ResolvedColumn{next, c});
+          bool is_key = std::find(build_keys.begin(), build_keys.end(),
+                                  internal) != build_keys.end();
+          bool still_needed =
+              later_refs.count(internal) > 0 || join_uses[internal] > 0;
+          if (!is_key || still_needed || !projection_pushdown) {
+            build_output.push_back(internal);
+          }
+        }
+        rel = builder_->Join(rel, build, probe_keys, build_keys, build_output,
+                             broadcast);
+      } else {
+        // Build-side flip: the accumulated relation is the (smaller)
+        // build side and the new table probes. Legal for inner joins —
+        // names track the columns and the final projection restores
+        // output order. The same key-pruning rule applies to the
+        // accumulated side's keys.
+        std::vector<std::string> acc_output;
+        for (const auto& name : rel.names) {
+          bool is_key = std::find(probe_keys.begin(), probe_keys.end(),
+                                  name) != probe_keys.end();
+          bool still_needed =
+              later_refs.count(name) > 0 || join_uses[name] > 0;
+          if (!is_key || still_needed || !projection_pushdown) {
+            acc_output.push_back(name);
+          }
+        }
+        rel = builder_->Join(build, rel, build_keys, probe_keys, acc_output,
+                             broadcast);
       }
-      bool broadcast = table.name == "nation" || table.name == "region";
-      rel = builder_->Join(rel, build, probe_keys, build_keys, build_output,
-                           broadcast);
+      rel = PlanBuilder::AnnotateRows(rel, step.est_rows);
       table.joined = true;
-      ++joined_count;
+      rep << "  join " << graph.tables[next].label << ": build="
+          << (step.flip ? "accumulated (flipped)"
+                        : graph.tables[next].label)
+          << (broadcast ? ", broadcast" : ", partitioned") << ", est rows "
+          << static_cast<int64_t>(step.est_rows) << "\n";
+      ACCORDION_RETURN_NOT_OK(ApplyEagerResiduals(&rel));
     }
+    rep << "filter pushdown: " << (filter_pushdown ? "on" : "off")
+        << ", projection pushdown: " << (projection_pushdown ? "on" : "off")
+        << "\n";
+    report_ += rep.str();
     return rel;
   }
 
+  /// With filter pushdown on, applies every residual conjunct whose
+  /// columns are all available in `rel` — as soon as possible instead of
+  /// once above the full join tree. Conjuncts that do not lower yet (or
+  /// carry errors, e.g. aggregates in WHERE) stay pending for
+  /// ApplyResidualFilters, which reports them properly.
+  Status ApplyEagerResiduals(Rel* rel) {
+    if (!eager_residuals_) return Status::OK();
+    for (size_t i = 0; i < residual_.size(); ++i) {
+      if (residual_applied_[i]) continue;
+      Result<ExprPtr> pred = LowerPredicate(residual_[i], *rel);
+      if (!pred.ok()) continue;
+      *rel = builder_->Filter(*rel, *pred);
+      residual_applied_[i] = true;
+    }
+    return Status::OK();
+  }
+
   Status ApplyResidualFilters(Rel* rel) {
-    for (const auto& conjunct : residual_) {
+    for (size_t i = 0; i < residual_.size(); ++i) {
+      if (i < residual_applied_.size() && residual_applied_[i]) {
+        continue;  // already applied inside the join tree
+      }
+      const auto& conjunct = residual_[i];
       if (ContainsAggregate(conjunct)) {
         return Status::InvalidArgument(
             "aggregates are not allowed in WHERE (move the predicate to "
@@ -1131,6 +1308,7 @@ class Analyzer {
     if (!query_.having.empty() && query_.group_by.empty()) {
       return Status::InvalidArgument("HAVING requires GROUP BY");
     }
+    double input_est = rel.node != nullptr ? rel.node->estimated_rows() : -1;
     if (!has_agg) {
       // Plain projection.
       std::vector<ExprPtr> exprs;
@@ -1145,7 +1323,9 @@ class Analyzer {
         exprs.push_back(std::move(e));
         names.push_back(OutputName(item, i));
       }
-      return builder_->Project(rel, std::move(exprs), std::move(names));
+      return PlanBuilder::AnnotateRows(
+          builder_->Project(rel, std::move(exprs), std::move(names)),
+          input_est);
     }
 
     // Group keys: plain columns, select aliases or expressions.
@@ -1201,6 +1381,18 @@ class Analyzer {
                   : builder_->Project(rel, std::move(pre_exprs),
                                       std::move(pre_names));
     Rel agg = builder_->Aggregate(pre, group_names, specs);
+    // Output-group estimate: the product of the key expressions' distinct
+    // counts, capped by the input cardinality.
+    double group_est = -1;
+    if (input_est >= 0) {
+      group_est = 1;
+      ColumnStatsResolver resolver = ScopeStatsResolver();
+      for (const auto& k : keys) {
+        group_est *= EstimateExprNdv(k.expr, resolver, input_est);
+      }
+      group_est = std::max(1.0, std::min(group_est, input_est));
+      agg = PlanBuilder::AnnotateRows(agg, group_est);
+    }
 
     // HAVING filters over the aggregation output.
     for (const auto& h : query_.having) {
@@ -1227,8 +1419,9 @@ class Analyzer {
       post_exprs.push_back(std::move(e));
       post_names.push_back(OutputName(item, i));
     }
-    return builder_->Project(agg, std::move(post_exprs),
-                             std::move(post_names));
+    return PlanBuilder::AnnotateRows(
+        builder_->Project(agg, std::move(post_exprs), std::move(post_names)),
+        group_est);
   }
 
   static std::string OutputName(const SqlSelectItem& item, size_t index) {
@@ -1240,8 +1433,16 @@ class Analyzer {
   }
 
   Status ApplyOrderByLimit(Rel* rel) {
+    double input_est = rel->node != nullptr ? rel->node->estimated_rows() : -1;
+    auto capped = [input_est](int64_t limit) {
+      double l = static_cast<double>(limit);
+      return input_est >= 0 ? std::min(input_est, l) : l;
+    };
     if (query_.order_by.empty()) {
-      if (query_.limit >= 0) *rel = builder_->Limit(*rel, query_.limit);
+      if (query_.limit >= 0) {
+        *rel = PlanBuilder::AnnotateRows(builder_->Limit(*rel, query_.limit),
+                                         capped(query_.limit));
+      }
       return Status::OK();
     }
     std::vector<PlanBuilder::OrderKey> keys;
@@ -1268,7 +1469,8 @@ class Analyzer {
       keys.push_back(PlanBuilder::OrderKey{name, item.ascending});
     }
     int64_t limit = query_.limit >= 0 ? query_.limit : 1000000;
-    *rel = builder_->OrderByLimit(*rel, keys, limit);
+    *rel = PlanBuilder::AnnotateRows(builder_->OrderByLimit(*rel, keys, limit),
+                                     capped(limit));
     return Status::OK();
   }
 
@@ -1276,27 +1478,42 @@ class Analyzer {
   const Catalog& catalog_;
   PlanBuilder* builder_;
   const Analyzer* outer_;  // enclosing query scope (subqueries only)
+  const OptimizerOptions options_;
   bool select_list_matters_;  // false inside EXISTS (list is ignored)
   std::vector<TableInfo> tables_;
   std::map<std::string, int> alias_table_;
   std::map<std::string, std::vector<int>> column_tables_;
   std::vector<JoinPred> join_preds_;
   std::vector<SqlExprPtr> residual_;
+  std::vector<bool> residual_applied_;  // consumed by eager pushdown
+  bool eager_residuals_ = false;
   std::vector<PendingSubquery> subqueries_;
   std::set<std::string> extra_refs_;  // internal names pruning must keep
   int subquery_ordinal_ = 0;
+  std::string report_;  // optimizer decision log
 };
 
 }  // namespace
 
-Result<PlanNodePtr> AnalyzeSql(const SqlQuery& query, const Catalog& catalog) {
+Result<PlanNodePtr> AnalyzeSql(const SqlQuery& query, const Catalog& catalog,
+                               const OptimizerOptions& options) {
   PlanBuilder builder(&catalog);
-  return Analyzer(query, catalog, &builder, nullptr).Run();
+  return Analyzer(query, catalog, &builder, nullptr, options).Run();
 }
 
-Result<PlanNodePtr> SqlToPlan(const std::string& sql, const Catalog& catalog) {
+Result<AnalyzedPlan> AnalyzeSqlWithReport(const SqlQuery& query,
+                                          const Catalog& catalog,
+                                          const OptimizerOptions& options) {
+  PlanBuilder builder(&catalog);
+  Analyzer analyzer(query, catalog, &builder, nullptr, options);
+  ACCORDION_ASSIGN_OR_RETURN(PlanNodePtr plan, analyzer.Run());
+  return AnalyzedPlan{std::move(plan), analyzer.report()};
+}
+
+Result<PlanNodePtr> SqlToPlan(const std::string& sql, const Catalog& catalog,
+                              const OptimizerOptions& options) {
   ACCORDION_ASSIGN_OR_RETURN(SqlQuery query, ParseSqlQuery(sql));
-  return AnalyzeSql(query, catalog);
+  return AnalyzeSql(query, catalog, options);
 }
 
 }  // namespace accordion

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "optimizer/options.h"
 #include "plan/plan_node.h"
 #include "sql/parser.h"
 
@@ -31,10 +32,30 @@ namespace accordion {
 /// inner joins only, no DISTINCT, no outer/anti joins (hence no NOT
 /// EXISTS), no IN (SELECT ...), no uncorrelated or nested subqueries,
 /// no subqueries outside top-level WHERE conjuncts.
-Result<PlanNodePtr> AnalyzeSql(const SqlQuery& query, const Catalog& catalog);
+/// `options` selects the cost-based optimizer mode (src/optimizer/):
+/// kOn (the default) estimates cardinalities from catalog statistics,
+/// reorders joins by dynamic programming, picks build sides and broadcast
+/// exchanges by estimated size and applies filters as early as possible;
+/// kOff reproduces the legacy textual-order plan; kFuzz draws every
+/// decision from `options.fuzz_seed` (differential plan-space testing).
+Result<PlanNodePtr> AnalyzeSql(const SqlQuery& query, const Catalog& catalog,
+                               const OptimizerOptions& options = {});
+
+/// Plan plus the optimizer's human-readable decision report (join order,
+/// per-step cardinality estimates, build sides, pushdown knobs) —
+/// rendered by Session::Explain above the fragment tree.
+struct AnalyzedPlan {
+  PlanNodePtr plan;
+  std::string optimizer_report;
+};
+
+Result<AnalyzedPlan> AnalyzeSqlWithReport(const SqlQuery& query,
+                                          const Catalog& catalog,
+                                          const OptimizerOptions& options = {});
 
 /// Parse + analyze in one call.
-Result<PlanNodePtr> SqlToPlan(const std::string& sql, const Catalog& catalog);
+Result<PlanNodePtr> SqlToPlan(const std::string& sql, const Catalog& catalog,
+                              const OptimizerOptions& options = {});
 
 }  // namespace accordion
 

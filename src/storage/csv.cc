@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "optimizer/stats.h"
 
 namespace accordion {
 namespace {
@@ -161,6 +162,17 @@ PagePtr CsvPageSource::Next() {
   }
   if (rows == 0) return nullptr;
   return Page::Make(std::move(cols));
+}
+
+Result<TableStats> CollectCsvSplitStats(const std::string& path,
+                                        const TableSchema& schema,
+                                        int64_t batch_rows) {
+  CsvPageSource source(path, schema, batch_rows);
+  ACCORDION_RETURN_NOT_OK(source.status());
+  TableStats stats = CollectStats(schema, &source);
+  // Next() returns nullptr both at EOF and on a parse error; distinguish.
+  ACCORDION_RETURN_NOT_OK(source.status());
+  return stats;
 }
 
 Status ExportTpchSplitCsv(const std::string& table, double scale_factor,

@@ -43,6 +43,13 @@ class CsvPageSource : public PageSource {
   Status status_;
 };
 
+/// Scans a CSV split once and computes table statistics (row count,
+/// per-column min/max and NDV sketches) — the load-time statistics pass
+/// for CSV-backed tables, registered with Catalog::SetStats.
+Result<TableStats> CollectCsvSplitStats(const std::string& path,
+                                        const TableSchema& schema,
+                                        int64_t batch_rows = 1024);
+
 /// Materializes a generated TPC-H split into a CSV file at `path`
 /// (the "manual pre-splitting" step from the paper's setup).
 Status ExportTpchSplitCsv(const std::string& table, double scale_factor,

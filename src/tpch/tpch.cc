@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "optimizer/stats.h"
+#include "storage/page_source.h"
 
 namespace accordion {
 namespace {
@@ -190,6 +192,10 @@ int64_t TpchRowCount(const std::string& table, double sf) {
 }
 
 Catalog MakeTpchCatalog(double scale_factor, int num_storage_nodes) {
+  // Statistics sample per table: enough rows for stable NDV / min-max
+  // estimates, small enough that catalog construction stays cheap in
+  // tests that build many clusters.
+  constexpr int64_t kStatsSampleRows = 8192;
   Catalog catalog;
   for (const auto& table : TpchTableNames()) {
     TableLayout layout;
@@ -201,8 +207,14 @@ Catalog MakeTpchCatalog(double scale_factor, int num_storage_nodes) {
       layout = {num_storage_nodes, 1};
     }
     catalog.AddTable(TpchSchema(table), layout);
+    // Load-time statistics pass: scan a prefix of the (deterministic)
+    // generated data and extrapolate to the exact table row count — the
+    // same pass CSV ingest runs via CollectCsvSplitStats.
+    GeneratorPageSource source(table, scale_factor, 0, 1);
+    catalog.SetStats(table, CollectStats(TpchSchema(table), &source,
+                                         kStatsSampleRows,
+                                         source.TotalRows()));
   }
-  (void)scale_factor;
   return catalog;
 }
 

@@ -477,9 +477,38 @@ TEST(SessionTest, ExplainRendersStageTree) {
   EXPECT_NE(text->find("TableScan(lineitem)"), std::string::npos);
   EXPECT_NE(text->find("TableScan(orders)"), std::string::npos);
   EXPECT_NE(text->find("join"), std::string::npos);
+  // The cost-based optimizer's decision report precedes the stage tree,
+  // and its cardinality estimates annotate the plan nodes.
+  EXPECT_NE(text->find("-- optimizer --"), std::string::npos);
+  EXPECT_NE(text->find("join order:"), std::string::npos);
+  EXPECT_NE(text->find("build="), std::string::npos);
+  EXPECT_NE(text->find("[est. rows:"), std::string::npos);
 
   auto bad = session.Explain("SELECT nope FROM ghosts");
   EXPECT_FALSE(bad.ok());
+}
+
+// Double-buffered cursor: consuming past the half of a fetched batch
+// starts a background fetch of the next one, overlapping result transfer
+// with client-side processing. Counters prove the overlap happened; the
+// row total proves it never duplicates or drops pages.
+TEST(SessionTest, CursorPrefetchOverlapsConsumption) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  auto query = session.Execute(StreamingScanPlan(session.catalog()));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ResultCursor cursor = (*query)->Cursor();
+  int64_t rows = 0;
+  while (true) {
+    auto page = cursor.Next(60000);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    if (*page == nullptr) break;
+    rows += (*page)->num_rows();
+  }
+  EXPECT_EQ(rows, TpchSplitGenerator("lineitem", kSf, 0, 1).TotalRows());
+  EXPECT_GT(cursor.prefetches_issued(), 0);
+  EXPECT_GT(cursor.prefetch_hits(), 0);
+  EXPECT_LE(cursor.prefetch_hits(), cursor.prefetches_issued());
 }
 
 TEST(SessionTest, WaitShimMatchesCursorResults) {

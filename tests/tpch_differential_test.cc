@@ -104,6 +104,44 @@ INSTANTIATE_TEST_SUITE_P(SqlSubsetQueries, TpchSqlDifferentialTest,
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchDifferentialTest,
                          ::testing::Range(1, 13));
 
+// Plan-space fuzzing: OptimizerMode::kFuzz draws every plan decision —
+// join order (any connected permutation), build-side flips, broadcast vs
+// partitioned exchanges, filter/projection pushdown on/off — from a seed,
+// and every one of these legal rewrites must produce the oracle's exact
+// result relation. 12 queries x 17 seeds = 204 plan variants. A failure
+// names the (query, seed) pair, which replays deterministically.
+class TpchPlanFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchPlanFuzzTest, RandomizedPlanRewritesMatchScalarReference) {
+  const int q = GetParam();
+  std::string sql = TpchQuerySql(q);
+  RefRelation expected;
+  {
+    AccordionCluster cluster(ClusterOptions(256));
+    expected = ReferenceEvaluate(
+        TpchQueryPlan(q, cluster.coordinator()->catalog()), kScaleFactor);
+  }
+  AccordionCluster cluster(ClusterOptions(256));
+  Session session(cluster.coordinator());
+  for (uint64_t seed = 0; seed < 17; ++seed) {
+    QueryOptions options;
+    options.stage_dop = 2;
+    options.optimizer = OptimizerOptions::Fuzz(seed);
+    auto query = session.Execute(sql, options);
+    ASSERT_TRUE(query.ok())
+        << "Q" << q << " fuzz_seed=" << seed << ": "
+        << query.status().ToString();
+    auto result = (*query)->Wait(120000);
+    ASSERT_TRUE(result.ok()) << "Q" << q << " fuzz_seed=" << seed << ": "
+                             << result.status().ToString();
+    std::string diff = DiffRows(expected, *result);
+    EXPECT_TRUE(diff.empty())
+        << "Q" << q << " fuzz_seed=" << seed << ": " << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PlanFuzz, TpchPlanFuzzTest, ::testing::Range(1, 13));
+
 // The radix switch must not change any query answer: rerun representative
 // high-group queries with thresholds forced low enough that the
 // partitioned path (including a re-split) engages even at test scale —
