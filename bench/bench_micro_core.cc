@@ -16,6 +16,7 @@
 #include <numeric>
 
 #include "common/random.h"
+#include "exec/hash_table.h"
 #include "exec/join_bridge.h"
 #include "exec/operators.h"
 #include "exec/output_buffer.h"
@@ -164,31 +165,101 @@ void BM_HashAggGroupBy1M(benchmark::State& state) {
 }
 BENCHMARK(BM_HashAggGroupBy1M)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_JoinBuildProbe1M(benchmark::State& state) {
-  const int64_t build_rows_n = state.range(0);
-  std::vector<PagePtr> build_pages =
-      MakeKeyedPages(build_rows_n, build_rows_n, 7);
-  std::vector<PagePtr> probe_pages = MakeKeyedPages(kMicroRows, build_rows_n, 9);
+// The join sweep keeps build and probe in SEPARATE benchmarks so the
+// probe ns/row is independent of build cost (the old combined loop
+// re-built the table every iteration and attributed build time to the
+// probe metric). Sizes run from cache-resident (64K keys) to well past
+// L2/L3 (16M keys); skipped sizes still emit their BENCH_micro.json
+// entry via SkipWithError, never a silent hole in the sweep.
+
+int64_t BenchMaxBuildKeys() {
+  if (const char* e = std::getenv("ACCORDION_BENCH_MAX_BUILD_KEYS")) {
+    return atoll(e);
+  }
+  return 0;  // no cap
+}
+
+void BM_JoinBuildSweep(benchmark::State& state) {
+  const int64_t build_keys = state.range(0);
+  const int64_t cap = BenchMaxBuildKeys();
+  if (cap > 0 && build_keys > cap) {
+    state.SkipWithError("build size over ACCORDION_BENCH_MAX_BUILD_KEYS");
+    return;
+  }
+  std::vector<PagePtr> build_pages = MakeKeyedPages(build_keys, build_keys, 7);
+  EngineConfig config;
+  config.join.radix_min_build_rows = 0;  // flat build: one table, one timer
+  ResourceGovernor cpu("bench.cpu", 1e12, 1e12);
+  ResourceGovernor nic("bench.nic", 1e12, 1e12);
+  TaskContext ctx("bench", &cpu, &nic, &config);
   for (auto _ : state) {
-    JoinBridge bridge({DataType::kInt64, DataType::kDouble}, {0});
+    JoinBridge bridge({DataType::kInt64, DataType::kDouble}, {0}, &ctx);
     bridge.AddBuildDriver();
-    for (const auto& page : build_pages) bridge.AddBuildPage(page);
+    for (const auto& page : build_pages) {
+      if (!bridge.AddBuildPage(page).ok()) {
+        state.SkipWithError("build page rejected");
+        return;
+      }
+    }
     bridge.BuildDriverFinished();
+    benchmark::DoNotOptimize(bridge.build_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * build_keys);
+  state.counters["build_keys"] = static_cast<double>(build_keys);
+}
+BENCHMARK(BM_JoinBuildSweep)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 24);
+
+// Probe-only sweep, scalar vs SIMD kernel (arg 1). The table is built
+// once OUTSIDE the timed loop; each iteration probes 1M rows against it,
+// so ns/row here is pure probe cost.
+void BM_JoinProbeSweep(benchmark::State& state) {
+  const int64_t build_keys = state.range(0);
+  const bool simd = state.range(1) == 1;
+  state.SetLabel(simd ? "simd" : "scalar");
+  if (simd && !HashTable::SimdSupported()) {
+    state.SkipWithError("AVX2 unavailable on this host");
+    return;
+  }
+  const int64_t cap = BenchMaxBuildKeys();
+  if (cap > 0 && build_keys > cap) {
+    state.SkipWithError("build size over ACCORDION_BENCH_MAX_BUILD_KEYS");
+    return;
+  }
+  EngineConfig config;
+  config.join.probe = simd ? ProbePathMode::kAuto : ProbePathMode::kScalar;
+  config.join.radix_min_build_rows = 0;  // flat table: isolate the kernel
+  ResourceGovernor cpu("bench.cpu", 1e12, 1e12);
+  ResourceGovernor nic("bench.nic", 1e12, 1e12);
+  TaskContext ctx("bench", &cpu, &nic, &config);
+  JoinBridge bridge({DataType::kInt64, DataType::kDouble}, {0}, &ctx);
+  bridge.AddBuildDriver();
+  for (const auto& page : MakeKeyedPages(build_keys, build_keys, 7)) {
+    if (!bridge.AddBuildPage(page).ok()) {
+      state.SkipWithError("build page rejected");
+      return;
+    }
+  }
+  bridge.BuildDriverFinished();
+  std::vector<PagePtr> probe_pages =
+      MakeKeyedPages(kMicroRows, build_keys, 9);
+  for (auto _ : state) {
     int64_t matches = 0;
     for (const auto& page : probe_pages) {
       std::vector<int32_t> probe_rows;
       std::vector<int64_t> build_rows;
-      bridge.Probe(*page, {0}, &probe_rows, &build_rows);
-      matches += static_cast<int64_t>(probe_rows.size());
-      if (!probe_rows.empty()) {
-        benchmark::DoNotOptimize(bridge.GatherBuild(1, build_rows));
+      if (!bridge.Probe(*page, {0}, &probe_rows, &build_rows).ok()) {
+        state.SkipWithError("probe failed");
+        return;
       }
+      matches += static_cast<int64_t>(probe_rows.size());
     }
     benchmark::DoNotOptimize(matches);
   }
-  state.SetItemsProcessed(state.iterations() * (kMicroRows + build_rows_n));
+  state.SetItemsProcessed(state.iterations() * kMicroRows);
+  state.counters["build_keys"] = static_cast<double>(build_keys);
 }
-BENCHMARK(BM_JoinBuildProbe1M)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_JoinProbeSweep)
+    ->ArgsProduct({{1 << 16, 1 << 20, 1 << 24}, {0, 1}});
 
 void BM_TpchGenerate(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,6 +1,7 @@
 #include "api/session.h"
 
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 #include "common/clock.h"
@@ -271,8 +272,92 @@ Result<QueryHandlePtr> Session::Execute(const PreparedStatement& statement,
   return Submit(plan, query_options);
 }
 
+namespace {
+
+// Minimal JSON string escaping for the EXPLAIN envelope: quotes,
+// backslashes and control characters (plan describes can embed both
+// via table names and literals).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void NodeToJson(const PlanNodePtr& node, std::ostringstream& out) {
+  out << "{\"node\":\"" << JsonEscape(node->Describe()) << "\",\"kind\":\""
+      << PlanNodeKindName(node->kind()) << "\"";
+  if (node->estimated_rows() >= 0) {
+    out << ",\"estimated_rows\":" << node->estimated_rows();
+  }
+  if (!node->children().empty()) {
+    out << ",\"children\":[";
+    bool first = true;
+    for (const auto& child : node->children()) {
+      if (!first) out << ",";
+      first = false;
+      NodeToJson(child, out);
+    }
+    out << "]";
+  }
+  out << "}";
+}
+
+// The kJson stage array: one entry per plan fragment with its stage
+// wiring plus the recursive plan tree (cardinality estimates included
+// where the optimizer set them).
+std::string StagesToJson(const std::vector<PlanFragment>& fragments) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const auto& fragment : fragments) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"stage\":" << fragment.stage_id
+        << ",\"parent_stage\":" << fragment.parent_stage_id << ",\"sources\":[";
+    bool first_source = true;
+    for (int s : fragment.source_stage_ids) {
+      if (!first_source) out << ",";
+      first_source = false;
+      out << s;
+    }
+    out << "],\"plan\":";
+    NodeToJson(fragment.root, out);
+    out << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace
+
 Result<std::string> Session::Explain(const PlanNodePtr& plan) const {
+  return Explain(plan, ExplainOptions{});
+}
+
+Result<std::string> Session::Explain(const PlanNodePtr& plan,
+                                     const ExplainOptions& explain_options)
+    const {
   std::vector<PlanFragment> fragments = FragmentPlan(plan);
+  if (explain_options.format == ExplainFormat::kJson) {
+    return "{\"stages\":" + StagesToJson(fragments) + "}";
+  }
   std::ostringstream out;
   for (const auto& fragment : fragments) {
     out << fragment.ToString();
@@ -286,11 +371,23 @@ Result<std::string> Session::Explain(const PlanNodePtr& plan) const {
 }
 
 Result<std::string> Session::Explain(const std::string& sql) const {
+  return Explain(sql, ExplainOptions{});
+}
+
+Result<std::string> Session::Explain(const std::string& sql,
+                                     const ExplainOptions& explain_options)
+    const {
   ACCORDION_ASSIGN_OR_RETURN(SqlQuery query, ParseSqlQuery(sql));
   ACCORDION_ASSIGN_OR_RETURN(
       AnalyzedPlan analyzed,
       AnalyzeSqlWithReport(query, coordinator_->catalog(),
                            options_.query_defaults.optimizer));
+  if (explain_options.format == ExplainFormat::kJson) {
+    std::vector<PlanFragment> fragments = FragmentPlan(analyzed.plan);
+    return "{\"stages\":" + StagesToJson(fragments) +
+           ",\"optimizer_report\":\"" +
+           JsonEscape(analyzed.optimizer_report) + "\"}";
+  }
   ACCORDION_ASSIGN_OR_RETURN(std::string rendered, Explain(analyzed.plan));
   if (analyzed.optimizer_report.empty()) return rendered;
   return "-- optimizer --\n" + analyzed.optimizer_report + rendered;

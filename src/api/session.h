@@ -38,6 +38,19 @@ namespace accordion {
 class QueryHandle;
 using QueryHandlePtr = std::shared_ptr<QueryHandle>;
 
+/// Output shape for Session::Explain.
+enum class ExplainFormat {
+  kText,  ///< Stable stage-tree rendering (the historical format).
+  kJson,  ///< Machine-readable envelope with optimizer report and
+          ///< per-node cardinality estimates.
+};
+
+/// Knobs for Session::Explain. The option-less overloads behave exactly
+/// like a default-constructed ExplainOptions (kText).
+struct ExplainOptions {
+  ExplainFormat format = ExplainFormat::kText;
+};
+
 /// Per-session defaults and limits.
 struct SessionOptions {
   /// Applied to Execute() calls that don't pass explicit QueryOptions.
@@ -227,8 +240,15 @@ class Session {
   Result<PreparedStatement> Prepare(const std::string& sql) const;
 
   /// Stage-tree rendering of the distributed plan (what would run).
+  /// The text format is stable (tooling parses it); kJson adds the
+  /// optimizer report and per-node cardinality estimates in a
+  /// machine-readable envelope instead.
   Result<std::string> Explain(const std::string& sql) const;
   Result<std::string> Explain(const PlanNodePtr& plan) const;
+  Result<std::string> Explain(const std::string& sql,
+                              const ExplainOptions& explain_options) const;
+  Result<std::string> Explain(const PlanNodePtr& plan,
+                              const ExplainOptions& explain_options) const;
 
   // --- session state ------------------------------------------------------
   /// Mutable per-session defaults applied to option-less Execute calls.

@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include "common/logging.h"
 #include "exec/scheduler.h"
 #include "tpch/tpch.h"
 
@@ -7,6 +8,10 @@ namespace accordion {
 
 AccordionCluster::AccordionCluster(Options options)
     : options_(std::move(options)) {
+  // Merge deprecated knob aliases into EngineConfig::memory and reject
+  // nonsensical combinations up front, before any component reads them.
+  Status normalized = options_.engine.Normalize();
+  ACC_CHECK(normalized.ok()) << normalized.ToString();
   if (options_.engine.scheduler == nullptr) {
     // Cluster-owned shared CPU pool: every driver, exchange fetcher and
     // shuffle executor of every worker runs on it. Sized by the engine

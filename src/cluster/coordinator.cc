@@ -229,6 +229,9 @@ Result<TaskId> Coordinator::SpawnTask(
   spec.initial_dop = std::max(1, stage->task_dop);
   spec.output_config = BufferConfigFor(*query, *stage);
   spec.source_buffer_ids = source_buffer_ids;
+  // Per-query override wins over the engine default; the worker-side
+  // TaskContext falls back to memory.query_build_bytes when this is 0.
+  spec.build_memory_bytes = query->options.max_memory_bytes;
   for (int child_id : stage->fragment.source_stage_ids) {
     auto& child = query->stages.at(child_id);
     std::vector<RemoteSplit> splits;
@@ -273,6 +276,18 @@ Result<TaskId> Coordinator::SpawnTask(
 
 Result<std::string> Coordinator::Submit(const PlanNodePtr& plan,
                                         const QueryOptions& options) {
+  if (options.max_memory_bytes < 0) {
+    return Status::InvalidArgument("QueryOptions::max_memory_bytes must be >= 0");
+  }
+  if (options.max_memory_bytes > 0 &&
+      config_->memory.worker_memory_bytes > 0 &&
+      options.max_memory_bytes > config_->memory.worker_memory_bytes) {
+    return Status::InvalidArgument(
+        "QueryOptions::max_memory_bytes (" +
+        std::to_string(options.max_memory_bytes) +
+        ") exceeds memory.worker_memory_bytes (" +
+        std::to_string(config_->memory.worker_memory_bytes) + ")");
+  }
   auto query = std::make_shared<QueryExec>();
   query->id = "q" + std::to_string(next_query_++);
   query->options = options;
@@ -832,6 +847,14 @@ Result<QuerySnapshot> Coordinator::Snapshot(const std::string& query_id) {
       auto info = bus_->GetTaskInfo(worker, id);
       if (!info.has_value()) return;
       snapshot.rpc_retries += info->rpc_retries;
+      snapshot.peak_build_bytes += info->peak_build_bytes;
+      snapshot.spill_bytes_written += info->spill_bytes_written;
+      snapshot.spill_partitions += info->spill_partitions;
+      if (info->probe_path == 2) {
+        snapshot.probe_path = "simd";
+      } else if (info->probe_path == 1 && snapshot.probe_path != "simd") {
+        snapshot.probe_path = "scalar";
+      }
       s.output_rows += info->output_rows;
       s.output_bytes += info->output_bytes;
       s.processed_rows += info->processed_rows;

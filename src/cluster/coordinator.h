@@ -44,6 +44,14 @@ struct QueryOptions {
   /// text (hand-built plans bypass the optimizer). See
   /// src/optimizer/options.h.
   OptimizerOptions optimizer;
+
+  /// Per-query override of the engine-wide build-side memory budget
+  /// (EngineConfig::memory.query_build_bytes): the byte budget one
+  /// hash-join build side may hold in memory per task before it spills.
+  /// 0 inherits the engine default; negative values and values above
+  /// memory.worker_memory_bytes are rejected at Submit with
+  /// kInvalidArgument.
+  int64_t max_memory_bytes = 0;
 };
 
 enum class QueryState { kRunning, kFinished, kFailed, kAborted };
@@ -100,6 +108,18 @@ struct QuerySnapshot {
   int64_t worker_crashes = 0;
   /// Set when state == kFailed: the escalated root cause.
   std::string failure_message;
+
+  // --- join memory / spill counters (summed over the query's tasks) ---
+  /// Sum of per-task build-side high-water marks — an upper bound on the
+  /// query's concurrent build footprint.
+  int64_t peak_build_bytes = 0;
+  /// Bytes this query's joins wrote to spill files (build + probe sides).
+  int64_t spill_bytes_written = 0;
+  /// Spill partition files created (0 when no join spilled).
+  int64_t spill_partitions = 0;
+  /// Probe kernel used: "simd" if any join probed vectorized, "scalar" if
+  /// joins probed scalar only, "" when the query had no hash-join probes.
+  std::string probe_path;
 
   std::vector<StageSnapshot> stages;
 

@@ -1,0 +1,92 @@
+#include "exec/config.h"
+
+namespace accordion {
+namespace {
+
+/// Merges one deprecated alias into its canonical MemoryConfig field.
+/// `canonical_default` is the field's struct default: a canonical value
+/// equal to the default is treated as "not explicitly set", so a lone
+/// alias wins; two explicit, different values are a conflict.
+Status MergeAlias(const char* name, int64_t* alias, int64_t* canonical,
+                  int64_t canonical_default) {
+  if (*alias < 0) return Status::OK();
+  if (*canonical != canonical_default && *canonical != *alias) {
+    return Status::InvalidArgument(
+        std::string("EngineConfig::") + name +
+        " (deprecated) and EngineConfig::memory." + name +
+        " are both set to different values (" + std::to_string(*alias) +
+        " vs " + std::to_string(*canonical) + "); set only memory." + name);
+  }
+  *canonical = *alias;
+  *alias = -1;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EngineConfig::Normalize() {
+  const MemoryConfig defaults;
+  ACCORDION_RETURN_NOT_OK(MergeAlias("initial_buffer_bytes",
+                                     &initial_buffer_bytes,
+                                     &memory.initial_buffer_bytes,
+                                     defaults.initial_buffer_bytes));
+  ACCORDION_RETURN_NOT_OK(MergeAlias("max_buffer_bytes", &max_buffer_bytes,
+                                     &memory.max_buffer_bytes,
+                                     defaults.max_buffer_bytes));
+  ACCORDION_RETURN_NOT_OK(MergeAlias("fixed_buffer_bytes", &fixed_buffer_bytes,
+                                     &memory.fixed_buffer_bytes,
+                                     defaults.fixed_buffer_bytes));
+
+  if (memory.initial_buffer_bytes <= 0) {
+    return Status::InvalidArgument("memory.initial_buffer_bytes must be > 0");
+  }
+  if (memory.max_buffer_bytes <= 0) {
+    return Status::InvalidArgument("memory.max_buffer_bytes must be > 0");
+  }
+  if (memory.max_buffer_bytes < memory.initial_buffer_bytes) {
+    return Status::InvalidArgument(
+        "memory.max_buffer_bytes (" + std::to_string(memory.max_buffer_bytes) +
+        ") is below memory.initial_buffer_bytes (" +
+        std::to_string(memory.initial_buffer_bytes) + ")");
+  }
+  if (memory.fixed_buffer_bytes <= 0) {
+    return Status::InvalidArgument("memory.fixed_buffer_bytes must be > 0");
+  }
+  if (memory.worker_memory_bytes < 0) {
+    return Status::InvalidArgument("memory.worker_memory_bytes must be >= 0");
+  }
+  if (memory.query_build_bytes < 0) {
+    return Status::InvalidArgument("memory.query_build_bytes must be >= 0");
+  }
+  if (memory.worker_memory_bytes > 0 && memory.query_build_bytes > 0 &&
+      memory.query_build_bytes > memory.worker_memory_bytes) {
+    return Status::InvalidArgument(
+        "memory.query_build_bytes (" +
+        std::to_string(memory.query_build_bytes) +
+        ") exceeds memory.worker_memory_bytes (" +
+        std::to_string(memory.worker_memory_bytes) + ")");
+  }
+  if (memory.spill_chunk_bytes <= 0) {
+    return Status::InvalidArgument("memory.spill_chunk_bytes must be > 0");
+  }
+
+  if (join.radix_min_build_rows < 0) {
+    return Status::InvalidArgument("join.radix_min_build_rows must be >= 0");
+  }
+  if (join.radix_partition_rows <= 0) {
+    return Status::InvalidArgument("join.radix_partition_rows must be > 0");
+  }
+  if (join.radix_max_bits < 0 || join.radix_max_bits > 16) {
+    return Status::InvalidArgument("join.radix_max_bits must be in [0, 16]");
+  }
+  if (join.spill_partition_bits < 1 || join.spill_partition_bits > 10) {
+    return Status::InvalidArgument(
+        "join.spill_partition_bits must be in [1, 10]");
+  }
+  if (join.max_spill_recursion < 1) {
+    return Status::InvalidArgument("join.max_spill_recursion must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace accordion

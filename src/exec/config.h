@@ -2,13 +2,83 @@
 #define ACCORDION_EXEC_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/retry_policy.h"
+#include "common/status.h"
 
 namespace accordion {
 
 class FaultInjector;
 class MorselScheduler;
+
+/// Memory knobs, collected in one struct on the public surface. All byte
+/// budgets use 0 to mean "unlimited"; negative values are rejected by
+/// EngineConfig::Normalize with kInvalidArgument.
+struct MemoryConfig {
+  /// Initial capacity of every elastic buffer — "the size of a page"
+  /// (paper §4.2.2). Small relative to table sizes so producers feel
+  /// backpressure and scan progress tracks consumer pace.
+  int64_t initial_buffer_bytes = 8 * 1024;
+
+  /// Hard cap for elastic buffer growth.
+  int64_t max_buffer_bytes = 4LL * 1024 * 1024;
+
+  /// Capacity used when EngineConfig::elastic_buffers is false (the Presto
+  /// baseline mode of Fig. 20; Presto default: 32 MB).
+  int64_t fixed_buffer_bytes = 32LL * 1024 * 1024;
+
+  /// Advisory per-worker memory budget. Per-query budgets (below, and the
+  /// QueryOptions::max_memory_bytes override) must not exceed it.
+  int64_t worker_memory_bytes = 0;
+
+  /// Per-query budget for one hash-join build side (tracked per task).
+  /// When a join's accumulated build bytes pass this, the build switches
+  /// to grace spill: partitions scatter to temp files and build/probe
+  /// proceed partition-pairwise. 0 disables spilling.
+  int64_t query_build_bytes = 0;
+
+  /// Directory for spill temp files. Empty: the system temp directory.
+  std::string spill_dir;
+
+  /// Write-buffer size per spill file, and the target build-chunk size
+  /// when a skewed partition is processed in chunks.
+  int64_t spill_chunk_bytes = 1 << 20;
+};
+
+/// Which probe kernel FindJoinBatch uses for single fixed-width join keys.
+enum class ProbePathMode {
+  kAuto,    // AVX2 when the CPU supports it, scalar otherwise
+  kScalar,  // force the scalar kernel
+};
+
+/// Hash-join shape knobs: probe kernel selection, the radix-partitioned
+/// build threshold, and grace-spill partitioning.
+struct JoinConfig {
+  ProbePathMode probe = ProbePathMode::kAuto;
+
+  /// Build-row count at which an in-memory join build switches from one
+  /// flat table to radix-partitioned cache-sized tables (0 disables the
+  /// radix build). Only single fixed-width join keys partition; other key
+  /// shapes keep the flat table.
+  int64_t radix_min_build_rows = 1 << 17;
+
+  /// Target distinct keys per radix partition table, sized so one
+  /// partition's slots + keys stay roughly L2-resident.
+  int64_t radix_partition_rows = 1 << 13;
+
+  /// Upper bound on radix bits for the in-memory partitioned build.
+  int radix_max_bits = 8;
+
+  /// log2 of the spill fan-out: each grace-spill level scatters into
+  /// 2^bits partition files.
+  int spill_partition_bits = 4;
+
+  /// Maximum spill repartition depth for skewed partitions. A partition
+  /// still over budget at max depth is processed in build chunks
+  /// (multiple probe passes) instead of recursing further.
+  int max_spill_recursion = 3;
+};
 
 /// Virtual per-row CPU costs (microseconds of simulated core time) charged
 /// by drivers to their worker's CPU governor. These calibrate the
@@ -44,17 +114,44 @@ struct EngineConfig {
   /// Simulated latency of one RESTful/RPC call (paper: 1–10 ms).
   double rpc_latency_ms = 2.0;
 
-  /// Initial capacity of every elastic buffer — "the size of a page"
-  /// (paper §4.2.2). Small relative to table sizes so producers feel
-  /// backpressure and scan progress tracks consumer pace (§5.2's premise
-  /// that streaming avoids excessive data caching).
-  int64_t initial_buffer_bytes = 8 * 1024;
+  /// Memory budgets, buffer capacities and spill knobs.
+  MemoryConfig memory;
+
+  /// Join probe/build/spill shape knobs.
+  JoinConfig join;
+
+  /// DEPRECATED aliases for the buffer fields now living in `memory`
+  /// (one release of grace). -1 means unset; a set alias is merged into
+  /// `memory` by Normalize(), which rejects a conflicting pair (alias and
+  /// canonical field both set to different values) with kInvalidArgument.
+  /// Runtime readers go through the buffer_*_bytes() accessors, so a
+  /// config that never passed through Normalize() still honors them.
+  int64_t initial_buffer_bytes = -1;
+  int64_t max_buffer_bytes = -1;
+  int64_t fixed_buffer_bytes = -1;
+
+  int64_t buffer_initial_bytes() const {
+    return initial_buffer_bytes >= 0 ? initial_buffer_bytes
+                                     : memory.initial_buffer_bytes;
+  }
+  int64_t buffer_max_bytes() const {
+    return max_buffer_bytes >= 0 ? max_buffer_bytes : memory.max_buffer_bytes;
+  }
+  int64_t buffer_fixed_bytes() const {
+    return fixed_buffer_bytes >= 0 ? fixed_buffer_bytes
+                                   : memory.fixed_buffer_bytes;
+  }
+
+  /// Merges the deprecated aliases into `memory` and validates the whole
+  /// config. Nonsensical combinations (negative budgets, max < initial
+  /// buffer capacity, per-query budget above the worker budget, zero spill
+  /// chunk, out-of-range radix/spill bits) are rejected with
+  /// kInvalidArgument — never silently clamped. Idempotent; called by
+  /// AccordionCluster at construction.
+  Status Normalize();
 
   /// Consumer-side resize cadence for elastic buffers (paper: ~500 ms).
   int64_t buffer_resize_interval_ms = 500;
-
-  /// Hard cap for elastic buffer growth.
-  int64_t max_buffer_bytes = 4LL * 1024 * 1024;
 
   /// Shuffle-executor threads per shuffle buffer (paper Fig. 10b).
   int shuffle_executors = 2;
@@ -87,10 +184,9 @@ struct EngineConfig {
   int64_t driver_idle_sleep_us = 1000;
 
   /// When a buffer is "always fixed size" (the Presto baseline mode of
-  /// Fig. 20 / §2 challenge 3), elastic resizing is disabled and this
-  /// capacity is used (Presto default: 32 MB).
+  /// Fig. 20 / §2 challenge 3), elastic resizing is disabled and
+  /// memory.fixed_buffer_bytes is used as the capacity.
   bool elastic_buffers = true;
-  int64_t fixed_buffer_bytes = 32LL * 1024 * 1024;
 
   // --- fault model (chaos harness, tests, benches) ---
 

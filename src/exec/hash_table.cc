@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "exec/simd_probe.h"
 #include "vector/hashing.h"
 
 namespace accordion {
@@ -15,7 +16,76 @@ void AppendRaw64(std::string* out, const void* p) {
   out->append(reinterpret_cast<const char*>(p), 8);
 }
 
+/// Shared tail of the batched join probes: one sizing pass over the
+/// resolved ids totals the CSR span lengths, both outputs grow exactly
+/// once, then a fill pass writes match pairs through raw pointers.
+void ExpandSpans(const int64_t* ids, int64_t n, const int64_t* span_offsets,
+                 const int64_t* span_rows, const int32_t* row_map,
+                 std::vector<int32_t>* probe_rows,
+                 std::vector<int64_t>* build_rows) {
+  // The CSR arrays are randomly indexed by build id, so for out-of-cache
+  // tables each pass is a cache-miss chain. The sizing pass prefetches the
+  // offsets array ahead of itself and stages each id's span start/length;
+  // the fill pass then never re-touches span_offsets, and the span_rows
+  // lines it needs were requested a pass earlier.
+  constexpr int64_t kDistance = 16;
+  static thread_local std::vector<int64_t> starts;
+  static thread_local std::vector<int64_t> lens;
+  starts.resize(static_cast<size_t>(n));
+  lens.resize(static_cast<size_t>(n));
+  int64_t total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (i + kDistance < n && ids[i + kDistance] >= 0) {
+      __builtin_prefetch(&span_offsets[ids[i + kDistance]]);
+    }
+    const int64_t id = ids[i];
+    if (id < 0) {
+      lens[i] = 0;
+      continue;
+    }
+    const int64_t start = span_offsets[id];
+    const int64_t len = span_offsets[id + 1] - start;
+    starts[i] = start;
+    lens[i] = len;
+    total += len;
+    __builtin_prefetch(&span_rows[start]);
+  }
+  if (total == 0) return;
+  const size_t base = probe_rows->size();
+  probe_rows->resize(base + static_cast<size_t>(total));
+  build_rows->resize(build_rows->size() + static_cast<size_t>(total));
+  int32_t* pr = probe_rows->data() + base;
+  int64_t* br = build_rows->data() + (build_rows->size() - total);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t len = lens[i];
+    if (len == 0) continue;
+    if (i + kDistance < n && lens[i + kDistance] != 0) {
+      __builtin_prefetch(&span_rows[starts[i + kDistance]]);
+    }
+    const int32_t probe_row =
+        row_map != nullptr ? row_map[i] : static_cast<int32_t>(i);
+    const int64_t start = starts[i];
+    for (int64_t j = 0; j < len; ++j) {
+      *pr++ = probe_row;
+      *br++ = span_rows[start + j];
+    }
+  }
+}
+
 }  // namespace
+
+bool HashTable::SimdSupported() { return simd::Avx2Supported(); }
+
+void HashTable::HashWords(const int64_t* words, int64_t n, uint64_t* hashes,
+                          bool allow_simd) {
+  if (allow_simd && simd::Avx2Supported()) {
+    simd::HashWordsAvx2(words, n, Page::kHashSeed, hashes);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    hashes[i] = Mix64(static_cast<uint64_t>(words[i]) ^ Page::kHashSeed);
+  }
+}
 
 HashTable::HashTable(std::vector<DataType> key_types)
     : key_types_(std::move(key_types)),
@@ -425,6 +495,94 @@ void HashTable::FindJoin(const Page& page, const std::vector<int>& channels,
       build_rows->push_back(span_rows[j]);
     }
   }
+}
+
+void HashTable::FindIds(const int64_t* words, const uint64_t* hashes,
+                        int64_t n, int64_t* ids, bool use_simd) const {
+  ACC_CHECK(word_mode_) << "FindIds requires a single fixed-width key";
+  if (use_simd && SimdSupported()) {
+    static_assert(sizeof(Slot) == 16, "AVX2 gather assumes 16-byte slots");
+    simd::FindIdsAvx2(slots_.data(), mask_, words, hashes, n, ids);
+    return;
+  }
+  const Slot* slots = slots_.data();
+  const uint64_t mask = mask_;
+  for (int64_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      __builtin_prefetch(&slots[hashes[i + kPrefetchDistance] & mask]);
+    }
+    const uint64_t w = static_cast<uint64_t>(words[i]);
+    uint64_t pos = hashes[i] & mask;
+    int64_t found = -1;
+    while (true) {
+      const Slot& slot = slots[pos];
+      if (slot.id == kEmptyId) break;
+      if (slot.tag == w) {
+        found = slot.id;
+        break;
+      }
+      pos = (pos + 1) & mask;
+    }
+    ids[i] = found;
+  }
+}
+
+void HashTable::FindJoinBatch(const Page& page,
+                              const std::vector<int>& channels,
+                              const int64_t* span_offsets,
+                              const int64_t* span_rows,
+                              std::vector<int32_t>* probe_rows,
+                              std::vector<int64_t>* build_rows,
+                              bool allow_simd) const {
+  const int64_t num_rows = page.num_rows();
+  if (num_key_cols_ == 0) {
+    // Degenerate cross-match on the single keyless group.
+    if (num_keys_ == 0) return;
+    for (int64_t i = 0; i < num_rows; ++i) {
+      for (int64_t j = span_offsets[0]; j < span_offsets[1]; ++j) {
+        probe_rows->push_back(static_cast<int32_t>(i));
+        build_rows->push_back(span_rows[j]);
+      }
+    }
+    return;
+  }
+  if (num_rows == 0) return;
+  std::vector<const Column*> keys;
+  keys.reserve(channels.size());
+  for (int ch : channels) keys.push_back(&page.column(ch));
+  static thread_local Scratch scratch;
+  static thread_local std::vector<int64_t> ids;
+  ids.resize(static_cast<size_t>(num_rows));
+  if (word_mode_) {
+    const bool use_simd = allow_simd && SimdSupported();
+    // Alias the (pre-sized) hash buffer as "external" so PrepareBatch
+    // only sets up the key words, then hash with the vectorized Mix64.
+    scratch.hashes.resize(static_cast<size_t>(num_rows));
+    PrepareBatch(keys, num_rows, &scratch, scratch.hashes.data());
+    HashWords(scratch.words_data, num_rows, scratch.hashes.data(), use_simd);
+    FindIds(scratch.words_data, scratch.hashes.data(), num_rows, ids.data(),
+            use_simd);
+  } else {
+    PrepareBatch(keys, num_rows, &scratch);
+    FindBatch(scratch, num_rows, &ids);
+  }
+  ExpandSpans(ids.data(), num_rows, span_offsets, span_rows,
+              /*row_map=*/nullptr, probe_rows, build_rows);
+}
+
+void HashTable::FindJoinHashed(const int64_t* words, const uint64_t* hashes,
+                               int64_t n, const int64_t* span_offsets,
+                               const int64_t* span_rows,
+                               const int32_t* row_map,
+                               std::vector<int32_t>* probe_rows,
+                               std::vector<int64_t>* build_rows,
+                               bool allow_simd) const {
+  if (n == 0) return;
+  static thread_local std::vector<int64_t> ids;
+  ids.resize(static_cast<size_t>(n));
+  FindIds(words, hashes, n, ids.data(), allow_simd && SimdSupported());
+  ExpandSpans(ids.data(), n, span_offsets, span_rows, row_map, probe_rows,
+              build_rows);
 }
 
 void HashTable::AppendKeys(int64_t begin, int64_t end,

@@ -3,68 +3,204 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/status.h"
 #include "exec/hash_table.h"
+#include "exec/radix_partitioner.h"
+#include "exec/spill_file.h"
 #include "vector/page.h"
 
 namespace accordion {
 
-/// Shared hash table connecting a task's build pipeline to its probe
+class TaskContext;
+
+/// Shared hash-join state connecting a task's build pipeline to its probe
 /// pipeline (paper Fig. 7). Build drivers append pages concurrently; the
 /// last finishing driver constructs the index and flips `built`. Probe
-/// drivers stay blocked until then (paper §4.1: "probe-side data
-/// processing must wait for the build side").
+/// drivers stay blocked until then (paper §4.1).
 ///
-/// The index is a flat open-addressing HashTable over the build keys plus
-/// a CSR-style match list: one batch pass over the accumulated build
-/// columns assigns every row a dense key id, then a counting sort groups
-/// the row numbers of each key contiguously — `rows_[offsets_[id] ..
-/// offsets_[id+1])` are the (ascending) build rows for key `id`. Probing
-/// reads one offsets pair and a contiguous span per hit instead of
-/// chasing head/next chain pointers. Because the table stores canonical
-/// keys, a probe hit is an exact key match — no per-candidate key
-/// re-comparison.
+/// The index escalates through three shapes as the build side grows —
+/// the decision ladder:
+///
+///   1. kFlat — one open-addressing HashTable plus a CSR match list:
+///      `rows_[offsets_[id] .. offsets_[id+1])` are the build rows of key
+///      `id`. Probes go through HashTable::FindJoinBatch (AVX2 batch
+///      kernel for single fixed-width keys, scalar otherwise).
+///   2. kRadix — past JoinConfig::radix_min_build_rows (single
+///      fixed-width key only), the build splits by the TOP bits of the
+///      key hash into 2^bits cache-sized partition tables (reusing
+///      RadixPartitioner). Each probe page is hashed once, scattered by
+///      the same bits, and probes exactly one partition table per row, so
+///      huge build tables stop thrashing cache.
+///   3. kSpill (grace hash join) — when tracked build bytes exceed the
+///      task's budget (TaskContext::build_budget_bytes), accumulated and
+///      incoming build pages scatter to 2^spill_partition_bits SpillFiles
+///      by hash; probe pages scatter to matching files; after both sides
+///      finish, the last probe driver drains partition-pairwise
+///      (NextSpilledPage), recursing on partitions still over budget
+///      with the next lower hash bits, and falling back to build-chunked
+///      multi-pass probing at the recursion limit.
+///
+/// Memory accounting and spill counters flow through the TaskContext
+/// (null for standalone tests/benches: no accounting, no spilling unless
+/// the context provides a budget).
 class JoinBridge {
  public:
-  JoinBridge(std::vector<DataType> build_types, std::vector<int> build_keys);
+  JoinBridge(std::vector<DataType> build_types, std::vector<int> build_keys,
+             TaskContext* task_ctx = nullptr);
+  ~JoinBridge();
 
   // --- build side ---
   void AddBuildDriver() { ++build_drivers_; }
-  void AddBuildPage(const PagePtr& page);
-  /// Returns true for the caller that finalized the table.
+  /// Appends one build page; in spill mode this partitions and stages the
+  /// page to disk, so IO failures surface here.
+  Status AddBuildPage(const PagePtr& page);
+  /// Returns true for the caller that finalized the table. Finalization
+  /// IO errors are recorded (see failure()) and reported to the task.
   bool BuildDriverFinished();
 
   bool built() const { return built_.load(); }
+  /// True once the build side has switched to grace spill.
+  bool spilled() const { return spilled_.load(); }
   int64_t build_rows() const;
   /// Wall time spent constructing the index (the T_build component of the
   /// paper's state-transfer accounting).
   int64_t build_index_micros() const { return build_index_us_.load(); }
+  /// In-memory radix partition count (1 = flat table; 0 = spilled).
+  int num_partitions() const;
 
   // --- probe side ---
+  void AddProbeDriver() { ++probe_drivers_; }
+
   /// Appends to `probe_rows`/`build_rows` the matching row pairs for every
   /// row of `probe` (equality on all key channels). Requires built().
-  /// Thread-safe: the index is immutable once built.
-  void Probe(const Page& probe, const std::vector<int>& probe_keys,
-             std::vector<int32_t>* probe_rows,
-             std::vector<int64_t>* build_rows) const;
+  /// Flat/radix modes are lock-free (the index is immutable once built);
+  /// in spill mode the page is scattered to probe spill files under the
+  /// bridge mutex and no pairs are returned — matches stream later from
+  /// NextSpilledPage.
+  Status Probe(const Page& probe, const std::vector<int>& probe_keys,
+               std::vector<int32_t>* probe_rows,
+               std::vector<int64_t>* build_rows);
 
-  /// Gathers `channel` of the accumulated build rows at `rows`.
+  /// Returns true for the last probe driver when the bridge spilled: that
+  /// driver becomes the drainer and must pull NextSpilledPage until null.
+  bool ProbeDriverFinished();
+
+  /// Partition-pairwise drain of the spilled join: each call returns one
+  /// joined output page laid out as [all probe columns...,
+  /// build_output_channels...], or nullptr when every partition pair is
+  /// exhausted. Single-threaded (drainer only).
+  Result<PagePtr> NextSpilledPage(const std::vector<int>& probe_keys,
+                                  const std::vector<int>& build_output_channels);
+
+  /// Gathers `channel` of the accumulated build rows at `rows`
+  /// (flat/radix modes only; spilled matches are gathered internally).
   Column GatherBuild(int channel, const std::vector<int64_t>& rows) const;
   Column GatherBuild(int channel, const int64_t* rows, int64_t count) const;
 
  private:
+  enum class Mode { kFlat, kRadix, kSpill };
+
+  /// One built index: a table plus its CSR match list. Flat mode has one;
+  /// radix mode one per partition (rows_ hold global build row numbers);
+  /// the spill drain rebuilds one per build chunk (rows_ chunk-local).
+  struct PartitionIndex {
+    explicit PartitionIndex(std::vector<DataType> key_types)
+        : table(std::move(key_types)) {}
+    HashTable table;
+    std::vector<int64_t> offsets;
+    std::vector<int64_t> rows;
+  };
+
+  /// Per-partition staging buffer: rows accumulate in columns until they
+  /// pass the spill chunk size, then flush to the partition file as one
+  /// frame (coalesces tiny per-page scatters into large writes).
+  struct Stage {
+    std::vector<Column> cols;
+    int64_t bytes = 0;
+  };
+
+  /// A build/probe partition-file pair awaiting the pairwise drain.
+  struct SpillPair {
+    std::unique_ptr<SpillFile> build;
+    std::unique_ptr<SpillFile> probe;
+    int depth = 0;
+  };
+
+  bool allow_simd() const;
+  int64_t budget_bytes() const;
+  void TrackBuildBytes(int64_t delta);
+  void RecordProbePath(bool simd);
+
+  Status WriteSpill(SpillFile* file, const Page& page);
+  /// Computes the partition-selection hash of `rows` keyed by `channels`
+  /// (Page::HashRows-compatible for any key types — the same hash the
+  /// tables use, so partition bits and slot bits never conflict).
+  void HashKeys(const std::vector<const Column*>& keys, int64_t num_rows,
+                std::vector<uint64_t>* hashes) const;
+
+  Status StartSpillLocked();
+  Status StageRowsLocked(std::vector<Stage>* stages,
+                         std::vector<std::unique_ptr<SpillFile>>* files,
+                         const char* prefix, const Page& page,
+                         const std::vector<std::vector<int32_t>>& selections);
+  Status FlushStageLocked(Stage* stage, SpillFile* file);
+
+  void BuildFlatIndexLocked();
+  void BuildRadixIndexLocked();
+  Status FinishSpillBuildLocked();
+
+  // --- spill drain (single-threaded: last probe driver only) ---
+  Status DrainOpenNextPair(const std::vector<int>& probe_keys);
+  Status DrainLoadChunk();
+  Status DrainRepartition(SpillPair pair,
+                          const std::vector<int>& probe_keys);
+  Result<PagePtr> DrainEmit(const Page& probe_page,
+                            const std::vector<int>& build_output_channels);
+
   std::vector<DataType> build_types_;
   std::vector<int> build_keys_;
+  TaskContext* task_ctx_;
 
   mutable std::mutex mutex_;
   std::vector<Column> data_;  // accumulated build rows, all channels
-  HashTable table_;           // build-key -> dense key id
-  std::vector<int64_t> offsets_;  // key id -> start of its row span
-  std::vector<int64_t> rows_;     // build rows grouped by key id, ascending
+  int64_t total_build_rows_ = 0;
+  int64_t tracked_bytes_ = 0;  // bytes reported to the task context
+
+  Mode mode_ = Mode::kFlat;
+  std::vector<std::unique_ptr<PartitionIndex>> partitions_;
+  std::unique_ptr<RadixPartitioner> radix_;  // radix + spill level 0
+
+  // --- spill state ---
+  std::vector<std::unique_ptr<SpillFile>> build_files_;
+  std::vector<Stage> build_stages_;
+  std::vector<std::unique_ptr<SpillFile>> probe_files_;
+  std::vector<Stage> probe_stages_;
+  std::vector<DataType> probe_types_;
+  Status spill_status_;  // first spill IO failure, surfaced to probes
+
+  // --- drain state ---
+  std::deque<SpillPair> drain_queue_;
+  SpillPair drain_pair_;
+  bool drain_active_ = false;
+  bool drain_build_exhausted_ = false;
+  std::vector<Column> chunk_cols_;  // build columns of the loaded chunk
+  std::unique_ptr<PartitionIndex> chunk_index_;
+  int64_t chunk_tracked_bytes_ = 0;
+  PagePtr drain_probe_page_;
+  std::vector<int32_t> match_probe_;
+  std::vector<int64_t> match_build_;
+  int64_t emit_offset_ = 0;
+
   std::atomic<int> build_drivers_{0};
+  std::atomic<int> probe_drivers_{0};
   std::atomic<bool> built_{false};
+  std::atomic<bool> spilled_{false};
+  std::atomic<bool> probe_path_recorded_{false};
   std::atomic<int64_t> build_index_us_{0};
 };
 

@@ -335,7 +335,9 @@ class LookupJoinOperator : public Operator {
       : Operator(ctx),
         bridge_(bridge),
         probe_keys_(std::move(probe_keys)),
-        build_output_channels_(std::move(build_output_channels)) {}
+        build_output_channels_(std::move(build_output_channels)) {
+    bridge_->AddProbeDriver();
+  }
 
   bool NeedsInput() const override {
     // Paper §4.1: probing waits for the build side to complete.
@@ -346,7 +348,12 @@ class LookupJoinOperator : public Operator {
   void AddInput(const PagePtr& page) override {
     probe_rows_.clear();
     build_rows_.clear();
-    bridge_->Probe(*page, probe_keys_, &probe_rows_, &build_rows_);
+    Status probed =
+        bridge_->Probe(*page, probe_keys_, &probe_rows_, &build_rows_);
+    if (!probed.ok()) {
+      task_ctx_->ReportFailure(probed);
+      return;
+    }
     if (probe_rows_.empty()) return;
     // Emit in bounded chunks to keep pages small. Output columns are
     // gathered directly from the match spans — no intermediate Select page
@@ -373,8 +380,26 @@ class LookupJoinOperator : public Operator {
       pending_.pop_front();
       return out;
     }
-    if (state_ == OperatorState::kFinishing) return EmitEnd();
-    return nullptr;
+    if (state_ != OperatorState::kFinishing) return nullptr;
+    // When the bridge spilled, the last probe driver to retire becomes the
+    // drainer and streams the partition-pairwise grace join from here.
+    if (!probe_retired_) {
+      probe_retired_ = true;
+      draining_ = bridge_->ProbeDriverFinished();
+    }
+    if (draining_) {
+      Result<PagePtr> next =
+          bridge_->NextSpilledPage(probe_keys_, build_output_channels_);
+      if (!next.ok()) {
+        task_ctx_->ReportFailure(next.status());
+        draining_ = false;
+        return EmitEnd();
+      }
+      PagePtr page = std::move(next).value();
+      if (page != nullptr) return page;
+      draining_ = false;
+    }
+    return EmitEnd();
   }
 
   double CostPerRowMicros() const override {
@@ -387,6 +412,8 @@ class LookupJoinOperator : public Operator {
   std::vector<int> probe_keys_;
   std::vector<int> build_output_channels_;
   std::deque<PagePtr> pending_;
+  bool probe_retired_ = false;
+  bool draining_ = false;
   // Reused match buffers — cleared per input page, capacity retained.
   std::vector<int32_t> probe_rows_;
   std::vector<int64_t> build_rows_;
@@ -1391,7 +1418,10 @@ class HashBuildOperator : public Operator {
     bridge_->AddBuildDriver();
   }
 
-  void AddInput(const PagePtr& page) override { bridge_->AddBuildPage(page); }
+  void AddInput(const PagePtr& page) override {
+    Status s = bridge_->AddBuildPage(page);
+    if (!s.ok()) task_ctx_->ReportFailure(s);
+  }
 
   PagePtr GetOutput() override {
     if (state_ == OperatorState::kFinishing) {

@@ -1,0 +1,163 @@
+#include "exec/simd_probe.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define ACCORDION_SIMD_X86 1
+#endif
+
+namespace accordion {
+namespace simd {
+
+#ifdef ACCORDION_SIMD_X86
+
+bool Avx2Supported() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+
+namespace {
+
+// 64-bit lane-wise a * b (b broadcast) built from 32x32->64 partial
+// products: lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32). The high
+// cross terms overflow out of the low 64 bits, matching C++ u64 multiply.
+__attribute__((target("avx2"))) inline __m256i Mul64(__m256i a, uint64_t b) {
+  const __m256i bv = _mm256_set1_epi64x(static_cast<long long>(b));
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(bv, 32);
+  const __m256i lo_lo = _mm256_mul_epu32(a, bv);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi),
+                                         _mm256_mul_epu32(a_hi, bv));
+  return _mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i Mix64x4(__m256i x) {
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = Mul64(x, 0xFF51AFD7ED558CCDULL);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = Mul64(x, 0xC4CEB9FE1A85EC53ULL);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  return x;
+}
+
+inline uint64_t Mix64Scalar(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Scalar probe continuation for a lane whose first slot was occupied by a
+// different key: linear-probe from pos+1. `slots` viewed as u64 pairs.
+inline int64_t ProbeFrom(const uint64_t* slots, uint64_t mask, uint64_t pos,
+                         uint64_t w) {
+  while (true) {
+    pos = (pos + 1) & mask;
+    const uint64_t tag = slots[2 * pos];
+    const int64_t id = static_cast<int64_t>(slots[2 * pos + 1]);
+    if (id == -1) return -1;
+    if (tag == w) return id;
+  }
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) void HashWordsAvx2(const int64_t* words,
+                                                   int64_t n, uint64_t seed,
+                                                   uint64_t* out) {
+  const __m256i seedv = _mm256_set1_epi64x(static_cast<long long>(seed));
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    __m256i h = Mix64x4(_mm256_xor_si256(w, seedv));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  for (; i < n; ++i) {
+    out[i] = Mix64Scalar(static_cast<uint64_t>(words[i]) ^ seed);
+  }
+}
+
+__attribute__((target("avx2"))) void FindIdsAvx2(const void* slots_raw,
+                                                 uint64_t mask,
+                                                 const int64_t* words,
+                                                 const uint64_t* hashes,
+                                                 int64_t n, int64_t* ids) {
+  const uint64_t* slots = static_cast<const uint64_t*>(slots_raw);
+  const long long* base = reinterpret_cast<const long long*>(slots);
+  const __m256i maskv = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i empty_id = _mm256_set1_epi64x(-1);
+  const __m256i one = _mm256_set1_epi64x(1);
+  // Blocks of 16 keys (4 independent gather pairs) keep more cache misses
+  // in flight than a 4-wide loop; the next block's slots are prefetched a
+  // full block ahead so its gathers mostly hit. Unresolved lanes (occupied
+  // by a different key) collect into a bitmask and fall back to the scalar
+  // linear-probe continuation after the vector work.
+  constexpr int64_t kBlock = 16;
+  constexpr int64_t kPrefetchDistance = 2 * kBlock;
+  int64_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    if (i + kPrefetchDistance + kBlock <= n) {
+      for (int l = 0; l < kBlock; ++l) {
+        __builtin_prefetch(&slots[2 * (hashes[i + kPrefetchDistance + l] &
+                                       mask)]);
+      }
+    }
+    unsigned pending = 0;
+    for (int v = 0; v < 4; ++v) {
+      const int64_t j = i + 4 * v;
+      const __m256i w =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + j));
+      const __m256i h =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + j));
+      const __m256i pos = _mm256_and_si256(h, maskv);
+      // Slot element index in 8-byte units: tag at 2*pos, id at 2*pos + 1.
+      const __m256i tag_idx = _mm256_slli_epi64(pos, 1);
+      const __m256i id_idx = _mm256_or_si256(tag_idx, one);
+      const __m256i tags = _mm256_i64gather_epi64(base, tag_idx, 8);
+      const __m256i slot_ids = _mm256_i64gather_epi64(base, id_idx, 8);
+      const __m256i empty = _mm256_cmpeq_epi64(slot_ids, empty_id);
+      const __m256i hit =
+          _mm256_andnot_si256(empty, _mm256_cmpeq_epi64(tags, w));
+      // hit -> slot id, empty -> -1; unresolved lanes fixed up below.
+      const __m256i result = _mm256_blendv_epi8(empty_id, slot_ids, hit);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(ids + j), result);
+      const int done = _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_or_si256(hit, empty)));
+      pending |= static_cast<unsigned>(~done & 0xF) << (4 * v);
+    }
+    while (pending != 0) {
+      const int l = __builtin_ctz(pending);
+      pending &= pending - 1;
+      ids[i + l] = ProbeFrom(slots, mask, hashes[i + l] & mask,
+                             static_cast<uint64_t>(words[i + l]));
+    }
+  }
+  for (; i < n; ++i) {
+    const uint64_t w = static_cast<uint64_t>(words[i]);
+    uint64_t pos = hashes[i] & mask;
+    const uint64_t tag = slots[2 * pos];
+    const int64_t id = static_cast<int64_t>(slots[2 * pos + 1]);
+    if (id == -1) {
+      ids[i] = -1;
+    } else if (tag == w) {
+      ids[i] = id;
+    } else {
+      ids[i] = ProbeFrom(slots, mask, pos, w);
+    }
+  }
+}
+
+#else  // !ACCORDION_SIMD_X86
+
+bool Avx2Supported() { return false; }
+
+void HashWordsAvx2(const int64_t*, int64_t, uint64_t, uint64_t*) {}
+
+void FindIdsAvx2(const void*, uint64_t, const int64_t*, const uint64_t*,
+                 int64_t, int64_t*) {}
+
+#endif  // ACCORDION_SIMD_X86
+
+}  // namespace simd
+}  // namespace accordion

@@ -1,0 +1,32 @@
+#ifndef ACCORDION_EXEC_SIMD_PROBE_H_
+#define ACCORDION_EXEC_SIMD_PROBE_H_
+
+#include <cstdint>
+
+namespace accordion {
+namespace simd {
+
+/// Runtime CPU dispatch for the AVX2 probe kernels (cached cpuid check).
+/// Always false on non-x86 builds.
+bool Avx2Supported();
+
+/// out[i] = Mix64(words[i] ^ seed), four lanes at a time. Bit-identical
+/// to the scalar Mix64 (the 64-bit multiplies are emulated with 32x32
+/// partial products — AVX2 has no 64-bit multiply).
+/// Requires Avx2Supported().
+void HashWordsAvx2(const int64_t* words, int64_t n, uint64_t seed,
+                   uint64_t* out);
+
+/// Word-mode hash-table probe: for each row, gather the slot at
+/// hashes[i] & mask from `slots` (16-byte {u64 tag, i64 id} slots, linear
+/// probing, power-of-two capacity), compare the tag against words[i], and
+/// write the matching dense id (or -1) to ids[i]. Lanes that neither hit
+/// nor land on an empty slot fall back to a scalar probe continuation.
+/// Requires Avx2Supported().
+void FindIdsAvx2(const void* slots, uint64_t mask, const int64_t* words,
+                 const uint64_t* hashes, int64_t n, int64_t* ids);
+
+}  // namespace simd
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_SIMD_PROBE_H_

@@ -1,0 +1,162 @@
+#include "exec/spill_file.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "vector/hashing.h"
+
+namespace accordion {
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x4C505341;  // "ASPL"
+constexpr size_t kFrameHeaderBytes = 4 + 4 + 8;
+constexpr uint64_t kChecksumSeed = 0x5350494C4C46494CULL;
+
+std::atomic<uint64_t> g_spill_seq{0};
+
+}  // namespace
+
+SpillFile::SpillFile(std::string path, std::FILE* file, int64_t chunk_bytes,
+                     bool readable)
+    : path_(std::move(path)),
+      file_(file),
+      chunk_bytes_(chunk_bytes),
+      readable_(readable) {}
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir,
+                                                     const std::string& prefix,
+                                                     int64_t chunk_bytes) {
+  std::error_code ec;
+  std::filesystem::path base =
+      dir.empty() ? std::filesystem::temp_directory_path(ec)
+                  : std::filesystem::path(dir);
+  if (ec) return Status::IoError("no temp directory: " + ec.message());
+  std::filesystem::create_directories(base, ec);  // ok if it already exists
+  std::string name = "accordion-spill-" + prefix + "-" +
+                     std::to_string(::getpid()) + "-" +
+                     std::to_string(g_spill_seq.fetch_add(1));
+  std::filesystem::path path = base / name;
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create spill file " + path.string() + ": " +
+                           std::strerror(errno));
+  }
+  auto out = std::unique_ptr<SpillFile>(
+      new SpillFile(path.string(), file, chunk_bytes, /*readable=*/false));
+  out->write_buffer_.reserve(static_cast<size_t>(chunk_bytes));
+  return out;
+}
+
+Result<std::unique_ptr<SpillFile>> SpillFile::OpenExisting(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open spill file " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<SpillFile>(
+      new SpillFile(path, file, /*chunk_bytes=*/1 << 20, /*readable=*/true));
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // best effort; temp dir is the backstop
+}
+
+Status SpillFile::Append(const Page& page) {
+  if (readable_) {
+    return Status::Internal("Append on sealed spill file " + path_);
+  }
+  std::string payload = page.Serialize();
+  uint32_t magic = kFrameMagic;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint64_t checksum = HashBytes(payload.data(), payload.size(), kChecksumSeed);
+  write_buffer_.append(reinterpret_cast<const char*>(&magic), 4);
+  write_buffer_.append(reinterpret_cast<const char*>(&len), 4);
+  write_buffer_.append(reinterpret_cast<const char*>(&checksum), 8);
+  write_buffer_.append(payload);
+  bytes_written_ += static_cast<int64_t>(kFrameHeaderBytes + payload.size());
+  rows_written_ += page.num_rows();
+  ++pages_written_;
+  if (static_cast<int64_t>(write_buffer_.size()) >= chunk_bytes_) {
+    return FlushBuffer();
+  }
+  return Status::OK();
+}
+
+Status SpillFile::FlushBuffer() {
+  if (write_buffer_.empty()) return Status::OK();
+  size_t written =
+      std::fwrite(write_buffer_.data(), 1, write_buffer_.size(), file_);
+  if (written != write_buffer_.size()) {
+    return Status::IoError("short write to spill file " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  write_buffer_.clear();
+  return Status::OK();
+}
+
+Status SpillFile::FinishWrite() {
+  if (readable_) return Status::OK();
+  ACCORDION_RETURN_NOT_OK(FlushBuffer());
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush of spill file " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot reopen spill file " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  readable_ = true;
+  return Status::OK();
+}
+
+Status SpillFile::Rewind() {
+  if (!readable_) {
+    return Status::Internal("Rewind on unsealed spill file " + path_);
+  }
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IoError("seek on spill file " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<PagePtr> SpillFile::Next() {
+  if (!readable_) {
+    return Status::Internal("Next on unsealed spill file " + path_);
+  }
+  char header[kFrameHeaderBytes];
+  size_t got = std::fread(header, 1, kFrameHeaderBytes, file_);
+  if (got == 0 && std::feof(file_)) return PagePtr(nullptr);  // clean EOF
+  if (got != kFrameHeaderBytes) {
+    return Status::IoError("truncated frame header in spill file " + path_);
+  }
+  uint32_t magic, len;
+  uint64_t checksum;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&len, header + 4, 4);
+  std::memcpy(&checksum, header + 8, 8);
+  if (magic != kFrameMagic) {
+    return Status::IoError("corrupted spill file " + path_ +
+                           ": bad frame magic");
+  }
+  std::string payload(len, '\0');
+  if (std::fread(payload.data(), 1, len, file_) != len) {
+    return Status::IoError("truncated frame payload in spill file " + path_);
+  }
+  if (HashBytes(payload.data(), payload.size(), kChecksumSeed) != checksum) {
+    return Status::IoError("corrupted spill file " + path_ +
+                           ": frame checksum mismatch");
+  }
+  return Page::Deserialize(payload);
+}
+
+}  // namespace accordion

@@ -1,0 +1,87 @@
+#ifndef ACCORDION_EXEC_SPILL_FILE_H_
+#define ACCORDION_EXEC_SPILL_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "vector/page.h"
+
+namespace accordion {
+
+/// One temp file of serialized pages — the unit of grace-spill storage.
+/// A join build (or probe) partition that exceeds its memory budget
+/// streams pages in via Append, seals the file with FinishWrite, then
+/// reads them back with Next/Rewind during partition-pairwise processing.
+///
+/// Wire format: a sequence of frames, each
+///   [u32 magic][u32 payload_len][u64 checksum][payload]
+/// where payload is Page::Serialize() output and checksum is HashBytes
+/// over the payload. The reader validates magic, length and checksum on
+/// every frame and returns kIoError for corruption or truncation instead
+/// of crashing or silently yielding wrong rows.
+///
+/// Writes are buffered to `chunk_bytes` before hitting the file, so many
+/// small partition appends coalesce into large sequential writes. The
+/// destructor closes and unlinks the file (spill data never outlives the
+/// join). Not thread-safe; the owning bridge serializes access.
+class SpillFile {
+ public:
+  /// Creates a uniquely named spill file under `dir` (empty: the system
+  /// temp directory), open for writing.
+  static Result<std::unique_ptr<SpillFile>> Create(const std::string& dir,
+                                                   const std::string& prefix,
+                                                   int64_t chunk_bytes);
+
+  /// Opens an existing file for reading only (corruption tests and
+  /// recovery tooling). The file is still unlinked on destruction.
+  static Result<std::unique_ptr<SpillFile>> OpenExisting(
+      const std::string& path);
+
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Serializes and buffers one page; flushes the buffer to disk when it
+  /// passes the chunk size. Write mode only.
+  Status Append(const Page& page);
+
+  /// Flushes buffered frames and switches the file to read mode.
+  /// Idempotent once successful.
+  Status FinishWrite();
+
+  /// Next page, nullptr at clean end-of-file. Requires FinishWrite (or
+  /// OpenExisting). Returns kIoError on a corrupted or truncated frame.
+  Result<PagePtr> Next();
+
+  /// Restarts reading from the first frame.
+  Status Rewind();
+
+  const std::string& path() const { return path_; }
+  int64_t bytes_written() const { return bytes_written_; }
+  int64_t rows_written() const { return rows_written_; }
+  int64_t pages_written() const { return pages_written_; }
+
+ private:
+  SpillFile(std::string path, std::FILE* file, int64_t chunk_bytes,
+            bool readable);
+
+  Status FlushBuffer();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  int64_t chunk_bytes_;
+  bool readable_;  // FinishWrite sealed the file (or OpenExisting)
+
+  std::string write_buffer_;
+  int64_t bytes_written_ = 0;
+  int64_t rows_written_ = 0;
+  int64_t pages_written_ = 0;
+};
+
+}  // namespace accordion
+
+#endif  // ACCORDION_EXEC_SPILL_FILE_H_

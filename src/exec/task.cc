@@ -19,6 +19,7 @@ Task::Task(TaskSpec spec, TaskApis apis, ResourceGovernor* cpu,
   if (!spec_.id.query_id.empty()) {
     task_ctx_.set_scheduler_group(spec_.id.query_id);
   }
+  task_ctx_.set_build_budget_bytes(spec_.build_memory_bytes);
   buffer_ = MakeOutputBuffer(spec_.output_config, &task_ctx_);
 
   PipelineBuildContext ctx;
@@ -56,7 +57,7 @@ Task::Task(TaskSpec spec, TaskApis apis, ResourceGovernor* cpu,
       it = join_bridges_
                .emplace(node_id, std::make_unique<JoinBridge>(
                                      std::move(build_types),
-                                     std::move(build_keys)))
+                                     std::move(build_keys), &task_ctx_))
                .first;
     }
     return it->second.get();
@@ -265,6 +266,10 @@ TaskInfo Task::Info() {
   info.turn_up_counter = task_ctx_.turn_up_counter();
   info.hash_build_micros = task_ctx_.hash_build_micros();
   info.buffer_queued_bytes = buffer_->queued_bytes();
+  info.peak_build_bytes = task_ctx_.peak_build_bytes();
+  info.spill_bytes_written = task_ctx_.spill_bytes_written();
+  info.spill_partitions = task_ctx_.spill_partitions();
+  info.probe_path = task_ctx_.probe_path();
   info.cpu_utilization = task_ctx_.cpu()->Utilization();
   info.nic_utilization = task_ctx_.nic()->Utilization();
   info.has_join = !join_bridges_.empty();

@@ -30,6 +30,11 @@ struct TaskSpec {
   /// Defaults to the task's own sequence number; DOP-switched task groups
   /// (§4.5) read from their group's buffer-id range instead.
   std::map<int, int> source_buffer_ids;
+
+  /// Per-query build-side memory budget resolved by the coordinator
+  /// (QueryOptions::max_memory_bytes override, else the engine default).
+  /// 0 falls back to EngineConfig::memory.query_build_bytes on the worker.
+  int64_t build_memory_bytes = 0;
 };
 
 /// Worker-provided callbacks: split feed (coordinator split queue), split

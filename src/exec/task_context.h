@@ -52,6 +52,45 @@ class TaskContext {
     return cpu_->ReserveMicros(virtual_us * 1e-6);
   }
 
+  // --- memory accounting (join build sides) ---
+  /// Effective build-side budget for this task's join builds: the spec's
+  /// per-query override when set, else the engine-wide
+  /// memory.query_build_bytes. 0 = unlimited (no spilling).
+  int64_t build_budget_bytes() const {
+    return build_budget_bytes_ > 0 ? build_budget_bytes_
+                                   : config_->memory.query_build_bytes;
+  }
+  void set_build_budget_bytes(int64_t bytes) { build_budget_bytes_ = bytes; }
+
+  /// Tracks live build-side bytes (positive deltas on accumulation/load,
+  /// negative on flush/unload) and maintains the high-water mark the
+  /// coordinator surfaces as QuerySnapshot::peak_build_bytes.
+  void AddBuildBytes(int64_t delta) {
+    int64_t now = build_bytes_.fetch_add(delta) + delta;
+    int64_t peak = peak_build_bytes_.load();
+    while (now > peak &&
+           !peak_build_bytes_.compare_exchange_weak(peak, now)) {
+    }
+  }
+  int64_t build_bytes() const { return build_bytes_.load(); }
+  int64_t peak_build_bytes() const { return peak_build_bytes_.load(); }
+
+  void AddSpillBytesWritten(int64_t n) { spill_bytes_written_ += n; }
+  void AddSpillPartitions(int64_t n) { spill_partitions_ += n; }
+  int64_t spill_bytes_written() const { return spill_bytes_written_; }
+  int64_t spill_partitions() const { return spill_partitions_; }
+
+  /// Records the probe kernel actually used (0 none, 1 scalar, 2 simd);
+  /// simd is sticky across bridges so a query-level "simd" means at least
+  /// one join probed vectorized.
+  void RecordProbePath(bool simd) {
+    int path = simd ? 2 : 1;
+    int seen = probe_path_.load();
+    while (path > seen && !probe_path_.compare_exchange_weak(seen, path)) {
+    }
+  }
+  int probe_path() const { return probe_path_.load(); }
+
   // --- metric counters ---
   void AddOutputRows(int64_t n) { output_rows_ += n; }
   void AddOutputBytes(int64_t n) { output_bytes_ += n; }
@@ -92,6 +131,13 @@ class TaskContext {
   ResourceGovernor* cpu_;
   ResourceGovernor* nic_;
   const EngineConfig* config_;
+
+  int64_t build_budget_bytes_ = 0;
+  std::atomic<int64_t> build_bytes_{0};
+  std::atomic<int64_t> peak_build_bytes_{0};
+  std::atomic<int64_t> spill_bytes_written_{0};
+  std::atomic<int64_t> spill_partitions_{0};
+  std::atomic<int> probe_path_{0};
 
   std::atomic<int64_t> output_rows_{0};
   std::atomic<int64_t> output_bytes_{0};

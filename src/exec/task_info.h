@@ -47,6 +47,16 @@ struct TaskInfo {
   int64_t hash_build_micros = 0;
   int64_t buffer_queued_bytes = 0;
 
+  // --- join memory accounting (QuerySnapshot counters) ---
+  /// High-water mark of tracked build-side bytes in this task.
+  int64_t peak_build_bytes = 0;
+  /// Bytes written to spill files (build + probe sides, all levels).
+  int64_t spill_bytes_written = 0;
+  /// Spill partition files created (counts recursion levels).
+  int64_t spill_partitions = 0;
+  /// Probe kernel used by this task's joins: 0 none, 1 scalar, 2 simd.
+  int probe_path = 0;
+
   /// True when the task has join bridges and all hash tables are built
   /// (gates the probe-side switch of §4.5).
   bool has_join = false;

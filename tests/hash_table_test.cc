@@ -526,6 +526,220 @@ TEST(HashTablePropertyTest, RandomizedAgainstUnorderedMapStringKeys) {
   }
 }
 
+// --- batch join probe properties --------------------------------------------
+// FindJoinBatch (and FindJoinHashed) must reproduce the scalar FindJoin
+// match pairs bit-for-bit — same pairs, same order — on both the AVX2 and
+// the forced-scalar kernel, for every row-count shape around the 4-lane
+// boundaries and for hostile key distributions.
+
+// Builds the CSR spans (offsets/rows grouped by dense id) the join bridge
+// would build for this build page.
+void BuildSpans(HashTable* table, const Page& build,
+                std::vector<int64_t>* offsets, std::vector<int64_t>* rows) {
+  std::vector<int64_t> ids;
+  table->LookupOrInsert(build, {0}, &ids);
+  const int64_t n = build.num_rows();
+  const int64_t num_keys = table->size();
+  offsets->assign(num_keys + 1, 0);
+  for (int64_t r = 0; r < n; ++r) ++(*offsets)[ids[r] + 1];
+  for (int64_t k = 0; k < num_keys; ++k) (*offsets)[k + 1] += (*offsets)[k];
+  rows->resize(n);
+  std::vector<int64_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (int64_t r = 0; r < n; ++r) (*rows)[cursor[ids[r]]++] = r;
+}
+
+void ExpectBatchMatchesScalar(const HashTable& table, const Page& probe,
+                              const std::vector<int>& channels,
+                              const std::vector<int64_t>& offsets,
+                              const std::vector<int64_t>& rows) {
+  std::vector<int32_t> want_probe, got_probe;
+  std::vector<int64_t> want_build, got_build;
+  table.FindJoin(probe, channels, offsets.data(), rows.data(), &want_probe,
+                 &want_build);
+  for (bool allow_simd : {true, false}) {
+    got_probe.clear();
+    got_build.clear();
+    table.FindJoinBatch(probe, channels, offsets.data(), rows.data(),
+                        &got_probe, &got_build, allow_simd);
+    ASSERT_EQ(got_probe, want_probe) << "allow_simd=" << allow_simd;
+    ASSERT_EQ(got_build, want_build) << "allow_simd=" << allow_simd;
+  }
+}
+
+TEST(FindJoinBatchPropertyTest, LaneBoundaryRowCounts) {
+  // 0/1/255/256/257 probe rows straddle the page and 4-lane tails; random
+  // keys with duplicates on the build side and ~half-absent probes.
+  Random rng(42);
+  std::vector<int64_t> build_keys;
+  for (int i = 0; i < 600; ++i) build_keys.push_back(rng.NextInt(0, 300));
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> offsets, rows;
+  BuildSpans(&table, *IntPage(build_keys), &offsets, &rows);
+  for (int64_t n : {0, 1, 255, 256, 257}) {
+    std::vector<int64_t> probe_keys;
+    for (int64_t i = 0; i < n; ++i) probe_keys.push_back(rng.NextInt(0, 600));
+    ExpectBatchMatchesScalar(table, *IntPage(probe_keys), {0}, offsets, rows);
+  }
+}
+
+TEST(FindJoinBatchPropertyTest, ZeroKeyDoesNotMatchEmptySlots) {
+  // Key 0's word equals the empty slot's tag initialization: a probe for 0
+  // against a table without 0 must miss, and with 0 must hit — on both
+  // kernels (the SIMD kernel masks hits with the empty-id lane exactly to
+  // keep this case honest).
+  for (bool build_has_zero : {false, true}) {
+    std::vector<int64_t> build_keys = {5, 9, 13};
+    if (build_has_zero) build_keys.push_back(0);
+    HashTable table({DataType::kInt64});
+    std::vector<int64_t> offsets, rows;
+    BuildSpans(&table, *IntPage(build_keys), &offsets, &rows);
+    std::vector<int64_t> probe_keys(257, 0);  // all-zero probe page
+    ExpectBatchMatchesScalar(table, *IntPage(probe_keys), {0}, offsets, rows);
+    std::vector<int32_t> probe_rows;
+    std::vector<int64_t> build_rows;
+    table.FindJoinBatch(*IntPage(probe_keys), {0}, offsets.data(), rows.data(),
+                        &probe_rows, &build_rows);
+    EXPECT_EQ(probe_rows.size(), build_has_zero ? 257u : 0u);
+  }
+}
+
+TEST(FindJoinBatchPropertyTest, CollisionHeavyDuplicates) {
+  // 16 distinct keys over 100k build rows: every probe hit expands to a
+  // ~6000-row span, stressing the sizing pass and the raw-store fill.
+  Random rng(11);
+  std::vector<int64_t> build_keys;
+  for (int i = 0; i < 100000; ++i) build_keys.push_back(rng.NextInt(0, 15));
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> offsets, rows;
+  BuildSpans(&table, *IntPage(build_keys), &offsets, &rows);
+  std::vector<int64_t> probe_keys;
+  for (int i = 0; i < 64; ++i) probe_keys.push_back(rng.NextInt(0, 31));
+  ExpectBatchMatchesScalar(table, *IntPage(probe_keys), {0}, offsets, rows);
+}
+
+TEST(FindJoinBatchPropertyTest, LargeTableRandomProbes) {
+  // A table big enough to leave L2 (1M distinct keys) with random hit/miss
+  // probes across lane boundaries.
+  Random rng(77);
+  std::vector<int64_t> build_keys;
+  build_keys.reserve(1 << 20);
+  for (int64_t i = 0; i < (1 << 20); ++i) build_keys.push_back(i * 3);
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> offsets, rows;
+  BuildSpans(&table, *IntPage(build_keys), &offsets, &rows);
+  std::vector<int64_t> probe_keys;
+  for (int i = 0; i < 4097; ++i) {
+    probe_keys.push_back(rng.NextInt(0, (1 << 22)));
+  }
+  ExpectBatchMatchesScalar(table, *IntPage(probe_keys), {0}, offsets, rows);
+}
+
+TEST(FindJoinBatchPropertyTest, NonWordKeysFallBackConsistently) {
+  // Multi-column and string keys take the generic scalar path inside
+  // FindJoinBatch; results must still match FindJoin exactly.
+  Random rng(5);
+  Column a(DataType::kInt64), b(DataType::kString);
+  for (int i = 0; i < 500; ++i) {
+    a.AppendInt(rng.NextInt(0, 40));
+    b.AppendStr("k" + std::to_string(rng.NextInt(0, 10)));
+  }
+  PagePtr build = Page::Make({std::move(a), std::move(b)});
+  HashTable table({DataType::kInt64, DataType::kString});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*build, {0, 1}, &ids);
+  std::vector<int64_t> offsets(table.size() + 1, 0), rows(build->num_rows());
+  for (int64_t id : ids) ++offsets[id + 1];
+  for (int64_t k = 0; k < table.size(); ++k) offsets[k + 1] += offsets[k];
+  std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (int64_t r = 0; r < build->num_rows(); ++r) rows[cursor[ids[r]]++] = r;
+  Column pa(DataType::kInt64), pb(DataType::kString);
+  for (int i = 0; i < 257; ++i) {
+    pa.AppendInt(rng.NextInt(0, 80));
+    pb.AppendStr("k" + std::to_string(rng.NextInt(0, 20)));
+  }
+  PagePtr probe = Page::Make({std::move(pa), std::move(pb)});
+  ExpectBatchMatchesScalar(table, *probe, {0, 1}, offsets, rows);
+}
+
+TEST(FindJoinBatchPropertyTest, DoubleKeysProbeByBitPattern) {
+  Random rng(8);
+  Column build_col(DataType::kDouble);
+  for (int i = 0; i < 1000; ++i) {
+    build_col.AppendDouble(static_cast<double>(rng.NextInt(0, 400)) * 0.5);
+  }
+  PagePtr build = Page::Make({std::move(build_col)});
+  HashTable table({DataType::kDouble});
+  std::vector<int64_t> offsets, rows;
+  BuildSpans(&table, *build, &offsets, &rows);
+  Column probe_col(DataType::kDouble);
+  for (int i = 0; i < 255; ++i) {
+    probe_col.AppendDouble(static_cast<double>(rng.NextInt(0, 800)) * 0.5);
+  }
+  PagePtr probe = Page::Make({std::move(probe_col)});
+  ExpectBatchMatchesScalar(table, *probe, {0}, offsets, rows);
+}
+
+TEST(FindJoinBatchPropertyTest, FindJoinHashedWithRowMap) {
+  // The partition-probe entry point: pre-gathered words + hashes with a
+  // row_map must emit the mapped probe rows, matching a hand-filtered
+  // FindJoin over the selected subset.
+  Random rng(123);
+  std::vector<int64_t> build_keys;
+  for (int i = 0; i < 2000; ++i) build_keys.push_back(rng.NextInt(0, 500));
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> offsets, rows;
+  BuildSpans(&table, *IntPage(build_keys), &offsets, &rows);
+  // A probe page and an arbitrary selection of its rows.
+  std::vector<int64_t> probe_keys;
+  for (int i = 0; i < 1000; ++i) probe_keys.push_back(rng.NextInt(0, 1000));
+  std::vector<int32_t> selection;
+  for (int i = 0; i < 1000; i += 3) selection.push_back(i);
+  std::vector<int64_t> words(selection.size());
+  std::vector<uint64_t> hashes(selection.size());
+  for (size_t i = 0; i < selection.size(); ++i) {
+    words[i] = probe_keys[selection[i]];
+  }
+  HashTable::HashWords(words.data(), static_cast<int64_t>(words.size()),
+                       hashes.data());
+  for (bool allow_simd : {true, false}) {
+    std::vector<int32_t> got_probe;
+    std::vector<int64_t> got_build;
+    table.FindJoinHashed(words.data(), hashes.data(),
+                         static_cast<int64_t>(words.size()), offsets.data(),
+                         rows.data(), selection.data(), &got_probe, &got_build,
+                         allow_simd);
+    // Reference: probe only the selected rows via the gathered page.
+    std::vector<int32_t> want_probe;
+    std::vector<int64_t> want_build;
+    Column sel_col(DataType::kInt64);
+    for (int64_t w : words) sel_col.AppendInt(w);
+    table.FindJoin(*Page::Make({std::move(sel_col)}), {0}, offsets.data(),
+                   rows.data(), &want_probe, &want_build);
+    ASSERT_EQ(got_build, want_build) << "allow_simd=" << allow_simd;
+    ASSERT_EQ(got_probe.size(), want_probe.size());
+    for (size_t i = 0; i < got_probe.size(); ++i) {
+      ASSERT_EQ(got_probe[i], selection[want_probe[i]])
+          << "allow_simd=" << allow_simd;
+    }
+  }
+}
+
+TEST(FindJoinBatchPropertyTest, HashWordsMatchesScalarMix) {
+  // The AVX2 hash must be bit-identical to the scalar Mix64 pipeline for
+  // all tail shapes.
+  Random rng(9);
+  for (int64_t n : {0, 1, 3, 4, 5, 255, 256, 257}) {
+    std::vector<int64_t> words;
+    for (int64_t i = 0; i < n; ++i) {
+      words.push_back(rng.NextInt(0, 1LL << 62) - (1LL << 61));
+    }
+    std::vector<uint64_t> simd_hashes(n), scalar_hashes(n);
+    HashTable::HashWords(words.data(), n, simd_hashes.data(), true);
+    HashTable::HashWords(words.data(), n, scalar_hashes.data(), false);
+    ASSERT_EQ(simd_hashes, scalar_hashes) << "n=" << n;
+  }
+}
+
 TEST(HashTablePropertyTest, HashedLookupMatchesUnhashed) {
   // LookupOrInsertHashed with Page::HashRows-computed hashes must behave
   // exactly like the self-hashing path (the radix aggregation contract).

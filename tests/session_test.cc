@@ -488,6 +488,62 @@ TEST(SessionTest, ExplainRendersStageTree) {
   EXPECT_FALSE(bad.ok());
 }
 
+TEST(SessionTest, ExplainTextFormatIsDefaultAndByteStable) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  const std::string sql =
+      "SELECT count(l_orderkey) AS n FROM lineitem INNER JOIN orders ON "
+      "l_orderkey = o_orderkey";
+  auto plain = session.Explain(sql);
+  ExplainOptions text_options;
+  auto with_options = session.Explain(sql, text_options);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(with_options.ok()) << with_options.status().ToString();
+  EXPECT_EQ(*plain, *with_options);
+}
+
+TEST(SessionTest, ExplainJsonCarriesStagesAndOptimizerReport) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  ExplainOptions json_options;
+  json_options.format = ExplainFormat::kJson;
+  auto json = session.Explain(
+      "SELECT count(l_orderkey) AS n FROM lineitem INNER JOIN orders ON "
+      "l_orderkey = o_orderkey",
+      json_options);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  // Envelope shape: a stage array plus the optimizer report.
+  EXPECT_EQ(json->front(), '{');
+  EXPECT_EQ(json->back(), '}');
+  EXPECT_NE(json->find("\"stages\":["), std::string::npos);
+  EXPECT_NE(json->find("\"stage\":0"), std::string::npos);
+  EXPECT_NE(json->find("\"stage\":1"), std::string::npos);
+  EXPECT_NE(json->find("\"parent_stage\":"), std::string::npos);
+  EXPECT_NE(json->find("\"sources\":["), std::string::npos);
+  EXPECT_NE(json->find("\"optimizer_report\":\""), std::string::npos);
+  // Plan tree nodes with kinds, children, and cost-model estimates.
+  EXPECT_NE(json->find("\"node\":\"TableScan(lineitem)\""), std::string::npos);
+  EXPECT_NE(json->find("\"node\":\"TableScan(orders)\""), std::string::npos);
+  EXPECT_NE(json->find("\"kind\":"), std::string::npos);
+  EXPECT_NE(json->find("\"children\":["), std::string::npos);
+  EXPECT_NE(json->find("\"estimated_rows\":"), std::string::npos);
+  // The report is escaped into a single JSON string: no raw newlines.
+  EXPECT_EQ(json->find('\n'), std::string::npos);
+}
+
+TEST(SessionTest, ExplainJsonForHandBuiltPlanOmitsReport) {
+  AccordionCluster cluster(FastOptions());
+  Session session(cluster.coordinator());
+  PlanNodePtr plan = StreamingScanPlan(session.catalog());
+  ExplainOptions json_options;
+  json_options.format = ExplainFormat::kJson;
+  auto json = session.Explain(plan, json_options);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json->find("\"node\":\"TableScan(lineitem)\""), std::string::npos);
+  // The plan overload has no SQL analysis phase, so no report key.
+  EXPECT_EQ(json->find("\"optimizer_report\""), std::string::npos);
+}
+
 // Double-buffered cursor: consuming past the half of a fetched batch
 // starts a background fetch of the next one, overlapping result transfer
 // with client-side processing. Counters prove the overlap happened; the
