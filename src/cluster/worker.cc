@@ -53,9 +53,14 @@ std::unique_ptr<PageSource> StorageService::OpenSplit(
   ACC_CHECK(split.storage_node_id >= 0 &&
             split.storage_node_id < num_nodes())
       << "split references unknown storage node " << split.storage_node_id;
-  auto generator = std::make_unique<GeneratorPageSource>(
+  std::unique_ptr<PageSource> generator = std::make_unique<GeneratorPageSource>(
       split.table, split.scale_factor, split.split_index, split.split_count,
       engine_config_->batch_rows);
+  if (engine_config_->null_injection_rate > 0) {
+    generator = std::make_unique<NullInjectingPageSource>(
+        std::move(generator), engine_config_->null_injection_rate,
+        engine_config_->null_injection_seed);
+  }
   return std::make_unique<NicChargingPageSource>(
       std::move(generator), nics_[split.storage_node_id].get(), reader_nic);
 }

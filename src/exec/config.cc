@@ -86,6 +86,9 @@ Status EngineConfig::Normalize() {
   if (join.max_spill_recursion < 1) {
     return Status::InvalidArgument("join.max_spill_recursion must be >= 1");
   }
+  if (null_injection_rate < 0 || null_injection_rate > 1) {
+    return Status::InvalidArgument("null_injection_rate must be in [0, 1]");
+  }
   return Status::OK();
 }
 

@@ -183,6 +183,15 @@ struct EngineConfig {
   /// Idle wait inside driver loops when no progress was possible.
   int64_t driver_idle_sleep_us = 1000;
 
+  /// Deterministic NULL injection at scan time (differential testing of
+  /// three-valued logic): every scanned cell goes NULL with this
+  /// probability, decided by a pure hash of the row's content and the
+  /// seed (vector/page.h InjectNulls), so every split shape / dop / batch
+  /// size sees identical nullified data. 0 disables it (the production
+  /// default); the scalar reference oracle applies the same function.
+  double null_injection_rate = 0.0;
+  uint64_t null_injection_seed = 0;
+
   /// When a buffer is "always fixed size" (the Presto baseline mode of
   /// Fig. 20 / §2 challenge 3), elastic resizing is disabled and
   /// memory.fixed_buffer_bytes is used as the capacity.

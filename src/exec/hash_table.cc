@@ -93,6 +93,7 @@ HashTable::HashTable(std::vector<DataType> key_types)
   fixed_width_ = true;
   for (DataType t : key_types_) fixed_width_ &= IsFixedWidth(t);
   word_mode_ = fixed_width_ && num_key_cols_ == 1;
+  fixed_stride_ = word_mode_ ? 1 : num_key_cols_ + 1;
   slots_.assign(kInitialCapacity, Slot{});
   mask_ = kInitialCapacity - 1;
 }
@@ -107,6 +108,8 @@ void HashTable::PrepareBatch(const std::vector<const Column*>& keys,
     // columns are used in place as the packed key array; doubles pack
     // their bit patterns once. Hashing is fused into one pass with no
     // seed-initialization sweep, matching Column::HashInto bit-for-bit.
+    scratch->valid_data =
+        keys[0]->may_have_nulls() ? keys[0]->validity().data() : nullptr;
     if (keys[0]->type() != DataType::kDouble) {
       scratch->words_data = keys[0]->ints().data();
     } else {
@@ -137,21 +140,48 @@ void HashTable::PrepareBatch(const std::vector<const Column*>& keys,
     scratch->hashes_data = scratch->hashes.data();
   }
 
+  bool any_nullable = false;
+  for (const Column* col : keys) any_nullable |= col->may_have_nulls();
+  if (any_nullable) {
+    scratch->row_valid.assign(static_cast<size_t>(num_rows), 1);
+    scratch->valid_data = scratch->row_valid.data();
+  } else {
+    scratch->valid_data = nullptr;
+  }
+
   if (fixed_width_) {
-    // Pack key words row-major: scratch->words[row * k + c].
-    scratch->words.resize(static_cast<size_t>(num_rows) * num_key_cols_);
+    // Pack key words row-major, fixed_stride_ per row: the key words, then
+    // one null-mask word (bit c set = column c NULL; NULL payloads are the
+    // column's canonical zero, so equal tuples stay memcmp-equal).
+    scratch->words.resize(static_cast<size_t>(num_rows) * fixed_stride_);
     int64_t* words = scratch->words.data();
     for (int c = 0; c < num_key_cols_; ++c) {
       const Column& col = *keys[c];
       if (col.type() == DataType::kDouble) {
         const double* src = col.doubles().data();
         for (int64_t i = 0; i < num_rows; ++i) {
-          std::memcpy(&words[i * num_key_cols_ + c], &src[i], 8);
+          std::memcpy(&words[i * fixed_stride_ + c], &src[i], 8);
         }
       } else {
         const int64_t* src = col.ints().data();
         for (int64_t i = 0; i < num_rows; ++i) {
-          words[i * num_key_cols_ + c] = src[i];
+          words[i * fixed_stride_ + c] = src[i];
+        }
+      }
+    }
+    for (int64_t i = 0; i < num_rows; ++i) {
+      words[i * fixed_stride_ + num_key_cols_] = 0;
+    }
+    for (int c = 0; c < num_key_cols_; ++c) {
+      if (!keys[c]->may_have_nulls()) continue;
+      const uint8_t* valid = keys[c]->validity().data();
+      for (int64_t i = 0; i < num_rows; ++i) {
+        if (valid[i] == 0) {
+          words[i * fixed_stride_ + num_key_cols_] |= int64_t{1} << c;
+          // Canonicalize the payload so NULL tuples stay memcmp-equal even
+          // if a source buffer carried a stale word under its null bit.
+          words[i * fixed_stride_ + c] = 0;
+          scratch->row_valid[i] = 0;
         }
       }
     }
@@ -168,6 +198,14 @@ void HashTable::PrepareBatch(const std::vector<const Column*>& keys,
     scratch->offsets[i] = static_cast<int64_t>(scratch->bytes.size());
     for (int c = 0; c < num_key_cols_; ++c) {
       const Column& col = *keys[c];
+      // Validity prefix byte per value: distinguishes NULL from 0 and from
+      // the empty string; a NULL writes no payload at all.
+      if (col.IsNull(i)) {
+        scratch->bytes.push_back('\0');
+        scratch->row_valid[i] = 0;
+        continue;
+      }
+      scratch->bytes.push_back('\1');
       switch (col.type()) {
         case DataType::kString: {
           const std::string& s = col.StrAt(i);
@@ -195,11 +233,12 @@ void HashTable::PrepareBatch(const std::vector<const Column*>& keys,
 bool HashTable::KeyEquals(int64_t id, const Scratch& scratch,
                           int64_t row) const {
   if (fixed_width_) {
-    if (num_key_cols_ == 1) return fixed_keys_[id] == scratch.words_data[row];
+    if (word_mode_) return fixed_keys_[id] == scratch.words_data[row];
+    // Compares key words plus the trailing null-mask word in one sweep.
     // data() arithmetic: num_key_cols_ may be 0 (global aggregation).
-    return std::memcmp(fixed_keys_.data() + id * num_key_cols_,
-                       scratch.words_data + row * num_key_cols_,
-                       static_cast<size_t>(num_key_cols_) * 8) == 0;
+    return std::memcmp(fixed_keys_.data() + id * fixed_stride_,
+                       scratch.words_data + row * fixed_stride_,
+                       static_cast<size_t>(fixed_stride_) * 8) == 0;
   }
   const auto& [offset, length] = spans_[id];
   int64_t row_len = scratch.offsets[row + 1] - scratch.offsets[row];
@@ -211,8 +250,8 @@ bool HashTable::KeyEquals(int64_t id, const Scratch& scratch,
 
 void HashTable::InsertKey(const Scratch& scratch, int64_t row) {
   if (fixed_width_) {
-    const int64_t* words = scratch.words_data + row * num_key_cols_;
-    fixed_keys_.insert(fixed_keys_.end(), words, words + num_key_cols_);
+    const int64_t* words = scratch.words_data + row * fixed_stride_;
+    fixed_keys_.insert(fixed_keys_.end(), words, words + fixed_stride_);
     return;
   }
   int64_t offset = scratch.offsets[row];
@@ -230,7 +269,7 @@ void HashTable::Reserve(int64_t expected_keys) {
   slots_.assign(static_cast<size_t>(needed), Slot{});
   mask_ = static_cast<uint64_t>(needed) - 1;
   if (fixed_width_) {
-    fixed_keys_.reserve(static_cast<size_t>(expected_keys) * num_key_cols_);
+    fixed_keys_.reserve(static_cast<size_t>(expected_keys) * fixed_stride_);
   } else {
     spans_.reserve(static_cast<size_t>(expected_keys));
   }
@@ -265,9 +304,20 @@ void HashTable::LookupBatch(const Scratch& scratch, int64_t num_rows,
     // Members are used directly because Grow() may move the slot buffer.
     const int64_t* words = scratch.words_data;
     const uint64_t* hashes = scratch.hashes_data;
+    const uint8_t* valid = scratch.valid_data;
     for (int64_t i = 0; i < num_rows; ++i) {
       if (i + kPrefetchDistance < num_rows) {
         __builtin_prefetch(&slots_[hashes[i + kPrefetchDistance] & mask_]);
+      }
+      if (valid != nullptr && valid[i] == 0) {
+        // NULL key: one dedicated group id, outside the slot array (the
+        // slot tag is the raw word and cannot encode "NULL" vs 0).
+        if (null_group_id_ < 0) {
+          null_group_id_ = num_keys_++;
+          fixed_keys_.push_back(0);
+        }
+        out[i] = null_group_id_;
+        continue;
       }
       if ((num_keys_ + 1) * 10 > static_cast<int64_t>(slots_.size()) * 7) {
         Grow();
@@ -330,10 +380,15 @@ void HashTable::FindBatch(const Scratch& scratch, int64_t num_rows,
     const Slot* slots = slots_.data();
     const int64_t* words = scratch.words_data;
     const uint64_t* hashes = scratch.hashes_data;
+    const uint8_t* valid = scratch.valid_data;
     const uint64_t mask = mask_;
     for (int64_t i = 0; i < num_rows; ++i) {
       if (i + kPrefetchDistance < num_rows) {
         __builtin_prefetch(&slots[hashes[i + kPrefetchDistance] & mask]);
+      }
+      if (valid != nullptr && valid[i] == 0) {
+        out[i] = null_group_id_;  // -1 (miss) until a NULL key was inserted
+        continue;
       }
       const uint64_t w = static_cast<uint64_t>(words[i]);
       uint64_t pos = hashes[i] & mask;
@@ -448,11 +503,15 @@ void HashTable::FindJoin(const Page& page, const std::vector<int>& channels,
   const uint64_t* hashes = scratch.hashes_data;
   const uint64_t mask = mask_;
   const int64_t* words = scratch.words_data;
+  const uint8_t* valid = scratch.valid_data;
   if (word_mode_) {
     for (int64_t i = 0; i < num_rows; ++i) {
       if (i + kPrefetchDistance < num_rows) {
         __builtin_prefetch(&slots[hashes[i + kPrefetchDistance] & mask]);
       }
+      // SQL join equality: a NULL probe key matches nothing — not even an
+      // inserted NULL-key group.
+      if (valid != nullptr && valid[i] == 0) continue;
       const uint64_t w = static_cast<uint64_t>(words[i]);
       uint64_t pos = hashes[i] & mask;
       int64_t id = -1;
@@ -477,6 +536,9 @@ void HashTable::FindJoin(const Page& page, const std::vector<int>& channels,
     if (i + kPrefetchDistance < num_rows) {
       __builtin_prefetch(&slots[hashes[i + kPrefetchDistance] & mask]);
     }
+    // SQL join equality: a tuple with any NULL key matches nothing, even
+    // though the canonical encoding would find an identical NULL tuple.
+    if (valid != nullptr && valid[i] == 0) continue;
     uint64_t h = hashes[i];
     uint64_t pos = h & mask;
     int64_t id = -1;
@@ -562,9 +624,26 @@ void HashTable::FindJoinBatch(const Page& page,
     HashWords(scratch.words_data, num_rows, scratch.hashes.data(), use_simd);
     FindIds(scratch.words_data, scratch.hashes.data(), num_rows, ids.data(),
             use_simd);
+    if (scratch.valid_data != nullptr) {
+      // NULL probe keys carry a zeroed payload word and would otherwise
+      // match a genuine 0 key; patch them to misses after the batch kernel
+      // so the SIMD path stays branch-free.
+      const uint8_t* valid = scratch.valid_data;
+      for (int64_t i = 0; i < num_rows; ++i) {
+        if (valid[i] == 0) ids[i] = -1;
+      }
+    }
   } else {
     PrepareBatch(keys, num_rows, &scratch);
     FindBatch(scratch, num_rows, &ids);
+    if (scratch.valid_data != nullptr) {
+      // FindBatch uses group equality (a NULL tuple finds the NULL-tuple
+      // key); joins must treat those rows as misses.
+      const uint8_t* valid = scratch.valid_data;
+      for (int64_t i = 0; i < num_rows; ++i) {
+        if (valid[i] == 0) ids[i] = -1;
+      }
+    }
   }
   ExpandSpans(ids.data(), num_rows, span_offsets, span_rows,
               /*row_map=*/nullptr, probe_rows, build_rows);
@@ -594,7 +673,13 @@ void HashTable::AppendKeys(int64_t begin, int64_t end,
       Column& col = (*out)[c];
       col.Reserve(col.size() + (end - begin));
       for (int64_t id = begin; id < end; ++id) {
-        int64_t word = fixed_keys_[id * num_key_cols_ + c];
+        if (word_mode_ ? id == null_group_id_
+                       : (fixed_keys_[id * fixed_stride_ + num_key_cols_] &
+                          (int64_t{1} << c)) != 0) {
+          col.AppendNull();
+          continue;
+        }
+        int64_t word = fixed_keys_[id * fixed_stride_ + c];
         if (key_types_[c] == DataType::kDouble) {
           double d;
           std::memcpy(&d, &word, 8);
@@ -610,6 +695,10 @@ void HashTable::AppendKeys(int64_t begin, int64_t end,
     const char* p = arena_.data() + spans_[id].first;
     for (int c = 0; c < num_key_cols_; ++c) {
       Column& col = (*out)[c];
+      if (*p++ == '\0') {
+        col.AppendNull();
+        continue;
+      }
       switch (key_types_[c]) {
         case DataType::kString: {
           uint32_t len;
@@ -641,6 +730,7 @@ void HashTable::AppendKeys(int64_t begin, int64_t end,
 void HashTable::Clear() {
   std::fill(slots_.begin(), slots_.end(), Slot{});
   num_keys_ = 0;
+  null_group_id_ = -1;
   fixed_keys_.clear();
   arena_.clear();
   spans_.clear();

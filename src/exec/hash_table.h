@@ -36,9 +36,21 @@ namespace accordion {
 /// Key equality is canonical bit-pattern equality (doubles compare by
 /// their bits, so NaN == NaN and +0.0 != -0.0). Group-by has always
 /// behaved this way (the seed serialized key bytes); joins now match it
-/// instead of IEEE value compare — acceptable for TPC-H's NOT NULL,
-/// NaN-free key columns, and it is what makes exact-match probing
-/// possible without re-verifying candidates.
+/// instead of IEEE value compare — acceptable for TPC-H's NaN-free key
+/// columns, and it is what makes exact-match probing possible without
+/// re-verifying candidates.
+///
+/// NULL keys are first-class *group* keys: a NULL key tuple equals itself
+/// and gets its own dense id (SQL GROUP BY semantics — all NULLs form one
+/// group, distinct from 0 and from ""). The encoding distinguishes NULL
+/// from any payload: the multi-column fixed path appends a null-mask word
+/// per key tuple, the serialized path prefixes every value with a
+/// validity byte, and the single-word path routes NULLs to a dedicated
+/// id outside the slot array. SQL join equality (NULL never matches
+/// NULL) lives in the join probes: FindJoin/FindJoinBatch resolve any
+/// probe row with a NULL key to -1 (miss) in every layout, so NULL-keyed
+/// build rows keep their CSR spans but are simply never reached — which
+/// is exactly what right/full outer joins need to emit them as unmatched.
 ///
 /// The canonical key storage doubles as the group-by key columns:
 /// AppendKeys re-materializes keys for an id range straight into output
@@ -174,6 +186,13 @@ class HashTable {
     // Points at `words`, or straight at the key column's int64 buffer for
     // the dominant single-integer-key case (no packing pass at all).
     const int64_t* words_data = nullptr;
+    // Per-row key-tuple validity (0 = at least one NULL key column), or
+    // nullptr when all key columns are all-valid. Word mode aliases the
+    // key column's own validity buffer; the other layouts fill row_valid
+    // while packing. Only the join probes consult it — group lookups
+    // treat NULL tuples as ordinary keys.
+    const uint8_t* valid_data = nullptr;
+    std::vector<uint8_t> row_valid;  // backing store for the above
     std::string bytes;             // fallback: serialized keys
     std::vector<int64_t> offsets;  // fallback: per-row offsets into bytes
   };
@@ -197,13 +216,20 @@ class HashTable {
   bool fixed_width_;  // all key columns 8-byte backed
   bool word_mode_;    // exactly one fixed-width key column
   int num_key_cols_;
+  // Words per key tuple in fixed_keys_: num_key_cols_ in word mode, plus
+  // one trailing null-mask word (bit c = key column c is NULL) otherwise.
+  int fixed_stride_;
+  // Word mode: dense id of the NULL-key group (-1 until a NULL key is
+  // inserted). Lives outside the slot array — the slot tag is the raw key
+  // word, which cannot distinguish NULL from a genuine 0.
+  int64_t null_group_id_ = -1;
 
   std::vector<Slot> slots_;
   uint64_t mask_ = 0;  // capacity - 1; capacity == slots_.size()
   int64_t num_keys_ = 0;
 
   // Canonical key storage, indexed by id.
-  std::vector<int64_t> fixed_keys_;           // num_key_cols_ words per id
+  std::vector<int64_t> fixed_keys_;           // fixed_stride_ words per id
   std::string arena_;                         // serialized fallback keys
   std::vector<std::pair<int64_t, int64_t>> spans_;  // (offset, length) per id
 

@@ -44,13 +44,33 @@ void BuildCsr(const std::vector<int64_t>& ids, int64_t num_keys,
   for (int64_t r = 0; r < n; ++r) (*rows)[cursor[ids[r]]++] = row_of(r);
 }
 
+// All-NULL column of `n` rows (outer-join padding).
+Column NullColumn(DataType type, int64_t n) {
+  Column col(type);
+  col.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) col.AppendNull();
+  return col;
+}
+
+// True when any key channel of `page` is NULL at `row`.
+bool RowHasNullKey(const Page& page, const std::vector<int>& keys,
+                   int64_t row) {
+  for (int ch : keys) {
+    if (page.column(ch).IsNull(row)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 JoinBridge::JoinBridge(std::vector<DataType> build_types,
-                       std::vector<int> build_keys, TaskContext* task_ctx)
+                       std::vector<int> build_keys, TaskContext* task_ctx,
+                       JoinType join_type, std::vector<DataType> probe_types)
     : build_types_(std::move(build_types)),
       build_keys_(std::move(build_keys)),
-      task_ctx_(task_ctx) {
+      task_ctx_(task_ctx),
+      join_type_(join_type),
+      probe_types_(std::move(probe_types)) {
   data_.reserve(build_types_.size());
   for (DataType t : build_types_) data_.emplace_back(t);
 }
@@ -87,6 +107,28 @@ void JoinBridge::HashKeys(const std::vector<const Column*>& keys,
   for (const Column* key : keys) key->HashInto(hashes);
 }
 
+void JoinBridge::NoteBuildNullKeys(const Page& page) {
+  if (build_has_null_key_) return;
+  for (int ch : build_keys_) {
+    const Column& col = page.column(ch);
+    if (!col.may_have_nulls()) continue;
+    for (uint8_t v : col.validity()) {
+      if (v == 0) {
+        build_has_null_key_ = true;
+        return;
+      }
+    }
+  }
+}
+
+void JoinBridge::MarkBuildRows(const int64_t* rows, int64_t count) {
+  std::atomic<uint64_t>* bits = build_matched_bits_.get();
+  for (int64_t k = 0; k < count; ++k) {
+    const uint64_t r = static_cast<uint64_t>(rows[k]);
+    bits[r >> 6].fetch_or(uint64_t{1} << (r & 63), std::memory_order_relaxed);
+  }
+}
+
 Status JoinBridge::WriteSpill(SpillFile* file, const Page& page) {
   const int64_t before = file->bytes_written();
   Status s = file->Append(page);
@@ -100,6 +142,7 @@ Status JoinBridge::AddBuildPage(const PagePtr& page) {
   ACC_CHECK(!built_.load()) << "build page after hash table finalized";
   std::lock_guard<std::mutex> lock(mutex_);
   total_build_rows_ += page->num_rows();
+  NoteBuildNullKeys(*page);
   if (mode_ == Mode::kSpill) {
     if (!spill_status_.ok()) return spill_status_;
     std::vector<const Column*> keys;
@@ -241,6 +284,14 @@ bool JoinBridge::BuildDriverFinished() {
       } else {
         BuildFlatIndexLocked();
       }
+      if (needs_build_drain() && rows > 0) {
+        const int64_t words = (rows + 63) / 64;
+        build_matched_bits_.reset(new std::atomic<uint64_t>[words]);
+        for (int64_t w = 0; w < words; ++w) {
+          build_matched_bits_[w].store(0, std::memory_order_relaxed);
+        }
+        TrackBuildBytes(words * 8);
+      }
     }
   }
   build_index_us_ = sw.ElapsedMicros();
@@ -336,12 +387,17 @@ Status JoinBridge::Probe(const Page& probe, const std::vector<int>& probe_keys,
   ACC_CHECK(built_.load()) << "probe before hash table built";
   // mode_ and the partition indexes are immutable once built_ is set, so
   // the flat/radix paths run lock-free and concurrently.
+  const size_t pairs_before = build_rows->size();
   if (mode_ == Mode::kFlat) {
     const bool simd = allow_simd();
     const PartitionIndex& part = *partitions_[0];
     RecordProbePath(part.table.probe_path(simd) == HashTable::ProbePath::kSimd);
     part.table.FindJoinBatch(probe, probe_keys, part.offsets.data(),
                              part.rows.data(), probe_rows, build_rows, simd);
+    if (build_matched_bits_ != nullptr) {
+      MarkBuildRows(build_rows->data() + pairs_before,
+                    static_cast<int64_t>(build_rows->size() - pairs_before));
+    }
     return Status::OK();
   }
   if (mode_ == Mode::kRadix) {
@@ -356,6 +412,19 @@ Status JoinBridge::Probe(const Page& probe, const std::vector<int>& probe_keys,
     HashTable::HashWords(words, n, hashes.data(), simd);
     thread_local std::vector<std::vector<int32_t>> selections;
     radix_->BuildSelections(hashes.data(), n, &selections);
+    if (key_col.may_have_nulls()) {
+      // FindJoinHashed probes raw key words with no validity channel; a
+      // NULL row's zeroed payload would match a genuine 0 key. NULL probe
+      // keys match nothing, so drop them before the partition probes (all
+      // NULLs share the sentinel hash, so only one partition has any).
+      const uint8_t* valid = key_col.validity().data();
+      for (auto& sel : selections) {
+        sel.erase(std::remove_if(
+                      sel.begin(), sel.end(),
+                      [valid](int32_t r) { return valid[r] == 0; }),
+                  sel.end());
+      }
+    }
     RecordProbePath(partitions_[0]->table.probe_path(simd) ==
                     HashTable::ProbePath::kSimd);
     thread_local std::vector<int64_t> part_words;
@@ -374,6 +443,10 @@ Status JoinBridge::Probe(const Page& probe, const std::vector<int>& probe_keys,
       part.table.FindJoinHashed(part_words.data(), part_hashes.data(), np,
                                 part.offsets.data(), part.rows.data(),
                                 sel.data(), probe_rows, build_rows, simd);
+    }
+    if (build_matched_bits_ != nullptr) {
+      MarkBuildRows(build_rows->data() + pairs_before,
+                    static_cast<int64_t>(build_rows->size() - pairs_before));
     }
     return Status::OK();
   }
@@ -406,11 +479,17 @@ Column JoinBridge::GatherBuild(int channel, const int64_t* rows,
   return data_[channel].Gather(rows, count);
 }
 
+Column JoinBridge::GatherBuildNullable(int channel, const int64_t* rows,
+                                       int64_t count) const {
+  return data_[channel].GatherNullable(rows, count);
+}
+
 bool JoinBridge::ProbeDriverFinished() {
   int remaining = --probe_drivers_;
   ACC_CHECK(remaining >= 0) << "probe driver underflow";
   if (remaining > 0) return false;
-  if (!spilled_.load()) return false;
+  // In-memory right/full joins still owe their unmatched build rows.
+  if (!spilled_.load()) return needs_build_drain();
   // Last probe driver becomes the drainer: seal the probe files and queue
   // the level-0 partition pairs. Errors surface from NextSpilledPage.
   std::lock_guard<std::mutex> lock(mutex_);
@@ -437,15 +516,191 @@ bool JoinBridge::ProbeDriverFinished() {
   return true;
 }
 
+PagePtr JoinBridge::NextUnmatchedBuildPage(
+    const std::vector<int>& build_output_channels) {
+  ACC_CHECK(!probe_types_.empty())
+      << "right/full join bridge needs probe types for null padding";
+  const int64_t total = data_.empty() ? 0 : data_[0].size();
+  const int64_t chunk = ConfigOf(task_ctx_).batch_rows * 4;
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(chunk));
+  const std::atomic<uint64_t>* bits = build_matched_bits_.get();
+  while (unmatched_cursor_ < total &&
+         static_cast<int64_t>(rows.size()) < chunk) {
+    const uint64_t r = static_cast<uint64_t>(unmatched_cursor_++);
+    if (bits != nullptr &&
+        (bits[r >> 6].load(std::memory_order_relaxed) >> (r & 63)) & 1) {
+      continue;
+    }
+    rows.push_back(static_cast<int64_t>(r));
+  }
+  if (rows.empty()) return nullptr;
+  const int64_t n = static_cast<int64_t>(rows.size());
+  std::vector<Column> cols;
+  cols.reserve(probe_types_.size() + build_output_channels.size());
+  for (DataType t : probe_types_) cols.push_back(NullColumn(t, n));
+  for (int ch : build_output_channels) {
+    cols.push_back(data_[ch].Gather(rows.data(), n));
+  }
+  return Page::Make(std::move(cols));
+}
+
+void JoinBridge::EmitFinalProbePage(
+    const Page& page, const std::vector<uint8_t>& flags,
+    const std::vector<int>& probe_keys,
+    const std::vector<int>& build_output_channels) {
+  const int64_t n = page.num_rows();
+  switch (join_type_) {
+    case JoinType::kInner:
+    case JoinType::kRight:
+      return;
+    case JoinType::kLeft:
+    case JoinType::kFull: {
+      std::vector<int32_t> sel;
+      for (int64_t r = 0; r < n; ++r) {
+        if (flags[r] == 0) sel.push_back(static_cast<int32_t>(r));
+      }
+      if (sel.empty()) return;
+      std::vector<Column> cols;
+      cols.reserve(page.num_columns() + build_output_channels.size());
+      for (int c = 0; c < page.num_columns(); ++c) {
+        cols.push_back(page.column(c).Gather(sel));
+      }
+      const int64_t count = static_cast<int64_t>(sel.size());
+      for (int ch : build_output_channels) {
+        cols.push_back(NullColumn(build_types_[ch], count));
+      }
+      drain_ready_.push_back(Page::Make(std::move(cols)));
+      return;
+    }
+    case JoinType::kLeftSemi:
+    case JoinType::kLeftAnti:
+    case JoinType::kNullAwareAnti: {
+      // NOT IN against a build set with any NULL key compares to NULL for
+      // every miss — nothing qualifies (the whole drain short-circuits).
+      if (join_type_ == JoinType::kNullAwareAnti && build_has_null_key_) {
+        return;
+      }
+      const bool want_matched = join_type_ == JoinType::kLeftSemi;
+      std::vector<int32_t> sel;
+      for (int64_t r = 0; r < n; ++r) {
+        if ((flags[r] != 0) != want_matched) continue;
+        if (join_type_ == JoinType::kNullAwareAnti &&
+            RowHasNullKey(page, probe_keys, r)) {
+          continue;  // NULL NOT IN (non-empty set) is NULL, not TRUE
+        }
+        sel.push_back(static_cast<int32_t>(r));
+      }
+      if (sel.empty()) return;
+      drain_ready_.push_back(page.Select(sel));
+      return;
+    }
+    case JoinType::kMark: {
+      std::vector<Column> cols;
+      cols.reserve(page.num_columns() + 1);
+      for (int c = 0; c < page.num_columns(); ++c) {
+        cols.push_back(Column(page.column(c)));
+      }
+      Column mark(DataType::kBool);
+      mark.Reserve(n);
+      for (int64_t r = 0; r < n; ++r) {
+        if (flags[r] != 0) {
+          mark.AppendInt(1);
+        } else if (build_has_null_key_ ||
+                   RowHasNullKey(page, probe_keys, r)) {
+          mark.AppendNull();  // miss with a NULL on either side: unknown
+        } else {
+          mark.AppendInt(0);
+        }
+      }
+      cols.push_back(std::move(mark));
+      drain_ready_.push_back(Page::Make(std::move(cols)));
+      return;
+    }
+  }
+}
+
+void JoinBridge::EmitUnmatchedChunkRows(
+    const std::vector<int>& build_output_channels) {
+  ACC_CHECK(!probe_types_.empty())
+      << "right/full join bridge needs probe types for null padding";
+  const int64_t rows = chunk_cols_.empty() ? 0 : chunk_cols_[0].size();
+  const int64_t chunk = ConfigOf(task_ctx_).batch_rows * 4;
+  std::vector<int64_t> sel;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (chunk_matched_[r] != 0) continue;
+    sel.push_back(r);
+    if (static_cast<int64_t>(sel.size()) == chunk || r == rows - 1) {
+      const int64_t n = static_cast<int64_t>(sel.size());
+      std::vector<Column> cols;
+      cols.reserve(probe_types_.size() + build_output_channels.size());
+      for (DataType t : probe_types_) cols.push_back(NullColumn(t, n));
+      for (int ch : build_output_channels) {
+        cols.push_back(chunk_cols_[ch].Gather(sel.data(), n));
+      }
+      drain_ready_.push_back(Page::Make(std::move(cols)));
+      sel.clear();
+    }
+  }
+  if (!sel.empty()) {
+    const int64_t n = static_cast<int64_t>(sel.size());
+    std::vector<Column> cols;
+    cols.reserve(probe_types_.size() + build_output_channels.size());
+    for (DataType t : probe_types_) cols.push_back(NullColumn(t, n));
+    for (int ch : build_output_channels) {
+      cols.push_back(chunk_cols_[ch].Gather(sel.data(), n));
+    }
+    drain_ready_.push_back(Page::Make(std::move(cols)));
+  }
+}
+
+PagePtr JoinBridge::StreamSidePage(
+    const Page& page, bool build_side, const std::vector<int>& probe_keys,
+    const std::vector<int>& build_output_channels) {
+  const int64_t n = page.num_rows();
+  if (build_side) {
+    // Probe side of this partition empty: every build row is unmatched
+    // (right/full only reach here).
+    ACC_CHECK(!probe_types_.empty())
+        << "right/full join bridge needs probe types for null padding";
+    std::vector<Column> cols;
+    cols.reserve(probe_types_.size() + build_output_channels.size());
+    for (DataType t : probe_types_) cols.push_back(NullColumn(t, n));
+    for (int ch : build_output_channels) {
+      cols.push_back(Column(page.column(ch)));
+    }
+    return Page::Make(std::move(cols));
+  }
+  // Build side of this partition empty: every probe row is unmatched.
+  std::vector<uint8_t> flags(static_cast<size_t>(n), 0);
+  const size_t ready_before = drain_ready_.size();
+  EmitFinalProbePage(page, flags, probe_keys, build_output_channels);
+  if (drain_ready_.size() == ready_before) return nullptr;
+  PagePtr out = std::move(drain_ready_.back());
+  drain_ready_.pop_back();
+  return out;
+}
+
 Result<PagePtr> JoinBridge::NextSpilledPage(
     const std::vector<int>& probe_keys,
     const std::vector<int>& build_output_channels) {
+  if (!spilled_.load()) {
+    // In-memory right/full drain: only the unmatched build rows remain.
+    ACC_CHECK(needs_build_drain()) << "drain on an in-memory inner-side join";
+    return NextUnmatchedBuildPage(build_output_channels);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!spill_status_.ok()) return spill_status_;
   }
   const JoinConfig& jc = ConfigOf(task_ctx_).join;
   while (true) {
+    // 0. Serve variant pages produced while pair-joining.
+    if (!drain_ready_.empty()) {
+      PagePtr out = std::move(drain_ready_.front());
+      drain_ready_.pop_front();
+      return out;
+    }
     // 1. Emit pending matches of the current probe page in bounded chunks.
     if (drain_probe_page_ != nullptr) {
       if (emit_offset_ < static_cast<int64_t>(match_probe_.size())) {
@@ -453,22 +708,64 @@ Result<PagePtr> JoinBridge::NextSpilledPage(
       }
       drain_probe_page_ = nullptr;
     }
-    // 2. Advance within the active partition pair.
+    // 2. Stream a single-sided partition pair (the other side empty).
+    if (stream_active_) {
+      SpillFile* src =
+          stream_build_side_ ? stream_pair_.build.get() : stream_pair_.probe.get();
+      Result<PagePtr> next = src->Next();
+      if (!next.ok()) return next.status();
+      PagePtr page = std::move(next).value();
+      if (page == nullptr) {
+        stream_active_ = false;
+        stream_pair_ = SpillPair();
+        continue;
+      }
+      PagePtr out = StreamSidePage(*page, stream_build_side_, probe_keys,
+                                   build_output_channels);
+      if (out == nullptr) continue;
+      return out;
+    }
+    // 3. Advance within the active partition pair.
     if (drain_active_) {
       Result<PagePtr> next = drain_pair_.probe->Next();
       if (!next.ok()) return next.status();
       PagePtr page = std::move(next).value();
       if (page != nullptr) {
+        const int64_t ordinal = probe_page_ordinal_++;
         match_probe_.clear();
         match_build_.clear();
         chunk_index_->table.FindJoinBatch(
             *page, probe_keys, chunk_index_->offsets.data(),
             chunk_index_->rows.data(), &match_probe_, &match_build_,
             allow_simd());
-        if (match_probe_.empty()) continue;
-        drain_probe_page_ = std::move(page);
-        emit_offset_ = 0;
+        if (tracks_probe_matches()) {
+          if (ordinal >= static_cast<int64_t>(pair_probe_matched_.size())) {
+            pair_probe_matched_.resize(static_cast<size_t>(ordinal) + 1);
+          }
+          std::vector<uint8_t>& flags = pair_probe_matched_[ordinal];
+          if (flags.empty()) {
+            flags.assign(static_cast<size_t>(page->num_rows()), 0);
+          }
+          for (int32_t r : match_probe_) flags[r] = 1;
+          if (drain_build_exhausted_) {
+            // Last build chunk: this page's accumulated flags are final.
+            EmitFinalProbePage(*page, flags, probe_keys,
+                               build_output_channels);
+          }
+        }
+        if (needs_build_drain()) {
+          for (int64_t b : match_build_) chunk_matched_[b] = 1;
+        }
+        if (emits_pairs() && !match_probe_.empty()) {
+          drain_probe_page_ = std::move(page);
+          emit_offset_ = 0;
+        }
         continue;
+      }
+      // Probe stream exhausted for this chunk: the chunk's matched set is
+      // complete, so right/full can emit its unmatched rows now.
+      if (needs_build_drain()) {
+        EmitUnmatchedChunkRows(build_output_channels);
       }
       if (!drain_build_exhausted_) {
         // More build chunks remain: rewind the probe file and join the
@@ -476,6 +773,7 @@ Result<PagePtr> JoinBridge::NextSpilledPage(
         // for partitions that cannot recurse further).
         Status s = drain_pair_.probe->Rewind();
         if (!s.ok()) return s;
+        probe_page_ordinal_ = 0;
         s = DrainLoadChunk();
         if (!s.ok()) return s;
         continue;
@@ -487,15 +785,42 @@ Result<PagePtr> JoinBridge::NextSpilledPage(
       chunk_cols_.clear();
       drain_pair_ = SpillPair();
       drain_active_ = false;
+      pair_probe_matched_.clear();
+      probe_page_ordinal_ = 0;
       continue;
     }
-    // 3. Open the next partition pair.
+    // 4. Open the next partition pair.
     if (drain_queue_.empty()) return PagePtr(nullptr);
     SpillPair pair = std::move(drain_queue_.front());
     drain_queue_.pop_front();
-    if (pair.probe == nullptr || pair.probe->pages_written() == 0 ||
-        pair.build->pages_written() == 0) {
-      continue;  // one side empty -> no inner-join output
+    const bool probe_empty =
+        pair.probe == nullptr || pair.probe->pages_written() == 0;
+    const bool build_empty = pair.build->pages_written() == 0;
+    if (probe_empty && build_empty) continue;
+    if (build_empty) {
+      // Every probe row of this partition is unmatched; left/anti/mark
+      // variants still owe output for them, the rest skip the pair.
+      const bool emits_unmatched_probe =
+          join_type_ == JoinType::kLeft || join_type_ == JoinType::kFull ||
+          join_type_ == JoinType::kLeftAnti ||
+          join_type_ == JoinType::kNullAwareAnti ||
+          join_type_ == JoinType::kMark;
+      if (!emits_unmatched_probe) continue;
+      if (join_type_ == JoinType::kNullAwareAnti && build_has_null_key_) {
+        continue;  // globally poisoned: no row qualifies anywhere
+      }
+      stream_pair_ = std::move(pair);
+      stream_active_ = true;
+      stream_build_side_ = false;
+      continue;
+    }
+    if (probe_empty) {
+      // Every build row of this partition is unmatched.
+      if (!needs_build_drain()) continue;
+      stream_pair_ = std::move(pair);
+      stream_active_ = true;
+      stream_build_side_ = true;
+      continue;
     }
     const int64_t budget = budget_bytes();
     const bool can_recurse =
@@ -510,6 +835,8 @@ Result<PagePtr> JoinBridge::NextSpilledPage(
     drain_pair_ = std::move(pair);
     drain_active_ = true;
     drain_build_exhausted_ = false;
+    probe_page_ordinal_ = 0;
+    pair_probe_matched_.clear();
     Status s = DrainLoadChunk();
     if (!s.ok()) return s;
   }
@@ -539,6 +866,7 @@ Status JoinBridge::DrainLoadChunk() {
     bytes += page->ByteSize();
   }
   const int64_t rows = chunk_cols_.empty() ? 0 : chunk_cols_[0].size();
+  if (needs_build_drain()) chunk_matched_.assign(static_cast<size_t>(rows), 0);
   chunk_index_ = std::make_unique<PartitionIndex>(
       HashTable::SelectKeyTypes(build_types_, build_keys_));
   std::vector<const Column*> keys;

@@ -12,6 +12,7 @@
 #include "exec/hash_table.h"
 #include "exec/radix_partitioner.h"
 #include "exec/spill_file.h"
+#include "plan/plan_node.h"
 #include "vector/page.h"
 
 namespace accordion {
@@ -45,13 +46,34 @@ class TaskContext;
 ///      with the next lower hash bits, and falling back to build-chunked
 ///      multi-pass probing at the recursion limit.
 ///
+/// Join variants: the bridge carries the plan's JoinType. In the in-memory
+/// modes, Probe() returns the inner match pairs and the probe operator
+/// derives the variant output from them (unmatched probe rows, semi/anti
+/// selection, mark column); the bridge's contributions are an atomic
+/// matched-build bitmap for right/full joins (drained as null-padded pages
+/// by the last probe driver through NextSpilledPage) and the global
+/// build-has-NULL-key flag that drives null-aware anti / mark semantics.
+/// In spill mode all of the variant logic runs inside the drain, which
+/// tracks per-probe-row match flags across build chunk passes (the probe
+/// file replays deterministically) and per-chunk build match flags.
+///
+/// NULL join keys never match (SQL equality): the hash-table join probes
+/// resolve null-keyed probe rows to misses in every layout, and NULL-keyed
+/// build rows are never reached by a probe — so they fall out naturally as
+/// "unmatched" for right/full padding.
+///
 /// Memory accounting and spill counters flow through the TaskContext
 /// (null for standalone tests/benches: no accounting, no spilling unless
 /// the context provides a budget).
 class JoinBridge {
  public:
+  /// `probe_types` is required for join types that synthesize probe-side
+  /// columns during the drain (right/full padding) or stage probe pages
+  /// (any spill); inner-join tests may omit it.
   JoinBridge(std::vector<DataType> build_types, std::vector<int> build_keys,
-             TaskContext* task_ctx = nullptr);
+             TaskContext* task_ctx = nullptr,
+             JoinType join_type = JoinType::kInner,
+             std::vector<DataType> probe_types = {});
   ~JoinBridge();
 
   // --- build side ---
@@ -67,6 +89,10 @@ class JoinBridge {
   /// True once the build side has switched to grace spill.
   bool spilled() const { return spilled_.load(); }
   int64_t build_rows() const;
+  JoinType join_type() const { return join_type_; }
+  /// True when any build row carries a NULL in any key column. Valid once
+  /// built(); drives NOT IN (null-aware anti) and mark-join semantics.
+  bool build_has_null_key() const { return build_has_null_key_; }
   /// Wall time spent constructing the index (the T_build component of the
   /// paper's state-transfer accounting).
   int64_t build_index_micros() const { return build_index_us_.load(); }
@@ -77,23 +103,29 @@ class JoinBridge {
   void AddProbeDriver() { ++probe_drivers_; }
 
   /// Appends to `probe_rows`/`build_rows` the matching row pairs for every
-  /// row of `probe` (equality on all key channels). Requires built().
-  /// Flat/radix modes are lock-free (the index is immutable once built);
-  /// in spill mode the page is scattered to probe spill files under the
-  /// bridge mutex and no pairs are returned — matches stream later from
-  /// NextSpilledPage.
+  /// row of `probe` (equality on all key channels; NULL keys never match).
+  /// Requires built(). Flat/radix modes are lock-free (the index is
+  /// immutable once built) apart from the relaxed matched-build bitmap
+  /// updates right/full joins perform; in spill mode the page is scattered
+  /// to probe spill files under the bridge mutex and no pairs are returned
+  /// — matches stream later from NextSpilledPage.
   Status Probe(const Page& probe, const std::vector<int>& probe_keys,
                std::vector<int32_t>* probe_rows,
                std::vector<int64_t>* build_rows);
 
-  /// Returns true for the last probe driver when the bridge spilled: that
-  /// driver becomes the drainer and must pull NextSpilledPage until null.
+  /// Returns true for the last probe driver when the bridge has more rows
+  /// to stream after probing: always when spilled, and for right/full
+  /// joins (unmatched build rows) in the in-memory modes. That driver
+  /// becomes the drainer and must pull NextSpilledPage until null.
   bool ProbeDriverFinished();
 
-  /// Partition-pairwise drain of the spilled join: each call returns one
-  /// joined output page laid out as [all probe columns...,
-  /// build_output_channels...], or nullptr when every partition pair is
-  /// exhausted. Single-threaded (drainer only).
+  /// Drain entry point (single-threaded: the drainer only). Returns one
+  /// output page per call, or nullptr when exhausted. Output layout
+  /// matches the join type: [probe cols..., build_output...] for
+  /// inner/left/right/full (null-padded where unmatched), [probe cols...]
+  /// for semi/anti, [probe cols..., mark] for mark joins. In-memory
+  /// right/full joins drain only their unmatched build rows here; spilled
+  /// joins stream the whole partition-pairwise grace join.
   Result<PagePtr> NextSpilledPage(const std::vector<int>& probe_keys,
                                   const std::vector<int>& build_output_channels);
 
@@ -101,6 +133,9 @@ class JoinBridge {
   /// (flat/radix modes only; spilled matches are gathered internally).
   Column GatherBuild(int channel, const std::vector<int64_t>& rows) const;
   Column GatherBuild(int channel, const int64_t* rows, int64_t count) const;
+  /// Like GatherBuild but a negative row yields a NULL (left/full joins).
+  Column GatherBuildNullable(int channel, const int64_t* rows,
+                             int64_t count) const;
 
  private:
   enum class Mode { kFlat, kRadix, kSpill };
@@ -136,12 +171,23 @@ class JoinBridge {
   void TrackBuildBytes(int64_t delta);
   void RecordProbePath(bool simd);
 
+  /// Which sides of the variant the drain must resolve.
+  bool needs_build_drain() const {
+    return join_type_ == JoinType::kRight || join_type_ == JoinType::kFull;
+  }
+  bool tracks_probe_matches() const {
+    return join_type_ != JoinType::kInner && join_type_ != JoinType::kRight;
+  }
+  bool emits_pairs() const { return JoinEmitsBuildColumns(join_type_); }
+
   Status WriteSpill(SpillFile* file, const Page& page);
   /// Computes the partition-selection hash of `rows` keyed by `channels`
   /// (Page::HashRows-compatible for any key types — the same hash the
   /// tables use, so partition bits and slot bits never conflict).
   void HashKeys(const std::vector<const Column*>& keys, int64_t num_rows,
                 std::vector<uint64_t>* hashes) const;
+  void NoteBuildNullKeys(const Page& page);
+  void MarkBuildRows(const int64_t* rows, int64_t count);
 
   Status StartSpillLocked();
   Status StageRowsLocked(std::vector<Stage>* stages,
@@ -155,32 +201,54 @@ class JoinBridge {
   Status FinishSpillBuildLocked();
 
   // --- spill drain (single-threaded: last probe driver only) ---
-  Status DrainOpenNextPair(const std::vector<int>& probe_keys);
   Status DrainLoadChunk();
   Status DrainRepartition(SpillPair pair,
                           const std::vector<int>& probe_keys);
   Result<PagePtr> DrainEmit(const Page& probe_page,
                             const std::vector<int>& build_output_channels);
+  /// In-memory right/full drain: next page of unmatched build rows.
+  PagePtr NextUnmatchedBuildPage(const std::vector<int>& build_output_channels);
+  /// Last-chunk resolution of one probe page (unmatched-left padding,
+  /// semi/anti selection, mark column) appended to drain_ready_.
+  void EmitFinalProbePage(const Page& page, const std::vector<uint8_t>& flags,
+                          const std::vector<int>& probe_keys,
+                          const std::vector<int>& build_output_channels);
+  /// Unmatched rows of the loaded build chunk, null-padded on the probe
+  /// side, appended to drain_ready_ (right/full).
+  void EmitUnmatchedChunkRows(const std::vector<int>& build_output_channels);
+  /// Transforms one page of a single-sided partition pair (the other side
+  /// empty) into output per join type; nullptr when it contributes none.
+  PagePtr StreamSidePage(const Page& page, bool build_side,
+                         const std::vector<int>& probe_keys,
+                         const std::vector<int>& build_output_channels);
 
   std::vector<DataType> build_types_;
   std::vector<int> build_keys_;
   TaskContext* task_ctx_;
+  JoinType join_type_;
+  std::vector<DataType> probe_types_;
 
   mutable std::mutex mutex_;
   std::vector<Column> data_;  // accumulated build rows, all channels
   int64_t total_build_rows_ = 0;
   int64_t tracked_bytes_ = 0;  // bytes reported to the task context
+  bool build_has_null_key_ = false;
 
   Mode mode_ = Mode::kFlat;
   std::vector<std::unique_ptr<PartitionIndex>> partitions_;
   std::unique_ptr<RadixPartitioner> radix_;  // radix + spill level 0
+
+  // Right/full joins, in-memory modes: bit per build row, set under
+  // concurrent probing with relaxed fetch_or (the probe-driver count
+  // provides the ordering the drainer needs).
+  std::unique_ptr<std::atomic<uint64_t>[]> build_matched_bits_;
+  int64_t unmatched_cursor_ = 0;  // in-memory right/full drain position
 
   // --- spill state ---
   std::vector<std::unique_ptr<SpillFile>> build_files_;
   std::vector<Stage> build_stages_;
   std::vector<std::unique_ptr<SpillFile>> probe_files_;
   std::vector<Stage> probe_stages_;
-  std::vector<DataType> probe_types_;
   Status spill_status_;  // first spill IO failure, surfaced to probes
 
   // --- drain state ---
@@ -195,6 +263,17 @@ class JoinBridge {
   std::vector<int32_t> match_probe_;
   std::vector<int64_t> match_build_;
   int64_t emit_offset_ = 0;
+  // Variant drain state: per-probe-page matched flags accumulated across
+  // build chunk passes (indexed by page ordinal within the pair's probe
+  // file — replay order is deterministic), per-chunk build matched flags,
+  // ready-to-emit variant pages, and the single-sided pair stream.
+  std::vector<std::vector<uint8_t>> pair_probe_matched_;
+  int64_t probe_page_ordinal_ = 0;
+  std::vector<uint8_t> chunk_matched_;
+  std::deque<PagePtr> drain_ready_;
+  SpillPair stream_pair_;
+  bool stream_active_ = false;
+  bool stream_build_side_ = false;
 
   std::atomic<int> build_drivers_{0};
   std::atomic<int> probe_drivers_{0};

@@ -331,11 +331,13 @@ class LookupJoinOperator : public Operator {
  public:
   LookupJoinOperator(TaskContext* ctx, JoinBridge* bridge,
                      std::vector<int> probe_keys,
-                     std::vector<int> build_output_channels)
+                     std::vector<int> build_output_channels,
+                     JoinType join_type)
       : Operator(ctx),
         bridge_(bridge),
         probe_keys_(std::move(probe_keys)),
-        build_output_channels_(std::move(build_output_channels)) {
+        build_output_channels_(std::move(build_output_channels)),
+        join_type_(join_type) {
     bridge_->AddProbeDriver();
   }
 
@@ -354,23 +356,98 @@ class LookupJoinOperator : public Operator {
       task_ctx_->ReportFailure(probed);
       return;
     }
-    if (probe_rows_.empty()) return;
-    // Emit in bounded chunks to keep pages small. Output columns are
-    // gathered directly from the match spans — no intermediate Select page
-    // or column copies.
-    const int64_t total = static_cast<int64_t>(probe_rows_.size());
-    const int64_t chunk = task_ctx_->config().batch_rows * 4;
-    for (int64_t off = 0; off < total; off += chunk) {
-      int64_t count = std::min(chunk, total - off);
-      std::vector<Column> cols;
-      cols.reserve(page->num_columns() + build_output_channels_.size());
-      for (int c = 0; c < page->num_columns(); ++c) {
-        cols.push_back(page->column(c).Gather(probe_rows_.data() + off, count));
+    // Spill mode returns no pairs: every variant's output streams from the
+    // bridge drain after the last probe driver retires.
+    if (bridge_->spilled()) return;
+    if (!variant_init_) {
+      variant_init_ = true;
+      build_empty_ = bridge_->build_rows() == 0;
+      build_has_null_ = bridge_->build_has_null_key();
+    }
+    switch (join_type_) {
+      case JoinType::kInner:
+      case JoinType::kRight:
+        // Right joins emit their matched pairs here; the unmatched build
+        // rows stream from the bridge drain (null-padded on the probe side).
+        if (!probe_rows_.empty()) EmitPairs(*page);
+        return;
+      case JoinType::kLeft:
+      case JoinType::kFull: {
+        // Append one (row, -1) pair per unmatched probe row; the nullable
+        // gather turns build id -1 into NULL padding.
+        FillMatchedFlags(page->num_rows());
+        for (int64_t r = 0; r < page->num_rows(); ++r) {
+          if (matched_[r] == 0) {
+            probe_rows_.push_back(static_cast<int32_t>(r));
+            build_rows_.push_back(-1);
+          }
+        }
+        if (!probe_rows_.empty()) EmitPairs(*page);
+        return;
       }
-      for (int ch : build_output_channels_) {
-        cols.push_back(bridge_->GatherBuild(ch, build_rows_.data() + off, count));
+      case JoinType::kLeftSemi: {
+        FillMatchedFlags(page->num_rows());
+        std::vector<int32_t> sel;
+        for (int64_t r = 0; r < page->num_rows(); ++r) {
+          if (matched_[r] != 0) sel.push_back(static_cast<int32_t>(r));
+        }
+        if (!sel.empty()) pending_.push_back(page->Select(sel));
+        return;
       }
-      pending_.push_back(Page::Make(std::move(cols)));
+      case JoinType::kLeftAnti: {
+        // Plain anti join: NULL-keyed probe rows never match, so they
+        // qualify (NOT EXISTS semantics).
+        FillMatchedFlags(page->num_rows());
+        std::vector<int32_t> sel;
+        for (int64_t r = 0; r < page->num_rows(); ++r) {
+          if (matched_[r] == 0) sel.push_back(static_cast<int32_t>(r));
+        }
+        if (!sel.empty()) pending_.push_back(page->Select(sel));
+        return;
+      }
+      case JoinType::kNullAwareAnti: {
+        // NOT IN: any NULL in the build set makes every miss compare to
+        // NULL — nothing qualifies. An empty build set means NOT IN ()
+        // which is TRUE for every row, NULL-keyed ones included.
+        if (build_has_null_) return;
+        if (build_empty_) {
+          pending_.push_back(page);
+          return;
+        }
+        FillMatchedFlags(page->num_rows());
+        std::vector<int32_t> sel;
+        for (int64_t r = 0; r < page->num_rows(); ++r) {
+          if (matched_[r] != 0) continue;
+          if (ProbeRowHasNullKey(*page, r)) continue;  // NULL NOT IN (...) is NULL
+          sel.push_back(static_cast<int32_t>(r));
+        }
+        if (!sel.empty()) pending_.push_back(page->Select(sel));
+        return;
+      }
+      case JoinType::kMark: {
+        FillMatchedFlags(page->num_rows());
+        std::vector<ColumnPtr> cols;
+        cols.reserve(page->num_columns() + 1);
+        for (int c = 0; c < page->num_columns(); ++c) {
+          cols.push_back(page->shared_column(c));
+        }
+        auto mark = std::make_shared<Column>(DataType::kBool);
+        mark->Reserve(page->num_rows());
+        for (int64_t r = 0; r < page->num_rows(); ++r) {
+          if (matched_[r] != 0) {
+            mark->AppendInt(1);
+          } else if (build_empty_) {
+            mark->AppendInt(0);  // x IN () is FALSE even for NULL x
+          } else if (build_has_null_ || ProbeRowHasNullKey(*page, r)) {
+            mark->AppendNull();  // miss with a NULL on either side: unknown
+          } else {
+            mark->AppendInt(0);
+          }
+        }
+        cols.push_back(std::move(mark));
+        pending_.push_back(Page::MakeShared(std::move(cols)));
+        return;
+      }
     }
   }
 
@@ -408,28 +485,75 @@ class LookupJoinOperator : public Operator {
   std::string Name() const override { return "LookupJoin"; }
 
  private:
+  /// Emits the accumulated (probe row, build row) pairs in bounded chunks.
+  /// Output columns are gathered directly from the match spans — no
+  /// intermediate Select page or column copies. A build row of -1 gathers
+  /// as NULL (left/full padding).
+  void EmitPairs(const Page& page) {
+    const bool nullable = join_type_ == JoinType::kLeft ||
+                          join_type_ == JoinType::kFull;
+    const int64_t total = static_cast<int64_t>(probe_rows_.size());
+    const int64_t chunk = task_ctx_->config().batch_rows * 4;
+    for (int64_t off = 0; off < total; off += chunk) {
+      int64_t count = std::min(chunk, total - off);
+      std::vector<Column> cols;
+      cols.reserve(page.num_columns() + build_output_channels_.size());
+      for (int c = 0; c < page.num_columns(); ++c) {
+        cols.push_back(page.column(c).Gather(probe_rows_.data() + off, count));
+      }
+      for (int ch : build_output_channels_) {
+        cols.push_back(
+            nullable
+                ? bridge_->GatherBuildNullable(ch, build_rows_.data() + off,
+                                               count)
+                : bridge_->GatherBuild(ch, build_rows_.data() + off, count));
+      }
+      pending_.push_back(Page::Make(std::move(cols)));
+    }
+  }
+
+  /// matched_[r] = 1 iff probe row r appears in the current match pairs.
+  void FillMatchedFlags(int64_t num_rows) {
+    matched_.assign(static_cast<size_t>(num_rows), 0);
+    for (int32_t r : probe_rows_) matched_[r] = 1;
+  }
+
+  bool ProbeRowHasNullKey(const Page& page, int64_t row) const {
+    for (int ch : probe_keys_) {
+      if (page.column(ch).IsNull(row)) return true;
+    }
+    return false;
+  }
+
   JoinBridge* bridge_;
   std::vector<int> probe_keys_;
   std::vector<int> build_output_channels_;
+  JoinType join_type_;
   std::deque<PagePtr> pending_;
   bool probe_retired_ = false;
   bool draining_ = false;
+  // Build-side facts cached on first probe (stable once built).
+  bool variant_init_ = false;
+  bool build_empty_ = false;
+  bool build_has_null_ = false;
   // Reused match buffers — cleared per input page, capacity retained.
   std::vector<int32_t> probe_rows_;
   std::vector<int64_t> build_rows_;
+  std::vector<uint8_t> matched_;
 };
 
 class LookupJoinFactory : public OperatorFactory {
  public:
   LookupJoinFactory(JoinBridge* bridge, std::vector<int> probe_keys,
-                    std::vector<int> build_output_channels)
+                    std::vector<int> build_output_channels, JoinType join_type)
       : bridge_(bridge),
         probe_keys_(std::move(probe_keys)),
-        build_output_channels_(std::move(build_output_channels)) {}
+        build_output_channels_(std::move(build_output_channels)),
+        join_type_(join_type) {}
 
   OperatorPtr Create(TaskContext* ctx, int) override {
-    return std::make_unique<LookupJoinOperator>(ctx, bridge_, probe_keys_,
-                                                build_output_channels_);
+    return std::make_unique<LookupJoinOperator>(
+        ctx, bridge_, probe_keys_, build_output_channels_, join_type_);
   }
   std::string Name() const override { return "LookupJoin"; }
 
@@ -437,6 +561,7 @@ class LookupJoinFactory : public OperatorFactory {
   JoinBridge* bridge_;
   std::vector<int> probe_keys_;
   std::vector<int> build_output_channels_;
+  JoinType join_type_;
 };
 
 // ---------------------------------------------------------------------------
@@ -574,9 +699,14 @@ class AggOperatorBase : public Operator {
   void UpdateMinMax(const Column& col, int64_t n, const int64_t* ids, int vi,
                     bool is_max, AccVal* vals) {
     const int64_t stride = num_val_aggs_;
+    // NULL inputs update nothing; an all-NULL group keeps has == false and
+    // emits as NULL (also how partial all-NULL states pass through final).
+    const uint8_t* valid =
+        col.may_have_nulls() ? col.validity().data() : nullptr;
     switch (col.type()) {
       case DataType::kString:
         for (int64_t i = 0; i < n; ++i) {
+          if (valid != nullptr && valid[i] == 0) continue;
           AccVal& st = vals[ids[i] * stride + vi];
           const std::string& s = col.StrAt(i);
           if (!st.has || (is_max ? s > st.v.str : s < st.v.str)) {
@@ -589,6 +719,7 @@ class AggOperatorBase : public Operator {
       case DataType::kDouble: {
         const double* v = col.doubles().data();
         for (int64_t i = 0; i < n; ++i) {
+          if (valid != nullptr && valid[i] == 0) continue;
           AccVal& st = vals[ids[i] * stride + vi];
           if (!st.has || (is_max ? v[i] > st.v.f64 : v[i] < st.v.f64)) {
             st.v.type = DataType::kDouble;
@@ -602,6 +733,7 @@ class AggOperatorBase : public Operator {
         const int64_t* v = col.ints().data();
         const DataType t = col.type();
         for (int64_t i = 0; i < n; ++i) {
+          if (valid != nullptr && valid[i] == 0) continue;
           AccVal& st = vals[ids[i] * stride + vi];
           if (!st.has || (is_max ? v[i] > st.v.i64 : v[i] < st.v.i64)) {
             st.v.type = t;
@@ -884,24 +1016,44 @@ class PartialAggOperator : public AggOperatorBase {
     const size_t num_aggs = aggs_.size();
     for (size_t a = 0; a < num_aggs; ++a) {
       const Aggregate& agg = aggs_[a];
+      // Null-skipping (SQL aggregate semantics): a NULL input row updates
+      // nothing. The all-valid hot loops stay branch-free; `valid` is only
+      // consulted when the input column actually carries a validity buffer.
+      const Column* in =
+          agg.input_channel >= 0 ? cols[agg.input_channel] : nullptr;
+      const uint8_t* valid = (in != nullptr && in->may_have_nulls())
+                                 ? in->validity().data()
+                                 : nullptr;
       switch (agg.func) {
         case AggFunc::kCount:
-          for (int64_t i = 0; i < n; ++i) {
-            if (i + kStatePrefetch < n) {
-              __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
+          // COUNT(*) counts rows; COUNT(col) counts non-NULL values.
+          if (valid != nullptr) {
+            for (int64_t i = 0; i < n; ++i) {
+              states[ids[i] * num_aggs + a].i += valid[i];
             }
-            states[ids[i] * num_aggs + a].i += 1;
+          } else {
+            for (int64_t i = 0; i < n; ++i) {
+              if (i + kStatePrefetch < n) {
+                __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
+              }
+              states[ids[i] * num_aggs + a].i += 1;
+            }
           }
           break;
         case AggFunc::kSum: {
-          const Column& col = *cols[agg.input_channel];
+          const Column& col = *in;
+          // The unused AccNum word counts non-NULL inputs so an all-NULL
+          // group can surface as a NULL sum.
           if (agg.ResultType() == DataType::kInt64) {
             const int64_t* v = col.ints().data();
             for (int64_t i = 0; i < n; ++i) {
               if (i + kStatePrefetch < n) {
                 __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
               }
-              states[ids[i] * num_aggs + a].i += v[i];
+              if (valid != nullptr && valid[i] == 0) continue;
+              AccNum& st = states[ids[i] * num_aggs + a];
+              st.i += v[i];
+              st.d += 1.0;
             }
           } else if (col.type() == DataType::kDouble) {
             const double* v = col.doubles().data();
@@ -909,32 +1061,7 @@ class PartialAggOperator : public AggOperatorBase {
               if (i + kStatePrefetch < n) {
                 __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
               }
-              states[ids[i] * num_aggs + a].d += v[i];
-            }
-          } else {
-            const int64_t* v = col.ints().data();
-            for (int64_t i = 0; i < n; ++i) {
-              if (i + kStatePrefetch < n) {
-                __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
-              }
-              states[ids[i] * num_aggs + a].d += static_cast<double>(v[i]);
-            }
-          }
-          break;
-        }
-        case AggFunc::kMin:
-        case AggFunc::kMax:
-          UpdateMinMax(*cols[agg.input_channel], n, ids, val_index_[a],
-                       agg.func == AggFunc::kMax, vals);
-          break;
-        case AggFunc::kAvg: {
-          const Column& col = *cols[agg.input_channel];
-          if (col.type() == DataType::kDouble) {
-            const double* v = col.doubles().data();
-            for (int64_t i = 0; i < n; ++i) {
-              if (i + kStatePrefetch < n) {
-                __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
-              }
+              if (valid != nullptr && valid[i] == 0) continue;
               AccNum& st = states[ids[i] * num_aggs + a];
               st.d += v[i];
               st.i += 1;
@@ -945,6 +1072,39 @@ class PartialAggOperator : public AggOperatorBase {
               if (i + kStatePrefetch < n) {
                 __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
               }
+              if (valid != nullptr && valid[i] == 0) continue;
+              AccNum& st = states[ids[i] * num_aggs + a];
+              st.d += static_cast<double>(v[i]);
+              st.i += 1;
+            }
+          }
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          UpdateMinMax(*in, n, ids, val_index_[a], agg.func == AggFunc::kMax,
+                       vals);
+          break;
+        case AggFunc::kAvg: {
+          const Column& col = *in;
+          if (col.type() == DataType::kDouble) {
+            const double* v = col.doubles().data();
+            for (int64_t i = 0; i < n; ++i) {
+              if (i + kStatePrefetch < n) {
+                __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
+              }
+              if (valid != nullptr && valid[i] == 0) continue;
+              AccNum& st = states[ids[i] * num_aggs + a];
+              st.d += v[i];
+              st.i += 1;
+            }
+          } else {
+            const int64_t* v = col.ints().data();
+            for (int64_t i = 0; i < n; ++i) {
+              if (i + kStatePrefetch < n) {
+                __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
+              }
+              if (valid != nullptr && valid[i] == 0) continue;
               AccNum& st = states[ids[i] * num_aggs + a];
               st.d += static_cast<double>(v[i]);
               st.i += 1;
@@ -997,15 +1157,27 @@ class PartialAggOperator : public AggOperatorBase {
           break;
         }
         case AggFunc::kSum: {
+          // A group whose every input was NULL has a NULL sum; the spare
+          // AccNum word counted the non-NULL inputs.
           Column& col = (*cols)[c++];
           col.Reserve(col.size() + count);
           if (agg.ResultType() == DataType::kInt64) {
             for (int64_t g = begin; g < end; ++g) {
-              col.AppendInt(states[g * num_aggs + a].i);
+              const AccNum& st = states[g * num_aggs + a];
+              if (st.d == 0) {
+                col.AppendNull();
+              } else {
+                col.AppendInt(st.i);
+              }
             }
           } else {
             for (int64_t g = begin; g < end; ++g) {
-              col.AppendDouble(states[g * num_aggs + a].d);
+              const AccNum& st = states[g * num_aggs + a];
+              if (st.i == 0) {
+                col.AppendNull();
+              } else {
+                col.AppendDouble(st.d);
+              }
             }
           }
           break;
@@ -1016,7 +1188,11 @@ class PartialAggOperator : public AggOperatorBase {
           col.Reserve(col.size() + count);
           for (int64_t g = begin; g < end; ++g) {
             const AccVal& st = vals[g * num_val_aggs_ + val_index_[a]];
-            col.AppendValue(st.has ? st.v : Value{agg.input_type, 0, 0, {}});
+            if (st.has) {
+              col.AppendValue(st.v);
+            } else {
+              col.AppendNull();  // MIN/MAX over no non-NULL values
+            }
           }
           break;
         }
@@ -1073,14 +1249,22 @@ class FinalAggOperator : public AggOperatorBase {
           break;
         }
         case AggFunc::kSum: {
+          // Partial sums are NULL for all-NULL groups — skip them and keep
+          // the non-NULL contribution count in the spare AccNum word so an
+          // everywhere-NULL group finalizes as NULL.
           const Column& col = *cols[ch++];
+          const uint8_t* valid =
+              col.may_have_nulls() ? col.validity().data() : nullptr;
           if (agg.ResultType() == DataType::kInt64) {
             const int64_t* v = col.ints().data();
             for (int64_t i = 0; i < n; ++i) {
               if (i + kStatePrefetch < n) {
                 __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
               }
-              states[ids[i] * num_aggs + a].i += v[i];
+              if (valid != nullptr && valid[i] == 0) continue;
+              AccNum& st = states[ids[i] * num_aggs + a];
+              st.i += v[i];
+              st.d += 1.0;
             }
           } else if (col.type() == DataType::kDouble) {
             const double* v = col.doubles().data();
@@ -1088,7 +1272,10 @@ class FinalAggOperator : public AggOperatorBase {
               if (i + kStatePrefetch < n) {
                 __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
               }
-              states[ids[i] * num_aggs + a].d += v[i];
+              if (valid != nullptr && valid[i] == 0) continue;
+              AccNum& st = states[ids[i] * num_aggs + a];
+              st.d += v[i];
+              st.i += 1;
             }
           } else {
             const int64_t* v = col.ints().data();
@@ -1096,7 +1283,10 @@ class FinalAggOperator : public AggOperatorBase {
               if (i + kStatePrefetch < n) {
                 __builtin_prefetch(&states[ids[i + kStatePrefetch] * num_aggs]);
               }
-              states[ids[i] * num_aggs + a].d += static_cast<double>(v[i]);
+              if (valid != nullptr && valid[i] == 0) continue;
+              AccNum& st = states[ids[i] * num_aggs + a];
+              st.d += static_cast<double>(v[i]);
+              st.i += 1;
             }
           }
           break;
@@ -1150,13 +1340,25 @@ class FinalAggOperator : public AggOperatorBase {
           }
           break;
         case AggFunc::kSum:
+          // SQL: SUM over zero non-NULL values (empty group, or all inputs
+          // NULL) is NULL, not 0.
           if (agg.ResultType() == DataType::kInt64) {
             for (int64_t g = begin; g < end; ++g) {
-              col.AppendInt(states[g * num_aggs + a].i);
+              const AccNum& st = states[g * num_aggs + a];
+              if (st.d == 0) {
+                col.AppendNull();
+              } else {
+                col.AppendInt(st.i);
+              }
             }
           } else {
             for (int64_t g = begin; g < end; ++g) {
-              col.AppendDouble(states[g * num_aggs + a].d);
+              const AccNum& st = states[g * num_aggs + a];
+              if (st.i == 0) {
+                col.AppendNull();
+              } else {
+                col.AppendDouble(st.d);
+              }
             }
           }
           break;
@@ -1164,14 +1366,21 @@ class FinalAggOperator : public AggOperatorBase {
         case AggFunc::kMax:
           for (int64_t g = begin; g < end; ++g) {
             const AccVal& st = vals[g * num_val_aggs_ + val_index_[a]];
-            col.AppendValue(st.has ? st.v : Value{agg.input_type, 0, 0, {}});
+            if (st.has) {
+              col.AppendValue(st.v);
+            } else {
+              col.AppendNull();
+            }
           }
           break;
         case AggFunc::kAvg:
           for (int64_t g = begin; g < end; ++g) {
             const AccNum& st = states[g * num_aggs + a];
-            col.AppendDouble(st.i == 0 ? 0
-                                       : st.d / static_cast<double>(st.i));
+            if (st.i == 0) {
+              col.AppendNull();  // AVG over no non-NULL values
+            } else {
+              col.AppendDouble(st.d / static_cast<double>(st.i));
+            }
           }
           break;
       }
@@ -1531,9 +1740,11 @@ OperatorFactoryPtr MakeProjectFactory(std::vector<ExprPtr> exprs) {
 
 OperatorFactoryPtr MakeLookupJoinFactory(JoinBridge* bridge,
                                          std::vector<int> probe_keys,
-                                         std::vector<int> build_output_channels) {
+                                         std::vector<int> build_output_channels,
+                                         JoinType join_type) {
   return std::make_shared<LookupJoinFactory>(bridge, std::move(probe_keys),
-                                             std::move(build_output_channels));
+                                             std::move(build_output_channels),
+                                             join_type);
 }
 
 OperatorFactoryPtr MakePartialAggFactory(std::vector<int> group_by,

@@ -51,13 +51,15 @@ Task::Task(TaskSpec spec, TaskApis apis, ResourceGovernor* cpu,
     return it->second.get();
   };
   ctx.join_bridge = [this](int node_id, std::vector<DataType> build_types,
-                           std::vector<int> build_keys) {
+                           std::vector<int> build_keys, JoinType join_type,
+                           std::vector<DataType> probe_types) {
     auto it = join_bridges_.find(node_id);
     if (it == join_bridges_.end()) {
       it = join_bridges_
                .emplace(node_id, std::make_unique<JoinBridge>(
                                      std::move(build_types),
-                                     std::move(build_keys), &task_ctx_))
+                                     std::move(build_keys), &task_ctx_,
+                                     join_type, std::move(probe_types)))
                .first;
     }
     return it->second.get();

@@ -137,10 +137,38 @@ class BinaryExpr : public Expr {
     Column out(type_);
     out.Reserve(n);
 
+    const bool nullable = lhs.may_have_nulls() || rhs.may_have_nulls();
+
     if (IsLogical(op_)) {
+      if (!nullable) {
+        for (int64_t i = 0; i < n; ++i) {
+          bool a = lhs.IntAt(i) != 0, b = rhs.IntAt(i) != 0;
+          out.AppendInt(op_ == BinaryOp::kAnd ? (a && b) : (a || b));
+        }
+        return std::make_shared<Column>(std::move(out));
+      }
+      // Kleene three-valued AND/OR: a falsifying (AND) / satisfying (OR)
+      // operand dominates a NULL; otherwise NULL is contagious.
       for (int64_t i = 0; i < n; ++i) {
-        bool a = lhs.IntAt(i) != 0, b = rhs.IntAt(i) != 0;
-        out.AppendInt(op_ == BinaryOp::kAnd ? (a && b) : (a || b));
+        bool an = lhs.IsNull(i), bn = rhs.IsNull(i);
+        bool a = !an && lhs.IntAt(i) != 0, b = !bn && rhs.IntAt(i) != 0;
+        if (op_ == BinaryOp::kAnd) {
+          if ((!an && !a) || (!bn && !b)) {
+            out.AppendInt(0);
+          } else if (an || bn) {
+            out.AppendNull();
+          } else {
+            out.AppendInt(1);
+          }
+        } else {
+          if (a || b) {
+            out.AppendInt(1);
+          } else if (an || bn) {
+            out.AppendNull();
+          } else {
+            out.AppendInt(0);
+          }
+        }
       }
       return std::make_shared<Column>(std::move(out));
     }
@@ -149,17 +177,29 @@ class BinaryExpr : public Expr {
       if (lhs.type() == DataType::kString) {
         ACC_CHECK(rhs.type() == DataType::kString) << "string vs non-string";
         for (int64_t i = 0; i < n; ++i) {
+          if (nullable && (lhs.IsNull(i) || rhs.IsNull(i))) {
+            out.AppendNull();
+            continue;
+          }
           int c = lhs.StrAt(i).compare(rhs.StrAt(i));
           out.AppendInt(CompareResult(c));
         }
       } else if (IsIntegerBacked(lhs.type()) && IsIntegerBacked(rhs.type())) {
         for (int64_t i = 0; i < n; ++i) {
+          if (nullable && (lhs.IsNull(i) || rhs.IsNull(i))) {
+            out.AppendNull();
+            continue;
+          }
           int64_t a = lhs.IntAt(i), b = rhs.IntAt(i);
           int c = a < b ? -1 : (a > b ? 1 : 0);
           out.AppendInt(CompareResult(c));
         }
       } else {
         for (int64_t i = 0; i < n; ++i) {
+          if (nullable && (lhs.IsNull(i) || rhs.IsNull(i))) {
+            out.AppendNull();
+            continue;
+          }
           double a = lhs.NumericAt(i), b = rhs.NumericAt(i);
           int c = a < b ? -1 : (a > b ? 1 : 0);
           out.AppendInt(CompareResult(c));
@@ -168,14 +208,22 @@ class BinaryExpr : public Expr {
       return std::make_shared<Column>(std::move(out));
     }
 
-    // Arithmetic.
+    // Arithmetic: NULL operand -> NULL result.
     if (type_ == DataType::kInt64) {
       for (int64_t i = 0; i < n; ++i) {
+        if (nullable && (lhs.IsNull(i) || rhs.IsNull(i))) {
+          out.AppendNull();
+          continue;
+        }
         int64_t a = lhs.IntAt(i), b = rhs.IntAt(i);
         out.AppendInt(ApplyInt(a, b));
       }
     } else {
       for (int64_t i = 0; i < n; ++i) {
+        if (nullable && (lhs.IsNull(i) || rhs.IsNull(i))) {
+          out.AppendNull();
+          continue;
+        }
         double a = lhs.NumericAt(i), b = rhs.NumericAt(i);
         out.AppendDouble(ApplyDouble(a, b));
       }
@@ -258,7 +306,11 @@ class NotExpr : public Expr {
     Column out(DataType::kBool);
     out.Reserve(page.num_rows());
     for (int64_t i = 0; i < page.num_rows(); ++i) {
-      out.AppendInt(in->IntAt(i) == 0);
+      if (in->IsNull(i)) {
+        out.AppendNull();
+      } else {
+        out.AppendInt(in->IntAt(i) == 0);
+      }
     }
     return std::make_shared<Column>(std::move(out));
   }
@@ -306,6 +358,10 @@ class LikeExpr : public Expr {
     const char* p = pattern_.data();
     const char* pe = p + pattern_.size();
     for (int64_t i = 0; i < page.num_rows(); ++i) {
+      if (in->IsNull(i)) {
+        out.AppendNull();
+        continue;
+      }
       const std::string& s = in->StrAt(i);
       out.AppendInt(LikeMatch(s.data(), s.data() + s.size(), p, pe));
     }
@@ -332,11 +388,26 @@ class InExpr : public Expr {
     ColumnPtr in = input_->EvalShared(page);
     Column out(DataType::kBool);
     out.Reserve(page.num_rows());
+    const bool null_candidate =
+        std::any_of(candidates_.begin(), candidates_.end(),
+                    [](const Value& c) { return c.is_null; });
     for (int64_t i = 0; i < page.num_rows(); ++i) {
       Value v = in->ValueAt(i);
-      bool hit = std::any_of(candidates_.begin(), candidates_.end(),
-                             [&](const Value& c) { return c == v; });
-      out.AppendInt(hit);
+      if (v.is_null) {
+        out.AppendNull();
+        continue;
+      }
+      bool hit = std::any_of(
+          candidates_.begin(), candidates_.end(),
+          [&](const Value& c) { return !c.is_null && c == v; });
+      if (hit) {
+        out.AppendInt(1);
+      } else if (null_candidate) {
+        // x IN (..., NULL): a miss against a NULL candidate is UNKNOWN.
+        out.AppendNull();
+      } else {
+        out.AppendInt(0);
+      }
     }
     return std::make_shared<Column>(std::move(out));
   }
@@ -387,6 +458,8 @@ class CaseWhenExpr : public Expr {
     for (int64_t i = 0; i < n; ++i) {
       bool taken = false;
       for (size_t b = 0; b < branches_.size(); ++b) {
+        // A NULL condition stores a zeroed payload, so IntAt(i) != 0 is
+        // exactly "condition is TRUE" — NULL falls through like FALSE.
         if (conds[b]->IntAt(i) != 0) {
           out.AppendFrom(*vals[b], i);
           taken = true;
@@ -411,6 +484,39 @@ class CaseWhenExpr : public Expr {
   ExprPtr default_value_;
 };
 
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr input, bool negated)
+      : input_(std::move(input)), negated_(negated) {}
+
+  DataType type() const override { return DataType::kBool; }
+
+  ColumnPtr EvalShared(const Page& page) const override {
+    ColumnPtr in = input_->EvalShared(page);
+    Column out(DataType::kBool);
+    out.Reserve(page.num_rows());
+    if (!in->may_have_nulls()) {
+      for (int64_t i = 0; i < page.num_rows(); ++i) {
+        out.AppendInt(negated_ ? 1 : 0);
+      }
+    } else {
+      for (int64_t i = 0; i < page.num_rows(); ++i) {
+        bool is_null = in->IsNull(i);
+        out.AppendInt((is_null != negated_) ? 1 : 0);
+      }
+    }
+    return std::make_shared<Column>(std::move(out));
+  }
+
+  std::string ToString() const override {
+    return input_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+  }
+
+ private:
+  ExprPtr input_;
+  bool negated_;
+};
+
 class ExtractYearExpr : public Expr {
  public:
   explicit ExtractYearExpr(ExprPtr input) : input_(std::move(input)) {
@@ -424,7 +530,11 @@ class ExtractYearExpr : public Expr {
     Column out(DataType::kInt64);
     out.Reserve(page.num_rows());
     for (int64_t i = 0; i < page.num_rows(); ++i) {
-      out.AppendInt(DateYear(in->IntAt(i)));
+      if (in->IsNull(i)) {
+        out.AppendNull();
+      } else {
+        out.AppendInt(DateYear(in->IntAt(i)));
+      }
     }
     return std::make_shared<Column>(std::move(out));
   }
@@ -453,6 +563,14 @@ ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right) {
 
 ExprPtr Not(ExprPtr input) { return std::make_shared<NotExpr>(std::move(input)); }
 
+ExprPtr IsNull(ExprPtr input) {
+  return std::make_shared<IsNullExpr>(std::move(input), /*negated=*/false);
+}
+
+ExprPtr IsNotNull(ExprPtr input) {
+  return std::make_shared<IsNullExpr>(std::move(input), /*negated=*/true);
+}
+
 ExprPtr Like(ExprPtr input, std::string pattern) {
   return std::make_shared<LikeExpr>(std::move(input), std::move(pattern));
 }
@@ -480,6 +598,8 @@ std::vector<int32_t> FilterRows(const Expr& predicate, const Page& page) {
   ColumnPtr mask = predicate.EvalShared(page);
   std::vector<int32_t> selected;
   const int64_t* bits = mask->ints().data();
+  // NULL mask entries carry a zeroed payload, so bits[i] != 0 is exactly
+  // "predicate is TRUE"; NULL rows are dropped like FALSE rows.
   for (int64_t i = 0; i < page.num_rows(); ++i) {
     if (bits[i] != 0) selected.push_back(static_cast<int32_t>(i));
   }

@@ -34,6 +34,11 @@ const char* BinaryOpName(BinaryOp op);
 /// Vectorized scalar expression tree. Every node evaluates batch-at-a-time
 /// over a Page and produces a Column of `type()` with one value per input
 /// row. Expressions are immutable and shared; evaluation is thread-safe.
+///
+/// NULL handling follows SQL three-valued logic: comparisons and
+/// arithmetic over a NULL operand yield NULL, AND/OR use Kleene logic,
+/// and predicates treat NULL as "not passing" (FilterRows, CASE WHEN
+/// conditions). All-valid inputs skip every per-row validity check.
 class Expr {
  public:
   virtual ~Expr() = default;
@@ -82,8 +87,12 @@ inline ExprPtr Ge(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGe, a, b); }
 inline ExprPtr And(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAnd, a, b); }
 inline ExprPtr Or(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kOr, a, b); }
 
-/// Logical negation of a boolean expression.
+/// Logical negation of a boolean expression (NOT NULL -> NULL).
 ExprPtr Not(ExprPtr input);
+
+/// value IS NULL / value IS NOT NULL -> kBool, never NULL themselves.
+ExprPtr IsNull(ExprPtr input);
+ExprPtr IsNotNull(ExprPtr input);
 
 /// SQL LIKE with '%' and '_' wildcards over a string expression.
 ExprPtr Like(ExprPtr input, std::string pattern);
@@ -95,7 +104,9 @@ ExprPtr In(ExprPtr input, std::vector<Value> candidates);
 ExprPtr Between(ExprPtr input, Value lo, Value hi);
 
 /// Searched CASE: WHEN cond_i THEN value_i ... ELSE default.
-/// All branch values must share one type.
+/// All branch values must share one type. A NULL condition does not take
+/// its branch; `CASE ... END` without ELSE passes a typed NULL literal as
+/// the default.
 ExprPtr CaseWhen(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
                  ExprPtr default_value);
 
@@ -103,6 +114,7 @@ ExprPtr CaseWhen(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
 ExprPtr ExtractYear(ExprPtr date_input);
 
 /// Evaluates a boolean expression to a selection vector of passing rows.
+/// A NULL predicate result does not pass (SQL WHERE semantics).
 std::vector<int32_t> FilterRows(const Expr& predicate, const Page& page);
 
 }  // namespace accordion

@@ -69,8 +69,23 @@ PlanBuilder::Rel PlanBuilder::Join(Rel probe, Rel build,
                                    const std::vector<std::string>& probe_keys,
                                    const std::vector<std::string>& build_keys,
                                    const std::vector<std::string>& build_output,
-                                   bool broadcast) {
+                                   bool broadcast, JoinType join_type,
+                                   const std::string& mark_name) {
   ACC_CHECK(probe_keys.size() == build_keys.size()) << "join key mismatch";
+  // Right/full joins emit unmatched build rows; a broadcast build would
+  // replicate every build row to every worker and emit its null-padding
+  // once per worker.
+  ACC_CHECK(!(broadcast &&
+              (join_type == JoinType::kRight || join_type == JoinType::kFull)))
+      << "broadcast build is incompatible with " << JoinTypeName(join_type)
+      << " join";
+  // Null-aware anti and mark joins decide per probe row from the *global*
+  // build-empty / build-has-null-key flags, so every worker must see the
+  // whole build side. Each probe row still lives on exactly one worker
+  // (arbitrary probe partitioning), so no output is duplicated.
+  if (join_type == JoinType::kNullAwareAnti || join_type == JoinType::kMark) {
+    broadcast = true;
+  }
   std::vector<int> probe_key_channels;
   for (const auto& k : probe_keys) probe_key_channels.push_back(probe.Ch(k));
   std::vector<int> build_key_channels;
@@ -89,9 +104,13 @@ PlanBuilder::Rel PlanBuilder::Join(Rel probe, Rel build,
 
   Rel out{std::make_shared<HashJoinNode>(
               NextId(), probe_exchange, build_local, probe_key_channels,
-              build_key_channels, build_out_channels),
+              build_key_channels, build_out_channels, join_type),
           probe.names};
-  for (const auto& name : build_output) out.names.push_back(name);
+  if (JoinEmitsBuildColumns(join_type)) {
+    for (const auto& name : build_output) out.names.push_back(name);
+  } else if (join_type == JoinType::kMark) {
+    out.names.push_back(mark_name);
+  }
   return out;
 }
 

@@ -78,7 +78,7 @@ class Fragmenter {
         const auto& n = static_cast<const HashJoinNode&>(node);
         return std::make_shared<HashJoinNode>(
             n.id(), children[0], children[1], n.probe_keys(), n.build_keys(),
-            n.build_output_channels());
+            n.build_output_channels(), n.join_type());
       }
       case PlanNodeKind::kPartialAggregation: {
         const auto& n = static_cast<const PartialAggregationNode&>(node);

@@ -54,6 +54,28 @@ const char* PartitioningName(Partitioning partitioning) {
   return "?";
 }
 
+const char* JoinTypeName(JoinType type) {
+  switch (type) {
+    case JoinType::kInner:
+      return "inner";
+    case JoinType::kLeft:
+      return "left";
+    case JoinType::kRight:
+      return "right";
+    case JoinType::kFull:
+      return "full";
+    case JoinType::kLeftSemi:
+      return "semi";
+    case JoinType::kLeftAnti:
+      return "anti";
+    case JoinType::kNullAwareAnti:
+      return "null-aware anti";
+    case JoinType::kMark:
+      return "mark";
+  }
+  return "?";
+}
+
 const char* AggFuncName(AggFunc func) {
   switch (func) {
     case AggFunc::kCount:
@@ -120,9 +142,14 @@ namespace {
 
 std::vector<DataType> JoinOutputTypes(const PlanNode& probe,
                                       const PlanNode& build,
-                                      const std::vector<int>& build_channels) {
+                                      const std::vector<int>& build_channels,
+                                      JoinType join_type) {
   std::vector<DataType> types = probe.output_types();
-  for (int ch : build_channels) types.push_back(build.output_types()[ch]);
+  if (JoinEmitsBuildColumns(join_type)) {
+    for (int ch : build_channels) types.push_back(build.output_types()[ch]);
+  } else if (join_type == JoinType::kMark) {
+    types.push_back(DataType::kBool);
+  }
   return types;
 }
 
@@ -131,20 +158,28 @@ std::vector<DataType> JoinOutputTypes(const PlanNode& probe,
 HashJoinNode::HashJoinNode(int id, PlanNodePtr probe, PlanNodePtr build,
                            std::vector<int> probe_keys,
                            std::vector<int> build_keys,
-                           std::vector<int> build_output_channels)
+                           std::vector<int> build_output_channels,
+                           JoinType join_type)
     : PlanNode(PlanNodeKind::kHashJoin, id,
-               JoinOutputTypes(*probe, *build, build_output_channels),
+               JoinOutputTypes(*probe, *build, build_output_channels,
+                               join_type),
                {probe, build}),
       probe_keys_(std::move(probe_keys)),
       build_keys_(std::move(build_keys)),
-      build_output_channels_(std::move(build_output_channels)) {
+      build_output_channels_(std::move(build_output_channels)),
+      join_type_(join_type) {
   ACC_CHECK(probe_keys_.size() == build_keys_.size())
       << "join key arity mismatch";
   ACC_CHECK(!probe_keys_.empty()) << "hash join needs at least one key";
+  ACC_CHECK(JoinEmitsBuildColumns(join_type_) ||
+            build_output_channels_.empty())
+      << "semi/anti/mark joins emit no build columns";
 }
 
 std::string HashJoinNode::Describe() const {
-  std::string s = "HashJoin(";
+  std::string s = "HashJoin[";
+  s += JoinTypeName(join_type_);
+  s += "](";
   for (size_t i = 0; i < probe_keys_.size(); ++i) {
     if (i) s += " AND ";
     s += "probe#" + std::to_string(probe_keys_[i]) + " = build#" +

@@ -47,12 +47,34 @@ enum class Partitioning {
 
 const char* PartitioningName(Partitioning partitioning);
 
+/// Join variants supported by HashJoinNode. All of them build a hash table
+/// on child 1 and stream child 0 through it; they differ in which rows are
+/// emitted and how unmatched rows are padded.
+enum class JoinType {
+  kInner,         ///< matched pairs only
+  kLeft,          ///< + unmatched probe rows, build columns NULL
+  kRight,         ///< + unmatched build rows, probe columns NULL
+  kFull,          ///< both of the above
+  kLeftSemi,      ///< probe rows with >=1 match, probe columns only
+  kLeftAnti,      ///< probe rows with no match (NULL keys qualify)
+  kNullAwareAnti, ///< SQL NOT IN: empty when build has any NULL key
+  kMark,          ///< probe columns + nullable bool "matched" (3VL IN)
+};
+
+const char* JoinTypeName(JoinType type);
+
+/// Semi/anti/mark joins emit no build columns; mark adds a bool channel.
+inline bool JoinEmitsBuildColumns(JoinType t) {
+  return t == JoinType::kInner || t == JoinType::kLeft ||
+         t == JoinType::kRight || t == JoinType::kFull;
+}
+
 /// Aggregate function kinds supported by the two-phase aggregation model.
 enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
 
 const char* AggFuncName(AggFunc func);
 
-/// One aggregate: func over an input channel (-1 = COUNT(*)).
+///// One aggregate: func over an input channel (-1 = COUNT(*)).
 struct Aggregate {
   AggFunc func = AggFunc::kCount;
   int input_channel = -1;
@@ -155,13 +177,18 @@ class ProjectNode : public PlanNode {
   std::vector<ExprPtr> exprs_;
 };
 
-/// Inner hash join. Child 0 is the probe side, child 1 the build side.
-/// Output = all probe columns followed by `build_output_channels`.
+/// Hash join. Child 0 is the probe side, child 1 the build side.
+/// Output for inner/left/right/full = all probe columns followed by
+/// `build_output_channels` (build columns are nullable under left/full,
+/// probe columns under right/full). Semi/anti joins emit probe columns
+/// only and require an empty `build_output_channels`; mark joins append
+/// one nullable kBool "matched" channel after the probe columns.
 class HashJoinNode : public PlanNode {
  public:
   HashJoinNode(int id, PlanNodePtr probe, PlanNodePtr build,
                std::vector<int> probe_keys, std::vector<int> build_keys,
-               std::vector<int> build_output_channels);
+               std::vector<int> build_output_channels,
+               JoinType join_type = JoinType::kInner);
 
   const PlanNodePtr& probe() const { return children()[0]; }
   const PlanNodePtr& build() const { return children()[1]; }
@@ -170,12 +197,14 @@ class HashJoinNode : public PlanNode {
   const std::vector<int>& build_output_channels() const {
     return build_output_channels_;
   }
+  JoinType join_type() const { return join_type_; }
   std::string Describe() const override;
 
  private:
   std::vector<int> probe_keys_;
   std::vector<int> build_keys_;
   std::vector<int> build_output_channels_;
+  JoinType join_type_;
 };
 
 /// Shared base of the two aggregation phases (paper §4.1: partial is

@@ -40,7 +40,8 @@ bool ContainsAggregate(const SqlExprPtr& expr) {
 
 bool ContainsSubquery(const SqlExprPtr& expr) {
   if (expr->kind == SqlExpr::Kind::kExists ||
-      expr->kind == SqlExpr::Kind::kScalarSubquery) {
+      expr->kind == SqlExpr::Kind::kScalarSubquery ||
+      expr->kind == SqlExpr::Kind::kInSubquery) {
     return true;
   }
   for (const auto& child : expr->children) {
@@ -181,13 +182,19 @@ class Analyzer {
     bool consumed = false;
   };
 
-  /// A WHERE conjunct carrying a subquery: `EXISTS (SELECT ...)` or
-  /// `<expr> <op> (SELECT <aggregate> ...)`. PrepareSubquery decorrelates
-  /// it into an aggregate relation joined on the correlation keys.
+  /// A WHERE conjunct carrying a subquery: `[NOT] EXISTS (SELECT ...)`,
+  /// `<expr> <op> (SELECT <aggregate> ...)` or `<expr> [NOT] IN
+  /// (SELECT ...)`. PrepareSubquery decorrelates the first two into an
+  /// aggregate relation joined on the correlation keys; PrepareInSubquery
+  /// lowers the third onto a semi join (IN) or a null-aware anti join
+  /// (NOT IN, which must keep SQL's three-valued `x <> all` semantics:
+  /// a NULL probe or a NULL in the subquery output rejects every row).
   struct PendingSubquery {
     std::shared_ptr<SqlQuery> query;
     bool exists = false;
-    SqlExprPtr lhs;  // scalar only: outer comparison operand
+    bool negated = false;   // NOT EXISTS / NOT IN
+    bool in_probe = false;  // `<expr> [NOT] IN (SELECT ...)`; lhs = probe
+    SqlExprPtr lhs;  // scalar / IN: outer comparison operand
     std::string op;  // scalar only: normalized to `lhs op subquery`
     // Filled by PrepareSubquery:
     Rel rel;                              // aggregated inner relation
@@ -199,8 +206,10 @@ class Analyzer {
   Result<Rel> RunToRel() {
     ACCORDION_RETURN_NOT_OK(ResolveTables());
     ACCORDION_RETURN_NOT_OK(ClassifyConjuncts());
+    ACCORDION_RETURN_NOT_OK(ClassifyOuterJoins());
     ACCORDION_RETURN_NOT_OK(PrepareSubqueries());
     ACCORDION_ASSIGN_OR_RETURN(Rel rel, BuildJoinTree());
+    ACCORDION_RETURN_NOT_OK(ApplyOuterJoins(&rel));
     ACCORDION_RETURN_NOT_OK(ApplyResidualFilters(&rel));
     ACCORDION_RETURN_NOT_OK(ApplySubqueryJoins(&rel));
     ACCORDION_ASSIGN_OR_RETURN(rel, BuildProjectionAndAggregation(rel));
@@ -210,19 +219,32 @@ class Analyzer {
 
   // ---- Scope resolution -------------------------------------------------
 
+  Status AddTable(const SqlTableRef& ref) {
+    TableInfo info;
+    info.name = LowerStr(ref.table);
+    info.alias = LowerStr(ref.alias);
+    ACCORDION_ASSIGN_OR_RETURN(info.schema, catalog_.GetTable(info.name));
+    if (alias_table_.count(info.alias) > 0) {
+      return Status::InvalidArgument(
+          "duplicate table alias '" + info.alias +
+          "' in FROM (alias each occurrence of a self-joined table)");
+    }
+    alias_table_[info.alias] = static_cast<int>(tables_.size());
+    tables_.push_back(std::move(info));
+    return Status::OK();
+  }
+
   Status ResolveTables() {
+    // Inner-joined tables first: they form the reorderable prefix of
+    // tables_; outer-joined tables follow in textual order and are
+    // applied above the inner join tree by ApplyOuterJoins.
     for (const auto& ref : query_.from) {
-      TableInfo info;
-      info.name = LowerStr(ref.table);
-      info.alias = LowerStr(ref.alias);
-      ACCORDION_ASSIGN_OR_RETURN(info.schema, catalog_.GetTable(info.name));
-      if (alias_table_.count(info.alias) > 0) {
-        return Status::InvalidArgument(
-            "duplicate table alias '" + info.alias +
-            "' in FROM (alias each occurrence of a self-joined table)");
-      }
-      alias_table_[info.alias] = static_cast<int>(tables_.size());
-      tables_.push_back(std::move(info));
+      ACCORDION_RETURN_NOT_OK(AddTable(ref));
+    }
+    num_inner_ = tables_.size();
+    for (const auto& join : query_.outer_joins) {
+      ACCORDION_RETURN_NOT_OK(AddTable(join.table));
+      has_right_or_full_ |= join.kind != SqlOuterJoin::Kind::kLeft;
     }
     for (size_t t = 0; t < tables_.size(); ++t) {
       for (const auto& col : tables_[t].schema.columns()) {
@@ -237,6 +259,9 @@ class Analyzer {
       for (const auto& item : query_.select_items) note(item.expr);
     }
     for (const auto& c : query_.conjuncts) note(c);
+    for (const auto& join : query_.outer_joins) {
+      for (const auto& c : join.on) note(c);
+    }
     for (const auto& g : query_.group_by) note(g);
     for (const auto& h : query_.having) note(h);
     for (const auto& o : query_.order_by) note(o.expr);
@@ -367,6 +392,24 @@ class Analyzer {
       subqueries_.push_back(std::move(sq));
       return Status::OK();
     }
+    if (conjunct->kind == SqlExpr::Kind::kNot &&
+        conjunct->children[0]->kind == SqlExpr::Kind::kExists) {
+      PendingSubquery sq;
+      sq.query = conjunct->children[0]->subquery;
+      sq.exists = true;
+      sq.negated = true;
+      subqueries_.push_back(std::move(sq));
+      return Status::OK();
+    }
+    if (conjunct->kind == SqlExpr::Kind::kInSubquery) {
+      PendingSubquery sq;
+      sq.query = conjunct->subquery;
+      sq.in_probe = true;
+      sq.negated = conjunct->text == "NOT";
+      sq.lhs = conjunct->children[0];
+      subqueries_.push_back(std::move(sq));
+      return Status::OK();
+    }
     if (conjunct->kind == SqlExpr::Kind::kBinary &&
         IsComparisonOp(conjunct->text)) {
       bool left_sub =
@@ -395,14 +438,10 @@ class Analyzer {
       }
     }
     if (ContainsSubquery(conjunct)) {
-      if (conjunct->kind == SqlExpr::Kind::kNot &&
-          conjunct->children[0]->kind == SqlExpr::Kind::kExists) {
-        return Status::Unimplemented(
-            "NOT EXISTS (anti-join shapes are outside the SQL subset)");
-      }
       return Status::InvalidArgument(
           "subqueries are only supported as top-level WHERE conjuncts: "
-          "EXISTS (SELECT ...) or <expr> <op> (SELECT <aggregate> ...)");
+          "[NOT] EXISTS (SELECT ...), <expr> <op> (SELECT <aggregate> ...) "
+          "or <expr> [NOT] IN (SELECT ...)");
     }
 
     // Plain conjunct: route by the set of referenced tables.
@@ -412,6 +451,24 @@ class Analyzer {
     ResolvedColumn rc;
     for (const auto& col : cols) {
       if (TryResolve(col, &rc)) refs.insert(rc.table);
+    }
+    // WHERE applies above the join tree; for a column of an outer-joined
+    // table the conjunct must see the NULL-padded rows, so it can never
+    // be pushed into a scan or consumed as an inner-join predicate.
+    for (int r : refs) {
+      if (r >= static_cast<int>(num_inner_)) {
+        residual_.push_back(conjunct);
+        return Status::OK();
+      }
+    }
+    // Under a RIGHT/FULL join even probe-side-only conjuncts change
+    // meaning when evaluated before the join: pre-filtering the probe
+    // turns its matches into NULL-padded preserved rows instead of
+    // dropping them. Everything stays above the join tree. (LEFT joins
+    // preserve the probe side, so probe filters commute and push down.)
+    if (has_right_or_full_) {
+      residual_.push_back(conjunct);
+      return Status::OK();
     }
     if (refs.size() <= 1) {
       if (refs.empty()) {
@@ -443,6 +500,159 @@ class Analyzer {
     return Status::OK();
   }
 
+  // ---- Outer joins ------------------------------------------------------
+
+  /// A classified LEFT/RIGHT/FULL OUTER JOIN: applied over the inner join
+  /// tree in textual order. Outer joins do not commute with inner joins
+  /// or each other, so they are deliberately invisible to the join-order
+  /// optimizer (and to plan-space fuzzing): only the inner prefix of
+  /// tables_ enters the JoinGraph.
+  struct OuterJoinInfo {
+    JoinType type = JoinType::kLeft;
+    int table = -1;                       // index into tables_
+    std::vector<std::string> probe_keys;  // internal names, earlier tables
+    std::vector<std::string> build_keys;  // internal names, the new table
+    // RIGHT only: ON conjuncts over earlier tables, applied as a filter
+    // below the join (sound because a right join does not preserve the
+    // probe side — a filtered-out probe row would have matched nothing).
+    std::vector<SqlExprPtr> probe_filters;
+  };
+
+  Status ClassifyOuterJoins() {
+    if (has_right_or_full_ && num_inner_ > 1) {
+      // WHERE conjuncts cannot be pushed below a RIGHT/FULL join (see
+      // ClassifyOne), but this grammar's only way to connect comma /
+      // INNER JOIN tables is through those conjuncts — so the inner
+      // prefix would degenerate to a cross join. Reject it instead.
+      return Status::Unimplemented(
+          "RIGHT/FULL OUTER JOIN combined with multiple inner-joined "
+          "tables (rewrite the inner joins as LEFT joins or a subquery)");
+    }
+    for (size_t j = 0; j < query_.outer_joins.size(); ++j) {
+      const SqlOuterJoin& join = query_.outer_joins[j];
+      const int tj = static_cast<int>(num_inner_ + j);
+      OuterJoinInfo info;
+      info.table = tj;
+      switch (join.kind) {
+        case SqlOuterJoin::Kind::kLeft: info.type = JoinType::kLeft; break;
+        case SqlOuterJoin::Kind::kRight: info.type = JoinType::kRight; break;
+        case SqlOuterJoin::Kind::kFull: info.type = JoinType::kFull; break;
+      }
+      for (const auto& c : join.on) {
+        if (ContainsSubquery(c)) {
+          return Status::Unimplemented(
+              "subqueries in an outer join ON clause");
+        }
+        if (ContainsAggregate(c)) {
+          return Status::InvalidArgument(
+              "aggregates in an outer join ON clause");
+        }
+        std::vector<SqlExprPtr> cols;
+        CollectColumnNodes(c, &cols);
+        std::set<int> refs;
+        ResolvedColumn rc;
+        for (const auto& col : cols) {
+          if (!TryResolve(col, &rc)) return Resolve(col).status();
+          if (rc.table > tj) {
+            return Status::InvalidArgument(
+                "outer join ON clause references table '" +
+                tables_[rc.table].alias + "', which is joined later");
+          }
+          refs.insert(rc.table);
+        }
+        // `earlier.x = new.y` becomes a key pair of this join.
+        if (c->kind == SqlExpr::Kind::kBinary && c->text == "=" &&
+            c->children[0]->kind == SqlExpr::Kind::kColumn &&
+            c->children[1]->kind == SqlExpr::Kind::kColumn) {
+          ResolvedColumn left, right;
+          if (TryResolve(c->children[0], &left) &&
+              TryResolve(c->children[1], &right) &&
+              (left.table == tj) != (right.table == tj)) {
+            const ResolvedColumn& build_rc = left.table == tj ? left : right;
+            const ResolvedColumn& probe_rc = left.table == tj ? right : left;
+            if (ColumnType(build_rc) != ColumnType(probe_rc)) {
+              return Status::InvalidArgument(
+                  "outer join predicate compares mismatched types: " +
+                  InternalName(probe_rc) + " = " + InternalName(build_rc));
+            }
+            tables_[probe_rc.table].needed_columns.insert(probe_rc.column);
+            tables_[tj].needed_columns.insert(build_rc.column);
+            std::string probe_name = InternalName(probe_rc);
+            extra_refs_.insert(probe_name);
+            info.probe_keys.push_back(std::move(probe_name));
+            info.build_keys.push_back(InternalName(build_rc));
+            continue;
+          }
+        }
+        const bool uses_build = refs.count(tj) > 0;
+        if (!uses_build) {
+          // ON filter over earlier tables only. Sound below a RIGHT join
+          // (probe side not preserved); for LEFT/FULL it would have to
+          // mark rows as unmatched without dropping them.
+          if (info.type != JoinType::kRight) {
+            return Status::Unimplemented(
+                "ON filters over the preserved side of a LEFT/FULL join "
+                "(move the filter to WHERE if post-join filtering is "
+                "intended)");
+          }
+          info.probe_filters.push_back(c);
+          CollectLocalInternal(c, &extra_refs_);
+          continue;
+        }
+        if (refs.size() == 1) {
+          // ON filter over the new table only. Below a LEFT join this
+          // pushes into the build scan (non-preserved side); RIGHT/FULL
+          // preserve the build side, so the rows must survive the filter.
+          if (info.type == JoinType::kLeft) {
+            tables_[tj].filters.push_back(c);
+            continue;
+          }
+          return Status::Unimplemented(
+              "ON filters over the preserved side of a RIGHT/FULL join "
+              "(move the filter to WHERE if post-join filtering is "
+              "intended)");
+        }
+        return Status::Unimplemented(
+            "outer join ON conjuncts must be `a.x = b.y` equalities or "
+            "single-table filters");
+      }
+      if (info.build_keys.empty()) {
+        return Status::InvalidArgument(
+            "outer join ON clause needs at least one `a.x = b.y` "
+            "equi-join conjunct");
+      }
+      outer_infos_.push_back(std::move(info));
+    }
+    return Status::OK();
+  }
+
+  /// Applies the outer joins, in textual order, on top of the inner join
+  /// tree. The build side never broadcasts: right/full joins emit
+  /// unmatched build rows and a broadcast build would replicate them.
+  Status ApplyOuterJoins(Rel* rel) {
+    for (const auto& info : outer_infos_) {
+      for (const auto& f : info.probe_filters) {
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, LowerPredicate(f, *rel));
+        *rel = builder_->Filter(*rel, pred);
+      }
+      ACCORDION_ASSIGN_OR_RETURN(Rel build, ScanTable(info.table));
+      TableInfo& table = tables_[info.table];
+      // Build keys are not redundant with probe keys (unlike inner
+      // joins): unmatched rows carry NULL on the non-preserved side, so
+      // no key pruning happens here.
+      std::vector<std::string> build_output;
+      for (const auto& c : table.needed_columns) {
+        build_output.push_back(InternalName(ResolvedColumn{info.table, c}));
+      }
+      *rel = builder_->Join(*rel, build, info.probe_keys, info.build_keys,
+                            build_output, /*broadcast=*/false, info.type);
+      report_ += std::string("outer join ") + table.alias + ": " +
+                 JoinTypeName(info.type) +
+                 ", textual order (outer joins are never commuted)\n";
+    }
+    return Status::OK();
+  }
+
   // ---- Subquery decorrelation -------------------------------------------
 
   /// Strictly diagnoses every column below `expr` against the subquery
@@ -468,7 +678,94 @@ class Analyzer {
 
   Status PrepareSubqueries() {
     for (auto& sq : subqueries_) {
-      ACCORDION_RETURN_NOT_OK(PrepareSubquery(&sq));
+      if (sq.in_probe) {
+        ACCORDION_RETURN_NOT_OK(PrepareInSubquery(&sq));
+      } else {
+        ACCORDION_RETURN_NOT_OK(PrepareSubquery(&sq));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Lowers `<expr> [NOT] IN (SELECT <column> ...)`: the subquery is
+  /// analyzed in its own scope (uncorrelated only) and projected to its
+  /// single output column; ApplySubqueryJoins then semi-joins (IN) or
+  /// null-aware anti-joins (NOT IN) the outer relation against it. The
+  /// inner relation is deliberately NOT deduplicated: the semi/anti join
+  /// handles duplicate keys, and dedup via GROUP BY would be outright
+  /// wrong for NOT IN (the null-aware anti join must see whether any
+  /// inner row is NULL, and NULL forms its own group in GROUP BY).
+  Status PrepareInSubquery(PendingSubquery* sq) {
+    if (outer_ != nullptr) return Status::Unimplemented("nested subqueries");
+    const SqlQuery& sub_query = *sq->query;
+    if (!sub_query.group_by.empty() || !sub_query.having.empty() ||
+        !sub_query.order_by.empty() || sub_query.limit >= 0 ||
+        sub_query.distinct || !sub_query.outer_joins.empty()) {
+      return Status::Unimplemented(
+          "GROUP BY / HAVING / ORDER BY / LIMIT / DISTINCT / outer joins "
+          "inside an IN subquery");
+    }
+    if (sub_query.select_star || sub_query.select_items.size() != 1 ||
+        ContainsAggregate(sub_query.select_items[0].expr) ||
+        ContainsSubquery(sub_query.select_items[0].expr)) {
+      return Status::InvalidArgument(
+          "an IN subquery must select exactly one non-aggregate "
+          "expression, e.g. x IN (SELECT y FROM ...)");
+    }
+    if (ContainsAggregate(sq->lhs) || ContainsSubquery(sq->lhs)) {
+      return Status::InvalidArgument(
+          "the probe of [NOT] IN (SELECT ...) cannot contain aggregates "
+          "or subqueries");
+    }
+
+    auto sub = std::make_unique<Analyzer>(sub_query, catalog_, builder_, this,
+                                          options_);
+    ACCORDION_RETURN_NOT_OK(sub->ResolveTables());
+    ACCORDION_RETURN_NOT_OK(
+        DiagnoseSubqueryColumns(*sub, sub_query.select_items[0].expr));
+    for (const auto& c : sub_query.conjuncts) {
+      if (ContainsSubquery(c)) {
+        return Status::Unimplemented("nested subqueries");
+      }
+      std::vector<SqlExprPtr> cols;
+      CollectColumnNodes(c, &cols);
+      ResolvedColumn rc;
+      for (const auto& col : cols) {
+        if (!sub->TryResolve(col, &rc)) {
+          // A typo gets its proper diagnosis; a genuine outer reference
+          // gets the unsupported-correlation error.
+          ACCORDION_RETURN_NOT_OK(DiagnoseSubqueryColumns(*sub, c));
+          return Status::Unimplemented(
+              "correlated [NOT] IN subqueries (rewrite as EXISTS / "
+              "NOT EXISTS)");
+        }
+      }
+      ACCORDION_RETURN_NOT_OK(sub->ClassifyOne(c));
+    }
+
+    ACCORDION_ASSIGN_OR_RETURN(Rel inner, sub->BuildJoinTree());
+    ACCORDION_RETURN_NOT_OK(sub->ApplyResidualFilters(&inner));
+    if (!sub->report_.empty()) {
+      report_ += "IN subquery:\n" + sub->report_;
+    }
+    sq->value_column = "#subq" + std::to_string(subquery_ordinal_++);
+    ACCORDION_ASSIGN_OR_RETURN(
+        ExprPtr item, sub->Lower(sub_query.select_items[0].expr, inner));
+    sq->rel = builder_->Project(inner, {item}, {sq->value_column});
+    sq->inner_keys = {sq->value_column};
+
+    // Probe side: a plain column joins directly (and must survive
+    // pruning); any other expression is projected as a computed key
+    // column by ApplySubqueryJoins.
+    ResolvedColumn probe_rc;
+    if (sq->lhs->kind == SqlExpr::Kind::kColumn &&
+        TryResolve(sq->lhs, &probe_rc)) {
+      tables_[probe_rc.table].needed_columns.insert(probe_rc.column);
+      std::string name = InternalName(probe_rc);
+      extra_refs_.insert(name);
+      sq->outer_keys = {std::move(name)};
+    } else {
+      CollectLocalInternal(sq->lhs, &extra_refs_);
     }
     return Status::OK();
   }
@@ -484,9 +781,11 @@ class Analyzer {
     if (outer_ != nullptr) return Status::Unimplemented("nested subqueries");
     const SqlQuery& sub_query = *sq->query;
     if (!sub_query.group_by.empty() || !sub_query.having.empty() ||
-        !sub_query.order_by.empty() || sub_query.limit >= 0) {
+        !sub_query.order_by.empty() || sub_query.limit >= 0 ||
+        sub_query.distinct || !sub_query.outer_joins.empty()) {
       return Status::Unimplemented(
-          "GROUP BY / HAVING / ORDER BY / LIMIT inside a subquery");
+          "GROUP BY / HAVING / ORDER BY / LIMIT / DISTINCT / outer joins "
+          "inside a subquery");
     }
     SqlExprPtr agg_node;
     if (!sq->exists) {
@@ -640,6 +939,20 @@ class Analyzer {
 
   Status ApplySubqueryJoins(Rel* rel) {
     for (const auto& sq : subqueries_) {
+      if (sq.in_probe) {
+        ACCORDION_RETURN_NOT_OK(ApplyInSubqueryJoin(sq, rel));
+        continue;
+      }
+      if (sq.exists && sq.negated) {
+        // NOT EXISTS: plain anti join against the deduplicated inner
+        // relation. A NULL correlation key on either side never matches
+        // (SQL equality), so the probe row survives — exactly the
+        // kLeftAnti NULL treatment.
+        *rel = builder_->Join(*rel, sq.rel, sq.outer_keys, sq.inner_keys,
+                              /*build_output=*/{}, /*broadcast=*/false,
+                              JoinType::kLeftAnti);
+        continue;
+      }
       std::vector<std::string> build_output;
       if (!sq.exists) build_output.push_back(sq.value_column);
       *rel = builder_->Join(*rel, sq.rel, sq.outer_keys, sq.inner_keys,
@@ -655,6 +968,49 @@ class Analyzer {
       ACCORDION_ASSIGN_OR_RETURN(ExprPtr pred, LowerPredicate(cmp, *rel));
       *rel = builder_->Filter(*rel, pred);
     }
+    return Status::OK();
+  }
+
+  /// `<expr> IN (SELECT ...)` -> left semi join; `<expr> NOT IN
+  /// (SELECT ...)` -> null-aware anti join (the builder broadcasts the
+  /// build side so every worker sees the global empty / has-NULL state).
+  Status ApplyInSubqueryJoin(const PendingSubquery& sq, Rel* rel) {
+    std::string probe_name;
+    if (!sq.outer_keys.empty()) {
+      probe_name = sq.outer_keys[0];
+    } else {
+      // Computed probe: append it as an extra column (harmless — the
+      // final projection selects only the select-list outputs).
+      ACCORDION_ASSIGN_OR_RETURN(ExprPtr probe, Lower(sq.lhs, *rel));
+      probe_name = sq.value_column + "_probe";
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names = rel->names;
+      for (const auto& name : rel->names) exprs.push_back(rel->Ref(name));
+      exprs.push_back(std::move(probe));
+      names.push_back(probe_name);
+      *rel = builder_->Project(*rel, std::move(exprs), std::move(names));
+    }
+    DataType probe_type = DataType::kInt64;
+    bool found = false;
+    for (size_t i = 0; i < rel->names.size(); ++i) {
+      if (rel->names[i] == probe_name) {
+        probe_type = rel->node->output_types()[i];
+        found = true;
+      }
+    }
+    if (!found) {
+      return Status::Internal("IN probe column '" + probe_name +
+                              "' missing from the outer relation");
+    }
+    DataType inner_type = sq.rel.node->output_types()[0];
+    if (probe_type != inner_type) {
+      return Status::InvalidArgument(
+          "[NOT] IN probe type does not match the subquery column type");
+    }
+    *rel = builder_->Join(*rel, sq.rel, {probe_name}, {sq.value_column},
+                          /*build_output=*/{}, /*broadcast=*/false,
+                          sq.negated ? JoinType::kNullAwareAnti
+                                     : JoinType::kLeftSemi);
     return Status::OK();
   }
 
@@ -747,14 +1103,20 @@ class Analyzer {
     }
     if (!filter_pushdown) {
       // Pushdown off: single-table predicates leave the scans and apply
-      // above the join tree like any residual conjunct.
-      for (auto& table : tables_) {
-        for (auto& f : table.filters) residual_.push_back(f);
-        table.filters.clear();
+      // above the join tree like any residual conjunct. Outer-joined
+      // tables are exempt: their pushed filters came from ON clauses,
+      // whose only semantics-preserving placement is below the join.
+      for (size_t t = 0; t < num_inner_; ++t) {
+        for (auto& f : tables_[t].filters) residual_.push_back(f);
+        tables_[t].filters.clear();
       }
     }
     residual_applied_.assign(residual_.size(), false);
-    eager_residuals_ = filter_pushdown && options_.mode != OptimizerMode::kOff;
+    // Eager residual application inside the (pre-outer-join) tree is only
+    // sound when every join above it preserves the probe side.
+    eager_residuals_ = filter_pushdown &&
+                       options_.mode != OptimizerMode::kOff &&
+                       !has_right_or_full_;
 
     // Make sure all join-key columns are scanned, and count how many join
     // predicates use each column so pruning below never drops a key a
@@ -784,6 +1146,9 @@ class Analyzer {
 
     // Cost model: estimate each table's post-filter cardinality from the
     // catalog statistics, then hand the join graph to the optimizer.
+    // Only the inner prefix of tables_ enters the graph — outer joins are
+    // pinned to their textual position and must not be commuted (neither
+    // by the DP optimizer nor by plan-space fuzzing).
     JoinGraph graph;
     for (size_t t = 0; t < tables_.size(); ++t) {
       TableInfo& table = tables_[t];
@@ -796,8 +1161,10 @@ class Analyzer {
         selectivity *= EstimateSelectivity(f, resolver);
       }
       table.est_rows = std::max(1.0, table.base_rows * selectivity);
-      graph.tables.push_back(JoinGraph::Table{
-          table.alias.empty() ? table.name : table.alias, table.est_rows});
+      if (t < num_inner_) {
+        graph.tables.push_back(JoinGraph::Table{
+            table.alias.empty() ? table.name : table.alias, table.est_rows});
+      }
     }
     for (const auto& p : join_preds_) {
       graph.edges.push_back(JoinGraph::Edge{
@@ -1019,8 +1386,23 @@ class Analyzer {
       case SqlExpr::Kind::kDateLiteral:
         return LitDate(expr->text);
       case SqlExpr::Kind::kBinary: {
-        ACCORDION_ASSIGN_OR_RETURN(ExprPtr left, Lower(expr->children[0], rel));
-        ExprPtr right;
+        // A bare NULL operand borrows the other side's type (`x = NULL`
+        // is well-typed and constantly NULL under 3VL).
+        const bool left_null =
+            expr->children[0]->kind == SqlExpr::Kind::kNullLiteral;
+        const bool right_null =
+            expr->children[1]->kind == SqlExpr::Kind::kNullLiteral;
+        if (left_null && right_null) {
+          return Status::InvalidArgument(
+              "cannot infer a type for NULL " + expr->text + " NULL");
+        }
+        ExprPtr left, right;
+        if (left_null) {
+          ACCORDION_ASSIGN_OR_RETURN(right, Lower(expr->children[1], rel));
+          left = Lit(Value::Null(right->type()));
+        } else {
+          ACCORDION_ASSIGN_OR_RETURN(left, Lower(expr->children[0], rel));
+        }
         // Date/string coercion: date_col < '1995-03-15' (literal or bound
         // string parameter).
         auto date_literal = [](const SqlExprPtr& e) -> const std::string* {
@@ -1031,15 +1413,17 @@ class Analyzer {
           }
           return nullptr;
         };
-        if (const std::string* iso = date_literal(expr->children[1]);
-            left->type() == DataType::kDate && iso != nullptr) {
+        if (right_null) {
+          right = Lit(Value::Null(left->type()));
+        } else if (const std::string* iso = date_literal(expr->children[1]);
+                   left->type() == DataType::kDate && iso != nullptr) {
           right = LitDate(*iso);
-        } else {
+        } else if (right == nullptr) {
           ACCORDION_ASSIGN_OR_RETURN(right, Lower(expr->children[1], rel));
         }
         // And the mirrored form: '1995-03-15' < date_col.
         if (const std::string* iso = date_literal(expr->children[0]);
-            right->type() == DataType::kDate && iso != nullptr) {
+            !left_null && right->type() == DataType::kDate && iso != nullptr) {
           left = LitDate(*iso);
         }
         const std::string& op = expr->text;
@@ -1102,23 +1486,43 @@ class Analyzer {
         return Between(value, std::move(lo), std::move(hi));
       }
       case SqlExpr::Kind::kCaseWhen: {
-        std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+        // Branch values first: the CASE type comes from the first
+        // non-NULL branch (ELSE included), and NULL branches — notably
+        // the implicit ELSE NULL — borrow it.
         size_t n = expr->children.size();
-        ACCORDION_ASSIGN_OR_RETURN(ExprPtr dflt, Lower(expr->children[n - 1], rel));
+        std::vector<ExprPtr> lowered(n);
+        std::vector<size_t> val_slots;
+        for (size_t i = 0; i + 1 < n; i += 2) val_slots.push_back(i + 1);
+        val_slots.push_back(n - 1);
+        DataType result_type = DataType::kInt64;
+        bool have_type = false;
+        for (size_t s : val_slots) {
+          if (expr->children[s]->kind == SqlExpr::Kind::kNullLiteral) continue;
+          ACCORDION_ASSIGN_OR_RETURN(lowered[s], Lower(expr->children[s], rel));
+          if (!have_type) {
+            result_type = lowered[s]->type();
+            have_type = true;
+          } else if (lowered[s]->type() != result_type) {
+            return Status::InvalidArgument("CASE branches must share one type");
+          }
+        }
+        if (!have_type) {
+          return Status::InvalidArgument(
+              "every CASE branch is NULL — the result type cannot be "
+              "inferred");
+        }
+        for (size_t s : val_slots) {
+          if (lowered[s] == nullptr) lowered[s] = Lit(Value::Null(result_type));
+        }
+        std::vector<std::pair<ExprPtr, ExprPtr>> branches;
         for (size_t i = 0; i + 1 < n; i += 2) {
           ACCORDION_ASSIGN_OR_RETURN(ExprPtr cond, Lower(expr->children[i], rel));
-          ACCORDION_ASSIGN_OR_RETURN(ExprPtr val,
-                                     Lower(expr->children[i + 1], rel));
           if (cond->type() != DataType::kBool) {
             return Status::InvalidArgument("WHEN condition must be boolean");
           }
-          if (val->type() != dflt->type()) {
-            return Status::InvalidArgument(
-                "CASE branches must share one type");
-          }
-          branches.emplace_back(std::move(cond), std::move(val));
+          branches.emplace_back(std::move(cond), std::move(lowered[i + 1]));
         }
-        return CaseWhen(std::move(branches), dflt);
+        return CaseWhen(std::move(branches), lowered[n - 1]);
       }
       case SqlExpr::Kind::kExtractYear: {
         ACCORDION_ASSIGN_OR_RETURN(ExprPtr inner, Lower(expr->children[0], rel));
@@ -1132,11 +1536,25 @@ class Analyzer {
       case SqlExpr::Kind::kPlaceholder:
         return Status::InvalidArgument(
             "unbound '?' parameter — prepare the statement and bind values");
+      case SqlExpr::Kind::kIsNull: {
+        if (expr->children[0]->kind == SqlExpr::Kind::kNullLiteral) {
+          return Status::InvalidArgument(
+              "IS [NOT] NULL needs a typed operand, not a NULL literal");
+        }
+        ACCORDION_ASSIGN_OR_RETURN(ExprPtr inner, Lower(expr->children[0], rel));
+        return expr->text == "NOT" ? IsNotNull(inner) : IsNull(inner);
+      }
+      case SqlExpr::Kind::kNullLiteral:
+        return Status::InvalidArgument(
+            "NULL literal requires a typed context (a comparison operand, "
+            "a CASE branch, or IS [NOT] NULL)");
       case SqlExpr::Kind::kExists:
       case SqlExpr::Kind::kScalarSubquery:
+      case SqlExpr::Kind::kInSubquery:
         return Status::InvalidArgument(
             "subqueries are only supported as top-level WHERE conjuncts: "
-            "EXISTS (SELECT ...) or <expr> <op> (SELECT <aggregate> ...)");
+            "[NOT] EXISTS (SELECT ...), <expr> <op> (SELECT <aggregate> "
+            "...) or <expr> [NOT] IN (SELECT ...)");
       case SqlExpr::Kind::kAggregate:
         return Status::InvalidArgument(
             "aggregate not allowed here (nested aggregate or aggregate "
@@ -1323,9 +1741,9 @@ class Analyzer {
         exprs.push_back(std::move(e));
         names.push_back(OutputName(item, i));
       }
-      return PlanBuilder::AnnotateRows(
+      return ApplyDistinct(PlanBuilder::AnnotateRows(
           builder_->Project(rel, std::move(exprs), std::move(names)),
-          input_est);
+          input_est));
     }
 
     // Group keys: plain columns, select aliases or expressions.
@@ -1419,9 +1837,18 @@ class Analyzer {
       post_exprs.push_back(std::move(e));
       post_names.push_back(OutputName(item, i));
     }
-    return PlanBuilder::AnnotateRows(
+    return ApplyDistinct(PlanBuilder::AnnotateRows(
         builder_->Project(agg, std::move(post_exprs), std::move(post_names)),
-        group_est);
+        group_est));
+  }
+
+  /// SELECT DISTINCT: group the projected output by all of its columns
+  /// with no aggregates. NULL forms its own group (SQL DISTINCT treats
+  /// NULLs as duplicates of each other), which is exactly the engine's
+  /// GROUP BY NULL semantics.
+  Rel ApplyDistinct(Rel rel) {
+    if (!query_.distinct) return rel;
+    return builder_->Aggregate(rel, rel.names, {});
   }
 
   static std::string OutputName(const SqlSelectItem& item, size_t index) {
@@ -1481,6 +1908,9 @@ class Analyzer {
   const OptimizerOptions options_;
   bool select_list_matters_;  // false inside EXISTS (list is ignored)
   std::vector<TableInfo> tables_;
+  size_t num_inner_ = 0;  // tables_[0..num_inner_) are inner-joined
+  bool has_right_or_full_ = false;  // any non-probe-preserving outer join
+  std::vector<OuterJoinInfo> outer_infos_;
   std::map<std::string, int> alias_table_;
   std::map<std::string, std::vector<int>> column_tables_;
   std::vector<JoinPred> join_preds_;

@@ -22,16 +22,28 @@ namespace accordion {
 ///    l_year` in the select list), with HAVING filtered over the
 ///    aggregate output,
 ///  - `EXISTS (SELECT ...)` conjuncts lowered to dedup-then-join (the
-///    hand-built Q4 shape) and `<expr> <op> (SELECT <agg> ...)` scalar
+///    hand-built Q4 shape), `NOT EXISTS` to an anti join against the same
+///    deduplicated relation, and `<expr> <op> (SELECT <agg> ...)` scalar
 ///    subqueries decorrelated into aggregate joins (the Q2 shape);
 ///    correlation must be `<inner column> = <outer column>` equalities,
+///  - uncorrelated `<expr> IN (SELECT ...)` as a left semi join and
+///    `<expr> NOT IN (SELECT ...)` as a null-aware anti join (keeping
+///    SQL's three-valued `<> ALL` semantics around NULLs),
+///  - LEFT/RIGHT/FULL [OUTER] JOIN ... ON applied over the inner join
+///    tree in textual order — outer joins do not commute, so they are
+///    invisible to the join-order optimizer and to plan-space fuzzing,
+///  - SELECT DISTINCT as a trailing all-column grouping,
 ///  - TopN for ORDER BY [+ LIMIT].
 ///
 /// Limitations (documented engine scope, all rejected with a typed
-/// Status — see API.md "SQL reference"): single result SELECT block,
-/// inner joins only, no DISTINCT, no outer/anti joins (hence no NOT
-/// EXISTS), no IN (SELECT ...), no uncorrelated or nested subqueries,
-/// no subqueries outside top-level WHERE conjuncts.
+/// Status — see API.md "SQL reference"): single result SELECT block, no
+/// correlated or nested IN subqueries, no uncorrelated EXISTS, no
+/// subqueries outside top-level WHERE conjuncts, inner joins must
+/// precede the first outer join, outer-join ON conjuncts are limited to
+/// equalities plus non-preserved-side filters, and a RIGHT/FULL join
+/// admits at most one inner-joined table (WHERE conjuncts cannot be
+/// pushed below a join that NULL-pads or drops probe rows, so they
+/// could not connect an inner prefix).
 /// `options` selects the cost-based optimizer mode (src/optimizer/):
 /// kOn (the default) estimates cardinalities from catalog statistics,
 /// reorders joins by dynamic programming, picks build sides and broadcast

@@ -27,6 +27,7 @@ class Parser {
   Result<SqlQuery> ParseQueryBody() {
     SqlQuery query;
     ACCORDION_RETURN_NOT_OK(Expect("SELECT"));
+    query.distinct = AcceptKeyword("DISTINCT");
     ACCORDION_RETURN_NOT_OK(ParseSelectList(&query));
     ACCORDION_RETURN_NOT_OK(Expect("FROM"));
     ACCORDION_RETURN_NOT_OK(ParseFrom(&query));
@@ -132,30 +133,71 @@ class Parser {
   }
 
   Status ParseFrom(SqlQuery* query) {
-    ACCORDION_RETURN_NOT_OK(ParseTableRef(query));
+    ACCORDION_RETURN_NOT_OK(ParseTableRef(&query->from));
     while (true) {
       if (AcceptSymbol(",")) {
-        ACCORDION_RETURN_NOT_OK(ParseTableRef(query));
+        if (!query->outer_joins.empty()) {
+          // A comma item after an outer join would interleave a freely
+          // commutable table into the fixed outer-join order.
+          return Status::Unimplemented(
+              "comma-joined tables after an outer join (list them before "
+              "the outer join)");
+        }
+        ACCORDION_RETURN_NOT_OK(ParseTableRef(&query->from));
         continue;
       }
-      bool joined = false;
-      if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+      // LEFT / RIGHT / FULL [OUTER] JOIN keep their textual position;
+      // plain / INNER JOIN melts into the reorderable FROM list.
+      SqlOuterJoin::Kind outer_kind = SqlOuterJoin::Kind::kLeft;
+      bool outer = false;
+      if ((Peek().IsKeyword("LEFT") || Peek().IsKeyword("RIGHT") ||
+           Peek().IsKeyword("FULL")) &&
+          (Peek(1).IsKeyword("JOIN") ||
+           (Peek(1).IsKeyword("OUTER") && Peek(2).IsKeyword("JOIN")))) {
+        if (Peek().IsKeyword("RIGHT")) outer_kind = SqlOuterJoin::Kind::kRight;
+        if (Peek().IsKeyword("FULL")) outer_kind = SqlOuterJoin::Kind::kFull;
         Advance();
-        Advance();
-        joined = true;
-      } else if (AcceptKeyword("JOIN")) {
-        joined = true;
+        (void)AcceptKeyword("OUTER");
+        Advance();  // JOIN
+        outer = true;
+      }
+      bool joined = outer;
+      if (!joined) {
+        if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+          Advance();
+          Advance();
+          joined = true;
+        } else if (AcceptKeyword("JOIN")) {
+          joined = true;
+        }
       }
       if (!joined) break;
-      ACCORDION_RETURN_NOT_OK(ParseTableRef(query));
-      ACCORDION_RETURN_NOT_OK(Expect("ON"));
-      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr on, ParseExpr());
-      SplitConjuncts(on, &query->conjuncts);
+      if (!outer && !query->outer_joins.empty()) {
+        return Status::Unimplemented(
+            "inner joins after an outer join (inner joins must precede "
+            "the first outer join)");
+      }
+      if (outer) {
+        SqlOuterJoin join;
+        join.kind = outer_kind;
+        std::vector<SqlTableRef> refs;
+        ACCORDION_RETURN_NOT_OK(ParseTableRef(&refs));
+        join.table = std::move(refs[0]);
+        ACCORDION_RETURN_NOT_OK(Expect("ON"));
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr on, ParseExpr());
+        SplitConjuncts(on, &join.on);
+        query->outer_joins.push_back(std::move(join));
+      } else {
+        ACCORDION_RETURN_NOT_OK(ParseTableRef(&query->from));
+        ACCORDION_RETURN_NOT_OK(Expect("ON"));
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr on, ParseExpr());
+        SplitConjuncts(on, &query->conjuncts);
+      }
     }
     return Status::OK();
   }
 
-  Status ParseTableRef(SqlQuery* query) {
+  Status ParseTableRef(std::vector<SqlTableRef>* out) {
     if (Peek().kind != TokenKind::kIdentifier) {
       return Status::ParseError("expected table name");
     }
@@ -164,7 +206,8 @@ class Parser {
     Advance();
     // Optional alias (not a clause keyword).
     static const char* kClauses[] = {"WHERE", "GROUP", "HAVING", "ORDER",
-                                     "LIMIT", "INNER", "JOIN",   "ON", "AS"};
+                                     "LIMIT", "INNER", "JOIN",   "ON", "AS",
+                                     "LEFT",  "RIGHT", "FULL",   "OUTER"};
     if (AcceptKeyword("AS")) {
       if (Peek().kind != TokenKind::kIdentifier) {
         return Status::ParseError("expected table alias after AS");
@@ -180,7 +223,7 @@ class Parser {
       }
     }
     if (ref.alias.empty()) ref.alias = ref.table;
-    query->from.push_back(std::move(ref));
+    out->push_back(std::move(ref));
     return Status::OK();
   }
 
@@ -234,8 +277,33 @@ class Parser {
     return ParseComparison();
   }
 
+  static SqlExprPtr MakeNot(SqlExprPtr inner) {
+    auto node = std::make_shared<SqlExpr>();
+    node->kind = SqlExpr::Kind::kNot;
+    node->children = {std::move(inner)};
+    return node;
+  }
+
   Result<SqlExprPtr> ParseComparison() {
     ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAdditive());
+    if (AcceptKeyword("IS")) {
+      bool negated = AcceptKeyword("NOT");
+      ACCORDION_RETURN_NOT_OK(Expect("NULL"));
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kIsNull;
+      if (negated) node->text = "NOT";
+      node->children = {std::move(left)};
+      return SqlExprPtr(node);
+    }
+    // Infix negation: `x NOT IN/LIKE/BETWEEN ...`. (Prefix NOT is handled
+    // one level up by ParseNot.)
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("LIKE") ||
+         Peek(1).IsKeyword("BETWEEN"))) {
+      Advance();
+      negated = true;
+    }
     if (AcceptKeyword("LIKE")) {
       if (Peek().kind != TokenKind::kString) {
         return Status::ParseError("LIKE expects a string literal");
@@ -245,13 +313,20 @@ class Parser {
       node->text = Peek().text;
       node->children = {std::move(left)};
       Advance();
+      if (negated) return MakeNot(node);
       return SqlExprPtr(node);
     }
     if (AcceptKeyword("IN")) {
       ACCORDION_RETURN_NOT_OK(ExpectSymbol("("));
       if (Peek().IsKeyword("SELECT")) {
-        return Status::Unimplemented(
-            "IN (SELECT ...) subqueries (rewrite as EXISTS or a join)");
+        ACCORDION_ASSIGN_OR_RETURN(SqlQuery sub, ParseQueryBody());
+        ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
+        auto node = std::make_shared<SqlExpr>();
+        node->kind = SqlExpr::Kind::kInSubquery;
+        if (negated) node->text = "NOT";
+        node->children = {std::move(left)};
+        node->subquery = std::make_shared<SqlQuery>(std::move(sub));
+        return SqlExprPtr(node);
       }
       auto node = std::make_shared<SqlExpr>();
       node->kind = SqlExpr::Kind::kIn;
@@ -261,6 +336,7 @@ class Parser {
         node->children.push_back(std::move(lit));
       } while (AcceptSymbol(","));
       ACCORDION_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (negated) return MakeNot(node);
       return SqlExprPtr(node);
     }
     if (AcceptKeyword("BETWEEN")) {
@@ -270,7 +346,11 @@ class Parser {
       auto node = std::make_shared<SqlExpr>();
       node->kind = SqlExpr::Kind::kBetween;
       node->children = {std::move(left), std::move(lo), std::move(hi)};
+      if (negated) return MakeNot(node);
       return SqlExprPtr(node);
+    }
+    if (negated) {
+      return Status::ParseError("expected IN, LIKE or BETWEEN after NOT");
     }
     for (const char* op : {"=", "<>", "<=", ">=", "<", ">"}) {
       if (AcceptSymbol(op)) {
@@ -349,6 +429,12 @@ class Parser {
       Advance();
       return SqlExprPtr(node);
     }
+    if (t.IsKeyword("NULL")) {
+      Advance();
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kNullLiteral;
+      return SqlExprPtr(node);
+    }
     if (t.IsKeyword("DATE")) {
       Advance();
       if (Peek().kind != TokenKind::kString) {
@@ -374,9 +460,15 @@ class Parser {
       if (node->children.empty()) {
         return Status::ParseError("CASE requires at least one WHEN");
       }
-      ACCORDION_RETURN_NOT_OK(Expect("ELSE"));
-      ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr dflt, ParseExpr());
-      node->children.push_back(std::move(dflt));
+      if (AcceptKeyword("ELSE")) {
+        ACCORDION_ASSIGN_OR_RETURN(SqlExprPtr dflt, ParseExpr());
+        node->children.push_back(std::move(dflt));
+      } else {
+        // Standard SQL: a missing ELSE branch yields NULL.
+        auto dflt = std::make_shared<SqlExpr>();
+        dflt->kind = SqlExpr::Kind::kNullLiteral;
+        node->children.push_back(std::move(dflt));
+      }
       ACCORDION_RETURN_NOT_OK(Expect("END"));
       return SqlExprPtr(node);
     }
@@ -489,6 +581,9 @@ SqlQuery SubstituteInQuery(const SqlQuery& query,
     item.expr = SubstitutePlaceholders(item.expr, params);
   }
   for (auto& c : bound.conjuncts) c = SubstitutePlaceholders(c, params);
+  for (auto& join : bound.outer_joins) {
+    for (auto& c : join.on) c = SubstitutePlaceholders(c, params);
+  }
   for (auto& g : bound.group_by) g = SubstitutePlaceholders(g, params);
   for (auto& h : bound.having) h = SubstitutePlaceholders(h, params);
   for (auto& o : bound.order_by) o.expr = SubstitutePlaceholders(o.expr, params);

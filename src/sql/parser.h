@@ -10,14 +10,16 @@
 
 namespace accordion {
 
-/// SQL AST covering the engine's workload: SELECT with FROM (comma or
-/// INNER JOIN ... ON, aliases allowed — self-joins use alias-qualified
-/// columns), WHERE, GROUP BY (columns, select aliases or expressions),
-/// HAVING, ORDER BY and LIMIT; expressions with arithmetic, comparisons,
-/// AND/OR/NOT, LIKE, IN, BETWEEN, CASE WHEN, DATE 'lit' and
+/// SQL AST covering the engine's workload: SELECT [DISTINCT] with FROM
+/// (comma or [INNER] JOIN ... ON, aliases allowed — self-joins use
+/// alias-qualified columns), LEFT/RIGHT/FULL [OUTER] JOIN ... ON, WHERE,
+/// GROUP BY (columns, select aliases or expressions), HAVING, ORDER BY
+/// and LIMIT; expressions with arithmetic, comparisons, AND/OR/NOT,
+/// LIKE, [NOT] IN, BETWEEN, CASE WHEN (ELSE optional — missing means
+/// NULL), IS [NOT] NULL, NULL literals, DATE 'lit' and
 /// EXTRACT(YEAR FROM x); aggregate calls count/sum/min/max/avg (count(*)
-/// included); EXISTS (SELECT ...) and scalar (SELECT <agg> ...)
-/// subqueries as WHERE conjuncts.
+/// included); EXISTS / NOT EXISTS (SELECT ...), scalar (SELECT <agg> ...)
+/// and [NOT] IN (SELECT <column> ...) subqueries as WHERE conjuncts.
 
 struct SqlQuery;
 struct SqlExpr;
@@ -42,6 +44,10 @@ struct SqlExpr {
     kBoundValue,  // placeholder after Bind(); bound_value carries the Value
     kExists,      // EXISTS (SELECT ...); body in subquery
     kScalarSubquery,  // (SELECT <aggregate> ...); body in subquery
+    kIsNull,      // child IS [NOT] NULL; text = "NOT" for the negated form
+    kNullLiteral, // bare NULL (typed from context during lowering)
+    kInSubquery,  // child [NOT] IN (SELECT ...); body in subquery,
+                  // text = "NOT" for the negated form
   };
 
   Kind kind;
@@ -58,6 +64,17 @@ struct SqlTableRef {
   std::string alias;  // empty = table name
 };
 
+/// One LEFT/RIGHT/FULL [OUTER] JOIN item. Outer joins do not commute with
+/// inner joins or each other, so they keep their textual position instead
+/// of melting into the flat FROM list: the analyzer applies them in order
+/// on top of the (freely reorderable) inner-join tree.
+struct SqlOuterJoin {
+  enum class Kind { kLeft, kRight, kFull };
+  Kind kind = Kind::kLeft;
+  SqlTableRef table;
+  std::vector<SqlExprPtr> on;  // ON clause, AND-split
+};
+
 struct SqlOrderItem {
   SqlExprPtr expr;
   bool ascending = true;
@@ -71,8 +88,10 @@ struct SqlSelectItem {
 struct SqlQuery {
   std::vector<SqlSelectItem> select_items;
   bool select_star = false;  // SELECT * (only meaningful inside EXISTS)
-  std::vector<SqlTableRef> from;
-  std::vector<SqlExprPtr> conjuncts;  // WHERE + JOIN..ON, AND-split
+  bool distinct = false;     // SELECT DISTINCT
+  std::vector<SqlTableRef> from;        // inner-joined tables only
+  std::vector<SqlOuterJoin> outer_joins;  // textual order, after `from`
+  std::vector<SqlExprPtr> conjuncts;  // WHERE + inner JOIN..ON, AND-split
   std::vector<SqlExprPtr> group_by;
   std::vector<SqlExprPtr> having;  // AND-split, aggregates allowed
   std::vector<SqlOrderItem> order_by;

@@ -38,6 +38,28 @@ class GeneratorPageSource : public PageSource {
   TpchSplitGenerator gen_;
 };
 
+/// Wraps a source with content-keyed NULL injection (Page::InjectNulls)
+/// for three-valued-logic differential testing. Enabled by
+/// EngineConfig::null_injection_rate > 0; never used in production runs.
+class NullInjectingPageSource : public PageSource {
+ public:
+  NullInjectingPageSource(std::unique_ptr<PageSource> inner, double rate,
+                          uint64_t seed)
+      : inner_(std::move(inner)), rate_(rate), seed_(seed) {}
+
+  PagePtr Next() override {
+    PagePtr page = inner_->Next();
+    if (page == nullptr) return nullptr;
+    return InjectNulls(page, rate_, seed_);
+  }
+  int64_t TotalRows() const override { return inner_->TotalRows(); }
+
+ private:
+  std::unique_ptr<PageSource> inner_;
+  double rate_;
+  uint64_t seed_;
+};
+
 }  // namespace accordion
 
 #endif  // ACCORDION_STORAGE_PAGE_SOURCE_H_

@@ -4,21 +4,57 @@
 
 namespace accordion {
 
+namespace {
+
+// Folded into the hash seed for NULL rows so a NULL hashes differently
+// from the zeroed payload it stores (0 / 0.0 / ""). Every NULL of a column
+// hashes identically, so partitioned shuffles and GROUP BY keep all NULLs
+// together.
+constexpr uint64_t kNullHashSentinel = 0x6e756c6c6b657921ULL;  // "nullkey!"
+
+}  // namespace
+
 int64_t Column::ByteSize() const {
+  int64_t bytes = static_cast<int64_t>(validity_.size());
   switch (type_) {
     case DataType::kDouble:
-      return static_cast<int64_t>(doubles_.size() * sizeof(double));
+      return bytes + static_cast<int64_t>(doubles_.size() * sizeof(double));
     case DataType::kString: {
-      int64_t bytes = 0;
       for (const auto& s : strings_) bytes += 4 + static_cast<int64_t>(s.size());
       return bytes;
     }
     default:
-      return static_cast<int64_t>(ints_.size() * sizeof(int64_t));
+      return bytes + static_cast<int64_t>(ints_.size() * sizeof(int64_t));
   }
 }
 
+void Column::EnsureValidity() {
+  if (validity_.empty()) validity_.assign(static_cast<size_t>(size()), 1);
+}
+
+void Column::AppendNull() {
+  EnsureValidity();
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+    default:
+      ints_.push_back(0);
+      break;
+  }
+  validity_.push_back(0);
+}
+
+void Column::SetNull(int64_t i) {
+  EnsureValidity();
+  validity_[i] = 0;
+}
+
 Value Column::ValueAt(int64_t i) const {
+  if (IsNull(i)) return Value::Null(type_);
   Value v;
   v.type = type_;
   switch (type_) {
@@ -38,6 +74,10 @@ Value Column::ValueAt(int64_t i) const {
 void Column::AppendValue(const Value& v) {
   ACC_CHECK(v.type == type_) << "appending " << DataTypeName(v.type) << " to "
                              << DataTypeName(type_) << " column";
+  if (v.is_null) {
+    AppendNull();
+    return;
+  }
   switch (type_) {
     case DataType::kDouble:
       doubles_.push_back(v.f64);
@@ -49,9 +89,17 @@ void Column::AppendValue(const Value& v) {
       ints_.push_back(v.i64);
       break;
   }
+  if (!validity_.empty()) validity_.push_back(1);
 }
 
 void Column::AppendFrom(const Column& other, int64_t row) {
+  if (other.IsNull(row)) {
+    // NULL rows keep a zeroed payload, so this copies payload + validity.
+    // EnsureValidity must run before the payload push (it sizes the
+    // buffer from size()), which AppendNull already orders correctly.
+    AppendNull();
+    return;
+  }
   switch (type_) {
     case DataType::kDouble:
       doubles_.push_back(other.doubles_[row]);
@@ -63,6 +111,7 @@ void Column::AppendFrom(const Column& other, int64_t row) {
       ints_.push_back(other.ints_[row]);
       break;
   }
+  if (!validity_.empty()) validity_.push_back(1);
 }
 
 void Column::AppendRange(const Column& other, int64_t start, int64_t count) {
@@ -79,6 +128,15 @@ void Column::AppendRange(const Column& other, int64_t start, int64_t count) {
       ints_.insert(ints_.end(), other.ints_.begin() + start,
                    other.ints_.begin() + start + count);
       break;
+  }
+  if (other.may_have_nulls()) {
+    if (validity_.empty()) {
+      validity_.assign(static_cast<size_t>(size() - count), 1);
+    }
+    validity_.insert(validity_.end(), other.validity_.begin() + start,
+                     other.validity_.begin() + start + count);
+  } else if (!validity_.empty()) {
+    validity_.insert(validity_.end(), static_cast<size_t>(count), 1);
   }
 }
 
@@ -131,6 +189,7 @@ Column Column::Gather(const int32_t* indices, int64_t count) const {
       GatherInto(ints_, indices, count, &out.ints_);
       break;
   }
+  if (!validity_.empty()) GatherInto(validity_, indices, count, &out.validity_);
   return out;
 }
 
@@ -148,6 +207,14 @@ void Column::AppendGather(const Column& other, const int32_t* rows,
       GatherAppend(other.ints_, rows, count, &ints_);
       break;
   }
+  if (other.may_have_nulls()) {
+    if (validity_.empty()) {
+      validity_.assign(static_cast<size_t>(size() - count), 1);
+    }
+    GatherAppend(other.validity_, rows, count, &validity_);
+  } else if (!validity_.empty()) {
+    validity_.insert(validity_.end(), static_cast<size_t>(count), 1);
+  }
 }
 
 Column Column::Gather(const int64_t* indices, int64_t count) const {
@@ -163,10 +230,34 @@ Column Column::Gather(const int64_t* indices, int64_t count) const {
       GatherInto(ints_, indices, count, &out.ints_);
       break;
   }
+  if (!validity_.empty()) GatherInto(validity_, indices, count, &out.validity_);
+  return out;
+}
+
+Column Column::GatherNullable(const int64_t* indices, int64_t count) const {
+  Column out(type_);
+  out.Reserve(count);
+  bool any_null = false;
+  for (int64_t i = 0; i < count; ++i) {
+    if (indices[i] < 0) {
+      any_null = true;
+      break;
+    }
+  }
+  if (!any_null) return Gather(indices, count);
+  out.validity_.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    if (indices[i] < 0) {
+      out.AppendNull();
+    } else {
+      out.AppendFrom(*this, indices[i]);
+    }
+  }
   return out;
 }
 
 uint64_t Column::HashAt(int64_t i, uint64_t seed) const {
+  if (IsNull(i)) return Mix64(seed ^ kNullHashSentinel);
   switch (type_) {
     case DataType::kDouble: {
       uint64_t bits;
@@ -189,9 +280,14 @@ void Column::HashInto(std::vector<uint64_t>* hashes) const {
   ACC_CHECK(static_cast<int64_t>(hashes->size()) == n)
       << "HashInto size mismatch";
   uint64_t* h = hashes->data();
+  const uint8_t* valid = validity_.empty() ? nullptr : validity_.data();
   switch (type_) {
     case DataType::kDouble:
       for (int64_t i = 0; i < n; ++i) {
+        if (valid && valid[i] == 0) {
+          h[i] = Mix64(h[i] ^ kNullHashSentinel);
+          continue;
+        }
         uint64_t bits;
         __builtin_memcpy(&bits, &doubles_[i], sizeof(bits));
         h[i] = Mix64(bits ^ h[i]);
@@ -199,11 +295,19 @@ void Column::HashInto(std::vector<uint64_t>* hashes) const {
       break;
     case DataType::kString:
       for (int64_t i = 0; i < n; ++i) {
+        if (valid && valid[i] == 0) {
+          h[i] = Mix64(h[i] ^ kNullHashSentinel);
+          continue;
+        }
         h[i] = HashBytes(strings_[i].data(), strings_[i].size(), h[i]);
       }
       break;
     default:
       for (int64_t i = 0; i < n; ++i) {
+        if (valid && valid[i] == 0) {
+          h[i] = Mix64(h[i] ^ kNullHashSentinel);
+          continue;
+        }
         h[i] = Mix64(static_cast<uint64_t>(ints_[i]) ^ h[i]);
       }
       break;
@@ -214,6 +318,7 @@ void Column::Clear() {
   ints_.clear();
   doubles_.clear();
   strings_.clear();
+  validity_.clear();
 }
 
 void Column::Reserve(int64_t n) {
@@ -228,6 +333,7 @@ void Column::Reserve(int64_t n) {
       ints_.reserve(n);
       break;
   }
+  if (!validity_.empty()) validity_.reserve(n);
 }
 
 }  // namespace accordion

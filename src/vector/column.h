@@ -13,9 +13,15 @@
 namespace accordion {
 
 /// A typed contiguous vector of values — one column of a Page. Follows the
-/// Arrow layout philosophy (columnar, batch-at-a-time) without nullability:
-/// TPC-H columns are NOT NULL and Accordion's queries only use inner joins,
-/// so validity bitmaps would be dead weight on every kernel.
+/// Arrow layout philosophy (columnar, batch-at-a-time) with *optional*
+/// nullability: a column carries a validity buffer only once a NULL has
+/// been appended. All-valid columns (the TPC-H hot path) keep an empty
+/// validity vector, so kernels pay a single empty() check and the wire
+/// format stays byte-identical to the NOT NULL era.
+///
+/// A NULL row keeps a deterministic zeroed payload (0 / 0.0 / "") in the
+/// data buffer, so raw-buffer kernels that ignore validity still read
+/// defined memory and produce deterministic (if NULL-oblivious) results.
 ///
 /// Integer-backed types (int64/date/bool) share the int64 buffer, which
 /// keeps the kernel switch small.
@@ -36,6 +42,30 @@ class Column {
   /// simulated NIC transfer costs.
   int64_t ByteSize() const;
 
+  // --- validity ---
+
+  /// True when this column carries a validity buffer (i.e. *may* contain
+  /// NULLs; every materialized NULL implies true, but a gather of only
+  /// valid rows from a nullable source also keeps the buffer).
+  bool may_have_nulls() const { return !validity_.empty(); }
+
+  bool IsNull(int64_t i) const {
+    return !validity_.empty() && validity_[i] == 0;
+  }
+
+  /// Byte-per-row validity buffer: 1 = valid, 0 = NULL. Empty = all valid.
+  const std::vector<uint8_t>& validity() const { return validity_; }
+
+  /// Appends a NULL row (zeroed payload, validity 0); materializes the
+  /// validity buffer on first use.
+  void AppendNull();
+
+  /// Marks an existing row NULL without touching its payload.
+  void SetNull(int64_t i);
+
+  /// Materializes the validity buffer as all-valid (no-op if present).
+  void EnsureValidity();
+
   // --- typed element access (no bounds checks on hot paths) ---
   int64_t IntAt(int64_t i) const { return ints_[i]; }
   double DoubleAt(int64_t i) const { return doubles_[i]; }
@@ -50,9 +80,18 @@ class Column {
   Value ValueAt(int64_t i) const;
 
   // --- appends ---
-  void AppendInt(int64_t v) { ints_.push_back(v); }
-  void AppendDouble(double v) { doubles_.push_back(v); }
-  void AppendStr(std::string v) { strings_.push_back(std::move(v)); }
+  void AppendInt(int64_t v) {
+    ints_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  void AppendDouble(double v) {
+    doubles_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  void AppendStr(std::string v) {
+    strings_.push_back(std::move(v));
+    if (!validity_.empty()) validity_.push_back(1);
+  }
   void AppendValue(const Value& v);
 
   /// Appends row `row` of `other` (same type) to this column.
@@ -80,10 +119,18 @@ class Column {
   Column Gather(const std::vector<int32_t>& indices) const;
   Column Gather(const int32_t* indices, int64_t count) const;
   /// Gather over 64-bit row ids (join build sides can exceed 2^31 rows).
+  /// Indices must be in range; use GatherNullable for -1 sentinels.
   Column Gather(const int64_t* indices, int64_t count) const;
 
+  /// Gather where a negative index produces a NULL row — the outer-join
+  /// emission path (unmatched probe rows carry build id -1). Kept separate
+  /// from Gather so the inner-join hot loop stays branch-free.
+  Column GatherNullable(const int64_t* indices, int64_t count) const;
+
   /// Stable 64-bit hash of row i, mixed into `seed`. Used by partitioned
-  /// shuffles and hash joins; must agree across workers.
+  /// shuffles and hash joins; must agree across workers. NULL hashes to a
+  /// fixed sentinel mix (distinct from 0 / "" payloads), so all NULLs of a
+  /// column land in one partition and one GROUP BY group.
   uint64_t HashAt(int64_t i, uint64_t seed) const;
 
   /// Batch form of HashAt: folds every row of this column into the
@@ -102,6 +149,8 @@ class Column {
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
+  // 1 = valid, 0 = NULL; empty = all rows valid (the fast path).
+  std::vector<uint8_t> validity_;
 };
 
 /// Columns inside a Page are shared immutably; ColumnPtr lets column-ref

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "vector/hashing.h"
+
 namespace accordion {
 namespace {
 
@@ -44,6 +46,12 @@ class Reader {
     if (pos_ + 8 > data_.size()) return false;
     std::memcpy(v, data_.data() + pos_, 8);
     pos_ += 8;
+    return true;
+  }
+  bool ReadBytes(char* out, size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
     return true;
   }
   bool ReadStr(std::string* v) {
@@ -140,7 +148,15 @@ std::string Page::Serialize() const {
   PutI64(&out, num_rows_);
   PutI64(&out, static_cast<int64_t>(columns_.size()));
   for (const auto& col : columns_) {
-    PutU8(&out, static_cast<uint8_t>(col->type()));
+    // High bit of the type byte flags a validity buffer; all-valid columns
+    // keep the pre-nullability encoding byte-for-byte.
+    uint8_t type_byte = static_cast<uint8_t>(col->type());
+    if (col->may_have_nulls()) type_byte |= 0x80;
+    PutU8(&out, type_byte);
+    if (col->may_have_nulls()) {
+      out.append(reinterpret_cast<const char*>(col->validity().data()),
+                 col->validity().size());
+    }
     switch (col->type()) {
       case DataType::kDouble:
         for (double v : col->doubles()) PutF64(&out, v);
@@ -172,11 +188,23 @@ Result<PagePtr> Page::Deserialize(const std::string& data) {
   cols.reserve(static_cast<size_t>(num_cols));
   for (int64_t c = 0; c < num_cols; ++c) {
     uint8_t type_byte;
-    if (!reader.ReadU8(&type_byte) || type_byte > 4) {
+    if (!reader.ReadU8(&type_byte) || (type_byte & 0x7f) > 4) {
       return Status::ParseError("column type corrupt");
     }
-    Column col(static_cast<DataType>(type_byte));
+    const bool has_validity = (type_byte & 0x80) != 0;
+    Column col(static_cast<DataType>(type_byte & 0x7f));
     col.Reserve(num_rows);
+    std::vector<uint8_t> validity;
+    if (has_validity) {
+      validity.resize(static_cast<size_t>(num_rows));
+      if (!reader.ReadBytes(reinterpret_cast<char*>(validity.data()),
+                            validity.size())) {
+        return Status::ParseError("validity truncated");
+      }
+      for (uint8_t v : validity) {
+        if (v > 1) return Status::ParseError("validity byte corrupt");
+      }
+    }
     for (int64_t r = 0; r < num_rows; ++r) {
       switch (col.type()) {
         case DataType::kDouble: {
@@ -199,6 +227,12 @@ Result<PagePtr> Page::Deserialize(const std::string& data) {
         }
       }
     }
+    if (has_validity) {
+      col.EnsureValidity();
+      for (int64_t r = 0; r < num_rows; ++r) {
+        if (validity[r] == 0) col.SetNull(r);
+      }
+    }
     cols.push_back(std::move(col));
   }
   return Page::Make(std::move(cols));
@@ -217,6 +251,43 @@ PagePtr Page::Concat(const std::vector<PagePtr>& pages) {
     }
   }
   return Make(std::move(cols));
+}
+
+PagePtr InjectNulls(const PagePtr& page, double rate, uint64_t seed) {
+  if (rate <= 0 || page->IsEnd() || page->num_rows() == 0) return page;
+  const int64_t n = page->num_rows();
+  const int ncols = page->num_columns();
+  // One content hash per pristine row; all per-cell decisions derive from
+  // it so nullifying one cell never changes another cell's draw.
+  std::vector<int> all_channels(static_cast<size_t>(ncols));
+  for (int c = 0; c < ncols; ++c) all_channels[static_cast<size_t>(c)] = c;
+  std::vector<uint64_t> row_hashes;
+  page->HashRows(all_channels, &row_hashes);
+  // Map the top 53 bits to [0, 1); compare against the rate.
+  constexpr double kScale = 0x1.0p-53;
+  std::vector<Column> cols;
+  cols.reserve(static_cast<size_t>(ncols));
+  bool any = false;
+  for (int c = 0; c < ncols; ++c) {
+    const Column& src = page->column(c);
+    const uint64_t col_salt =
+        Mix64(seed ^ (0x6e756c6cULL + static_cast<uint64_t>(c) *
+                                          0x9E3779B97F4A7C15ULL));
+    Column out(src.type());
+    out.Reserve(n);
+    for (int64_t r = 0; r < n; ++r) {
+      const uint64_t u = Mix64(row_hashes[static_cast<size_t>(r)] ^ col_salt);
+      if (static_cast<double>(u >> 11) * kScale < rate) {
+        out.AppendNull();  // zeroed payload, unlike SetNull
+        any = true;
+      } else {
+        out.AppendFrom(src, r);
+      }
+    }
+    cols.push_back(std::move(out));
+  }
+  if (!any) return page;
+  return Page::Make(std::move(cols));
 }
 
 }  // namespace accordion

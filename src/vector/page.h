@@ -88,6 +88,17 @@ class Page {
   std::vector<ColumnPtr> columns_;
 };
 
+/// Deterministic NULL injection for differential testing: every cell of
+/// `page` goes NULL with probability `rate`, decided by a pure hash of the
+/// row's full content, the column index and `seed`. Because the decision
+/// depends only on row content — never on page boundaries, split shapes
+/// or scan order — any two readers of the same table see byte-identical
+/// nullified data, which is what lets the engine (at any dop / batch size
+/// / spill configuration) be compared against the scalar reference
+/// oracle. Injected NULLs keep the engine-wide zeroed-payload invariant.
+/// Returns `page` unchanged when rate <= 0 or nothing was nullified.
+PagePtr InjectNulls(const PagePtr& page, double rate, uint64_t seed);
+
 }  // namespace accordion
 
 #endif  // ACCORDION_VECTOR_PAGE_H_

@@ -11,11 +11,14 @@ namespace accordion {
 
 /// A single scalar value: literal constants in expressions, aggregation
 /// accumulators and test fixtures. Integer-backed types share the i64 slot.
+/// A value may be NULL (`is_null`); a NULL keeps its static type (so typed
+/// kernels stay monomorphic) and a zeroed payload.
 struct Value {
   DataType type = DataType::kInt64;
   int64_t i64 = 0;
   double f64 = 0;
   std::string str;
+  bool is_null = false;
 
   static Value Int(int64_t v) { return {DataType::kInt64, v, 0, {}}; }
   static Value Double(double v) { return {DataType::kDouble, 0, v, {}}; }
@@ -27,6 +30,12 @@ struct Value {
   }
   static Value Date(int64_t days) { return {DataType::kDate, days, 0, {}}; }
   static Value Bool(bool v) { return {DataType::kBool, v ? 1 : 0, 0, {}}; }
+  static Value Null(DataType t) {
+    Value out;
+    out.type = t;
+    out.is_null = true;
+    return out;
+  }
 
   bool AsBool() const {
     ACC_CHECK(type == DataType::kBool) << "value is not bool";
@@ -39,6 +48,7 @@ struct Value {
   }
 
   std::string ToString() const {
+    if (is_null) return "NULL";
     switch (type) {
       case DataType::kInt64:
         return std::to_string(i64);
@@ -57,9 +67,15 @@ struct Value {
     return "?";
   }
 
-  /// Three-way comparison for sorting/min/max; types must match.
+  /// Three-way comparison for sorting/min/max; types must match. NULLs
+  /// sort first and compare equal to each other — this is the *ordering*
+  /// comparator (GROUP BY / ORDER BY semantics), not SQL `=`, which is
+  /// three-valued and handled in the expression layer.
   friend int CompareValues(const Value& a, const Value& b) {
     ACC_CHECK(a.type == b.type) << "comparing values of different types";
+    if (a.is_null || b.is_null) {
+      return a.is_null == b.is_null ? 0 : (a.is_null ? -1 : 1);
+    }
     switch (a.type) {
       case DataType::kDouble:
         return a.f64 < b.f64 ? -1 : (a.f64 > b.f64 ? 1 : 0);
@@ -70,8 +86,11 @@ struct Value {
     }
   }
 
+  /// Structural equality (two NULLs of the same type are equal). Like
+  /// CompareValues this is the *grouping* notion of equality, not SQL `=`.
   friend bool operator==(const Value& a, const Value& b) {
     if (a.type != b.type) return false;
+    if (a.is_null || b.is_null) return a.is_null == b.is_null;
     switch (a.type) {
       case DataType::kDouble:
         return a.f64 == b.f64;

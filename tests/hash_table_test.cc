@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <map>
+#include <numeric>
 #include <set>
 #include <string>
 #include <tuple>
@@ -12,6 +13,8 @@
 
 #include "cluster/cluster.h"
 #include "common/random.h"
+#include "exec/radix_partitioner.h"
+#include "exec/spill_file.h"
 #include "tpch/queries.h"
 #include "tpch/tpch.h"
 
@@ -760,6 +763,390 @@ TEST(HashTablePropertyTest, HashedLookupMatchesUnhashed) {
     ASSERT_EQ(ids_a, ids_b) << "batch " << batch;
   }
   EXPECT_EQ(self_hashing.size(), pre_hashed.size());
+}
+
+// --- NULL key encoding -------------------------------------------------------
+// The table's NULL-vs-payload disambiguation is load-bearing in three
+// layouts at once (word-mode sentinel id, fixed-path null-mask word,
+// serialized-path validity byte) and must survive the radix and spill
+// plumbing that re-hashes and re-materializes keys. These tests hit the
+// adversarial corners: NULL vs the zero payload NULL rows carry, all-NULL
+// pages, NULL position in compound keys, and round trips.
+
+// Builds an int64 column where valid[i] == 0 marks row i NULL (the value
+// at that position is ignored; AppendNull zeroes the payload).
+Column NullableIntColumn(const std::vector<int64_t>& values,
+                         const std::vector<uint8_t>& valid) {
+  Column col(DataType::kInt64);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (valid[i]) {
+      col.AppendInt(values[i]);
+    } else {
+      col.AppendNull();
+    }
+  }
+  return col;
+}
+
+Column NullableStrColumn(const std::vector<std::string>& values,
+                         const std::vector<uint8_t>& valid) {
+  Column col(DataType::kString);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (valid[i]) {
+      col.AppendStr(values[i]);
+    } else {
+      col.AppendNull();
+    }
+  }
+  return col;
+}
+
+PagePtr NullableIntPage(const std::vector<int64_t>& values,
+                        const std::vector<uint8_t>& valid) {
+  return Page::Make({NullableIntColumn(values, valid)});
+}
+
+TEST(HashTableNullKeyTest, NullIsItsOwnGroupDistinctFromZero) {
+  // Word mode: a NULL key carries a zeroed payload word, so the slot tag
+  // cannot tell it from a genuine 0 — the dedicated null_group_id must.
+  HashTable table({DataType::kInt64});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*NullableIntPage({0, 0, 7, 0, 0}, {1, 0, 1, 0, 1}),
+                       {0}, &ids);
+  EXPECT_EQ(table.size(), 3);
+  EXPECT_EQ(ids[0], ids[4]);         // the two genuine zeros
+  EXPECT_EQ(ids[1], ids[3]);         // the two NULLs
+  EXPECT_NE(ids[0], ids[1]);         // NULL != 0
+  EXPECT_NE(ids[1], ids[2]);         // NULL != 7
+  // Group semantics: a NULL probe finds the NULL group (GROUP BY).
+  std::vector<int64_t> found;
+  table.Find(*NullableIntPage({0, 0}, {0, 1}), {0}, &found);
+  EXPECT_EQ(found[0], ids[1]);
+  EXPECT_EQ(found[1], ids[0]);
+  // Ids are stable across batches and the NULL group survives growth.
+  std::vector<int64_t> more_keys;
+  std::vector<uint8_t> more_valid;
+  for (int64_t i = 0; i < 5000; ++i) {
+    more_keys.push_back(i);
+    more_valid.push_back(i % 17 != 0);
+  }
+  std::vector<int64_t> more_ids;
+  table.LookupOrInsert(*NullableIntPage(more_keys, more_valid), {0},
+                       &more_ids);
+  for (int64_t i = 0; i < 5000; ++i) {
+    if (i % 17 == 0) EXPECT_EQ(more_ids[i], ids[1]) << "row " << i;
+  }
+  table.Find(*NullableIntPage({0}, {0}), {0}, &found);
+  EXPECT_EQ(found[0], ids[1]);
+}
+
+TEST(HashTableNullKeyTest, NullDistinctFromEmptyString) {
+  // Serialized path: NULL's payload is the empty string, so only the
+  // per-value validity prefix byte separates the two.
+  HashTable table({DataType::kString});
+  std::vector<int64_t> ids;
+  Column col = NullableStrColumn({"", "", "x", ""}, {1, 0, 1, 0});
+  table.LookupOrInsert(*Page::Make({std::move(col)}), {0}, &ids);
+  EXPECT_EQ(table.size(), 3);
+  EXPECT_EQ(ids[1], ids[3]);
+  EXPECT_NE(ids[0], ids[1]);
+  // AppendKeys must re-materialize the NULL key as NULL, not "".
+  std::vector<Column> out;
+  out.emplace_back(DataType::kString);
+  table.AppendKeys(0, table.size(), &out);
+  EXPECT_FALSE(out[0].IsNull(ids[0]));
+  EXPECT_TRUE(out[0].StrAt(ids[0]).empty());
+  EXPECT_TRUE(out[0].IsNull(ids[1]));
+}
+
+TEST(HashTableNullKeyTest, CompoundKeysDistinguishNullPositions) {
+  // Fixed multi-column path: the trailing null-mask word must separate
+  // (NULL,1), (1,NULL), (NULL,NULL), (1,1) — the payload words alone are
+  // 0/1 permutations that collide pairwise.
+  Column a = NullableIntColumn({1, 0, 0, 1, 0, 0, 1},
+                               {1, 0, 0, 1, 0, 1, 1});
+  Column b = NullableIntColumn({1, 1, 0, 0, 0, 0, 1},
+                               {1, 1, 0, 0, 0, 1, 1});
+  PagePtr page = Page::Make({std::move(a), std::move(b)});
+  // Rows: (1,1) (N,1) (N,N) (1,N) (N,N) (0,0) (1,1)
+  HashTable table({DataType::kInt64, DataType::kInt64});
+  std::vector<int64_t> ids;
+  table.LookupOrInsert(*page, {0, 1}, &ids);
+  EXPECT_EQ(table.size(), 5);
+  EXPECT_EQ(ids[2], ids[4]);  // (NULL,NULL) groups with itself
+  EXPECT_EQ(ids[0], ids[6]);
+  std::set<int64_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), 5u);
+  // Same page again: every id stable.
+  std::vector<int64_t> again;
+  table.LookupOrInsert(*page, {0, 1}, &again);
+  EXPECT_EQ(again, ids);
+  // Mixed int+string (serialized path) must make the same distinctions
+  // with zero payloads: (0,"") vs (NULL,"") vs (0,NULL) vs (NULL,NULL).
+  Column mi = NullableIntColumn({0, 0, 0, 0}, {1, 0, 1, 0});
+  Column ms = NullableStrColumn({"", "", "", ""}, {1, 1, 0, 0});
+  HashTable mixed({DataType::kInt64, DataType::kString});
+  table.Clear();
+  mixed.LookupOrInsert(*Page::Make({std::move(mi), std::move(ms)}), {0, 1},
+                       &ids);
+  EXPECT_EQ(mixed.size(), 4);
+}
+
+TEST(HashTableNullKeyTest, AllNullKeyPagesCollapseToOneGroup) {
+  for (DataType type : {DataType::kInt64, DataType::kString}) {
+    HashTable table({type});
+    std::vector<int64_t> ids;
+    for (int batch = 0; batch < 3; ++batch) {
+      Column col(type);
+      for (int i = 0; i < 1000; ++i) col.AppendNull();
+      table.LookupOrInsert(*Page::Make({std::move(col)}), {0}, &ids);
+      for (int64_t id : ids) ASSERT_EQ(id, 0);
+    }
+    EXPECT_EQ(table.size(), 1);
+    // Join semantics: neither a NULL probe nor any value probe reaches
+    // the all-NULL build — its CSR span exists but is unreachable, which
+    // is what lets outer joins drain it as unmatched.
+    std::vector<int64_t> offsets{0, 3000};
+    std::vector<int64_t> rows(3000);
+    std::iota(rows.begin(), rows.end(), 0);
+    Column probe(type);
+    probe.AppendNull();
+    if (type == DataType::kInt64) {
+      probe.AppendInt(0);
+    } else {
+      probe.AppendStr("");
+    }
+    std::vector<int32_t> probe_rows;
+    std::vector<int64_t> build_rows;
+    table.FindJoin(*Page::Make({std::move(probe)}), {0}, offsets.data(),
+                   rows.data(), &probe_rows, &build_rows);
+    EXPECT_TRUE(probe_rows.empty());
+  }
+}
+
+TEST(HashTableNullKeyTest, JoinProbesNeverMatchNullInAnyLayout) {
+  // Build sides containing NULL keys alongside real ones, probed with
+  // pages mixing NULLs and values: NULL probe rows must emit zero pairs
+  // in the word, fixed-compound, and serialized layouts, and
+  // FindJoinBatch must agree with FindJoin on both kernels.
+  Random rng(99);
+  // Layout 1: single int key (word mode).
+  {
+    std::vector<int64_t> values;
+    std::vector<uint8_t> valid;
+    for (int i = 0; i < 700; ++i) {
+      values.push_back(rng.NextInt(0, 50));
+      valid.push_back(rng.NextInt(0, 9) != 0);
+    }
+    PagePtr build = NullableIntPage(values, valid);
+    HashTable table({DataType::kInt64});
+    std::vector<int64_t> offsets, rows;
+    BuildSpans(&table, *build, &offsets, &rows);
+    std::vector<int64_t> pvalues;
+    std::vector<uint8_t> pvalid;
+    for (int i = 0; i < 257; ++i) {
+      pvalues.push_back(rng.NextInt(0, 60));
+      pvalid.push_back(i % 3 != 0);
+    }
+    PagePtr probe = NullableIntPage(pvalues, pvalid);
+    ExpectBatchMatchesScalar(table, *probe, {0}, offsets, rows);
+    std::vector<int32_t> probe_rows;
+    std::vector<int64_t> build_rows;
+    table.FindJoin(*probe, {0}, offsets.data(), rows.data(), &probe_rows,
+                   &build_rows);
+    for (int32_t r : probe_rows) {
+      EXPECT_TRUE(pvalid[r]) << "NULL probe row " << r << " matched";
+    }
+    // Every valid probe of a built value does match (the NULL build rows
+    // didn't poison the real groups).
+    std::set<int64_t> built;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (valid[i]) built.insert(values[i]);
+    }
+    std::set<int32_t> matched(probe_rows.begin(), probe_rows.end());
+    for (size_t i = 0; i < pvalues.size(); ++i) {
+      if (pvalid[i] && built.count(pvalues[i])) {
+        EXPECT_TRUE(matched.count(static_cast<int32_t>(i))) << "row " << i;
+      }
+    }
+  }
+  // Layout 2: compound int keys (fixed path, null-mask word).
+  {
+    std::vector<int64_t> ka, kb;
+    std::vector<uint8_t> va, vb;
+    for (int i = 0; i < 500; ++i) {
+      ka.push_back(rng.NextInt(0, 10));
+      kb.push_back(rng.NextInt(0, 10));
+      va.push_back(rng.NextInt(0, 4) != 0);
+      vb.push_back(rng.NextInt(0, 4) != 0);
+    }
+    PagePtr build = Page::Make(
+        {NullableIntColumn(ka, va), NullableIntColumn(kb, vb)});
+    HashTable table({DataType::kInt64, DataType::kInt64});
+    std::vector<int64_t> ids;
+    table.LookupOrInsert(*build, {0, 1}, &ids);
+    std::vector<int64_t> offsets(table.size() + 1, 0), rows(500);
+    for (int64_t id : ids) ++offsets[id + 1];
+    for (int64_t k = 0; k < table.size(); ++k) offsets[k + 1] += offsets[k];
+    std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (int64_t r = 0; r < 500; ++r) rows[cursor[ids[r]]++] = r;
+    ExpectBatchMatchesScalar(table, *build, {0, 1}, offsets, rows);
+    std::vector<int32_t> probe_rows;
+    std::vector<int64_t> build_rows;
+    table.FindJoin(*build, {0, 1}, offsets.data(), rows.data(), &probe_rows,
+                   &build_rows);
+    for (int32_t r : probe_rows) {
+      EXPECT_TRUE(va[r] && vb[r]) << "null-tuple probe row " << r;
+    }
+    for (int64_t b : build_rows) {
+      EXPECT_TRUE(va[b] && vb[b]) << "null-tuple build row " << b;
+    }
+  }
+  // Layout 3: int+string keys (serialized path, validity prefix bytes).
+  {
+    std::vector<int64_t> ki;
+    std::vector<std::string> ks;
+    std::vector<uint8_t> vi, vs;
+    for (int i = 0; i < 400; ++i) {
+      ki.push_back(rng.NextInt(0, 8));
+      ks.push_back(i % 5 == 0 ? "" : "k" + std::to_string(rng.NextInt(0, 8)));
+      vi.push_back(rng.NextInt(0, 4) != 0);
+      vs.push_back(rng.NextInt(0, 4) != 0);
+    }
+    PagePtr build = Page::Make(
+        {NullableIntColumn(ki, vi), NullableStrColumn(ks, vs)});
+    HashTable table({DataType::kInt64, DataType::kString});
+    std::vector<int64_t> ids;
+    table.LookupOrInsert(*build, {0, 1}, &ids);
+    std::vector<int64_t> offsets(table.size() + 1, 0), rows(400);
+    for (int64_t id : ids) ++offsets[id + 1];
+    for (int64_t k = 0; k < table.size(); ++k) offsets[k + 1] += offsets[k];
+    std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (int64_t r = 0; r < 400; ++r) rows[cursor[ids[r]]++] = r;
+    ExpectBatchMatchesScalar(table, *build, {0, 1}, offsets, rows);
+    std::vector<int32_t> probe_rows;
+    std::vector<int64_t> build_rows;
+    table.FindJoin(*build, {0, 1}, offsets.data(), rows.data(), &probe_rows,
+                   &build_rows);
+    for (int32_t r : probe_rows) {
+      EXPECT_TRUE(vi[r] && vs[r]) << "null-tuple probe row " << r;
+    }
+  }
+}
+
+TEST(HashTableNullKeyTest, RadixPartitioningKeepsNullRowsTogether) {
+  // The radix join hashes once to pick partitions: every NULL key hashes
+  // to the same sentinel-derived value, so all NULL rows of a column land
+  // in ONE partition and per-partition tables see the same groups the
+  // single-table path does.
+  Random rng(7);
+  std::vector<int64_t> values;
+  std::vector<uint8_t> valid;
+  for (int i = 0; i < 4000; ++i) {
+    values.push_back(rng.NextInt(0, 300));
+    valid.push_back(rng.NextInt(0, 7) != 0);
+  }
+  PagePtr page = NullableIntPage(values, valid);
+  std::vector<uint64_t> hashes;
+  page->HashRows({0}, &hashes);
+  // All NULL rows share one hash, distinct from key 0's hash.
+  uint64_t null_hash = 0;
+  bool saw_null = false;
+  for (int i = 0; i < 4000; ++i) {
+    if (valid[i]) continue;
+    if (!saw_null) {
+      null_hash = hashes[i];
+      saw_null = true;
+    }
+    ASSERT_EQ(hashes[i], null_hash) << "row " << i;
+  }
+  ASSERT_TRUE(saw_null);
+  for (int i = 0; i < 4000; ++i) {
+    if (valid[i] && values[i] == 0) {
+      ASSERT_NE(hashes[i], null_hash);
+      break;
+    }
+  }
+  RadixPartitioner partitioner(3);
+  std::vector<std::vector<int32_t>> selections;
+  partitioner.BuildSelections(hashes.data(), 4000, &selections);
+  // Gathered partitions preserve validity, NULLs stay in one partition,
+  // and the per-partition group total matches the global table.
+  HashTable global({DataType::kInt64});
+  std::vector<int64_t> ids;
+  global.LookupOrInsert(*page, {0}, &ids);
+  int null_partitions = 0;
+  int64_t partitioned_groups = 0, partitioned_rows = 0;
+  for (const auto& selection : selections) {
+    if (selection.empty()) continue;
+    PagePtr part = GatherSelection(*page, selection);
+    partitioned_rows += part->num_rows();
+    bool has_null = false;
+    for (size_t i = 0; i < selection.size(); ++i) {
+      ASSERT_EQ(part->column(0).IsNull(i),
+                !valid[selection[i]]);
+      has_null |= part->column(0).IsNull(i);
+    }
+    null_partitions += has_null ? 1 : 0;
+    HashTable local({DataType::kInt64});
+    local.LookupOrInsert(*part, {0}, &ids);
+    partitioned_groups += local.size();
+  }
+  EXPECT_EQ(null_partitions, 1);
+  EXPECT_EQ(partitioned_rows, 4000);
+  EXPECT_EQ(partitioned_groups, global.size());
+}
+
+TEST(HashTableNullKeyTest, SpillRoundTripPreservesNullKeys) {
+  // Grace spilling serializes build/probe pages to disk and rebuilds
+  // tables from the read-back pages: validity must survive the frame
+  // format byte-exactly, and a table built from the round-tripped page
+  // must assign the same ids as one built from the original.
+  Random rng(13);
+  std::vector<int64_t> ints;
+  std::vector<std::string> strs;
+  std::vector<uint8_t> vi, vs;
+  for (int i = 0; i < 2000; ++i) {
+    ints.push_back(rng.NextInt(-100, 100));
+    strs.push_back(i % 4 == 0 ? ""
+                              : "s" + std::to_string(rng.NextInt(0, 40)));
+    vi.push_back(rng.NextInt(0, 5) != 0);
+    vs.push_back(rng.NextInt(0, 5) != 0);
+  }
+  PagePtr original = Page::Make(
+      {NullableIntColumn(ints, vi), NullableStrColumn(strs, vs)});
+  auto created = SpillFile::Create("", "null_keys", 1 << 12);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto file = std::move(created).value();
+  ASSERT_TRUE(file->Append(*original).ok());
+  ASSERT_TRUE(file->FinishWrite().ok());
+  auto next = file->Next();
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  PagePtr restored = std::move(next).value();
+  ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->num_rows(), 2000);
+  for (int c = 0; c < 2; ++c) {
+    for (int64_t r = 0; r < 2000; ++r) {
+      ASSERT_EQ(restored->column(c).IsNull(r), original->column(c).IsNull(r))
+          << "col " << c << " row " << r;
+    }
+  }
+  // NULL payloads came back zeroed, keeping the key encoding's invariant.
+  for (int64_t r = 0; r < 2000; ++r) {
+    if (restored->column(0).IsNull(r)) {
+      ASSERT_EQ(restored->column(0).IntAt(r), 0);
+    }
+    if (restored->column(1).IsNull(r)) {
+      ASSERT_TRUE(restored->column(1).StrAt(r).empty());
+    }
+  }
+  HashTable before({DataType::kInt64, DataType::kString});
+  HashTable after({DataType::kInt64, DataType::kString});
+  std::vector<int64_t> ids_before, ids_after;
+  before.LookupOrInsert(*original, {0, 1}, &ids_before);
+  after.LookupOrInsert(*restored, {0, 1}, &ids_after);
+  EXPECT_EQ(ids_before, ids_after);
+  EXPECT_EQ(before.size(), after.size());
 }
 
 }  // namespace

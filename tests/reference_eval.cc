@@ -58,7 +58,9 @@ struct ValueVecLess {
 
 class ReferenceEvaluator {
  public:
-  explicit ReferenceEvaluator(double scale_factor) : sf_(scale_factor) {}
+  explicit ReferenceEvaluator(double scale_factor, double null_rate = 0.0,
+                              uint64_t null_seed = 0)
+      : sf_(scale_factor), null_rate_(null_rate), null_seed_(null_seed) {}
 
   RefRelation Eval(const PlanNode& node) {
     switch (node.kind()) {
@@ -115,8 +117,11 @@ class ReferenceEvaluator {
     RefRelation out;
     out.types = scan.output_types();
     for (const auto& page : GenerateSplit(scan.table(), sf_, 0, 1, 4096)) {
-      for (int64_t r = 0; r < page->num_rows(); ++r) {
-        out.rows.push_back(RowOf(*page, r));
+      // Same content-keyed nullification the engine's storage layer
+      // applies under EngineConfig::null_injection_rate.
+      PagePtr data = InjectNulls(page, null_rate_, null_seed_);
+      for (int64_t r = 0; r < data->num_rows(); ++r) {
+        out.rows.push_back(RowOf(*data, r));
       }
     }
     return out;
@@ -133,7 +138,9 @@ class ReferenceEvaluator {
     PagePtr page = ToPage(in);
     Column pred = filter.predicate()->Eval(*page);
     for (size_t r = 0; r < in.rows.size(); ++r) {
-      if (pred.IntAt(static_cast<int64_t>(r)) != 0) {
+      // 3VL: a NULL predicate does not pass the filter (only TRUE does).
+      const int64_t i = static_cast<int64_t>(r);
+      if (!pred.IsNull(i) && pred.IntAt(i) != 0) {
         out.rows.push_back(std::move(in.rows[r]));
       }
     }
@@ -167,17 +174,107 @@ class ReferenceEvaluator {
     out.types = join.output_types();
     const auto& pk = join.probe_keys();
     const auto& bk = join.build_keys();
+    const auto& bout = join.build_output_channels();
+    const JoinType jt = join.join_type();
+
+    // SQL join equality: NULL = anything is NULL, which never matches —
+    // CompareValues alone would treat NULL == NULL as equal (its GROUP BY
+    // ordering semantics), so guard on is_null explicitly.
+    auto keys_match = [&](const std::vector<Value>& prow,
+                          const std::vector<Value>& brow) {
+      for (size_t k = 0; k < pk.size(); ++k) {
+        const Value& pv = prow[pk[k]];
+        const Value& bv = brow[bk[k]];
+        if (pv.is_null || bv.is_null) return false;
+        if (CompareValues(pv, bv) != 0) return false;
+      }
+      return true;
+    };
+    auto probe_key_null = [&](const std::vector<Value>& prow) {
+      for (int ch : pk) {
+        if (prow[ch].is_null) return true;
+      }
+      return false;
+    };
+    bool build_has_null_key = false;
+    for (const auto& brow : build.rows) {
+      for (int ch : bk) build_has_null_key |= brow[ch].is_null;
+    }
+
+    auto pad_probe_row = [&](const std::vector<Value>& prow) {
+      std::vector<Value> row = prow;
+      for (int ch : bout) row.push_back(Value::Null(build.types[ch]));
+      return row;
+    };
+    auto pad_build_row = [&](const std::vector<Value>& brow) {
+      std::vector<Value> row;
+      row.reserve(probe.types.size() + bout.size());
+      for (DataType t : probe.types) row.push_back(Value::Null(t));
+      for (int ch : bout) row.push_back(brow[ch]);
+      return row;
+    };
+
     // Nested loop, on purpose: every probe row scans every build row.
+    std::vector<uint8_t> build_matched(build.rows.size(), 0);
     for (const auto& prow : probe.rows) {
-      for (const auto& brow : build.rows) {
-        bool match = true;
-        for (size_t k = 0; k < pk.size() && match; ++k) {
-          match = CompareValues(prow[pk[k]], brow[bk[k]]) == 0;
+      int64_t matches = 0;
+      for (size_t b = 0; b < build.rows.size(); ++b) {
+        const auto& brow = build.rows[b];
+        if (!keys_match(prow, brow)) continue;
+        ++matches;
+        build_matched[b] = 1;
+        if (JoinEmitsBuildColumns(jt)) {
+          std::vector<Value> row = prow;
+          for (int ch : bout) row.push_back(brow[ch]);
+          out.rows.push_back(std::move(row));
         }
-        if (!match) continue;
-        std::vector<Value> row = prow;
-        for (int ch : join.build_output_channels()) row.push_back(brow[ch]);
-        out.rows.push_back(std::move(row));
+      }
+      switch (jt) {
+        case JoinType::kInner:
+        case JoinType::kRight:
+          break;
+        case JoinType::kLeft:
+        case JoinType::kFull:
+          if (matches == 0) out.rows.push_back(pad_probe_row(prow));
+          break;
+        case JoinType::kLeftSemi:
+          if (matches > 0) out.rows.push_back(prow);
+          break;
+        case JoinType::kLeftAnti:
+          if (matches == 0) out.rows.push_back(prow);
+          break;
+        case JoinType::kNullAwareAnti:
+          // NOT IN: an empty build set accepts everything (even NULL keys);
+          // any NULL build key accepts nothing; otherwise a miss with
+          // non-NULL probe keys qualifies.
+          if (build.rows.empty()) {
+            out.rows.push_back(prow);
+          } else if (!build_has_null_key && matches == 0 &&
+                     !probe_key_null(prow)) {
+            out.rows.push_back(prow);
+          }
+          break;
+        case JoinType::kMark: {
+          std::vector<Value> row = prow;
+          if (matches > 0) {
+            row.push_back(Value::Bool(true));
+          } else if (build.rows.empty()) {
+            row.push_back(Value::Bool(false));
+          } else if (build_has_null_key || probe_key_null(prow)) {
+            row.push_back(Value::Null(DataType::kBool));
+          } else {
+            row.push_back(Value::Bool(false));
+          }
+          out.rows.push_back(std::move(row));
+          break;
+        }
+      }
+    }
+    if (jt == JoinType::kRight || jt == JoinType::kFull) {
+      for (size_t b = 0; b < build.rows.size(); ++b) {
+        if (build_matched[b] == 0) {
+          out.rows.push_back(pad_build_row(build.rows[b]));
+        }
       }
     }
     return out;
@@ -199,6 +296,7 @@ class ReferenceEvaluator {
 
     struct Acc {
       int64_t count = 0;
+      int64_t seen = 0;  // non-NULL inputs folded into the sum
       int64_t isum = 0;
       double dsum = 0;
       Value extreme;
@@ -214,34 +312,37 @@ class ReferenceEvaluator {
       for (size_t a = 0; a < aggs.size(); ++a) {
         const Aggregate& agg = aggs[a];
         Acc& acc = it->second[a];
+        // SQL aggregates skip NULL inputs (COUNT(*) counts rows).
+        const Value* v =
+            agg.input_channel >= 0 ? &row[agg.input_channel] : nullptr;
+        if (v != nullptr && v->is_null) continue;
         switch (agg.func) {
           case AggFunc::kCount:
             acc.count += 1;
             break;
           case AggFunc::kSum: {
-            const Value& v = row[agg.input_channel];
             if (agg.ResultType() == DataType::kInt64) {
-              acc.isum += v.i64;
+              acc.isum += v->i64;
             } else {
-              acc.dsum += v.AsDouble();
+              acc.dsum += v->AsDouble();
             }
+            acc.seen += 1;
             break;
           }
           case AggFunc::kMin:
           case AggFunc::kMax: {
-            const Value& v = row[agg.input_channel];
             bool better =
                 !acc.has_extreme ||
-                (agg.func == AggFunc::kMax ? CompareValues(v, acc.extreme) > 0
-                                           : CompareValues(v, acc.extreme) < 0);
+                (agg.func == AggFunc::kMax ? CompareValues(*v, acc.extreme) > 0
+                                           : CompareValues(*v, acc.extreme) < 0);
             if (better) {
-              acc.extreme = v;
+              acc.extreme = *v;
               acc.has_extreme = true;
             }
             break;
           }
           case AggFunc::kAvg:
-            acc.dsum += row[agg.input_channel].AsDouble();
+            acc.dsum += v->AsDouble();
             acc.count += 1;
             break;
         }
@@ -263,7 +364,10 @@ class ReferenceEvaluator {
             row.push_back(Value::Int(acc.count));
             break;
           case AggFunc::kSum:
-            if (agg.ResultType() == DataType::kInt64) {
+            // SUM over zero non-NULL inputs is NULL, not 0.
+            if (acc.seen == 0) {
+              row.push_back(Value::Null(agg.ResultType()));
+            } else if (agg.ResultType() == DataType::kInt64) {
               row.push_back(Value::Int(acc.isum));
             } else {
               row.push_back(Value::Double(acc.dsum));
@@ -272,12 +376,15 @@ class ReferenceEvaluator {
           case AggFunc::kMin:
           case AggFunc::kMax:
             row.push_back(acc.has_extreme ? acc.extreme
-                                          : Value{agg.input_type, 0, 0, {}});
+                                          : Value::Null(agg.input_type));
             break;
           case AggFunc::kAvg:
-            row.push_back(Value::Double(
-                acc.count == 0 ? 0
-                               : acc.dsum / static_cast<double>(acc.count)));
+            if (acc.count == 0) {
+              row.push_back(Value::Null(DataType::kDouble));
+            } else {
+              row.push_back(
+                  Value::Double(acc.dsum / static_cast<double>(acc.count)));
+            }
             break;
         }
       }
@@ -310,11 +417,16 @@ class ReferenceEvaluator {
   }
 
   double sf_;
+  double null_rate_;
+  uint64_t null_seed_;
 };
 
 // --- diffing ----------------------------------------------------------------
 
 bool CellsClose(const Value& expected, const Value& actual, double rel_tol) {
+  if (expected.is_null || actual.is_null) {
+    return expected.is_null && actual.is_null;
+  }
   if (expected.type == DataType::kString ||
       actual.type == DataType::kString) {
     return expected.type == actual.type && expected.str == actual.str;
@@ -342,8 +454,11 @@ std::string RenderRow(const std::vector<Value>& row) {
 
 }  // namespace
 
-RefRelation ReferenceEvaluate(const PlanNodePtr& plan, double scale_factor) {
-  ReferenceEvaluator evaluator(scale_factor);
+RefRelation ReferenceEvaluate(const PlanNodePtr& plan, double scale_factor,
+                              double null_injection_rate,
+                              uint64_t null_injection_seed) {
+  ReferenceEvaluator evaluator(scale_factor, null_injection_rate,
+                               null_injection_seed);
   return evaluator.Eval(*plan);
 }
 
@@ -375,9 +490,13 @@ std::string DiffRows(const RefRelation& expected,
   auto less = [](const std::vector<Value>& a, const std::vector<Value>& b) {
     for (size_t i = 0; i < a.size(); ++i) {
       // Engine/reference may disagree on int-backed flavors; order by
-      // payload, not type.
+      // payload, not type. NULLs sort first so both sides line up.
       const Value& x = a[i];
       const Value& y = b[i];
+      if (x.is_null || y.is_null) {
+        if (x.is_null != y.is_null) return x.is_null;
+        continue;
+      }
       if (x.type == DataType::kString || y.type == DataType::kString) {
         if (x.str != y.str) return x.str < y.str;
       } else if (x.type == DataType::kDouble || y.type == DataType::kDouble) {

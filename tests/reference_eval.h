@@ -32,8 +32,14 @@ struct RefRelation {
 };
 
 /// Evaluates `plan` (an unfragmented plan tree as built by TpchQueryPlan)
-/// over the synthetic TPC-H data at `scale_factor`.
-RefRelation ReferenceEvaluate(const PlanNodePtr& plan, double scale_factor);
+/// over the synthetic TPC-H data at `scale_factor`. When
+/// `null_injection_rate` > 0 the scans nullify cells through the same
+/// content-keyed InjectNulls function the engine's storage layer applies
+/// under EngineConfig::null_injection_rate — run both with identical
+/// (rate, seed) and the two sides see identical nullable data.
+RefRelation ReferenceEvaluate(const PlanNodePtr& plan, double scale_factor,
+                              double null_injection_rate = 0.0,
+                              uint64_t null_injection_seed = 0);
 
 /// Compares the engine's result pages against the reference as row
 /// multisets (both sides sorted canonically): non-double cells must match

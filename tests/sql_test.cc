@@ -273,8 +273,8 @@ TEST(AnalyzerTest, NewConstructsReturnTypedErrors) {
       {"SELECT c_custkey FROM customer, nation WHERE c_name = n_nationkey",
        StatusCode::kInvalidArgument},
       // Subquery placement and shape.
-      {"SELECT o_orderkey FROM orders WHERE NOT EXISTS "
-       "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey)",
+      {"SELECT o_orderkey FROM orders WHERE o_orderkey NOT IN "
+       "(SELECT l_orderkey FROM lineitem WHERE l_orderkey = o_orderkey)",
        StatusCode::kUnimplemented},
       {"SELECT o_orderkey FROM orders WHERE o_totalprice > 1 OR EXISTS "
        "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey)",
@@ -342,10 +342,26 @@ TEST(AnalyzerTest, NewConstructsReturnTypedErrors) {
        StatusCode::kInvalidArgument},
       // SELECT * only means something inside EXISTS.
       {"SELECT * FROM orders", StatusCode::kInvalidArgument},
-      // IN-subqueries are rejected up front.
-      {"SELECT o_orderkey FROM orders WHERE o_orderkey IN "
-       "(SELECT l_orderkey FROM lineitem)",
+      // Outer-join ON clauses are limited to equalities plus
+      // non-preserved-side filters.
+      {"SELECT o_orderkey FROM orders LEFT JOIN lineitem "
+       "ON l_orderkey < o_orderkey",
        StatusCode::kUnimplemented},
+      {"SELECT o_orderkey FROM orders LEFT JOIN lineitem "
+       "ON l_orderkey = o_orderkey AND o_totalprice > 100",
+       StatusCode::kUnimplemented},
+      {"SELECT o_orderkey FROM orders RIGHT JOIN lineitem "
+       "ON l_orderkey = o_orderkey AND l_quantity > 10",
+       StatusCode::kUnimplemented},
+      // Inner joins cannot follow an outer join (the outer-join frontier
+      // is pinned to textual order).
+      {"SELECT o_orderkey FROM orders LEFT JOIN lineitem "
+       "ON l_orderkey = o_orderkey JOIN customer ON c_custkey = o_custkey",
+       StatusCode::kUnimplemented},
+      // A NULL literal cannot stand on its own.
+      {"SELECT NULL AS x FROM orders", StatusCode::kInvalidArgument},
+      {"SELECT CASE WHEN o_orderkey > 0 THEN NULL END AS x FROM orders",
+       StatusCode::kInvalidArgument},
   };
   for (const auto& c : bad) {
     auto plan = SqlToPlan(c.sql, catalog);
@@ -690,6 +706,285 @@ TEST(SqlEndToEndTest, CorrelatedScalarSubquery) {
   }
   EXPECT_GT(rows, 0);
   EXPECT_EQ(rows, expected);
+}
+
+TEST(ParserTest, ParsesOuterJoinsIntoOuterJoinList) {
+  auto query = ParseSqlQuery(
+      "SELECT o_orderkey, l_quantity FROM orders "
+      "LEFT OUTER JOIN lineitem ON o_orderkey = l_orderkey AND "
+      "l_quantity > 45");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->from.size(), 1u);
+  ASSERT_EQ(query->outer_joins.size(), 1u);
+  EXPECT_EQ(query->outer_joins[0].kind, SqlOuterJoin::Kind::kLeft);
+  EXPECT_EQ(query->outer_joins[0].table.table, "LINEITEM");
+  EXPECT_EQ(query->outer_joins[0].on.size(), 2u);  // ON is AND-split
+  EXPECT_TRUE(query->conjuncts.empty());
+
+  auto right = ParseSqlQuery(
+      "SELECT c_custkey FROM orders RIGHT JOIN customer "
+      "ON o_custkey = c_custkey");
+  ASSERT_TRUE(right.ok()) << right.status().ToString();
+  ASSERT_EQ(right->outer_joins.size(), 1u);
+  EXPECT_EQ(right->outer_joins[0].kind, SqlOuterJoin::Kind::kRight);
+
+  auto full = ParseSqlQuery(
+      "SELECT c_custkey FROM orders FULL OUTER JOIN customer "
+      "ON o_custkey = c_custkey");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_EQ(full->outer_joins.size(), 1u);
+  EXPECT_EQ(full->outer_joins[0].kind, SqlOuterJoin::Kind::kFull);
+}
+
+TEST(ParserTest, ParsesDistinctNullTestsAndElselessCase) {
+  auto query = ParseSqlQuery(
+      "SELECT DISTINCT o_orderpriority, "
+      "CASE WHEN o_totalprice > 1000 THEN 1 END AS big "
+      "FROM orders WHERE o_clerk IS NOT NULL AND o_comment IS NULL "
+      "AND o_orderkey NOT IN (SELECT l_orderkey FROM lineitem)");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE(query->distinct);
+  // A missing ELSE branch parses as an explicit NULL-literal child.
+  const auto& cw = query->select_items[1].expr;
+  ASSERT_EQ(cw->kind, SqlExpr::Kind::kCaseWhen);
+  EXPECT_EQ(cw->children.back()->kind, SqlExpr::Kind::kNullLiteral);
+  ASSERT_EQ(query->conjuncts.size(), 3u);
+  EXPECT_EQ(query->conjuncts[0]->kind, SqlExpr::Kind::kIsNull);
+  EXPECT_EQ(query->conjuncts[0]->text, "NOT");
+  EXPECT_EQ(query->conjuncts[1]->kind, SqlExpr::Kind::kIsNull);
+  EXPECT_TRUE(query->conjuncts[1]->text.empty());
+  EXPECT_EQ(query->conjuncts[2]->kind, SqlExpr::Kind::kInSubquery);
+  EXPECT_EQ(query->conjuncts[2]->text, "NOT");
+}
+
+TEST(AnalyzerTest, PlansOuterSemiAntiAndDistinct) {
+  Catalog catalog = TestCatalog();
+  for (const char* sql : {
+           "SELECT o_orderkey, l_quantity FROM orders LEFT JOIN lineitem "
+           "ON o_orderkey = l_orderkey AND l_quantity > 45",
+           "SELECT c_custkey, o_totalprice FROM orders RIGHT JOIN customer "
+           "ON o_custkey = c_custkey AND o_totalprice > 1000",
+           "SELECT o_orderkey, c_custkey FROM orders FULL OUTER JOIN "
+           "customer ON o_custkey = c_custkey",
+           "SELECT DISTINCT c_mktsegment FROM customer",
+           "SELECT count(*) AS n FROM orders WHERE o_orderkey NOT IN "
+           "(SELECT l_orderkey FROM lineitem WHERE l_quantity > 45)",
+           "SELECT count(*) AS n FROM orders WHERE NOT EXISTS "
+           "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey)",
+           "SELECT o_orderkey FROM orders WHERE o_comment IS NOT NULL",
+       }) {
+    auto plan = SqlToPlan(sql, catalog);
+    EXPECT_TRUE(plan.ok()) << sql << ": " << plan.status().ToString();
+  }
+}
+
+TEST(SqlEndToEndTest, LeftOuterJoinNullPadding) {
+  AccordionCluster cluster(SmallClusterOptions());
+  Session session(cluster.coordinator());
+
+  // Orders without a qty>45 lineitem survive NULL-padded, so
+  // count(l_quantity) skips them while count(*) sees every row.
+  auto query = session.Execute(
+      "SELECT count(*) AS total, count(l_quantity) AS matched "
+      "FROM orders LEFT JOIN lineitem "
+      "ON o_orderkey = l_orderkey AND l_quantity > 45");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto result = (*query)->Wait(60000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::map<int64_t, int64_t> hits;  // orderkey -> qty>45 lineitems
+  for (const auto& page : GenerateSplit("lineitem", 0.005, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      if (page->column(4).DoubleAt(r) > 45) ++hits[page->column(0).IntAt(r)];
+    }
+  }
+  int64_t total = 0, matched = 0, unmatched_orders = 0;
+  for (const auto& page : GenerateSplit("orders", 0.005, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      auto it = hits.find(page->column(0).IntAt(r));
+      int64_t k = it == hits.end() ? 0 : it->second;
+      total += std::max<int64_t>(k, 1);
+      matched += k;
+      unmatched_orders += k == 0;
+    }
+  }
+  ASSERT_GT(unmatched_orders, 0);  // the test is vacuous otherwise
+  EXPECT_EQ((*result)[0]->column(0).IntAt(0), total);
+  EXPECT_EQ((*result)[0]->column(1).IntAt(0), matched);
+
+  // WHERE ... IS NULL over the padded side (a post-join residual; WHERE
+  // must see the NULL-padded rows) counts exactly the unmatched orders.
+  auto nulls = session.Execute(
+      "SELECT count(*) AS n FROM orders LEFT JOIN lineitem "
+      "ON o_orderkey = l_orderkey AND l_quantity > 45 "
+      "WHERE l_quantity IS NULL");
+  ASSERT_TRUE(nulls.ok()) << nulls.status().ToString();
+  auto nulls_result = (*nulls)->Wait(60000);
+  ASSERT_TRUE(nulls_result.ok()) << nulls_result.status().ToString();
+  EXPECT_EQ((*nulls_result)[0]->column(0).IntAt(0), unmatched_orders);
+}
+
+TEST(SqlEndToEndTest, RightAndFullOuterJoinsPreserveBuildRows) {
+  AccordionCluster cluster(SmallClusterOptions());
+  Session session(cluster.coordinator());
+
+  // The generator gives every customer at least one order, so the RIGHT
+  // join filters the probe side in the ON clause (the one placement where
+  // a probe filter is semantics-preserving) to manufacture customers with
+  // no matching order.
+  int64_t big_orders = 0;  // o_totalprice > 400000
+  std::set<int64_t> custkeys_with_big;
+  for (const auto& page : GenerateSplit("orders", 0.005, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      if (page->column(3).DoubleAt(r) > 400000) {
+        ++big_orders;
+        custkeys_with_big.insert(page->column(1).IntAt(r));
+      }
+    }
+  }
+  int64_t customers = 0;
+  for (const auto& page : GenerateSplit("customer", 0.005, 0, 1)) {
+    customers += page->num_rows();
+  }
+  int64_t customers_without_big =
+      customers - static_cast<int64_t>(custkeys_with_big.size());
+  ASSERT_GT(big_orders, 0);
+  ASSERT_GT(customers_without_big, 0);
+
+  auto right = session.Execute(
+      "SELECT count(*) AS total, count(o_orderkey) AS with_order "
+      "FROM orders RIGHT JOIN customer "
+      "ON o_custkey = c_custkey AND o_totalprice > 400000");
+  ASSERT_TRUE(right.ok()) << right.status().ToString();
+  auto right_rows = (*right)->Wait(60000);
+  ASSERT_TRUE(right_rows.ok()) << right_rows.status().ToString();
+  EXPECT_EQ((*right_rows)[0]->column(0).IntAt(0),
+            big_orders + customers_without_big);
+  EXPECT_EQ((*right_rows)[0]->column(1).IntAt(0), big_orders);
+
+  // FULL outer join across disjoint-ish key domains (orderkeys run far
+  // past the last custkey), so both sides contribute NULL-padded rows:
+  // unmatched orders stream out probe-side, unmatched customers drain
+  // from the build.
+  int64_t orders_rows = 0, matched = 0;
+  std::set<int64_t> custkeys;
+  for (const auto& page : GenerateSplit("customer", 0.005, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      custkeys.insert(page->column(0).IntAt(r));
+    }
+  }
+  for (const auto& page : GenerateSplit("orders", 0.005, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      ++orders_rows;
+      matched += custkeys.count(page->column(0).IntAt(r)) != 0;
+    }
+  }
+  int64_t custs_unmatched = static_cast<int64_t>(custkeys.size()) - matched;
+  ASSERT_GT(matched, 0);
+  ASSERT_GT(orders_rows - matched, 0);  // unmatched probe rows exist
+
+  auto full = session.Execute(
+      "SELECT count(*) AS total, count(o_orderkey) AS with_order, "
+      "count(c_custkey) AS with_cust "
+      "FROM orders FULL OUTER JOIN customer ON o_orderkey = c_custkey");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  auto full_rows = (*full)->Wait(60000);
+  ASSERT_TRUE(full_rows.ok()) << full_rows.status().ToString();
+  EXPECT_EQ((*full_rows)[0]->column(0).IntAt(0),
+            orders_rows + custs_unmatched);
+  EXPECT_EQ((*full_rows)[0]->column(1).IntAt(0), orders_rows);
+  EXPECT_EQ((*full_rows)[0]->column(2).IntAt(0), matched + custs_unmatched);
+}
+
+TEST(SqlEndToEndTest, NotInAndNotExistsAntiJoins) {
+  AccordionCluster cluster(SmallClusterOptions());
+  Session session(cluster.coordinator());
+
+  std::set<int64_t> keys_with_big;  // orderkeys with a qty>45 lineitem
+  for (const auto& page : GenerateSplit("lineitem", 0.005, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      if (page->column(4).DoubleAt(r) > 45) {
+        keys_with_big.insert(page->column(0).IntAt(r));
+      }
+    }
+  }
+  int64_t expected = 0;
+  for (const auto& page : GenerateSplit("orders", 0.005, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      expected += keys_with_big.count(page->column(0).IntAt(r)) == 0;
+    }
+  }
+  ASSERT_GT(expected, 0);
+
+  // The inner side has no NULLs here, so NOT IN's null-aware anti join
+  // and NOT EXISTS's plain anti join agree on the same count.
+  auto not_in = session.Execute(
+      "SELECT count(*) AS n FROM orders WHERE o_orderkey NOT IN "
+      "(SELECT l_orderkey FROM lineitem WHERE l_quantity > 45)");
+  ASSERT_TRUE(not_in.ok()) << not_in.status().ToString();
+  auto not_in_rows = (*not_in)->Wait(60000);
+  ASSERT_TRUE(not_in_rows.ok()) << not_in_rows.status().ToString();
+  EXPECT_EQ((*not_in_rows)[0]->column(0).IntAt(0), expected);
+
+  auto not_exists = session.Execute(
+      "SELECT count(*) AS n FROM orders WHERE NOT EXISTS "
+      "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey AND "
+      "l_quantity > 45)");
+  ASSERT_TRUE(not_exists.ok()) << not_exists.status().ToString();
+  auto not_exists_rows = (*not_exists)->Wait(60000);
+  ASSERT_TRUE(not_exists_rows.ok()) << not_exists_rows.status().ToString();
+  EXPECT_EQ((*not_exists_rows)[0]->column(0).IntAt(0), expected);
+}
+
+TEST(SqlEndToEndTest, DistinctCollapsesDuplicates) {
+  AccordionCluster cluster(SmallClusterOptions());
+  Session session(cluster.coordinator());
+
+  auto query = session.Execute(
+      "SELECT DISTINCT c_mktsegment FROM customer ORDER BY c_mktsegment");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto result = (*query)->Wait(60000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  int64_t rows = 0;
+  for (const auto& page : *result) rows += page->num_rows();
+  EXPECT_EQ(rows, 5);  // five market segments
+  EXPECT_EQ((*result)[0]->column(0).StrAt(0), "AUTOMOBILE");
+}
+
+TEST(SqlEndToEndTest, ElselessCaseYieldsNullGroup) {
+  AccordionCluster cluster(SmallClusterOptions());
+  Session session(cluster.coordinator());
+
+  // CASE without ELSE produces NULL, which forms its own GROUP BY group
+  // and sorts before every non-NULL key.
+  auto query = session.Execute(
+      "SELECT CASE WHEN o_totalprice > 150000 THEN 1 END AS big, "
+      "count(*) AS n FROM orders GROUP BY big ORDER BY big");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto result = (*query)->Wait(60000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  int64_t big = 0, small = 0;
+  for (const auto& page : GenerateSplit("orders", 0.005, 0, 1)) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      (page->column(3).DoubleAt(r) > 150000 ? big : small)++;
+    }
+  }
+  ASSERT_GT(big, 0);
+  ASSERT_GT(small, 0);
+
+  std::vector<std::pair<bool, int64_t>> groups;  // (key is NULL, count)
+  for (const auto& page : *result) {
+    for (int64_t r = 0; r < page->num_rows(); ++r) {
+      groups.emplace_back(page->column(0).IsNull(r),
+                          page->column(1).IntAt(r));
+    }
+  }
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_TRUE(groups[0].first);  // NULL group first
+  EXPECT_EQ(groups[0].second, small);
+  EXPECT_FALSE(groups[1].first);
+  EXPECT_EQ(groups[1].second, big);
 }
 
 }  // namespace

@@ -279,5 +279,235 @@ TEST_P(PageSerdePropertyTest, RandomRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PageSerdePropertyTest,
                          ::testing::Range(0, 12));
 
+// --- validity bitmap properties ----------------------------------------------
+// Every copy/move primitive (AppendFrom, AppendRange, AppendGather,
+// Gather, GatherNullable, Select, Concat, Serialize) must carry the
+// byte-per-row validity buffer along with the payload, preserve the
+// empty-buffer == all-valid convention, and keep NULL payloads zeroed.
+
+// Random nullable column of `type`: ~1/3 of rows NULL. `expect_null[i]`
+// records the truth for later comparison.
+Column RandomNullable(DataType type, int64_t rows, Random* rng,
+                      std::vector<bool>* expect_null) {
+  Column col(type);
+  expect_null->clear();
+  for (int64_t i = 0; i < rows; ++i) {
+    if (rng->NextInt(0, 2) == 0) {
+      col.AppendNull();
+      expect_null->push_back(true);
+      continue;
+    }
+    expect_null->push_back(false);
+    switch (type) {
+      case DataType::kDouble:
+        col.AppendDouble(rng->NextDouble() * 100 - 50);
+        break;
+      case DataType::kString:
+        col.AppendStr(rng->NextString(static_cast<int>(rng->NextInt(0, 12))));
+        break;
+      default:
+        col.AppendInt(rng->NextInt(-1000, 1000));
+        break;
+    }
+  }
+  return col;
+}
+
+void ExpectSameRows(const Column& got, const Column& want, int64_t got_row,
+                    int64_t want_row) {
+  ASSERT_EQ(got.IsNull(got_row), want.IsNull(want_row))
+      << "rows " << got_row << "/" << want_row;
+  if (!got.IsNull(got_row)) {
+    EXPECT_EQ(got.ValueAt(got_row) == want.ValueAt(want_row), true)
+        << "rows " << got_row << "/" << want_row;
+  }
+}
+
+class ValidityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValidityPropertyTest, CopyPrimitivesCarryValidity) {
+  Random rng(100 + GetParam());
+  for (DataType type :
+       {DataType::kInt64, DataType::kDouble, DataType::kString}) {
+    std::vector<bool> is_null;
+    Column src = RandomNullable(type, 300, &rng, &is_null);
+
+    // AppendFrom: row-at-a-time onto a destination that starts all-valid,
+    // so the validity buffer materializes mid-append and must backfill.
+    Column dst(type);
+    for (int64_t i = 0; i < 300; ++i) dst.AppendFrom(src, i);
+    ASSERT_EQ(dst.size(), 300);
+    for (int64_t i = 0; i < 300; ++i) ExpectSameRows(dst, src, i, i);
+
+    // AppendRange: bulk spans, including ones straddling NULL runs and a
+    // destination with pre-existing valid rows.
+    Column ranged(type);
+    ranged.AppendFrom(src, 0);
+    ranged.AppendRange(src, 100, 150);
+    ranged.AppendRange(src, 0, 0);  // empty span is a no-op
+    ASSERT_EQ(ranged.size(), 151);
+    ExpectSameRows(ranged, src, 0, 0);
+    for (int64_t i = 0; i < 150; ++i) {
+      ExpectSameRows(ranged, src, 1 + i, 100 + i);
+    }
+
+    // AppendGather over a hostile selection vector: duplicates, reversals,
+    // page-boundary-sized strides.
+    std::vector<int32_t> selection;
+    for (int32_t i = 299; i >= 0; i -= 3) selection.push_back(i);
+    for (int32_t i = 0; i < 50; ++i) selection.push_back(7);
+    Column gathered(type);
+    gathered.AppendGather(src, selection.data(),
+                          static_cast<int64_t>(selection.size()));
+    ASSERT_EQ(gathered.size(), static_cast<int64_t>(selection.size()));
+    for (size_t i = 0; i < selection.size(); ++i) {
+      ExpectSameRows(gathered, src, static_cast<int64_t>(i), selection[i]);
+    }
+
+    // Gather (both index widths) agrees with AppendGather.
+    Column g32 = src.Gather(selection);
+    std::vector<int64_t> sel64(selection.begin(), selection.end());
+    Column g64 = src.Gather(sel64.data(), static_cast<int64_t>(sel64.size()));
+    for (size_t i = 0; i < selection.size(); ++i) {
+      ExpectSameRows(g32, gathered, static_cast<int64_t>(i),
+                     static_cast<int64_t>(i));
+      ExpectSameRows(g64, gathered, static_cast<int64_t>(i),
+                     static_cast<int64_t>(i));
+    }
+
+    // GatherNullable: -1 indices mint fresh NULLs with zeroed payloads.
+    std::vector<int64_t> with_misses{0, -1, 5, -1, 299};
+    Column padded = src.GatherNullable(with_misses.data(), 5);
+    ASSERT_EQ(padded.size(), 5);
+    EXPECT_TRUE(padded.IsNull(1));
+    EXPECT_TRUE(padded.IsNull(3));
+    ExpectSameRows(padded, src, 0, 0);
+    ExpectSameRows(padded, src, 2, 5);
+    ExpectSameRows(padded, src, 4, 299);
+    switch (type) {
+      case DataType::kDouble:
+        EXPECT_EQ(padded.DoubleAt(1), 0.0);
+        break;
+      case DataType::kString:
+        EXPECT_TRUE(padded.StrAt(1).empty());
+        break;
+      default:
+        EXPECT_EQ(padded.IntAt(1), 0);
+        break;
+    }
+  }
+}
+
+TEST_P(ValidityPropertyTest, PagePrimitivesCarryValidity) {
+  Random rng(200 + GetParam());
+  std::vector<bool> ni, nd, ns;
+  PagePtr page = Page::Make({RandomNullable(DataType::kInt64, 257, &rng, &ni),
+                             RandomNullable(DataType::kDouble, 257, &rng, &nd),
+                             RandomNullable(DataType::kString, 257, &rng,
+                                            &ns)});
+  // Select (the filter path) keeps per-row validity aligned.
+  std::vector<int32_t> keep;
+  for (int32_t i = 0; i < 257; ++i) {
+    if (rng.NextInt(0, 1) == 0) keep.push_back(i);
+  }
+  PagePtr selected = page->Select(keep);
+  ASSERT_EQ(selected->num_rows(), static_cast<int64_t>(keep.size()));
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < keep.size(); ++i) {
+      ExpectSameRows(selected->column(c), page->column(c),
+                     static_cast<int64_t>(i), keep[i]);
+    }
+  }
+  // Concat across pages with different validity shapes: an all-valid
+  // page concatenated after a nullable one must backfill, and vice versa.
+  Column all_valid(DataType::kInt64);
+  Column all_valid_d(DataType::kDouble);
+  Column all_valid_s(DataType::kString);
+  for (int i = 0; i < 40; ++i) {
+    all_valid.AppendInt(i);
+    all_valid_d.AppendDouble(i * 0.5);
+    all_valid_s.AppendStr("v" + std::to_string(i));
+  }
+  PagePtr dense = Page::Make({std::move(all_valid), std::move(all_valid_d),
+                              std::move(all_valid_s)});
+  for (const auto& order :
+       std::vector<std::vector<PagePtr>>{{page, dense}, {dense, page}}) {
+    PagePtr cat = Page::Concat(order);
+    ASSERT_EQ(cat->num_rows(), 297);
+    int64_t offset = 0;
+    for (const PagePtr& part : order) {
+      for (int c = 0; c < 3; ++c) {
+        for (int64_t r = 0; r < part->num_rows(); ++r) {
+          ExpectSameRows(cat->column(c), part->column(c), offset + r, r);
+        }
+      }
+      offset += part->num_rows();
+    }
+  }
+  // Serialize round-trips the validity buffer (and its absence) exactly.
+  auto restored = Page::Deserialize(page->Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_TRUE((*restored)->column(c).may_have_nulls());
+    for (int64_t r = 0; r < 257; ++r) {
+      ExpectSameRows((*restored)->column(c), page->column(c), r, r);
+    }
+  }
+  auto dense_restored = Page::Deserialize(dense->Serialize());
+  ASSERT_TRUE(dense_restored.ok());
+  for (int c = 0; c < 3; ++c) {
+    // All-valid columns stay on the empty-buffer fast path on the wire.
+    EXPECT_FALSE((*dense_restored)->column(c).may_have_nulls());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidityPropertyTest, ::testing::Range(0, 6));
+
+TEST(ValidityTest, EmptyBufferMeansAllValid) {
+  Column col = MakeIntColumn({1, 2, 3});
+  EXPECT_FALSE(col.may_have_nulls());
+  EXPECT_FALSE(col.IsNull(0));
+  // EnsureValidity materializes all-valid without changing semantics.
+  col.EnsureValidity();
+  EXPECT_TRUE(col.may_have_nulls());
+  EXPECT_FALSE(col.IsNull(2));
+  // SetNull flips one row, preserving its payload.
+  col.SetNull(1);
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.IntAt(1), 2);
+  // AppendNull after the fact extends both buffers in lockstep.
+  col.AppendNull();
+  EXPECT_EQ(col.size(), 4);
+  EXPECT_TRUE(col.IsNull(3));
+  EXPECT_EQ(col.IntAt(3), 0);
+}
+
+TEST(ValidityTest, FirstNullBackfillsEarlierRowsAsValid) {
+  Column col(DataType::kString);
+  col.AppendStr("a");
+  col.AppendStr("b");
+  ASSERT_FALSE(col.may_have_nulls());
+  col.AppendNull();
+  ASSERT_EQ(col.validity(), (std::vector<uint8_t>{1, 1, 0}));
+  col.AppendStr("c");
+  ASSERT_EQ(col.validity(), (std::vector<uint8_t>{1, 1, 0, 1}));
+}
+
+TEST(ValidityTest, SharedColumnViewsSeeTheSameValidity) {
+  // Project/column-ref expressions share physical columns zero-copy; the
+  // validity buffer rides along because it IS part of the column object.
+  std::vector<bool> is_null;
+  Random rng(3);
+  PagePtr base =
+      Page::Make({RandomNullable(DataType::kInt64, 50, &rng, &is_null)});
+  PagePtr view = Page::MakeShared({base->shared_column(0)});
+  EXPECT_EQ(&view->column(0), &base->column(0));
+  for (int64_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(view->column(0).IsNull(r), is_null[r]);
+  }
+  EXPECT_EQ(view->column(0).validity().data(),
+            base->column(0).validity().data());
+}
+
 }  // namespace
 }  // namespace accordion
